@@ -1,0 +1,76 @@
+/// E6 — Theorem 4.3 series fusion: k independent MD-joins over the same
+/// detail relation evaluated as (a) k separate operators — k scans of R —
+/// vs (b) one generalized MD-join — a single scan. Sweeps k; the paper's
+/// claim is that runtime tracks the number of scans.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/generalized.h"
+#include "core/mdjoin.h"
+#include "cube/base_tables.h"
+#include "workload/generators.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using bench::CachedSales;
+
+/// Component i: average sale in state i per customer.
+std::vector<MdJoinComponent> MakeComponents(int k) {
+  std::vector<MdJoinComponent> comps;
+  for (int i = 0; i < k; ++i) {
+    std::string name = "avg_" + StateName(i);
+    comps.push_back({{Avg(RCol("sale"), name)},
+                     And(Eq(RCol("cust"), BCol("cust")),
+                         Eq(RCol("state"), Lit(StateName(i))))});
+  }
+  return comps;
+}
+
+void BM_FusedGeneralized(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Table& sales = CachedSales(100000, state.range(1));
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<MdJoinComponent> comps = MakeComponents(k);
+  MdJoinStats stats;
+  for (auto _ : state) {
+    Table out = *GeneralizedMdJoin(base, sales, comps, {}, &stats);
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.counters["k"] = k;
+  state.counters["scans_of_R"] =
+      static_cast<double>(stats.detail_rows_scanned) / 100000.0;
+}
+BENCHMARK(BM_FusedGeneralized)
+    ->ArgsProduct({{1, 2, 4, 8}, {1000, 50000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UnfusedSeries(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Table& sales = CachedSales(100000, state.range(1));
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<MdJoinComponent> comps = MakeComponents(k);
+  int64_t scanned = 0;
+  for (auto _ : state) {
+    Table step = base.Clone();
+    scanned = 0;
+    for (const MdJoinComponent& comp : comps) {
+      MdJoinStats stats;
+      step = *MdJoin(step, sales, comp.aggs, comp.theta, {}, &stats);
+      scanned += stats.detail_rows_scanned;
+    }
+    benchmark::DoNotOptimize(step.num_rows());
+  }
+  state.counters["k"] = k;
+  state.counters["scans_of_R"] = static_cast<double>(scanned) / 100000.0;
+}
+BENCHMARK(BM_UnfusedSeries)
+    ->ArgsProduct({{1, 2, 4, 8}, {1000, 50000}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mdjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/// E8 — Theorem 4.5 roll-up and Figure 2's PIPESORT paths. Prints the
+/// pipelined-path plan for a 2-dimensional cube (the Figure 2 shape: one
+/// pipelined chain plus one re-sorted cuboid), then measures three cube
+/// strategies:
+///   (a) PIPESORT execution — full cuboid from the detail relation, every
+///       other cuboid rolled up from its tree parent (Theorem 4.5);
+///   (b) detail-only — every cuboid recomputed from the detail relation;
+///   (c) one direct MD-join over the whole cube base (the multi-granularity
+///       index, 2^d probes per tuple).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/mdjoin.h"
+#include "cube/base_tables.h"
+#include "cube/pipesort.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using bench::CachedSales;
+using bench::DimsTheta;
+
+void PrintFigure2() {
+  const Table& sales = CachedSales(10000, 100, 50, 12);
+  // Figure 2 uses two attributes A, B; here A=prod (50 values), B=month (12).
+  CubeLattice lattice = *CubeLattice::Make({"prod", "month"});
+  auto cardinality = *CuboidCardinalities(sales, lattice);
+  PipesortPlan plan = *BuildPipesortPlan(lattice, cardinality);
+  std::printf("E8 / Figure 2: PIPESORT pipelined paths for cube(prod, month):\n%s",
+              plan.ToString().c_str());
+  std::printf("sorts required: %d (1 initial + %d re-sorts)\n\n", plan.num_sorts(),
+              plan.num_sorts() - 1);
+
+  CubeLattice lat3 = *CubeLattice::Make({"prod", "month", "state"});
+  auto card3 = *CuboidCardinalities(sales, lat3);
+  PipesortPlan plan3 = *BuildPipesortPlan(lat3, card3);
+  std::printf("3-dimensional plan for cube(prod, month, state):\n%s",
+              plan3.ToString().c_str());
+  std::printf("sorts required: %d for %d cuboids\n\n", plan3.num_sorts(), 1 << 3);
+}
+
+const std::vector<std::string>& Dims3() {
+  static const auto* kDims =
+      new std::vector<std::string>{"prod", "month", "state"};
+  return *kDims;
+}
+
+void BM_PipesortRollup(benchmark::State& state) {
+  const Table& sales = CachedSales(state.range(0), 100, 50, 12);
+  CubeLattice lattice = *CubeLattice::Make(Dims3());
+  auto cardinality = *CuboidCardinalities(sales, lattice);
+  PipesortPlan plan = *BuildPipesortPlan(lattice, cardinality);
+  std::vector<AggSpec> aggs = {Sum(RCol("sale"), "total"), Count("n")};
+  CubeExecStats stats;
+  for (auto _ : state) {
+    Table cube = *ExecutePipesortPlan(plan, sales, aggs, &stats);
+    benchmark::DoNotOptimize(cube.num_rows());
+  }
+  state.counters["sorts"] = static_cast<double>(stats.sorts);
+  state.counters["rows_scanned"] = static_cast<double>(stats.rows_scanned);
+}
+BENCHMARK(BM_PipesortRollup)
+    ->Arg(20000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DetailOnlyCube(benchmark::State& state) {
+  const Table& sales = CachedSales(state.range(0), 100, 50, 12);
+  CubeLattice lattice = *CubeLattice::Make(Dims3());
+  std::vector<AggSpec> aggs = {Sum(RCol("sale"), "total"), Count("n")};
+  CubeExecStats stats;
+  for (auto _ : state) {
+    Table cube = *ComputeCubeFromDetailOnly(lattice, sales, aggs, &stats);
+    benchmark::DoNotOptimize(cube.num_rows());
+  }
+  state.counters["sorts"] = static_cast<double>(stats.sorts);
+  state.counters["rows_scanned"] = static_cast<double>(stats.rows_scanned);
+}
+BENCHMARK(BM_DetailOnlyCube)
+    ->Arg(20000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DirectMdJoinCube(benchmark::State& state) {
+  const Table& sales = CachedSales(state.range(0), 100, 50, 12);
+  Table base = *CubeByBase(sales, Dims3());
+  ExprPtr theta = DimsTheta(Dims3());
+  std::vector<AggSpec> aggs = {Sum(RCol("sale"), "total"), Count("n")};
+  MdJoinStats stats;
+  for (auto _ : state) {
+    Table cube = *MdJoin(base, sales, aggs, theta, {}, &stats);
+    benchmark::DoNotOptimize(cube.num_rows());
+  }
+  state.counters["index_masks"] = static_cast<double>(stats.index_masks);
+  state.counters["candidate_pairs"] = static_cast<double>(stats.candidate_pairs);
+}
+BENCHMARK(BM_DirectMdJoinCube)
+    ->Arg(20000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mdjoin
+
+int main(int argc, char** argv) {
+  mdjoin::PrintFigure2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

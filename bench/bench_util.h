@@ -1,0 +1,62 @@
+#ifndef MDJOIN_BENCH_BENCH_UTIL_H_
+#define MDJOIN_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/conjuncts.h"
+#include "expr/expr.h"
+#include "workload/generators.h"
+
+namespace mdjoin {
+namespace bench {
+
+/// Cached Sales instances so google-benchmark's repeated setup does not
+/// regenerate data. Keyed by (rows, customers, products, months).
+inline const Table& CachedSales(int64_t rows, int64_t customers, int64_t products = 100,
+                                int num_months = 12, double zipf = 0.0) {
+  static std::map<std::string, Table>* cache = new std::map<std::string, Table>();
+  std::string key = std::to_string(rows) + "/" + std::to_string(customers) + "/" +
+                    std::to_string(products) + "/" + std::to_string(num_months) + "/" +
+                    std::to_string(zipf);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    SalesConfig config;
+    config.num_rows = rows;
+    config.num_customers = customers;
+    config.num_products = products;
+    config.num_months = num_months;
+    config.zipf_theta = zipf;
+    it = cache->emplace(key, GenerateSales(config)).first;
+  }
+  return it->second;
+}
+
+inline const Table& CachedPayments(int64_t rows, int64_t customers) {
+  static std::map<std::string, Table>* cache = new std::map<std::string, Table>();
+  std::string key = std::to_string(rows) + "/" + std::to_string(customers);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    PaymentsConfig config;
+    config.num_rows = rows;
+    config.num_customers = customers;
+    it = cache->emplace(key, GeneratePayments(config)).first;
+  }
+  return it->second;
+}
+
+/// θ: equality over the given dimensions (base side may hold ALL).
+inline ExprPtr DimsTheta(const std::vector<std::string>& dims) {
+  std::vector<ExprPtr> eqs;
+  for (const std::string& d : dims) {
+    eqs.push_back(Expr::Binary(BinaryOp::kEq, Expr::ColumnRef(Side::kBase, d),
+                               Expr::ColumnRef(Side::kDetail, d)));
+  }
+  return CombineConjuncts(std::move(eqs));
+}
+
+}  // namespace bench
+}  // namespace mdjoin
+
+#endif  // MDJOIN_BENCH_BENCH_UTIL_H_

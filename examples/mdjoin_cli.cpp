@@ -1,0 +1,173 @@
+/// mdjoin_cli — run ANALYZE BY / EMF-SQL queries against CSV files from the
+/// command line. The library as a usable tool:
+///
+///   example_mdjoin_cli --table Sales=sales.csv:'cust:int64,state:string,...'
+///                      [--emf] [--explain] [--optimize] 'select ... analyze by ...'
+///
+/// With no arguments, runs a self-contained demo on generated data.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "mdjoin/mdjoin.h"
+
+using namespace mdjoin;  // NOLINT
+
+namespace {
+
+/// Parses "name:type,name:type" into a Schema.
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& piece : SplitString(spec, ',')) {
+    std::vector<std::string> parts = SplitString(std::string(StripWhitespace(piece)), ':');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("bad column spec '", piece,
+                                     "' (want name:type)");
+    }
+    DataType type;
+    if (parts[1] == "int64") {
+      type = DataType::kInt64;
+    } else if (parts[1] == "float64") {
+      type = DataType::kFloat64;
+    } else if (parts[1] == "string") {
+      type = DataType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type '", parts[1],
+                                     "' (int64|float64|string)");
+    }
+    fields.push_back({parts[0], type});
+  }
+  return Schema(std::move(fields));
+}
+
+struct LoadedTable {
+  std::string name;
+  Table table;
+};
+
+/// Parses "Name=path.csv:col:type,col:type" and loads the file.
+Result<LoadedTable> LoadTableSpec(const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("--table wants Name=path.csv:schema");
+  }
+  std::string name = spec.substr(0, eq);
+  std::string rest = spec.substr(eq + 1);
+  size_t colon = rest.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("--table wants a :schema suffix after the path");
+  }
+  std::string path = rest.substr(0, colon);
+  MDJ_ASSIGN_OR_RETURN(Schema schema, ParseSchemaSpec(rest.substr(colon + 1)));
+  MDJ_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path, schema));
+  return LoadedTable{std::move(name), std::move(table)};
+}
+
+int RunDemo() {
+  std::printf("no arguments: running the built-in demo on generated data\n\n");
+  SalesConfig config;
+  config.num_rows = 5000;
+  config.num_customers = 20;
+  config.num_states = 4;
+  Table sales = GenerateSales(config);
+  Catalog catalog;
+  if (!catalog.Register("Sales", &sales).ok()) return 1;
+  const char* sql =
+      "select cust, count(*) as n, sum(sale) as total, avg(X.sale) as avg_ny "
+      "from Sales analyze by group(cust) "
+      "such that X: X.cust = cust and X.state = 'NY' "
+      "having n > 100 order by total desc";
+  std::printf("query:\n  %s\n\n", sql);
+  Result<analyze::BoundQuery> bound = analyze::BindQueryString(sql, catalog);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  Result<PlanPtr> optimized = OptimizePlan(bound->plan, catalog);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "%s\n", optimized.status().ToString().c_str());
+    return 1;
+  }
+  Result<ProfiledResult> result = ExecutePlanProfiled(*optimized, catalog);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\nprofile:\n%s", result->table.ToString(15).c_str(),
+              result->ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return RunDemo();
+
+  std::vector<LoadedTable> tables;
+  bool use_emf = false, explain = false, optimize = false;
+  std::string query;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--table") == 0 && i + 1 < argc) {
+      Result<LoadedTable> loaded = LoadTableSpec(argv[++i]);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+        return 2;
+      }
+      tables.push_back(std::move(*loaded));
+    } else if (std::strcmp(argv[i], "--emf") == 0) {
+      use_emf = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--optimize") == 0) {
+      optimize = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      query = argv[i];
+    }
+  }
+  if (query.empty() || tables.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --table Name=file.csv:col:type,... [--emf] [--explain] "
+                 "[--optimize] 'query'\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Catalog catalog;
+  for (const LoadedTable& t : tables) {
+    if (Status s = catalog.Register(t.name, &t.table); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  Result<analyze::BoundQuery> bound =
+      use_emf ? analyze::BindEmfQueryString(query, catalog)
+              : analyze::BindQueryString(query, catalog);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "error: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  PlanPtr plan = bound->plan;
+  if (optimize) {
+    Result<PlanPtr> optimized = OptimizePlan(plan, catalog);
+    if (!optimized.ok()) {
+      std::fprintf(stderr, "error: %s\n", optimized.status().ToString().c_str());
+      return 1;
+    }
+    plan = *optimized;
+  }
+  if (explain) std::printf("plan:\n%s\n", ExplainPlan(plan).c_str());
+  Result<Table> result = ExecutePlanCse(plan, catalog);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", TableToCsv(*result).c_str());
+  return 0;
+}

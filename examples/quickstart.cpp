@@ -1,0 +1,65 @@
+/// Quickstart: build a small Sales table, run one MD-join, and see how the
+/// operator differs from a plain GROUP BY (outer semantics, detail-side
+/// selection inside θ). Start here.
+
+#include <cstdio>
+
+#include "mdjoin/mdjoin.h"
+
+using namespace mdjoin;       // NOLINT
+using namespace mdjoin::dsl;  // NOLINT
+
+int main() {
+  // 1. A tiny Sales relation: (cust, state, sale).
+  TableBuilder builder({{"cust", DataType::kInt64},
+                        {"state", DataType::kString},
+                        {"sale", DataType::kFloat64}});
+  auto add = [&builder](int64_t cust, const char* state, double sale) {
+    builder.AppendRowOrDie(
+        {Value::Int64(cust), Value::String(state), Value::Float64(sale)});
+  };
+  add(1, "NY", 100);
+  add(1, "NY", 200);
+  add(1, "NJ", 50);
+  add(2, "NJ", 400);
+  add(2, "CA", 150);
+  add(3, "CT", 90);
+  Table sales = std::move(builder).Finish();
+  std::printf("Sales:\n%s\n", sales.ToString().c_str());
+
+  // 2. Base values: every customer, plus one that never bought anything —
+  //    the base-values relation is independent of the detail relation.
+  TableBuilder base_builder({{"cust", DataType::kInt64}});
+  for (int64_t c : {1, 2, 3, 4}) base_builder.AppendRowOrDie({Value::Int64(c)});
+  Table base = std::move(base_builder).Finish();
+
+  // 3. The MD-join: per customer, total sales and the NY-only average.
+  //    θ references the base row via BCol and the detail row via RCol;
+  //    R-only conjuncts (state = 'NY') restrict what gets aggregated.
+  ExprPtr theta_all = Eq(RCol("cust"), BCol("cust"));
+  ExprPtr theta_ny = And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("state"), Lit("NY")));
+
+  std::vector<MdJoinComponent> components;
+  components.push_back(
+      {{Sum(RCol("sale"), "total"), Count("n")}, theta_all});
+  components.push_back({{Avg(RCol("sale"), "avg_ny")}, theta_ny});
+
+  // A generalized MD-join evaluates both θs in ONE scan of Sales.
+  MdJoinStats stats;
+  Result<Table> result = GeneralizedMdJoin(base, sales, components, {}, &stats);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("MD(B, Sales, (l1, l2), (θ1, θ2)) — one scan of the detail table:\n%s\n",
+              result->ToString().c_str());
+  std::printf("evaluation: %s\n\n", stats.ToString().c_str());
+
+  std::printf("Things to notice:\n");
+  std::printf(" - customer 4 is present with n = 0 (outer semantics: the base\n");
+  std::printf("   values define the output rows, not the data);\n");
+  std::printf(" - avg_ny is NULL where a customer had no NY sales;\n");
+  std::printf(" - both aggregate lists were computed in a single pass\n");
+  std::printf("   (detail_scanned == |Sales|), the Theorem 4.3 payoff.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Example 3.3: one output table combining TWO fact tables — total sales and
+/// total payments per (customer, month). Shows Theorem 4.4: the chain of
+/// MD-joins over different detail relations splits into an equijoin of
+/// independent MD-joins, the shape you would push to each relation's site.
+
+#include <cstdio>
+
+#include "mdjoin/mdjoin.h"
+
+using namespace mdjoin;       // NOLINT
+using namespace mdjoin::dsl;  // NOLINT
+
+int main() {
+  SalesConfig sconfig;
+  sconfig.num_rows = 40000;
+  sconfig.num_customers = 300;
+  Table sales = GenerateSales(sconfig);
+  PaymentsConfig pconfig;
+  pconfig.num_rows = 20000;
+  pconfig.num_customers = 300;
+  Table payments = GeneratePayments(pconfig);
+
+  Catalog catalog;
+  if (!catalog.Register("sales", &sales).ok()) return 1;
+  if (!catalog.Register("payments", &payments).ok()) return 1;
+
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month")));
+
+  // The base values: distinct (cust, month) pairs from Sales.
+  PlanPtr base = DistinctPlan(ProjectPlan(
+      TableRef("sales"), {{Col("cust"), "cust"}, {Col("month"), "month"}}));
+
+  // Sequential form: MD over Sales, then MD over Payments.
+  PlanPtr sequential = MdJoinPlan(
+      MdJoinPlan(base, TableRef("sales"), {Sum(RCol("sale"), "total_sales")}, theta),
+      TableRef("payments"), {Sum(RCol("amount"), "total_paid")}, theta);
+  std::printf("sequential plan:\n%s\n", ExplainPlan(sequential).c_str());
+
+  // Theorem 4.4: split into an equijoin of two independent MD-joins.
+  PlanPtr split = *SplitToEquiJoin(sequential, catalog);
+  std::printf("after Theorem 4.4 split:\n%s\n", ExplainPlan(split).c_str());
+
+  ExecStats seq_stats, split_stats;
+  Table a = *ExecutePlan(sequential, catalog, {}, &seq_stats);
+  Table b = *ExecutePlan(split, catalog, {}, &split_stats);
+  std::printf("results identical: %s (%lld rows)\n",
+              TablesEqualUnordered(a, b) ? "yes" : "NO (bug!)",
+              static_cast<long long>(a.num_rows()));
+  std::printf("each side of the join touches only its own fact table: the right\n");
+  std::printf("MD-join can run where Payments lives and ship %lld aggregated rows\n",
+              static_cast<long long>(b.num_rows()));
+  std::printf("instead of %lld raw payment rows.\n\n",
+              static_cast<long long>(payments.num_rows()));
+  std::printf("answer (head):\n%s", a.ToString(8).c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Example 2.2 end-to-end: per-customer average sale in NY, NJ and CT (the
+/// pivoting query that is painful in SQL — four subqueries and three outer
+/// joins). Demonstrates the optimizer pipeline: build the naive plan, fuse it
+/// with Theorem 4.3, compare costs and execution stats, and check both
+/// against the SQL-style baseline.
+
+#include <cstdio>
+
+#include "mdjoin/mdjoin.h"
+
+using namespace mdjoin;       // NOLINT
+using namespace mdjoin::dsl;  // NOLINT
+
+int main() {
+  SalesConfig config;
+  config.num_rows = 50000;
+  config.num_customers = 500;
+  Table sales = GenerateSales(config);
+  Catalog catalog;
+  if (!catalog.Register("sales", &sales).ok()) return 1;
+
+  auto state_theta = [](const char* st) {
+    return And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("state"), Lit(st)));
+  };
+
+  // Naive plan: three chained MD-joins over the same detail relation.
+  PlanPtr plan = DistinctPlan(ProjectPlan(TableRef("sales"), {{Col("cust"), "cust"}}));
+  plan = MdJoinPlan(plan, TableRef("sales"), {Avg(RCol("sale"), "avg_ny")},
+                    state_theta("NY"));
+  plan = MdJoinPlan(plan, TableRef("sales"), {Avg(RCol("sale"), "avg_nj")},
+                    state_theta("NJ"));
+  plan = MdJoinPlan(plan, TableRef("sales"), {Avg(RCol("sale"), "avg_ct")},
+                    state_theta("CT"));
+  std::printf("naive plan:\n%s\n", ExplainPlan(plan).c_str());
+
+  // Theorem 4.3: the θs are independent and share the detail relation, so
+  // the series fuses into one generalized MD-join — one scan instead of three.
+  PlanPtr fused = *FuseMdJoinSeries(plan);
+  std::printf("after Theorem 4.3 fusion:\n%s\n", ExplainPlan(fused).c_str());
+
+  PlanCost naive_cost = *EstimateCost(plan, catalog);
+  PlanCost fused_cost = *EstimateCost(fused, catalog);
+  std::printf("estimated work: naive %.0f, fused %.0f (cost model ranks fused %s)\n\n",
+              naive_cost.work, fused_cost.work,
+              fused_cost.work < naive_cost.work ? "cheaper" : "NOT cheaper?!");
+
+  ExecStats naive_stats, fused_stats;
+  Timer timer;
+  Table naive_result = *ExecutePlan(plan, catalog, {}, &naive_stats);
+  double naive_ms = timer.ElapsedMillis();
+  timer.Reset();
+  Table fused_result = *ExecutePlan(fused, catalog, {}, &fused_stats);
+  double fused_ms = timer.ElapsedMillis();
+
+  std::printf("execution: naive %.1f ms (%lld detail rows scanned), "
+              "fused %.1f ms (%lld scanned)\n",
+              naive_ms, static_cast<long long>(naive_stats.detail_rows_scanned),
+              fused_ms, static_cast<long long>(fused_stats.detail_rows_scanned));
+  std::printf("results identical: %s\n\n",
+              TablesEqualUnordered(naive_result, fused_result) ? "yes" : "NO (bug!)");
+
+  // The SQL-style baseline the paper's §2 describes.
+  timer.Reset();
+  Table baseline = *DistinctOn(sales, {"cust"});
+  struct Pivot {
+    const char* state;
+    const char* name;
+  };
+  for (const Pivot& p : {Pivot{"NY", "avg_ny"}, Pivot{"NJ", "avg_nj"},
+                         Pivot{"CT", "avg_ct"}}) {
+    Table sub = *Filter(sales, Eq(Col("state"), Lit(p.state)));
+    Table grouped = *GroupBy(sub, {"cust"}, {Avg(Col("sale"), p.name)});
+    baseline = *HashJoin(baseline, grouped, {"cust"}, {"cust"}, JoinType::kLeftOuter);
+  }
+  double baseline_ms = timer.ElapsedMillis();
+  std::printf("SQL-style baseline (3 filtered GROUP BYs + 3 outer joins): %.1f ms\n",
+              baseline_ms);
+  std::printf("baseline agrees with MD-join: %s\n",
+              TablesEqualUnordered(baseline, fused_result) ? "yes" : "NO (bug!)");
+  std::printf("\nanswer (head):\n%s", fused_result.ToString(8).c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "agg/agg_spec.h"
+
+#include <unordered_set>
+
+namespace mdjoin {
+
+std::string AggSpec::ToString() const {
+  std::string out = function + "(";
+  out += argument ? argument->ToString() : "*";
+  out += ") as " + output_name;
+  return out;
+}
+
+AggSpec Count(std::string output_name) {
+  return AggSpec{"count", nullptr, std::move(output_name)};
+}
+AggSpec Count(ExprPtr argument, std::string output_name) {
+  return AggSpec{"count", std::move(argument), std::move(output_name)};
+}
+AggSpec Sum(ExprPtr argument, std::string output_name) {
+  return AggSpec{"sum", std::move(argument), std::move(output_name)};
+}
+AggSpec Avg(ExprPtr argument, std::string output_name) {
+  return AggSpec{"avg", std::move(argument), std::move(output_name)};
+}
+AggSpec Min(ExprPtr argument, std::string output_name) {
+  return AggSpec{"min", std::move(argument), std::move(output_name)};
+}
+AggSpec Max(ExprPtr argument, std::string output_name) {
+  return AggSpec{"max", std::move(argument), std::move(output_name)};
+}
+AggSpec CountDistinct(ExprPtr argument, std::string output_name) {
+  return AggSpec{"count_distinct", std::move(argument), std::move(output_name)};
+}
+
+Result<std::vector<BoundAgg>> BindAggs(const std::vector<AggSpec>& specs,
+                                       const Schema* base_schema,
+                                       const Schema* detail_schema) {
+  std::vector<BoundAgg> out;
+  out.reserve(specs.size());
+  std::unordered_set<std::string> names;
+  for (const AggSpec& spec : specs) {
+    if (spec.output_name.empty()) {
+      return Status::InvalidArgument("aggregate has empty output name: ",
+                                     spec.ToString());
+    }
+    if (!names.insert(spec.output_name).second) {
+      return Status::InvalidArgument("duplicate aggregate output name '",
+                                     spec.output_name, "'");
+    }
+    if (base_schema != nullptr && base_schema->FindField(spec.output_name)) {
+      return Status::InvalidArgument("aggregate output '", spec.output_name,
+                                     "' collides with a base column");
+    }
+    BoundAgg bound;
+    MDJ_ASSIGN_OR_RETURN(bound.fn, AggregateRegistry::Global()->Lookup(spec.function));
+    std::optional<DataType> arg_type;
+    if (spec.argument != nullptr) {
+      bound.has_arg = true;
+      MDJ_ASSIGN_OR_RETURN(bound.arg,
+                           CompileExpr(spec.argument, base_schema, detail_schema));
+      arg_type = bound.arg.result_type();
+    }
+    MDJ_ASSIGN_OR_RETURN(DataType out_type, bound.fn->ResultType(arg_type));
+    bound.output_field = Field{spec.output_name, out_type};
+    out.push_back(std::move(bound));
+  }
+  return out;
+}
+
+Result<AggSpec> RollupSpec(const AggSpec& spec) {
+  MDJ_ASSIGN_OR_RETURN(const AggregateFunction* fn,
+                       AggregateRegistry::Global()->Lookup(spec.function));
+  std::string rollup = fn->RollupFunctionName();
+  if (rollup.empty()) {
+    return Status::InvalidArgument("aggregate '", spec.function,
+                                   "' is not distributive; Theorem 4.5 does not apply");
+  }
+  // The rolled-up aggregate reads the finer cuboid's output column, which is
+  // the detail relation of the outer MD-join in the rewritten expression.
+  return AggSpec{rollup, Expr::ColumnRef(Side::kDetail, spec.output_name),
+                 spec.output_name};
+}
+
+Result<bool> AllDistributive(const std::vector<AggSpec>& specs) {
+  for (const AggSpec& spec : specs) {
+    MDJ_ASSIGN_OR_RETURN(const AggregateFunction* fn,
+                         AggregateRegistry::Global()->Lookup(spec.function));
+    if (fn->agg_class() != AggClass::kDistributive) return false;
+  }
+  return true;
+}
+
+}  // namespace mdjoin

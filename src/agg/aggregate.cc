@@ -1,0 +1,66 @@
+#include "agg/aggregate.h"
+
+#include "common/string_util.h"
+
+namespace mdjoin {
+
+const char* AggClassToString(AggClass c) {
+  switch (c) {
+    case AggClass::kDistributive:
+      return "distributive";
+    case AggClass::kAlgebraic:
+      return "algebraic";
+    case AggClass::kHolistic:
+      return "holistic";
+  }
+  return "unknown";
+}
+
+namespace internal {
+void RegisterBuiltinAggregates(AggregateRegistry* registry);
+void RegisterHolisticAggregates(AggregateRegistry* registry);
+}  // namespace internal
+
+AggregateRegistry* AggregateRegistry::Global() {
+  static AggregateRegistry* registry = [] {
+    auto* r = new AggregateRegistry();
+    internal::RegisterBuiltinAggregates(r);
+    internal::RegisterHolisticAggregates(r);
+    return r;
+  }();
+  return registry;
+}
+
+Status AggregateRegistry::Register(std::unique_ptr<AggregateFunction> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(fn->name());
+  auto [it, inserted] = fns_.try_emplace(std::move(key), std::move(fn));
+  if (!inserted) {
+    return Status::AlreadyExists("aggregate '", it->first, "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<const AggregateFunction*> AggregateRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fns_.find(ToLower(name));
+  if (it == fns_.end()) {
+    std::string known;
+    for (const auto& [k, v] : fns_) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    return Status::NotFound("unknown aggregate '", name, "'; known: ", known);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> AggregateRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [k, v] : fns_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,301 @@
+#include "agg/builtin_aggs.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace mdjoin {
+namespace internal {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// count / count(*)
+// ---------------------------------------------------------------------------
+
+struct CountState : AggregateState {
+  int64_t count = 0;
+};
+
+class CountFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "count";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  Result<DataType> ResultType(std::optional<DataType>) const override {
+    return DataType::kInt64;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<CountState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (v.is_null()) return;
+    ++static_cast<CountState*>(state)->count;
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    static_cast<CountState*>(state)->count += static_cast<const CountState&>(other).count;
+  }
+  Value Finalize(const AggregateState& state) const override {
+    return Value::Int64(static_cast<const CountState&>(state).count);
+  }
+  std::string RollupFunctionName() const override { return "sum"; }
+};
+
+// ---------------------------------------------------------------------------
+// sum
+// ---------------------------------------------------------------------------
+
+struct SumState : AggregateState {
+  bool any = false;
+  bool is_float = false;
+  int64_t isum = 0;
+  double dsum = 0;
+};
+
+class SumFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "sum";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError("sum requires an argument");
+    if (!IsNumeric(*input)) return Status::TypeError("sum requires a numeric argument");
+    return *input;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<SumState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (!v.is_numeric()) return;  // skips NULL/ALL
+    auto* s = static_cast<SumState*>(state);
+    s->any = true;
+    if (v.is_float64()) s->is_float = true;
+    if (v.is_int64()) s->isum += v.int64();
+    s->dsum += v.AsDouble();
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<SumState*>(state);
+    const auto& o = static_cast<const SumState&>(other);
+    s->any = s->any || o.any;
+    s->is_float = s->is_float || o.is_float;
+    s->isum += o.isum;
+    s->dsum += o.dsum;
+  }
+  Value Finalize(const AggregateState& state) const override {
+    const auto& s = static_cast<const SumState&>(state);
+    if (!s.any) return Value::Null();
+    if (s.is_float) return Value::Float64(s.dsum);
+    return Value::Int64(s.isum);
+  }
+  std::string RollupFunctionName() const override { return "sum"; }
+};
+
+// ---------------------------------------------------------------------------
+// min / max
+// ---------------------------------------------------------------------------
+
+struct ExtremumState : AggregateState {
+  bool any = false;
+  Value best;
+};
+
+class ExtremumFunction : public AggregateFunction {
+ public:
+  explicit ExtremumFunction(bool is_min) : is_min_(is_min), name_(is_min ? "min" : "max") {}
+
+  const std::string& name() const override { return name_; }
+  AggClass agg_class() const override { return AggClass::kDistributive; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError(name_, " requires an argument");
+    return *input;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<ExtremumState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (v.is_null() || v.is_all()) return;
+    auto* s = static_cast<ExtremumState*>(state);
+    if (!s->any || Better(v, s->best)) {
+      s->any = true;
+      s->best = v;
+    }
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    const auto& o = static_cast<const ExtremumState&>(other);
+    if (o.any) Update(state, o.best);
+  }
+  Value Finalize(const AggregateState& state) const override {
+    const auto& s = static_cast<const ExtremumState&>(state);
+    return s.any ? s.best : Value::Null();
+  }
+  std::string RollupFunctionName() const override { return name_; }
+
+ private:
+  bool Better(const Value& candidate, const Value& incumbent) const {
+    int c = candidate.Compare(incumbent);
+    return is_min_ ? c < 0 : c > 0;
+  }
+
+  bool is_min_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// avg (algebraic: (sum, count))
+// ---------------------------------------------------------------------------
+
+struct AvgState : AggregateState {
+  double sum = 0;
+  int64_t count = 0;
+};
+
+class AvgFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "avg";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError("avg requires an argument");
+    if (!IsNumeric(*input)) return Status::TypeError("avg requires a numeric argument");
+    return DataType::kFloat64;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<AvgState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (!v.is_numeric()) return;
+    auto* s = static_cast<AvgState*>(state);
+    s->sum += v.AsDouble();
+    ++s->count;
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<AvgState*>(state);
+    const auto& o = static_cast<const AvgState&>(other);
+    s->sum += o.sum;
+    s->count += o.count;
+  }
+  Value Finalize(const AggregateState& state) const override {
+    const auto& s = static_cast<const AvgState&>(state);
+    if (s.count == 0) return Value::Null();
+    return Value::Float64(s.sum / static_cast<double>(s.count));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// var_pop / stddev_pop (algebraic: (sum, sum of squares, count))
+// ---------------------------------------------------------------------------
+
+struct VarState : AggregateState {
+  double sum = 0;
+  double sum_sq = 0;
+  int64_t count = 0;
+};
+
+class VarFunction : public AggregateFunction {
+ public:
+  explicit VarFunction(bool stddev)
+      : stddev_(stddev), name_(stddev ? "stddev_pop" : "var_pop") {}
+
+  const std::string& name() const override { return name_; }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError(name_, " requires an argument");
+    if (!IsNumeric(*input)) return Status::TypeError(name_, " requires numeric input");
+    return DataType::kFloat64;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<VarState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (!v.is_numeric()) return;
+    auto* s = static_cast<VarState*>(state);
+    double d = v.AsDouble();
+    s->sum += d;
+    s->sum_sq += d * d;
+    ++s->count;
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<VarState*>(state);
+    const auto& o = static_cast<const VarState&>(other);
+    s->sum += o.sum;
+    s->sum_sq += o.sum_sq;
+    s->count += o.count;
+  }
+  Value Finalize(const AggregateState& state) const override {
+    const auto& s = static_cast<const VarState&>(state);
+    if (s.count == 0) return Value::Null();
+    double n = static_cast<double>(s.count);
+    double mean = s.sum / n;
+    double var = s.sum_sq / n - mean * mean;
+    if (var < 0) var = 0;  // guard FP noise
+    return Value::Float64(stddev_ ? std::sqrt(var) : var);
+  }
+
+ private:
+  bool stddev_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// count_distinct (holistic: exact, hash-set state)
+// ---------------------------------------------------------------------------
+
+struct CountDistinctState : AggregateState {
+  std::unordered_set<Value, ValueHash> seen;
+};
+
+class CountDistinctFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "count_distinct";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  Result<DataType> ResultType(std::optional<DataType>) const override {
+    return DataType::kInt64;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<CountDistinctState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (v.is_null()) return;
+    static_cast<CountDistinctState*>(state)->seen.insert(v);
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<CountDistinctState*>(state);
+    for (const Value& v : static_cast<const CountDistinctState&>(other).seen) {
+      s->seen.insert(v);
+    }
+  }
+  Value Finalize(const AggregateState& state) const override {
+    return Value::Int64(
+        static_cast<int64_t>(static_cast<const CountDistinctState&>(state).seen.size()));
+  }
+};
+
+}  // namespace
+
+void RegisterBuiltinAggregates(AggregateRegistry* registry) {
+  auto add = [registry](std::unique_ptr<AggregateFunction> fn) {
+    Status s = registry->Register(std::move(fn));
+    MDJ_CHECK(s.ok()) << s.ToString();
+  };
+  add(std::make_unique<CountFunction>());
+  add(std::make_unique<SumFunction>());
+  add(std::make_unique<ExtremumFunction>(/*is_min=*/true));
+  add(std::make_unique<ExtremumFunction>(/*is_min=*/false));
+  add(std::make_unique<AvgFunction>());
+  add(std::make_unique<VarFunction>(/*stddev=*/false));
+  add(std::make_unique<VarFunction>(/*stddev=*/true));
+  add(std::make_unique<CountDistinctFunction>());
+}
+
+}  // namespace internal
+}  // namespace mdjoin

@@ -1,0 +1,23 @@
+#ifndef MDJOIN_AGG_BUILTIN_AGGS_H_
+#define MDJOIN_AGG_BUILTIN_AGGS_H_
+
+#include "agg/aggregate.h"
+
+namespace mdjoin {
+namespace internal {
+
+/// Installs the built-in aggregate functions into `registry`:
+///   count (distributive, rollup: sum)
+///   sum   (distributive, rollup: sum)
+///   min   (distributive, rollup: min)
+///   max   (distributive, rollup: max)
+///   avg   (algebraic; state = (sum, count))
+///   var_pop, stddev_pop (algebraic; state = (sum, sum of squares, count))
+///   count_distinct (holistic; state = hash set)
+/// Called once by AggregateRegistry::Global().
+void RegisterBuiltinAggregates(AggregateRegistry* registry);
+
+}  // namespace internal
+}  // namespace mdjoin
+
+#endif  // MDJOIN_AGG_BUILTIN_AGGS_H_

@@ -1,0 +1,191 @@
+#include "agg/holistic_aggs.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mdjoin {
+namespace internal {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// median (holistic: buffers all values)
+// ---------------------------------------------------------------------------
+
+struct MedianState : AggregateState {
+  std::vector<double> values;
+};
+
+class MedianFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "median";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError("median requires an argument");
+    if (!IsNumeric(*input)) return Status::TypeError("median requires numeric input");
+    return DataType::kFloat64;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<MedianState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (!v.is_numeric()) return;
+    static_cast<MedianState*>(state)->values.push_back(v.AsDouble());
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<MedianState*>(state);
+    const auto& o = static_cast<const MedianState&>(other);
+    s->values.insert(s->values.end(), o.values.begin(), o.values.end());
+  }
+  Value Finalize(const AggregateState& state) const override {
+    // Copy so Finalize stays const-correct on the logical state.
+    std::vector<double> values = static_cast<const MedianState&>(state).values;
+    if (values.empty()) return Value::Null();
+    size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    double upper = values[mid];
+    if (values.size() % 2 == 1) return Value::Float64(upper);
+    double lower = *std::max_element(values.begin(), values.begin() + mid);
+    return Value::Float64((lower + upper) / 2);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// approx_median — the [MRL98]-style trick the paper's footnote 2 mentions:
+// "some holistic aggregates can be made algebraic by using approximation".
+// A fixed budget of reservoir samples makes the state bounded (algebraic in
+// the resource sense); the answer is the sample median.
+// ---------------------------------------------------------------------------
+
+struct ApproxMedianState : AggregateState {
+  static constexpr size_t kSampleBudget = 256;
+  std::vector<double> sample;
+  int64_t seen = 0;
+  uint64_t rng_state = 0x9e3779b97f4a7c15ULL;
+
+  uint64_t NextRandom() {
+    // splitmix64 step — deterministic, seeded identically per state, so
+    // results are reproducible run to run.
+    uint64_t z = (rng_state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+class ApproxMedianFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "approx_median";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kAlgebraic; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError("approx_median requires an argument");
+    if (!IsNumeric(*input)) {
+      return Status::TypeError("approx_median requires numeric input");
+    }
+    return DataType::kFloat64;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<ApproxMedianState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (!v.is_numeric()) return;
+    auto* s = static_cast<ApproxMedianState*>(state);
+    ++s->seen;
+    if (s->sample.size() < ApproxMedianState::kSampleBudget) {
+      s->sample.push_back(v.AsDouble());
+      return;
+    }
+    // Reservoir sampling: replace a random slot with probability budget/seen.
+    uint64_t slot = s->NextRandom() % static_cast<uint64_t>(s->seen);
+    if (slot < ApproxMedianState::kSampleBudget) {
+      s->sample[static_cast<size_t>(slot)] = v.AsDouble();
+    }
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<ApproxMedianState*>(state);
+    const auto& o = static_cast<const ApproxMedianState&>(other);
+    // Weighted merge approximation: fold the other sample in via reservoir
+    // updates, then combine counts.
+    for (double v : o.sample) {
+      Update(s, Value::Float64(v));
+      --s->seen;  // Update() counted it; the true count is added below
+    }
+    s->seen += o.seen;
+  }
+  Value Finalize(const AggregateState& state) const override {
+    std::vector<double> sample = static_cast<const ApproxMedianState&>(state).sample;
+    if (sample.empty()) return Value::Null();
+    size_t mid = sample.size() / 2;
+    std::nth_element(sample.begin(), sample.begin() + mid, sample.end());
+    return Value::Float64(sample[mid]);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// mode ("most frequent", from the paper's §1 list of complex aggregates)
+// ---------------------------------------------------------------------------
+
+struct ModeState : AggregateState {
+  std::unordered_map<Value, int64_t, ValueHash> counts;
+};
+
+class ModeFunction : public AggregateFunction {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "mode";
+    return kName;
+  }
+  AggClass agg_class() const override { return AggClass::kHolistic; }
+  Result<DataType> ResultType(std::optional<DataType> input) const override {
+    if (!input) return Status::TypeError("mode requires an argument");
+    return *input;
+  }
+  std::unique_ptr<AggregateState> MakeState() const override {
+    return std::make_unique<ModeState>();
+  }
+  void Update(AggregateState* state, const Value& v) const override {
+    if (v.is_null() || v.is_all()) return;
+    ++static_cast<ModeState*>(state)->counts[v];
+  }
+  void Merge(AggregateState* state, const AggregateState& other) const override {
+    auto* s = static_cast<ModeState*>(state);
+    for (const auto& [v, n] : static_cast<const ModeState&>(other).counts) {
+      s->counts[v] += n;
+    }
+  }
+  Value Finalize(const AggregateState& state) const override {
+    const auto& counts = static_cast<const ModeState&>(state).counts;
+    if (counts.empty()) return Value::Null();
+    const Value* best = nullptr;
+    int64_t best_count = -1;
+    for (const auto& [v, n] : counts) {
+      // Ties break toward the smaller value for determinism.
+      if (n > best_count || (n == best_count && v.Compare(*best) < 0)) {
+        best = &v;
+        best_count = n;
+      }
+    }
+    return *best;
+  }
+};
+
+}  // namespace
+
+void RegisterHolisticAggregates(AggregateRegistry* registry) {
+  auto add = [registry](std::unique_ptr<AggregateFunction> fn) {
+    Status s = registry->Register(std::move(fn));
+    MDJ_CHECK(s.ok()) << s.ToString();
+  };
+  add(std::make_unique<MedianFunction>());
+  add(std::make_unique<ApproxMedianFunction>());
+  add(std::make_unique<ModeFunction>());
+}
+
+}  // namespace internal
+}  // namespace mdjoin

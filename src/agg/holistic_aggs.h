@@ -1,0 +1,23 @@
+#ifndef MDJOIN_AGG_HOLISTIC_AGGS_H_
+#define MDJOIN_AGG_HOLISTIC_AGGS_H_
+
+#include "agg/aggregate.h"
+#include "common/logging.h"
+
+namespace mdjoin {
+namespace internal {
+
+/// Installs the holistic / approximation aggregates the paper discusses
+/// around Algorithm 3.1 (footnote 2) and in the §1 survey of complex
+/// aggregate needs:
+///   median        (holistic; exact, buffers all values)
+///   approx_median (algebraic-by-approximation: bounded reservoir sample,
+///                  the [MRL98]-style trade footnote 2 points at)
+///   mode          ("most frequent"; holistic, hash-count state)
+/// Called once by AggregateRegistry::Global().
+void RegisterHolisticAggregates(AggregateRegistry* registry);
+
+}  // namespace internal
+}  // namespace mdjoin
+
+#endif  // MDJOIN_AGG_HOLISTIC_AGGS_H_

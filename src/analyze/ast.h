@@ -1,0 +1,106 @@
+#ifndef MDJOIN_ANALYZE_AST_H_
+#define MDJOIN_ANALYZE_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace mdjoin {
+namespace analyze {
+
+/// Abstract syntax of the ANALYZE BY dialect, prior to name resolution. The
+/// binder (binder.h) lowers this to the engine's plan IR.
+
+enum class AstKind {
+  kLiteral,
+  kColumnRef,  // possibly qualified: X.sale (qualifier = grouping variable)
+  kUnary,      // not, -, is null
+  kBinary,
+  kAggCall,    // fn(expr) or fn(*) inside conditions/select
+  kIn,
+  kCase,       // CASE WHEN ... THEN ... [ELSE ...] END
+};
+
+enum class AstUnaryOp { kNot, kNegate, kIsNull };
+enum class AstBinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr,
+};
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+struct AstExpr {
+  AstKind kind = AstKind::kLiteral;
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  std::string qualifier;  // "" = unqualified
+  std::string column;
+  // kUnary/kBinary/kIn/kAggCall
+  AstUnaryOp unary_op = AstUnaryOp::kNot;
+  AstBinaryOp binary_op = AstBinaryOp::kAnd;
+  AstExprPtr left;
+  AstExprPtr right;
+  std::vector<Value> in_list;
+  // kCase: arms; `left` holds the optional ELSE
+  std::vector<std::pair<AstExprPtr, AstExprPtr>> case_arms;
+  // kAggCall
+  std::string agg_name;
+  bool agg_star = false;          // count(*) or count(X.*)
+  std::string star_qualifier;     // "X" for count(X.*); empty for count(*)
+
+  int position = 0;  // source offset for diagnostics
+};
+
+/// One SELECT item: a plain column or an aggregate call with optional alias.
+struct SelectItem {
+  AstExprPtr expr;  // kColumnRef (plain) or kAggCall
+  std::optional<std::string> alias;
+};
+
+/// The ANALYZE BY generator.
+enum class BaseGenKind {
+  kGroup,         // group(attrs): select distinct attrs
+  kCube,          // cube(attrs)
+  kRollup,        // rollup(attrs)
+  kUnpivot,       // unpivot(attrs)
+  kGroupingSets,  // grouping_sets((a,b),(c),())
+  kTable,         // <table-name>(attrs): user-provided base values (Ex. 2.4)
+};
+
+struct BaseGen {
+  BaseGenKind kind = BaseGenKind::kGroup;
+  std::string table_name;  // kTable only
+  std::vector<std::string> attrs;
+  std::vector<std::vector<std::string>> sets;  // kGroupingSets only
+};
+
+/// SUCH THAT binding: a grouping variable and its θ-condition.
+struct Binding {
+  std::string var;
+  AstExprPtr condition;
+};
+
+/// ORDER BY entry: output column name and direction.
+struct OrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+struct Query {
+  std::vector<SelectItem> select;
+  std::string from_table;
+  AstExprPtr where;  // may be null
+  BaseGen base;
+  std::vector<Binding> bindings;
+  AstExprPtr having;  // may be null; over SELECT outputs
+  std::vector<OrderItem> order_by;
+};
+
+}  // namespace analyze
+}  // namespace mdjoin
+
+#endif  // MDJOIN_ANALYZE_AST_H_

@@ -1,0 +1,131 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mdjoin {
+
+bool IsReservedKeyword(const std::string& lower) {
+  static const char* kKeywords[] = {
+      "select", "from",   "where", "analyze",       "by",   "such",  "that",
+      "as",     "and",    "or",    "not",           "in",   "between", "is",
+      "null",   "all",    "group", "cube",          "rollup", "unpivot",
+      "grouping_sets",    "table", "having", "order", "asc", "desc",
+      "case", "when", "then", "else", "end",
+  };
+  for (const char* kw : kKeywords) {
+    if (lower == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string lower = ToLower(word);
+      if (IsReservedKeyword(lower)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = std::move(lower);
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = std::move(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      std::string num = input.substr(start, i - start);
+      if (is_float) {
+        tok.kind = TokenKind::kFloatLiteral;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kIntLiteral;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(num);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset ",
+                                  tok.position);
+      }
+      tok.kind = TokenKind::kStringLiteral;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        out.push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),;:.*=<>+-/%";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      out.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '", std::string(1, c),
+                              "' at offset ", i);
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,48 @@
+#ifndef MDJOIN_ANALYZE_LEXER_H_
+#define MDJOIN_ANALYZE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mdjoin {
+
+/// Token kinds of the ANALYZE BY dialect (§5 of the paper). Keywords are
+/// recognized case-insensitively and carried as kKeyword with lower-cased
+/// text.
+enum class TokenKind {
+  kIdent,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  // '...' with '' escaping
+  kSymbol,         // ( ) , ; : . * = <> < <= > >= + - / %
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // lower-cased for keywords; verbatim otherwise
+  int64_t int_value = 0;
+  double float_value = 0;
+  int position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Reserved words. Anything else alphabetic is an identifier.
+bool IsReservedKeyword(const std::string& lower);
+
+/// Tokenizes `input`; fails on unterminated strings or unknown characters.
+/// The result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_ANALYZE_LEXER_H_

@@ -1,0 +1,556 @@
+#include "analyze/parser.h"
+
+#include "analyze/lexer.h"
+
+namespace mdjoin {
+namespace analyze {
+
+namespace {
+
+AstExprPtr MakeAst(AstKind kind) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = kind;
+  return e;
+}
+
+/// Recursive-descent parser over the token stream. Grammar (precedence low
+/// to high): or, and, not, comparison (incl. IN/BETWEEN/IS NULL), additive,
+/// multiplicative, unary minus, primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// The paper's literal EMF-SQL shape ([Cha99], §5 listing):
+  ///
+  ///   SELECT items FROM table [WHERE cond]
+  ///   GROUP BY attr [, attr ...] [; var [, var ...]
+  ///   SUCH THAT cond [, cond ...]]           -- i-th cond binds i-th var
+  ///   [HAVING cond] [ORDER BY ...]
+  ///
+  /// Semantically identical to ANALYZE BY group(attrs) with named bindings;
+  /// both forms produce the same Query AST.
+  Result<Query> ParseEmf() {
+    Query q;
+    MDJ_RETURN_NOT_OK(ExpectKeyword("select"));
+    MDJ_ASSIGN_OR_RETURN(q.select, ParseSelectList());
+    MDJ_RETURN_NOT_OK(ExpectKeyword("from"));
+    MDJ_ASSIGN_OR_RETURN(q.from_table, ExpectIdent("table name"));
+    if (Peek().IsKeyword("where")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    MDJ_RETURN_NOT_OK(ExpectKeyword("group"));
+    MDJ_RETURN_NOT_OK(ExpectKeyword("by"));
+    q.base.kind = BaseGenKind::kGroup;
+    while (true) {
+      MDJ_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("grouping attribute"));
+      q.base.attrs.push_back(std::move(attr));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    if (Peek().IsSymbol(";")) {
+      Advance();
+      std::vector<std::string> vars;
+      while (true) {
+        MDJ_ASSIGN_OR_RETURN(std::string var, ExpectIdent("grouping-variable name"));
+        vars.push_back(std::move(var));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+      MDJ_RETURN_NOT_OK(ExpectKeyword("such"));
+      MDJ_RETURN_NOT_OK(ExpectKeyword("that"));
+      for (size_t i = 0; i < vars.size(); ++i) {
+        Binding b;
+        b.var = vars[i];
+        MDJ_ASSIGN_OR_RETURN(b.condition, ParseExpr());
+        q.bindings.push_back(std::move(b));
+        if (i + 1 < vars.size()) {
+          MDJ_RETURN_NOT_OK(ExpectSymbol(","));
+        }
+      }
+    }
+    MDJ_RETURN_NOT_OK(ParseTrailing(&q));
+    return q;
+  }
+
+  Result<Query> Parse() {
+    Query q;
+    MDJ_RETURN_NOT_OK(ExpectKeyword("select"));
+    MDJ_ASSIGN_OR_RETURN(q.select, ParseSelectList());
+    MDJ_RETURN_NOT_OK(ExpectKeyword("from"));
+    MDJ_ASSIGN_OR_RETURN(q.from_table, ExpectIdent("table name"));
+    if (Peek().IsKeyword("where")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    MDJ_RETURN_NOT_OK(ExpectKeyword("analyze"));
+    MDJ_RETURN_NOT_OK(ExpectKeyword("by"));
+    MDJ_ASSIGN_OR_RETURN(q.base, ParseBaseGen());
+    if (Peek().IsKeyword("such")) {
+      Advance();
+      MDJ_RETURN_NOT_OK(ExpectKeyword("that"));
+      MDJ_ASSIGN_OR_RETURN(q.bindings, ParseBindings());
+    }
+    MDJ_RETURN_NOT_OK(ParseTrailing(&q));
+    return q;
+  }
+
+ private:
+  /// HAVING / ORDER BY / optional ';' / end-of-input — shared by both
+  /// dialects.
+  Status ParseTrailing(Query* q) {
+    if (Peek().IsKeyword("having")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(q->having, ParseExpr());
+    }
+    if (Peek().IsKeyword("order")) {
+      Advance();
+      MDJ_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        MDJ_ASSIGN_OR_RETURN(item.column, ExpectIdent("ORDER BY column"));
+        if (Peek().IsKeyword("asc")) {
+          Advance();
+        } else if (Peek().IsKeyword("desc")) {
+          Advance();
+          item.ascending = false;
+        }
+        q->order_by.push_back(std::move(item));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = pos_ + static_cast<size_t>(ahead);
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what, " (near offset ", Peek().position, ", at '",
+                              Peek().kind == TokenKind::kEnd ? "<end>" : Peek().text,
+                              "')");
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return Err(std::string("expected '") + kw + "'");
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!Peek().IsSymbol(sym)) return Err(std::string("expected '") + sym + "'");
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<SelectItem>> ParseSelectList() {
+    std::vector<SelectItem> items;
+    while (true) {
+      SelectItem item;
+      MDJ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (item.expr->kind != AstKind::kColumnRef &&
+          item.expr->kind != AstKind::kAggCall) {
+        return Err("SELECT items must be columns or aggregate calls");
+      }
+      if (Peek().IsKeyword("as")) {
+        Advance();
+        MDJ_ASSIGN_OR_RETURN(std::string alias, ExpectIdent("alias"));
+        item.alias = std::move(alias);
+      }
+      items.push_back(std::move(item));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    if (items.empty()) return Err("empty SELECT list");
+    return items;
+  }
+
+  Result<std::vector<std::string>> ParseAttrList() {
+    MDJ_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<std::string> attrs;
+    if (!Peek().IsSymbol(")")) {
+      while (true) {
+        MDJ_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute name"));
+        attrs.push_back(std::move(attr));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    MDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+    return attrs;
+  }
+
+  Result<BaseGen> ParseBaseGen() {
+    BaseGen gen;
+    const Token& tok = Peek();
+    if (tok.IsKeyword("group")) {
+      gen.kind = BaseGenKind::kGroup;
+      Advance();
+      // Accept both "group(a,b)" and "group by(a,b)".
+      if (Peek().IsKeyword("by")) Advance();
+      MDJ_ASSIGN_OR_RETURN(gen.attrs, ParseAttrList());
+      return gen;
+    }
+    if (tok.IsKeyword("cube")) {
+      gen.kind = BaseGenKind::kCube;
+      Advance();
+      if (Peek().IsKeyword("by")) Advance();
+      MDJ_ASSIGN_OR_RETURN(gen.attrs, ParseAttrList());
+      return gen;
+    }
+    if (tok.IsKeyword("rollup")) {
+      gen.kind = BaseGenKind::kRollup;
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(gen.attrs, ParseAttrList());
+      return gen;
+    }
+    if (tok.IsKeyword("unpivot")) {
+      gen.kind = BaseGenKind::kUnpivot;
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(gen.attrs, ParseAttrList());
+      return gen;
+    }
+    if (tok.IsKeyword("grouping_sets")) {
+      gen.kind = BaseGenKind::kGroupingSets;
+      Advance();
+      MDJ_RETURN_NOT_OK(ExpectSymbol("("));
+      while (true) {
+        MDJ_ASSIGN_OR_RETURN(std::vector<std::string> set, ParseAttrList());
+        // The union of all set attributes, in first-appearance order, fixes
+        // the output dimension list.
+        for (const std::string& a : set) {
+          bool seen = false;
+          for (const std::string& have : gen.attrs) seen = seen || have == a;
+          if (!seen) gen.attrs.push_back(a);
+        }
+        gen.sets.push_back(std::move(set));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+      MDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+      return gen;
+    }
+    if (tok.IsKeyword("table")) {
+      // "table T(attrs)" — explicit keyword form.
+      Advance();
+      gen.kind = BaseGenKind::kTable;
+      MDJ_ASSIGN_OR_RETURN(gen.table_name, ExpectIdent("base-values table name"));
+      MDJ_ASSIGN_OR_RETURN(gen.attrs, ParseAttrList());
+      return gen;
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      // Bare table-name form of Example 2.4: "analyze by T(prod, month)".
+      gen.kind = BaseGenKind::kTable;
+      gen.table_name = Advance().text;
+      MDJ_ASSIGN_OR_RETURN(gen.attrs, ParseAttrList());
+      return gen;
+    }
+    return Err("expected a base-values generator (group/cube/rollup/unpivot/"
+               "grouping_sets/<table>)");
+  }
+
+  Result<std::vector<Binding>> ParseBindings() {
+    std::vector<Binding> bindings;
+    while (true) {
+      Binding b;
+      MDJ_ASSIGN_OR_RETURN(b.var, ExpectIdent("grouping-variable name"));
+      MDJ_RETURN_NOT_OK(ExpectSymbol(":"));
+      MDJ_ASSIGN_OR_RETURN(b.condition, ParseExpr());
+      bindings.push_back(std::move(b));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return bindings;
+  }
+
+  // --- expressions ---
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    MDJ_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+      AstExprPtr node = MakeAst(AstKind::kBinary);
+      node->binary_op = AstBinaryOp::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    MDJ_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+      AstExprPtr node = MakeAst(AstKind::kBinary);
+      node->binary_op = AstBinaryOp::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
+      AstExprPtr node = MakeAst(AstKind::kUnary);
+      node->unary_op = AstUnaryOp::kNot;
+      node->left = std::move(operand);
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    MDJ_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kSymbol &&
+        (tok.text == "=" || tok.text == "<>" || tok.text == "<" || tok.text == "<=" ||
+         tok.text == ">" || tok.text == ">=")) {
+      std::string op = Advance().text;
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+      AstExprPtr node = MakeAst(AstKind::kBinary);
+      node->binary_op = op == "=" ? AstBinaryOp::kEq
+                        : op == "<>" ? AstBinaryOp::kNe
+                        : op == "<" ? AstBinaryOp::kLt
+                        : op == "<=" ? AstBinaryOp::kLe
+                        : op == ">" ? AstBinaryOp::kGt
+                                    : AstBinaryOp::kGe;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      return node;
+    }
+    if (tok.IsKeyword("between")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr lo, ParseAdditive());
+      MDJ_RETURN_NOT_OK(ExpectKeyword("and"));
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr hi, ParseAdditive());
+      // Desugar: left >= lo and left <= hi.
+      AstExprPtr ge = MakeAst(AstKind::kBinary);
+      ge->binary_op = AstBinaryOp::kGe;
+      ge->left = left;
+      ge->right = std::move(lo);
+      AstExprPtr le = MakeAst(AstKind::kBinary);
+      le->binary_op = AstBinaryOp::kLe;
+      le->left = std::move(left);
+      le->right = std::move(hi);
+      AstExprPtr both = MakeAst(AstKind::kBinary);
+      both->binary_op = AstBinaryOp::kAnd;
+      both->left = std::move(ge);
+      both->right = std::move(le);
+      return both;
+    }
+    if (tok.IsKeyword("in")) {
+      Advance();
+      MDJ_RETURN_NOT_OK(ExpectSymbol("("));
+      AstExprPtr node = MakeAst(AstKind::kIn);
+      node->left = std::move(left);
+      while (true) {
+        MDJ_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        node->in_list.push_back(std::move(v));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+      MDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+      return node;
+    }
+    if (tok.IsKeyword("is")) {
+      Advance();
+      bool negated = false;
+      if (Peek().IsKeyword("not")) {
+        Advance();
+        negated = true;
+      }
+      MDJ_RETURN_NOT_OK(ExpectKeyword("null"));
+      AstExprPtr node = MakeAst(AstKind::kUnary);
+      node->unary_op = AstUnaryOp::kIsNull;
+      node->left = std::move(left);
+      if (!negated) return node;
+      AstExprPtr neg = MakeAst(AstKind::kUnary);
+      neg->unary_op = AstUnaryOp::kNot;
+      neg->left = std::move(node);
+      return neg;
+    }
+    return left;
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kIntLiteral) return Value::Int64(Advance().int_value);
+    if (tok.kind == TokenKind::kFloatLiteral) {
+      return Value::Float64(Advance().float_value);
+    }
+    if (tok.kind == TokenKind::kStringLiteral) return Value::String(Advance().text);
+    return Err("expected a literal");
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    MDJ_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      std::string op = Advance().text;
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+      AstExprPtr node = MakeAst(AstKind::kBinary);
+      node->binary_op = op == "+" ? AstBinaryOp::kAdd : AstBinaryOp::kSub;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    MDJ_ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") || Peek().IsSymbol("%")) {
+      std::string op = Advance().text;
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+      AstExprPtr node = MakeAst(AstKind::kBinary);
+      node->binary_op = op == "*"   ? AstBinaryOp::kMul
+                        : op == "/" ? AstBinaryOp::kDiv
+                                    : AstBinaryOp::kMod;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr operand, ParseUnary());
+      AstExprPtr node = MakeAst(AstKind::kUnary);
+      node->unary_op = AstUnaryOp::kNegate;
+      node->left = std::move(operand);
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kIntLiteral || tok.kind == TokenKind::kFloatLiteral ||
+        tok.kind == TokenKind::kStringLiteral) {
+      AstExprPtr node = MakeAst(AstKind::kLiteral);
+      node->position = tok.position;
+      MDJ_ASSIGN_OR_RETURN(node->literal, ParseLiteralValue());
+      return node;
+    }
+    if (tok.IsKeyword("case")) {
+      Advance();
+      AstExprPtr node = MakeAst(AstKind::kCase);
+      node->position = tok.position;
+      while (Peek().IsKeyword("when")) {
+        Advance();
+        AstExprPtr when;
+        MDJ_ASSIGN_OR_RETURN(when, ParseExpr());
+        MDJ_RETURN_NOT_OK(ExpectKeyword("then"));
+        AstExprPtr then;
+        MDJ_ASSIGN_OR_RETURN(then, ParseExpr());
+        node->case_arms.emplace_back(std::move(when), std::move(then));
+      }
+      if (node->case_arms.empty()) return Err("CASE needs at least one WHEN arm");
+      if (Peek().IsKeyword("else")) {
+        Advance();
+        MDJ_ASSIGN_OR_RETURN(node->left, ParseExpr());
+      }
+      MDJ_RETURN_NOT_OK(ExpectKeyword("end"));
+      return node;
+    }
+    if (tok.IsKeyword("null")) {
+      Advance();
+      AstExprPtr node = MakeAst(AstKind::kLiteral);
+      node->literal = Value::Null();
+      return node;
+    }
+    if (tok.IsKeyword("all")) {
+      Advance();
+      AstExprPtr node = MakeAst(AstKind::kLiteral);
+      node->literal = Value::All();
+      return node;
+    }
+    if (tok.IsSymbol("(")) {
+      Advance();
+      MDJ_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      MDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      std::string first = Advance().text;
+      // Aggregate call: ident '(' ...
+      if (Peek().IsSymbol("(")) {
+        Advance();
+        AstExprPtr node = MakeAst(AstKind::kAggCall);
+        node->position = tok.position;
+        node->agg_name = std::move(first);
+        if (Peek().IsSymbol("*")) {
+          Advance();
+          node->agg_star = true;
+        } else if (Peek().kind == TokenKind::kIdent && Peek(1).IsSymbol(".") &&
+                   Peek(2).IsSymbol("*")) {
+          // EMF-SQL qualified star: count(Z.*) counts Z's tuples.
+          node->agg_star = true;
+          node->star_qualifier = Advance().text;
+          Advance();  // '.'
+          Advance();  // '*'
+        } else {
+          MDJ_ASSIGN_OR_RETURN(node->left, ParseExpr());
+        }
+        MDJ_RETURN_NOT_OK(ExpectSymbol(")"));
+        return node;
+      }
+      AstExprPtr node = MakeAst(AstKind::kColumnRef);
+      node->position = tok.position;
+      // Qualified reference: X.col.
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        MDJ_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column after '.'"));
+        node->qualifier = std::move(first);
+        node->column = std::move(col);
+      } else {
+        node->column = std::move(first);
+      }
+      return node;
+    }
+    return Err("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& input) {
+  MDJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<Query> ParseEmfQuery(const std::string& input) {
+  MDJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseEmf();
+}
+
+}  // namespace analyze
+}  // namespace mdjoin

@@ -1,0 +1,46 @@
+#ifndef MDJOIN_ANALYZE_PARSER_H_
+#define MDJOIN_ANALYZE_PARSER_H_
+
+#include <string>
+
+#include "analyze/ast.h"
+#include "common/result.h"
+
+namespace mdjoin {
+namespace analyze {
+
+/// Parses one query of the §5 dialect:
+///
+///   SELECT item [, item ...]
+///   FROM table
+///   [WHERE condition]
+///   ANALYZE BY generator(attrs)
+///   [SUCH THAT var: condition [, var: condition ...]]
+///   [;]
+///
+/// where `generator` is one of group, cube, rollup, unpivot,
+/// grouping_sets((a,b),(c),()), or any table name (table-driven base values,
+/// Example 2.4). SELECT items are analyze-by attributes or aggregate calls
+/// like sum(sale), count(*), avg(X.sale) [AS name]; conditions support
+/// and/or/not, comparisons, arithmetic, IN, BETWEEN, IS NULL, and aggregate
+/// calls over grouping variables (avg(X.sale)).
+Result<Query> ParseQuery(const std::string& input);
+
+/// Parses the paper's literal EMF-SQL shape ([Cha99], quoted in §5):
+///
+///   SELECT prod, month, count(Z.*)
+///   FROM Sales WHERE year = 1997
+///   GROUP BY prod, month ; X, Y, Z
+///   SUCH THAT X.prod = prod and X.month = month - 1,
+///             Y.prod = prod and Y.month = month + 1,
+///             Z.prod = prod and Z.month = month and
+///             Z.sale > avg(X.sale) and Z.sale < avg(Y.sale)
+///
+/// The i-th SUCH THAT condition binds the i-th declared variable. Produces
+/// the same Query AST as the ANALYZE BY dialect (base generator = group).
+Result<Query> ParseEmfQuery(const std::string& input);
+
+}  // namespace analyze
+}  // namespace mdjoin
+
+#endif  // MDJOIN_ANALYZE_PARSER_H_

@@ -1,0 +1,23 @@
+#ifndef MDJOIN_COMMON_HASH_UTIL_H_
+#define MDJOIN_COMMON_HASH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mdjoin {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine recipe with a
+/// 64-bit golden-ratio constant). Used to hash composite keys.
+inline void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+template <typename T>
+void HashCombineValue(size_t* seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_HASH_UTIL_H_

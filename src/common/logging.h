@@ -1,0 +1,50 @@
+#ifndef MDJOIN_COMMON_LOGGING_H_
+#define MDJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mdjoin {
+namespace internal {
+
+/// Terminates the process after streaming a diagnostic message. Used by the
+/// MDJ_CHECK family for invariant violations that indicate programmer error
+/// (as opposed to recoverable conditions, which use Status/Result).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mdjoin
+
+/// Dies (with file/line and any streamed message) if `cond` is false.
+#define MDJ_CHECK(cond)                                              \
+  if (!(cond))                                                       \
+  ::mdjoin::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define MDJ_CHECK_EQ(a, b) MDJ_CHECK((a) == (b))
+#define MDJ_CHECK_NE(a, b) MDJ_CHECK((a) != (b))
+#define MDJ_CHECK_LT(a, b) MDJ_CHECK((a) < (b))
+#define MDJ_CHECK_LE(a, b) MDJ_CHECK((a) <= (b))
+#define MDJ_CHECK_GT(a, b) MDJ_CHECK((a) > (b))
+#define MDJ_CHECK_GE(a, b) MDJ_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define MDJ_DCHECK(cond) \
+  if (false) ::mdjoin::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#else
+#define MDJ_DCHECK(cond) MDJ_CHECK(cond)
+#endif
+
+#endif  // MDJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,50 @@
+#ifndef MDJOIN_COMMON_RANDOM_H_
+#define MDJOIN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mdjoin {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Workload generators
+/// and property tests seed this explicitly so every run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p`.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples ranks in [0, n) with Zipf(theta) skew; rank 0 is the most frequent.
+/// theta = 0 degenerates to uniform. Precomputes the CDF once (O(n) space).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_RANDOM_H_

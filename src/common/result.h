@@ -1,0 +1,82 @@
+#ifndef MDJOIN_COMMON_RESULT_H_
+#define MDJOIN_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mdjoin {
+
+/// Either a value of type T or an error Status. The engine's standard way of
+/// returning fallible values without exceptions:
+///
+///   Result<Table> t = MdJoin(...);
+///   if (!t.ok()) return t.status();
+///   Use(*t);
+///
+/// or, inside a Result/Status-returning function:
+///
+///   MDJ_ASSIGN_OR_RETURN(Table t, MdJoin(...));
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT: implicit by design
+    MDJ_DCHECK(!std::get<Status>(value_).ok());
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Value accessors; must not be called on an error result.
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(value()); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T& value() & {
+    MDJ_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    MDJ_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    MDJ_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::move(std::get<T>(value_));
+  }
+
+  /// Moves the value out, or dies with the error message. For tests/examples.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  std::variant<Status, T> value_;
+};
+
+/// Evaluates a Result-returning expression; on error propagates the status,
+/// otherwise binds the value to `lhs` (a declaration or existing variable).
+#define MDJ_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  MDJ_ASSIGN_OR_RETURN_IMPL(                                   \
+      MDJ_CONCAT_NAME(_mdj_result_, __COUNTER__), lhs, rexpr)
+
+#define MDJ_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).value()
+
+#define MDJ_CONCAT_NAME(x, y) MDJ_CONCAT_NAME_IMPL(x, y)
+#define MDJ_CONCAT_NAME_IMPL(x, y) x##y
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_RESULT_H_

@@ -1,0 +1,145 @@
+#ifndef MDJOIN_COMMON_STATUS_H_
+#define MDJOIN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mdjoin {
+
+/// Error categories used across the engine. Mirrors the RocksDB/Arrow idiom:
+/// library code never throws; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kTypeError,
+  kParseError,
+  kBindError,
+  kExecutionError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/error indicator.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Usage:
+///
+///   Status DoThing() {
+///     if (bad) return Status::InvalidArgument("bad thing: ", detail);
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status TypeError(Args&&... args) {
+    return Make(StatusCode::kTypeError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status BindError(Args&&... args) {
+    return Make(StatusCode::kBindError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ExecutionError(Args&&... args) {
+    return Make(StatusCode::kExecutionError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    Status s;
+    s.state_ = std::make_unique<State>();
+    s.state_->code = code;
+    ((s.state_->message += ToMessagePiece(std::forward<Args>(args))), ...);
+    return s;
+  }
+
+  static std::string ToMessagePiece(const std::string& s) { return s; }
+  static std::string ToMessagePiece(const char* s) { return s; }
+  static std::string ToMessagePiece(std::string&& s) { return std::move(s); }
+  template <typename T>
+  static std::string ToMessagePiece(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::unique_ptr<State> state_;  // nullptr == OK
+};
+
+/// Propagates a non-OK status to the caller.
+#define MDJ_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::mdjoin::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef MDJOIN_COMMON_STRING_UTIL_H_
+#define MDJOIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdjoin {
+
+/// Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double the way table printers want it: integral values render
+/// without a fractional part, others with up to 6 significant decimals.
+std::string FormatDouble(double v);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+#ifndef MDJOIN_COMMON_TIMER_H_
+#define MDJOIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mdjoin {
+
+/// Wall-clock stopwatch for coarse timing in examples and bench harness glue
+/// (google-benchmark does its own timing for the actual measurements).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_TIMER_H_

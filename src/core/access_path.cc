@@ -1,0 +1,105 @@
+#include "core/access_path.h"
+
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+
+namespace mdjoin {
+
+namespace {
+
+/// True if `e` is a plain reference to `key_column` on the detail side.
+bool IsKeyRef(const ExprPtr& e, const std::string& key_column) {
+  return e->kind() == ExprKind::kColumnRef && e->side() == Side::kDetail &&
+         e->column_name() == key_column;
+}
+
+/// Narrows `range` with a single comparison `key <op> literal`.
+void NarrowLow(DetailKeyRange* range, const Value& v) {
+  if (!range->lo || range->lo->Compare(v) < 0) range->lo = v;
+}
+void NarrowHigh(DetailKeyRange* range, const Value& v) {
+  if (!range->hi || range->hi->Compare(v) > 0) range->hi = v;
+}
+
+}  // namespace
+
+DetailKeyRange ExtractDetailKeyRange(const ExprPtr& theta,
+                                     const std::string& key_column) {
+  DetailKeyRange range;
+  ThetaParts parts = AnalyzeTheta(theta);
+  for (const ExprPtr& conjunct : parts.detail_only) {
+    if (conjunct->kind() != ExprKind::kBinary) continue;
+    BinaryOp op = conjunct->binary_op();
+    const ExprPtr& l = conjunct->left();
+    const ExprPtr& r = conjunct->right();
+    // Normalize to key <op> literal.
+    ExprPtr lit;
+    bool key_on_left;
+    if (IsKeyRef(l, key_column) && r->kind() == ExprKind::kLiteral) {
+      lit = r;
+      key_on_left = true;
+    } else if (IsKeyRef(r, key_column) && l->kind() == ExprKind::kLiteral) {
+      lit = l;
+      key_on_left = false;
+    } else {
+      continue;
+    }
+    const Value& v = lit->literal();
+    if (v.is_null() || v.is_all()) continue;
+    // Mirror the operator when the literal is on the left (5 >= key ⇔ key <= 5).
+    switch (op) {
+      case BinaryOp::kEq:
+        NarrowLow(&range, v);
+        NarrowHigh(&range, v);
+        break;
+      case BinaryOp::kGe:
+      case BinaryOp::kGt:  // widened to inclusive; θ recheck keeps exactness
+        if (key_on_left) {
+          NarrowLow(&range, v);
+        } else {
+          NarrowHigh(&range, v);
+        }
+        break;
+      case BinaryOp::kLe:
+      case BinaryOp::kLt:
+        if (key_on_left) {
+          NarrowHigh(&range, v);
+        } else {
+          NarrowLow(&range, v);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return range;
+}
+
+Result<Table> MdJoinIndexedDetail(const Table& base, const ClusteredIndex& detail_index,
+                                  const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                                  const MdJoinOptions& options, MdJoinStats* stats) {
+  if (theta == nullptr) {
+    return Status::InvalidArgument("MdJoinIndexedDetail: θ must not be null");
+  }
+  DetailKeyRange range = ExtractDetailKeyRange(theta, detail_index.key_column());
+  if (!range.bounded()) {
+    // No usable key predicate: full clustered scan (still correct).
+    return MdJoin(base, detail_index.table(), aggs, theta, options, stats);
+  }
+  // Unbounded ends fall back to the physical extremes of the table.
+  const Table& t = detail_index.table();
+  if (t.num_rows() == 0) return MdJoin(base, t, aggs, theta, options, stats);
+  MDJ_ASSIGN_OR_RETURN(int key_idx, t.schema().GetFieldIndex(detail_index.key_column()));
+  Value lo = range.lo ? *range.lo : t.Get(0, key_idx);
+  Value hi = range.hi ? *range.hi : t.Get(t.num_rows() - 1, key_idx);
+  if (lo.Compare(hi) > 0) {
+    // Contradictory range: empty detail slice; outer semantics still produce
+    // every base row with identity aggregates.
+    Table empty(t.schema());
+    return MdJoin(base, empty, aggs, theta, options, stats);
+  }
+  Table slice = detail_index.RangeScan(lo, hi);
+  return MdJoin(base, slice, aggs, theta, options, stats);
+}
+
+}  // namespace mdjoin

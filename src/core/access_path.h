@@ -1,0 +1,38 @@
+#ifndef MDJOIN_CORE_ACCESS_PATH_H_
+#define MDJOIN_CORE_ACCESS_PATH_H_
+
+#include <optional>
+
+#include "core/mdjoin.h"
+#include "table/clustered_index.h"
+
+namespace mdjoin {
+
+/// A contiguous key range derived from a θ-condition's R-only conjuncts.
+struct DetailKeyRange {
+  std::optional<Value> lo;  // inclusive; empty = unbounded below
+  std::optional<Value> hi;  // inclusive; empty = unbounded above
+
+  bool bounded() const { return lo.has_value() || hi.has_value(); }
+};
+
+/// Inspects θ's detail-only conjuncts for comparisons between `key_column`
+/// and literals (=, >=, >, <=, <, BETWEEN desugar) and intersects them into
+/// one inclusive range. Strict bounds are widened to inclusive — the full θ
+/// is still evaluated during the join, so the widening never changes
+/// results, it only admits at most the boundary keys into the scan.
+DetailKeyRange ExtractDetailKeyRange(const ExprPtr& theta, const std::string& key_column);
+
+/// The automated form of Example 4.1: an MD-join whose detail relation is
+/// read through a clustered index. The key range implied by θ is extracted
+/// and only that slice of R is scanned (Theorem 4.2 turned into an access
+/// path). Results are identical to MdJoin(base, index.table(), ...) —
+/// `stats->detail_rows_scanned` shows the savings.
+Result<Table> MdJoinIndexedDetail(const Table& base, const ClusteredIndex& detail_index,
+                                  const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                                  const MdJoinOptions& options = {},
+                                  MdJoinStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CORE_ACCESS_PATH_H_

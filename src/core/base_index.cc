@@ -1,0 +1,115 @@
+#include "core/base_index.h"
+
+#include "common/logging.h"
+
+namespace mdjoin {
+
+Result<BaseIndex> BaseIndex::Build(const Table& base, const std::vector<int64_t>& rows,
+                                   const std::vector<EquiPair>& equi,
+                                   const Schema& detail_schema) {
+  BaseIndex index;
+  std::vector<CompiledExpr> base_keys;
+  base_keys.reserve(equi.size());
+  index.detail_keys_.reserve(equi.size());
+  for (const EquiPair& pair : equi) {
+    MDJ_ASSIGN_OR_RETURN(CompiledExpr bk,
+                         CompileExpr(pair.base_expr, &base.schema(), nullptr));
+    MDJ_ASSIGN_OR_RETURN(CompiledExpr dk,
+                         CompileExpr(pair.detail_expr, nullptr, &detail_schema));
+    base_keys.push_back(std::move(bk));
+    index.detail_keys_.push_back(std::move(dk));
+  }
+  MDJ_CHECK(equi.size() <= 64) << "too many equi conjuncts for ALL-mask";
+
+  std::unordered_map<uint64_t, size_t> bucket_of;
+  RowCtx ctx;
+  ctx.base = &base;
+  for (int64_t row : rows) {
+    ctx.base_row = row;
+    uint64_t mask = 0;
+    RowKey key;
+    key.reserve(base_keys.size());
+    bool has_null = false;
+    for (size_t i = 0; i < base_keys.size(); ++i) {
+      Value v = base_keys[i].Eval(ctx);
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      if (v.is_all()) {
+        mask |= (uint64_t{1} << i);
+      } else {
+        key.push_back(std::move(v));
+      }
+    }
+    if (has_null) continue;  // NULL key never θ-matches anything
+    auto [it, inserted] = bucket_of.try_emplace(mask, index.buckets_.size());
+    if (inserted) {
+      MaskBucket bucket;
+      bucket.all_mask = mask;
+      for (size_t i = 0; i < base_keys.size(); ++i) {
+        if (!(mask & (uint64_t{1} << i))) {
+          bucket.probe_positions.push_back(static_cast<int>(i));
+        }
+      }
+      index.buckets_.push_back(std::move(bucket));
+    }
+    index.buckets_[it->second].map[std::move(key)].push_back(row);
+  }
+  return index;
+}
+
+void BaseIndex::Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const {
+  // Evaluate the detail-side key once per tuple.
+  RowKey detail_key;
+  detail_key.reserve(detail_keys_.size());
+  bool any_all = false;
+  for (const CompiledExpr& dk : detail_keys_) {
+    Value v = dk.Eval(detail_ctx);
+    if (v.is_all()) any_all = true;
+    detail_key.push_back(std::move(v));
+  }
+
+  for (const MaskBucket& bucket : buckets_) {
+    // Gather the probe key for this bucket's non-ALL positions.
+    RowKey probe;
+    probe.reserve(bucket.probe_positions.size());
+    bool skip = false;
+    bool wildcard = false;
+    for (int pos : bucket.probe_positions) {
+      const Value& v = detail_key[static_cast<size_t>(pos)];
+      if (v.is_null()) {
+        skip = true;  // NULL matches no base value
+        break;
+      }
+      if (v.is_all()) {
+        wildcard = true;  // detail-side ALL matches every base value
+        break;
+      }
+      probe.push_back(v);
+    }
+    if (skip) continue;
+    if (any_all && wildcard) {
+      // Rare path (detail relation containing ALL): the probe key cannot
+      // discriminate, walk the whole bucket.
+      for (const auto& [key, row_list] : bucket.map) {
+        bool match = true;
+        size_t ki = 0;
+        for (int pos : bucket.probe_positions) {
+          if (!key[ki++].MatchesEq(detail_key[static_cast<size_t>(pos)])) {
+            match = false;
+            break;
+          }
+        }
+        if (match) out->insert(out->end(), row_list.begin(), row_list.end());
+      }
+      continue;
+    }
+    auto it = bucket.map.find(probe);
+    if (it != bucket.map.end()) {
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    }
+  }
+}
+
+}  // namespace mdjoin

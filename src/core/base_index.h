@@ -1,0 +1,65 @@
+#ifndef MDJOIN_CORE_BASE_INDEX_H_
+#define MDJOIN_CORE_BASE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+#include "table/key.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Hash index over the base-values relation B for the equi part of a
+/// θ-condition (paper §4.5): given a detail tuple t, Probe() returns a
+/// superset of the *relative set* Rel(t) — the B rows that can possibly be
+/// updated for t — pruned from |B| to the rows agreeing on the equi keys.
+///
+/// Cube-aware: base rows may hold ALL in key positions (multi-granularity
+/// base tables, Example 2.1/2.3). Rows are bucketed by their "ALL-mask" — the
+/// subset of key positions that are ALL — with one hash map per mask, keyed
+/// on the non-ALL positions only. A probe consults every mask bucket, so a
+/// full d-dimensional cube costs 2^d map lookups per detail tuple, matching
+/// the per-tuple update cost of the classical cube algorithms the paper
+/// generalizes. For a plain (ALL-free) base table there is exactly one
+/// bucket and a probe is a single lookup.
+class BaseIndex {
+ public:
+  /// Builds an index over `rows` of `base` using the equi pairs of θ.
+  /// Key expressions may be computed (e.g. B.month + 1). Rows whose key
+  /// contains NULL are left out: NULL matches no detail value.
+  static Result<BaseIndex> Build(const Table& base, const std::vector<int64_t>& rows,
+                                 const std::vector<EquiPair>& equi,
+                                 const Schema& detail_schema);
+
+  /// Appends to `out` every indexed base row whose key θ-matches detail row
+  /// `detail_row`. If some detail key value is ALL (possible when a cuboid
+  /// feeds another MD-join), falls back to an exhaustive wildcard walk.
+  void Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const;
+
+  /// Number of distinct ALL-masks (== hash maps) in the index.
+  int64_t num_masks() const { return static_cast<int64_t>(buckets_.size()); }
+
+  int num_keys() const { return static_cast<int>(detail_keys_.size()); }
+
+ private:
+  using Bucket = std::unordered_map<RowKey, std::vector<int64_t>, RowKeyHash, RowKeyEqual>;
+
+  struct MaskBucket {
+    uint64_t all_mask;                // bit i set => key position i is ALL
+    std::vector<int> probe_positions; // key positions that participate (non-ALL)
+    Bucket map;
+  };
+
+  std::vector<CompiledExpr> detail_keys_;
+  std::vector<MaskBucket> buckets_;
+  // Rows whose base-side key evaluation produced ALL in *every* position are
+  // still regular bucket entries (empty probe key). Nothing else special.
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CORE_BASE_INDEX_H_

@@ -1,0 +1,167 @@
+#include "core/generalized.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "core/base_index.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+
+namespace mdjoin {
+
+namespace {
+
+/// Per-component compiled machinery for the shared scan.
+struct CompiledComponent {
+  std::vector<BoundAgg> aggs;
+  ThetaParts parts;
+  std::vector<int64_t> active;  // base rows passing the B-only conjuncts
+  bool indexed = false;
+  BaseIndex index;
+  CompiledExpr detail_pred;  // R-only conjuncts (pushdown)
+  CompiledExpr residual;
+  // states[agg][base_row]
+  std::vector<std::vector<std::unique_ptr<AggregateState>>> states;
+};
+
+}  // namespace
+
+Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
+                                const std::vector<MdJoinComponent>& components,
+                                const MdJoinOptions& options, MdJoinStats* stats) {
+  MdJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = MdJoinStats{};
+  stats->base_rows = base.num_rows();
+  stats->passes_over_detail = 1;
+
+  if (components.empty()) {
+    return Status::InvalidArgument("GeneralizedMdJoin: no components");
+  }
+
+  std::vector<int64_t> all_rows(static_cast<size_t>(base.num_rows()));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
+  std::unordered_set<std::string> seen_outputs;
+  std::vector<CompiledComponent> compiled;
+  compiled.reserve(components.size());
+  for (const MdJoinComponent& comp : components) {
+    if (comp.theta == nullptr) {
+      return Status::InvalidArgument("GeneralizedMdJoin: null θ in component");
+    }
+    CompiledComponent cc;
+    MDJ_ASSIGN_OR_RETURN(cc.aggs, BindAggs(comp.aggs, &base.schema(), &detail.schema()));
+    for (const BoundAgg& a : cc.aggs) {
+      if (!seen_outputs.insert(a.output_field.name).second) {
+        return Status::InvalidArgument("GeneralizedMdJoin: duplicate output column '",
+                                       a.output_field.name, "' across components");
+      }
+    }
+    cc.parts = AnalyzeTheta(comp.theta);
+
+    if (cc.parts.base_only.empty()) {
+      cc.active = all_rows;
+    } else {
+      MDJ_ASSIGN_OR_RETURN(CompiledExpr base_pred,
+                           CompileExpr(CombineConjuncts(cc.parts.base_only),
+                                       &base.schema(), nullptr));
+      RowCtx bctx;
+      bctx.base = &base;
+      for (int64_t row : all_rows) {
+        bctx.base_row = row;
+        if (base_pred.EvalBool(bctx)) cc.active.push_back(row);
+      }
+    }
+
+    std::vector<ExprPtr> residual_conjuncts = cc.parts.residual;
+    if (options.push_detail_selection) {
+      if (!cc.parts.detail_only.empty()) {
+        MDJ_ASSIGN_OR_RETURN(cc.detail_pred,
+                             CompileExpr(CombineConjuncts(cc.parts.detail_only), nullptr,
+                                         &detail.schema()));
+      }
+    } else {
+      residual_conjuncts.insert(residual_conjuncts.end(), cc.parts.detail_only.begin(),
+                                cc.parts.detail_only.end());
+    }
+
+    cc.indexed = options.use_index && !cc.parts.equi.empty();
+    if (cc.indexed) {
+      MDJ_ASSIGN_OR_RETURN(
+          cc.index, BaseIndex::Build(base, cc.active, cc.parts.equi, detail.schema()));
+      stats->index_masks += cc.index.num_masks();
+    } else {
+      for (const EquiPair& pair : cc.parts.equi) {
+        residual_conjuncts.push_back(
+            Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
+      }
+    }
+    if (!residual_conjuncts.empty()) {
+      MDJ_ASSIGN_OR_RETURN(cc.residual,
+                           CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
+                                       &base.schema(), &detail.schema()));
+    }
+
+    cc.states.resize(cc.aggs.size());
+    for (size_t i = 0; i < cc.aggs.size(); ++i) {
+      cc.states[i].reserve(static_cast<size_t>(base.num_rows()));
+      for (int64_t r = 0; r < base.num_rows(); ++r) {
+        cc.states[i].push_back(cc.aggs[i].fn->MakeState());
+      }
+    }
+    compiled.push_back(std::move(cc));
+  }
+
+  // The single shared scan of R.
+  RowCtx ctx;
+  ctx.base = &base;
+  ctx.detail = &detail;
+  std::vector<int64_t> candidates;
+  for (int64_t t = 0; t < detail.num_rows(); ++t) {
+    ctx.detail_row = t;
+    ++stats->detail_rows_scanned;
+    bool any_qualified = false;
+    for (CompiledComponent& cc : compiled) {
+      if (cc.detail_pred.valid() && !cc.detail_pred.EvalBool(ctx)) continue;
+      any_qualified = true;
+      const std::vector<int64_t>* probe_rows;
+      if (cc.indexed) {
+        candidates.clear();
+        cc.index.Probe(ctx, &candidates);
+        probe_rows = &candidates;
+      } else {
+        probe_rows = &cc.active;
+      }
+      for (int64_t b : *probe_rows) {
+        ctx.base_row = b;
+        ++stats->candidate_pairs;
+        if (cc.residual.valid() && !cc.residual.EvalBool(ctx)) continue;
+        ++stats->matched_pairs;
+        for (size_t i = 0; i < cc.aggs.size(); ++i) {
+          cc.aggs[i].UpdateFromRow(cc.states[i][static_cast<size_t>(b)].get(), ctx);
+        }
+      }
+    }
+    if (any_qualified) ++stats->detail_rows_qualified;
+  }
+
+  // Output: base columns then every component's aggregates in order.
+  std::vector<Field> fields = base.schema().fields();
+  for (const CompiledComponent& cc : compiled) {
+    for (const BoundAgg& a : cc.aggs) fields.push_back(a.output_field);
+  }
+  Table out{Schema(std::move(fields))};
+  out.Reserve(base.num_rows());
+  for (int64_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<Value> row = base.GetRow(r);
+    for (const CompiledComponent& cc : compiled) {
+      for (size_t i = 0; i < cc.aggs.size(); ++i) {
+        row.push_back(cc.aggs[i].fn->Finalize(*cc.states[i][static_cast<size_t>(r)]));
+      }
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mdjoin

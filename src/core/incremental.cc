@@ -1,0 +1,71 @@
+#include "core/incremental.h"
+
+#include "ra/project.h"
+
+namespace mdjoin {
+
+Result<Table> MdJoinApplyDelta(const Table& previous, const Table& delta_detail,
+                               const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                               const MdJoinOptions& options, MdJoinStats* stats) {
+  MDJ_ASSIGN_OR_RETURN(bool distributive, AllDistributive(aggs));
+  if (!distributive) {
+    return Status::InvalidArgument(
+        "MdJoinApplyDelta: incremental maintenance needs distributive aggregates "
+        "(count/sum/min/max); recompute algebraic/holistic results instead");
+  }
+  const int num_aggs = static_cast<int>(aggs.size());
+  const int num_base_cols = previous.num_columns() - num_aggs;
+  if (num_base_cols < 0) {
+    return Status::InvalidArgument("MdJoinApplyDelta: previous output narrower than "
+                                   "the aggregate list");
+  }
+  for (int i = 0; i < num_aggs; ++i) {
+    const std::string& have = previous.schema().field(num_base_cols + i).name;
+    if (have != aggs[static_cast<size_t>(i)].output_name) {
+      return Status::InvalidArgument("MdJoinApplyDelta: previous output column '", have,
+                                     "' does not match aggregate '",
+                                     aggs[static_cast<size_t>(i)].output_name, "'");
+    }
+  }
+
+  // Base relation = the previous output minus its aggregate columns.
+  std::vector<std::string> base_cols;
+  for (int c = 0; c < num_base_cols; ++c) {
+    base_cols.push_back(previous.schema().field(c).name);
+  }
+  MDJ_ASSIGN_OR_RETURN(Table base, ProjectColumns(previous, base_cols));
+
+  // Aggregate the delta alone (row-aligned with `previous` by construction:
+  // MdJoin preserves base order).
+  MDJ_ASSIGN_OR_RETURN(Table delta,
+                       MdJoin(base, delta_detail, aggs, theta, options, stats));
+
+  // Combine old and delta values with each aggregate's roll-up function.
+  std::vector<const AggregateFunction*> combiners;
+  for (const AggSpec& spec : aggs) {
+    MDJ_ASSIGN_OR_RETURN(const AggregateFunction* fn,
+                         AggregateRegistry::Global()->Lookup(spec.function));
+    MDJ_ASSIGN_OR_RETURN(const AggregateFunction* combiner,
+                         AggregateRegistry::Global()->Lookup(fn->RollupFunctionName()));
+    combiners.push_back(combiner);
+  }
+
+  Table out(previous.schema());
+  out.Reserve(previous.num_rows());
+  for (int64_t r = 0; r < previous.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(previous.num_columns()));
+    for (int c = 0; c < num_base_cols; ++c) row.push_back(previous.Get(r, c));
+    for (int i = 0; i < num_aggs; ++i) {
+      const AggregateFunction* combiner = combiners[static_cast<size_t>(i)];
+      std::unique_ptr<AggregateState> state = combiner->MakeState();
+      combiner->Update(state.get(), previous.Get(r, num_base_cols + i));
+      combiner->Update(state.get(), delta.Get(r, num_base_cols + i));
+      row.push_back(combiner->Finalize(*state));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mdjoin

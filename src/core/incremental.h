@@ -1,0 +1,34 @@
+#ifndef MDJOIN_CORE_INCREMENTAL_H_
+#define MDJOIN_CORE_INCREMENTAL_H_
+
+#include "core/mdjoin.h"
+
+namespace mdjoin {
+
+/// Incremental maintenance of a materialized MD-join (an OLAP report or a
+/// cube) under detail-relation appends:
+///
+///   MD(B, R ∪ ΔR, l, θ)  =  combine(MD(B, R, l, θ), MD(B, ΔR, l, θ))
+///
+/// for distributive `l` — the same algebraic fact as Theorem 4.5's roll-up
+/// (partials combine via the roll-up function: counts add, sums add, min/max
+/// take extremes), applied along the data axis instead of the granularity
+/// axis. Only ΔR is scanned; the previous result is updated column-wise.
+///
+/// `previous` must be a prior MdJoin output for (`aggs`, `theta`): its first
+/// columns are the base relation, followed by one column per AggSpec in
+/// order. Row order is preserved. Errors if `aggs` is not all-distributive
+/// or if `previous`'s schema does not match base+aggs.
+///
+/// Floating-point caveat: float64 SUMs maintained incrementally add in a
+/// different order than a from-scratch recomputation, so the two can differ
+/// in the last ulps (IEEE addition is not associative). Integer sums and
+/// counts are exact. Compare with TablesApproxEqualOrdered when validating.
+Result<Table> MdJoinApplyDelta(const Table& previous, const Table& delta_detail,
+                               const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                               const MdJoinOptions& options = {},
+                               MdJoinStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CORE_INCREMENTAL_H_

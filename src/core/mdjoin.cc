@@ -1,0 +1,191 @@
+#include "core/mdjoin.h"
+
+#include <numeric>
+
+#include "core/base_index.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+
+namespace mdjoin {
+
+std::string MdJoinStats::ToString() const {
+  std::string out;
+  out += "base_rows=" + std::to_string(base_rows);
+  out += " detail_scanned=" + std::to_string(detail_rows_scanned);
+  out += " detail_qualified=" + std::to_string(detail_rows_qualified);
+  out += " candidate_pairs=" + std::to_string(candidate_pairs);
+  out += " matched_pairs=" + std::to_string(matched_pairs);
+  out += " passes=" + std::to_string(passes_over_detail);
+  out += " index_masks=" + std::to_string(index_masks);
+  return out;
+}
+
+namespace {
+
+/// One pass of Algorithm 3.1 over `detail`, updating aggregate states for the
+/// base rows listed in `pass_rows`. `states[agg][base_row]`.
+struct PassContext {
+  const Table* base;
+  const Table* detail;
+  const std::vector<BoundAgg>* aggs;
+  std::vector<std::vector<std::unique_ptr<AggregateState>>>* states;
+  MdJoinStats* stats;
+};
+
+Status RunPass(const PassContext& pc, const std::vector<int64_t>& pass_rows,
+               const ThetaParts& parts, const MdJoinOptions& options) {
+  const Table& base = *pc.base;
+  const Table& detail = *pc.detail;
+
+  // Rows eligible for updates: those satisfying the B-only conjuncts. The
+  // others still appear in the output (with identity aggregates) but can
+  // never match.
+  std::vector<int64_t> active;
+  if (parts.base_only.empty()) {
+    active = pass_rows;
+  } else {
+    MDJ_ASSIGN_OR_RETURN(CompiledExpr base_pred,
+                         CompileExpr(CombineConjuncts(parts.base_only), &base.schema(),
+                                     /*detail_schema=*/nullptr));
+    RowCtx ctx;
+    ctx.base = &base;
+    for (int64_t row : pass_rows) {
+      ctx.base_row = row;
+      if (base_pred.EvalBool(ctx)) active.push_back(row);
+    }
+  }
+
+  // Detail-side selection (Theorem 4.2). When pushdown is disabled the
+  // conjuncts join the residual so results are identical.
+  CompiledExpr detail_pred;
+  std::vector<ExprPtr> residual_conjuncts = parts.residual;
+  if (options.push_detail_selection) {
+    if (!parts.detail_only.empty()) {
+      MDJ_ASSIGN_OR_RETURN(detail_pred,
+                           CompileExpr(CombineConjuncts(parts.detail_only),
+                                       /*base_schema=*/nullptr, &detail.schema()));
+    }
+  } else {
+    residual_conjuncts.insert(residual_conjuncts.end(), parts.detail_only.begin(),
+                              parts.detail_only.end());
+  }
+
+  // Index on the equi part (§4.5), or nested loop when disabled/absent.
+  const bool indexed = options.use_index && !parts.equi.empty();
+  BaseIndex index;
+  if (indexed) {
+    MDJ_ASSIGN_OR_RETURN(index,
+                         BaseIndex::Build(base, active, parts.equi, detail.schema()));
+    pc.stats->index_masks += index.num_masks();
+  }
+  // Without the index the equi conjuncts must be re-checked per pair.
+  if (!indexed) {
+    for (const EquiPair& pair : parts.equi) {
+      residual_conjuncts.push_back(
+          Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
+    }
+  }
+
+  CompiledExpr residual;
+  if (!residual_conjuncts.empty()) {
+    MDJ_ASSIGN_OR_RETURN(residual,
+                         CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
+                                     &base.schema(), &detail.schema()));
+  }
+
+  const std::vector<BoundAgg>& aggs = *pc.aggs;
+  auto& states = *pc.states;
+
+  RowCtx ctx;
+  ctx.base = &base;
+  ctx.detail = &detail;
+  std::vector<int64_t> candidates;
+  for (int64_t t = 0; t < detail.num_rows(); ++t) {
+    ctx.detail_row = t;
+    ++pc.stats->detail_rows_scanned;
+    if (detail_pred.valid() && !detail_pred.EvalBool(ctx)) continue;
+    ++pc.stats->detail_rows_qualified;
+
+    const std::vector<int64_t>* probe_rows;
+    if (indexed) {
+      candidates.clear();
+      index.Probe(ctx, &candidates);
+      probe_rows = &candidates;
+    } else {
+      probe_rows = &active;
+    }
+
+    for (int64_t b : *probe_rows) {
+      ctx.base_row = b;
+      ++pc.stats->candidate_pairs;
+      if (residual.valid() && !residual.EvalBool(ctx)) continue;
+      ++pc.stats->matched_pairs;
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        aggs[i].UpdateFromRow(states[i][static_cast<size_t>(b)].get(), ctx);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> MdJoin(const Table& base, const Table& detail,
+                     const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                     const MdJoinOptions& options, MdJoinStats* stats) {
+  if (theta == nullptr) {
+    return Status::InvalidArgument("MdJoin: θ-condition must not be null");
+  }
+  MdJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = MdJoinStats{};
+  stats->base_rows = base.num_rows();
+
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, &base.schema(), &detail.schema()));
+
+  ThetaParts parts = AnalyzeTheta(theta);
+
+  // Aggregate states for every base row: states[agg][row].
+  std::vector<std::vector<std::unique_ptr<AggregateState>>> states(bound.size());
+  for (size_t i = 0; i < bound.size(); ++i) {
+    states[i].reserve(static_cast<size_t>(base.num_rows()));
+    for (int64_t r = 0; r < base.num_rows(); ++r) {
+      states[i].push_back(bound[i].fn->MakeState());
+    }
+  }
+
+  PassContext pc{&base, &detail, &bound, &states, stats};
+
+  // Theorem 4.1 memory staging: ceil(|B| / budget) passes over R.
+  std::vector<int64_t> all_rows(static_cast<size_t>(base.num_rows()));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  const int64_t budget =
+      options.base_rows_per_pass > 0 ? options.base_rows_per_pass : base.num_rows();
+  if (base.num_rows() == 0) {
+    stats->passes_over_detail = 0;
+  } else {
+    for (int64_t start = 0; start < base.num_rows(); start += budget) {
+      int64_t end = std::min(start + budget, base.num_rows());
+      std::vector<int64_t> pass_rows(all_rows.begin() + start, all_rows.begin() + end);
+      ++stats->passes_over_detail;
+      MDJ_RETURN_NOT_OK(RunPass(pc, pass_rows, parts, options));
+    }
+  }
+
+  // Assemble output: base columns then one column per aggregate.
+  std::vector<Field> fields = base.schema().fields();
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  Table out{Schema(std::move(fields))};
+  out.Reserve(base.num_rows());
+  for (int64_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<Value> row = base.GetRow(r);
+    for (size_t i = 0; i < bound.size(); ++i) {
+      row.push_back(bound[i].fn->Finalize(*states[i][static_cast<size_t>(r)]));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mdjoin

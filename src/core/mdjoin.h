@@ -1,0 +1,68 @@
+#ifndef MDJOIN_CORE_MDJOIN_H_
+#define MDJOIN_CORE_MDJOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Evaluation knobs for MdJoin(). The defaults give the fully-optimized
+/// single-operator plan; benches flip individual flags to ablate each
+/// optimization from the paper.
+struct MdJoinOptions {
+  /// §4.5: hash the base relation on the equi part of θ so each detail tuple
+  /// only visits (a superset of) its relative set Rel(t). When false,
+  /// Algorithm 3.1 degenerates to the nested loop of its literal statement.
+  bool use_index = true;
+
+  /// Theorem 4.2: evaluate the R-only conjuncts of θ first and skip
+  /// non-qualifying detail tuples before probing.
+  bool push_detail_selection = true;
+
+  /// §4.1.1 / Theorem 4.1: maximum number of base rows processed per pass
+  /// over the detail relation, simulating a memory budget for B. 0 means
+  /// unlimited (single pass). With a budget of m rows and |B| = n, the
+  /// evaluator makes ceil(n/m) passes, exactly the trade the paper describes:
+  /// "a well-defined increase in the number of scans of R".
+  int64_t base_rows_per_pass = 0;
+};
+
+/// Work counters exposed for the experiment harness; incremented across all
+/// passes.
+struct MdJoinStats {
+  int64_t base_rows = 0;
+  int64_t detail_rows_scanned = 0;   // tuples read from R (all passes)
+  int64_t detail_rows_qualified = 0; // tuples surviving pushed-down selection
+  int64_t candidate_pairs = 0;       // (b, t) pairs tested after index pruning
+  int64_t matched_pairs = 0;         // pairs satisfying θ
+  int64_t passes_over_detail = 0;    // 1 unless base_rows_per_pass forces more
+  int64_t index_masks = 0;           // ALL-mask buckets in the base index
+
+  std::string ToString() const;
+};
+
+/// The MD-join MD(B, R, l, θ) of Definition 3.1, evaluated with
+/// Algorithm 3.1.
+///
+/// Output: every row of `base` (in order) extended with one column per
+/// AggSpec in `aggs`, aggregating the multiset RNG(b, R, θ) = {t ∈ R :
+/// θ(b,t)}. Row count always equals base.num_rows() — the outer-join
+/// semantics that makes pivoting queries come out right (Example 2.2).
+///
+/// `theta` references base columns via Side::kBase (dsl::BCol) and detail
+/// columns via Side::kDetail (dsl::RCol); equality is ALL-wildcard (cube
+/// rows aggregate at their granularity). Aggregate arguments are expressions
+/// over the detail row.
+Result<Table> MdJoin(const Table& base, const Table& detail,
+                     const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                     const MdJoinOptions& options = {}, MdJoinStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CORE_MDJOIN_H_

@@ -1,0 +1,23 @@
+#ifndef MDJOIN_CORE_REFERENCE_H_
+#define MDJOIN_CORE_REFERENCE_H_
+
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Literal transcription of Definition 3.1: for each base row b, scan all of
+/// R, evaluate θ(b, t) in full, and aggregate the matches. O(|B|·|R|) with no
+/// analysis, no index, no pushdown — deliberately the dumbest correct
+/// evaluator. The property-test oracle every optimized path is checked
+/// against.
+Result<Table> MdJoinReference(const Table& base, const Table& detail,
+                              const std::vector<AggSpec>& aggs, const ExprPtr& theta);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CORE_REFERENCE_H_

@@ -1,0 +1,69 @@
+#ifndef MDJOIN_CUBE_BASE_TABLES_H_
+#define MDJOIN_CUBE_BASE_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cube/lattice.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Generators for base-values relations (the B operand of an MD-join). This
+/// is the paper's central decoupling: the *same* MD-join aggregates any of
+/// these — a plain group-by list, a full data cube, a rollup hierarchy,
+/// user-chosen grouping sets, unpivot marginals, or an arbitrary user table
+/// of interesting points (Example 2.4, which needs no generator at all).
+/// All outputs have schema = the dimension columns (types taken from `t`),
+/// with the ALL marker filling rolled-up positions.
+
+/// select distinct dims from t — the GROUP BY base values.
+Result<Table> GroupByBase(const Table& t, const std::vector<std::string>& dims);
+
+/// One cuboid: distinct combinations of the dims grouped by `mask`, with ALL
+/// in the remaining positions.
+Result<Table> CuboidBase(const Table& t, const CubeLattice& lattice, CuboidMask mask);
+
+/// CUBE BY dims (Example 2.1): the union of all 2^d cuboids.
+Result<Table> CubeByBase(const Table& t, const std::vector<std::string>& dims);
+
+/// ROLLUP(d1, ..., dk): the prefix cuboids (d1..dk), (d1..dk-1), ..., ().
+Result<Table> RollupBase(const Table& t, const std::vector<std::string>& dims);
+
+/// GROUPING SETS: caller-selected cuboids, named per set. `dims` fixes the
+/// output column order; every set must be a subset of `dims`.
+Result<Table> GroupingSetsBase(const Table& t, const std::vector<std::string>& dims,
+                               const std::vector<std::vector<std::string>>& sets);
+
+/// UNPIVOT [GFC98]: the marginals — one single-attribute grouping set per
+/// dimension (what decision-tree learners consume, §2 Example 2.1).
+Result<Table> UnpivotBase(const Table& t, const std::vector<std::string>& dims);
+
+/// The ALL-mask of row `row` of a base table whose first columns are
+/// `lattice.dims()`: bit i set iff dims[i] is a concrete (non-ALL) value.
+Result<CuboidMask> RowCuboid(const Table& base, const CubeLattice& lattice, int64_t row);
+
+/// Splits a multi-granularity base table into per-cuboid partitions (a
+/// Theorem 4.1 partition along granularity — what turns a cube-shaped B into
+/// individually hash-indexable pieces). Returns {mask, rows-of-that-cuboid}
+/// pairs in ascending mask order; absent cuboids are omitted.
+struct CuboidPartition {
+  CuboidMask mask;
+  Table table;
+};
+Result<std::vector<CuboidPartition>> PartitionByCuboid(const Table& base,
+                                                       const CubeLattice& lattice);
+
+/// Widens a grouped result whose key columns are (a permutation of) the
+/// `mask` attributes of `dims` to the full cube schema `cube_schema`
+/// ([dims..., aggregate columns...]), writing ALL in rolled-up positions.
+/// Key columns are located by name; the remaining columns are copied in
+/// order. Shared by the PIPESORT executor and subcube materialization.
+Result<Table> WidenGroupedToCube(const Table& grouped,
+                                 const std::vector<std::string>& dims, CuboidMask mask,
+                                 const Schema& cube_schema);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CUBE_BASE_TABLES_H_

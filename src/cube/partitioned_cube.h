@@ -1,0 +1,40 @@
+#ifndef MDJOIN_CUBE_PARTITIONED_CUBE_H_
+#define MDJOIN_CUBE_PARTITIONED_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+struct PartitionedCubeStats {
+  int64_t partitions = 0;           // value-partitions of the chosen dimension
+  int64_t detail_rows_scanned = 0;  // across all partition-local MD-joins
+  int64_t full_detail_scans = 0;    // scans of the whole detail relation
+};
+
+/// Ross–Srivastava-style partitioned cube computation expressed through the
+/// paper's algebra (§4.4, last derivation):
+///
+///   MD(B, R, l, θ) = ∪_z MD(σ_{Di=z}(B), σ_{R.Di=z}(R), l, θ)
+///
+/// Theorem 4.1 splits the cube's base table B along a chosen dimension Di;
+/// Observation 4.1 pushes each value selection through θ's equi conjunct to
+/// the detail relation, so each fragment aggregates a partition of R that can
+/// fit in memory. The Di=ALL slice of B (cuboids that roll Di up) cannot be
+/// pushed — its θ equality is an ALL wildcard — and is evaluated against the
+/// full detail relation, which the stats record as one full scan.
+///
+/// Output: the complete cube [dims..., agg outputs...], extensionally equal
+/// to MdJoin(CubeByBase(detail, dims), detail, aggs, θ_eq).
+Result<Table> PartitionedCube(const Table& detail, const std::vector<std::string>& dims,
+                              const std::vector<AggSpec>& aggs,
+                              const std::string& partition_dim,
+                              PartitionedCubeStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CUBE_PARTITIONED_CUBE_H_

@@ -1,0 +1,323 @@
+#include "cube/pipesort.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "cube/base_tables.h"
+#include "ra/group_by.h"
+#include "table/key.h"
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+int PipesortPlan::num_sorts() const {
+  int sorts = 1;  // the initial sort producing the full cuboid
+  for (const PipesortEdge& e : edges) {
+    if (!e.pipelined) ++sorts;
+  }
+  return sorts;
+}
+
+std::string PipesortPlan::ToString() const {
+  auto name = [this](CuboidMask mask) {
+    std::string out = "(";
+    for (size_t i = 0; i < dims.size(); ++i) {
+      if (i > 0) out += ",";
+      out += (mask & (CuboidMask{1} << i)) ? dims[i] : "ALL";
+    }
+    return out + ")";
+  };
+  std::unordered_map<CuboidMask, CuboidMask> resort_parent;
+  for (const PipesortEdge& e : edges) {
+    if (!e.pipelined) resort_parent[e.child] = e.parent;
+  }
+  std::string out;
+  for (size_t p = 0; p < paths.size(); ++p) {
+    out += "path " + std::to_string(p) + ": ";
+    for (size_t i = 0; i < paths[p].size(); ++i) {
+      if (i > 0) out += " -> ";
+      out += name(paths[p][i]);
+    }
+    auto it = resort_parent.find(paths[p].front());
+    if (it != resort_parent.end()) {
+      out += "   [re-sort of " + name(it->second) + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::map<CuboidMask, int64_t>> CuboidCardinalities(const Table& t,
+                                                          const CubeLattice& lattice) {
+  std::map<CuboidMask, int64_t> out;
+  for (CuboidMask mask : lattice.AllCuboids()) {
+    std::vector<int> cols;
+    for (int i = 0; i < lattice.num_dims(); ++i) {
+      if (mask & (CuboidMask{1} << i)) {
+        MDJ_ASSIGN_OR_RETURN(
+            int idx, t.schema().GetFieldIndex(lattice.dims()[static_cast<size_t>(i)]));
+        cols.push_back(idx);
+      }
+    }
+    std::unordered_set<RowKey, RowKeyHash, RowKeyEqual> distinct;
+    for (int64_t r = 0; r < t.num_rows(); ++r) distinct.insert(t.GetRowKey(r, cols));
+    out[mask] = static_cast<int64_t>(distinct.size());
+  }
+  return out;
+}
+
+Result<PipesortPlan> BuildPipesortPlan(const CubeLattice& lattice,
+                                       const std::map<CuboidMask, int64_t>& cardinality) {
+  PipesortPlan plan;
+  plan.dims = lattice.dims();
+  const int d = lattice.num_dims();
+
+  auto card = [&cardinality](CuboidMask m) -> int64_t {
+    auto it = cardinality.find(m);
+    return it == cardinality.end() ? 0 : it->second;
+  };
+
+  // Root sort order: dimensions by descending cardinality — the [AAD+96]
+  // heuristic that maximizes prefix reuse down the lattice.
+  std::vector<int> root_order(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) root_order[static_cast<size_t>(i)] = i;
+  std::stable_sort(root_order.begin(), root_order.end(), [&](int a, int b) {
+    return card(CuboidMask{1} << a) > card(CuboidMask{1} << b);
+  });
+  plan.sort_orders[lattice.full_cuboid()] = root_order;
+
+  for (int level = d - 1; level >= 0; --level) {
+    std::vector<CuboidMask> children = lattice.CuboidsAtLevel(level);
+    std::stable_sort(children.begin(), children.end(),
+                     [&](CuboidMask a, CuboidMask b) { return card(a) > card(b); });
+    std::unordered_set<CuboidMask> piped_parents;
+    for (CuboidMask child : children) {
+      // Try to pipeline: an unused parent whose sort-order prefix covers
+      // exactly the child's dimensions.
+      CuboidMask pipe_parent = 0;
+      bool found_pipe = false;
+      for (CuboidMask parent : lattice.ParentsOf(child)) {
+        if (static_cast<CuboidMask>(parent) > lattice.full_cuboid()) continue;
+        if (!plan.sort_orders.count(parent) || piped_parents.count(parent)) continue;
+        const std::vector<int>& order = plan.sort_orders[parent];
+        CuboidMask prefix = 0;
+        for (int i = 0; i < level; ++i) {
+          prefix |= CuboidMask{1} << order[static_cast<size_t>(i)];
+        }
+        if (prefix == child) {
+          pipe_parent = parent;
+          found_pipe = true;
+          break;
+        }
+      }
+      if (found_pipe) {
+        piped_parents.insert(pipe_parent);
+        const std::vector<int>& parent_order = plan.sort_orders[pipe_parent];
+        plan.sort_orders[child] = std::vector<int>(parent_order.begin(),
+                                                   parent_order.begin() + level);
+        plan.edges.push_back({pipe_parent, child, /*pipelined=*/true});
+        continue;
+      }
+      // Re-sort the cheapest (smallest) computed parent.
+      CuboidMask best = 0;
+      int64_t best_card = -1;
+      for (CuboidMask parent : lattice.ParentsOf(child)) {
+        if (!plan.sort_orders.count(parent)) continue;
+        if (best_card < 0 || card(parent) < best_card) {
+          best = parent;
+          best_card = card(parent);
+        }
+      }
+      if (best_card < 0) {
+        return Status::Internal("pipesort: no computed parent for a cuboid");
+      }
+      std::vector<int> order;
+      for (int i = 0; i < d; ++i) {
+        if (child & (CuboidMask{1} << i)) order.push_back(i);
+      }
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return card(CuboidMask{1} << a) > card(CuboidMask{1} << b);
+      });
+      plan.sort_orders[child] = std::move(order);
+      plan.edges.push_back({best, child, /*pipelined=*/false});
+    }
+  }
+
+  // Assemble pipelined paths: one starting at the full cuboid, one per
+  // re-sorted child.
+  std::unordered_map<CuboidMask, CuboidMask> pipe_child;
+  for (const PipesortEdge& e : plan.edges) {
+    if (e.pipelined) pipe_child[e.parent] = e.child;
+  }
+  std::vector<CuboidMask> starts;
+  starts.push_back(lattice.full_cuboid());
+  for (const PipesortEdge& e : plan.edges) {
+    if (!e.pipelined) starts.push_back(e.child);
+  }
+  for (CuboidMask start : starts) {
+    std::vector<CuboidMask> path{start};
+    auto it = pipe_child.find(start);
+    while (it != pipe_child.end()) {
+      path.push_back(it->second);
+      it = pipe_child.find(it->second);
+    }
+    plan.paths.push_back(std::move(path));
+  }
+  return plan;
+}
+
+namespace {
+
+/// Groups `input` (detail or a finer cuboid) on `attrs` with `specs`; empty
+/// attrs means the single grand-total group, skipped when input is empty so
+/// an empty cube stays empty. Uses the *streaming* sort-based aggregator:
+/// the executor's pipelining invariant guarantees contiguous key runs
+/// (sorted detail for the full cuboid, inherited prefix order for pipelined
+/// children, explicit re-sorts otherwise) — SortedGroupBy errors out if the
+/// invariant is ever violated, so plan bugs surface as errors, not wrong
+/// answers.
+Result<Table> GroupOrTotal(const Table& input, const std::vector<std::string>& attrs,
+                           const std::vector<AggSpec>& specs) {
+  if (!attrs.empty()) return SortedGroupBy(input, attrs, specs);
+  if (input.num_rows() == 0) {
+    // Empty grand total: zero rows (matches MD over an empty base table).
+    std::vector<BoundAgg> bound;
+    MDJ_ASSIGN_OR_RETURN(bound, BindAggs(specs, nullptr, &input.schema()));
+    std::vector<Field> fields;
+    for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+    return Table{Schema(std::move(fields))};
+  }
+  return AggregateAll(input, specs);
+}
+
+Result<Schema> CubeResultSchema(const Table& detail, const std::vector<std::string>& dims,
+                                const std::vector<AggSpec>& aggs) {
+  std::vector<Field> fields;
+  for (const std::string& d : dims) {
+    MDJ_ASSIGN_OR_RETURN(int idx, detail.schema().GetFieldIndex(d));
+    fields.push_back(detail.schema().field(idx));
+  }
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, nullptr, &detail.schema()));
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  return Schema(std::move(fields));
+}
+
+}  // namespace
+
+Result<Table> ExecutePipesortPlan(const PipesortPlan& plan, const Table& detail,
+                                  const std::vector<AggSpec>& aggs,
+                                  CubeExecStats* stats) {
+  CubeExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = CubeExecStats{};
+
+  MDJ_ASSIGN_OR_RETURN(CubeLattice lattice, CubeLattice::Make(plan.dims));
+  MDJ_ASSIGN_OR_RETURN(Schema cube_schema, CubeResultSchema(detail, plan.dims, aggs));
+
+  // Theorem 4.5 requires distributive aggregates for the roll-up rewrites.
+  MDJ_ASSIGN_OR_RETURN(bool distributive, AllDistributive(aggs));
+  if (!distributive) {
+    return Status::InvalidArgument(
+        "pipesort execution rolls cuboids up from finer cuboids (Theorem 4.5), which "
+        "requires distributive aggregates");
+  }
+  std::vector<AggSpec> rollup_specs;
+  rollup_specs.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    MDJ_ASSIGN_OR_RETURN(AggSpec r, RollupSpec(a));
+    rollup_specs.push_back(std::move(r));
+  }
+
+  // Full cuboid: sort the detail relation by the root order, then aggregate.
+  const CuboidMask full = lattice.full_cuboid();
+  auto order_it = plan.sort_orders.find(full);
+  if (order_it == plan.sort_orders.end()) {
+    return Status::InvalidArgument("plan lacks a sort order for the full cuboid");
+  }
+  std::vector<std::string> root_attrs;
+  for (int dim : order_it->second) root_attrs.push_back(plan.dims[static_cast<size_t>(dim)]);
+  MDJ_ASSIGN_OR_RETURN(Table sorted_detail, SortTableBy(detail, root_attrs));
+  ++stats->sorts;
+  stats->rows_scanned += detail.num_rows();
+  MDJ_ASSIGN_OR_RETURN(Table full_grouped, GroupOrTotal(sorted_detail, root_attrs, aggs));
+  stats->rows_aggregated += full_grouped.num_rows();
+
+  std::map<CuboidMask, Table> results;
+  {
+    MDJ_ASSIGN_OR_RETURN(Table expanded,
+                         WidenGroupedToCube(full_grouped, plan.dims, full, cube_schema));
+    results.emplace(full, std::move(expanded));
+  }
+
+  // Roll each cuboid up from its tree parent (edges were emitted finest
+  // level first, so parents are always ready).
+  for (const PipesortEdge& edge : plan.edges) {
+    auto parent_it = results.find(edge.parent);
+    if (parent_it == results.end()) {
+      return Status::Internal("pipesort execution: parent cuboid not yet computed");
+    }
+    const Table& parent = parent_it->second;
+    auto child_order_it = plan.sort_orders.find(edge.child);
+    if (child_order_it == plan.sort_orders.end()) {
+      return Status::Internal("pipesort execution: missing child sort order");
+    }
+    std::vector<std::string> child_attrs;
+    for (int dim : child_order_it->second) {
+      child_attrs.push_back(plan.dims[static_cast<size_t>(dim)]);
+    }
+    const Table* source = &parent;
+    Table resorted;
+    if (!edge.pipelined && !child_attrs.empty()) {
+      MDJ_ASSIGN_OR_RETURN(resorted, SortTableBy(parent, child_attrs));
+      ++stats->sorts;
+      source = &resorted;
+    }
+    stats->rows_scanned += source->num_rows();
+    MDJ_ASSIGN_OR_RETURN(Table grouped, GroupOrTotal(*source, child_attrs, rollup_specs));
+    stats->rows_aggregated += grouped.num_rows();
+    MDJ_ASSIGN_OR_RETURN(Table expanded,
+                         WidenGroupedToCube(grouped, plan.dims, edge.child, cube_schema));
+    results.emplace(edge.child, std::move(expanded));
+  }
+
+  // Concatenate finest-to-coarsest, the display order of Figure 1(a).
+  std::vector<Table> ordered;
+  for (int level = lattice.num_dims(); level >= 0; --level) {
+    for (CuboidMask mask : lattice.CuboidsAtLevel(level)) {
+      auto it = results.find(mask);
+      if (it == results.end()) return Status::Internal("missing cuboid in results");
+      ordered.push_back(std::move(it->second));
+    }
+  }
+  return ConcatAll(ordered);
+}
+
+Result<Table> ComputeCubeFromDetailOnly(const CubeLattice& lattice, const Table& detail,
+                                        const std::vector<AggSpec>& aggs,
+                                        CubeExecStats* stats) {
+  CubeExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = CubeExecStats{};
+  MDJ_ASSIGN_OR_RETURN(Schema cube_schema,
+                       CubeResultSchema(detail, lattice.dims(), aggs));
+  std::vector<Table> ordered;
+  for (int level = lattice.num_dims(); level >= 0; --level) {
+    for (CuboidMask mask : lattice.CuboidsAtLevel(level)) {
+      std::vector<std::string> attrs = lattice.CuboidAttrs(mask);
+      MDJ_ASSIGN_OR_RETURN(Table sorted, SortTableBy(detail, attrs));
+      ++stats->sorts;
+      stats->rows_scanned += detail.num_rows();
+      MDJ_ASSIGN_OR_RETURN(Table grouped, GroupOrTotal(sorted, attrs, aggs));
+      stats->rows_aggregated += grouped.num_rows();
+      MDJ_ASSIGN_OR_RETURN(Table expanded,
+                           WidenGroupedToCube(grouped, lattice.dims(), mask, cube_schema));
+      ordered.push_back(std::move(expanded));
+    }
+  }
+  return ConcatAll(ordered);
+}
+
+}  // namespace mdjoin

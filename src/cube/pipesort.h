@@ -1,0 +1,80 @@
+#ifndef MDJOIN_CUBE_PIPESORT_H_
+#define MDJOIN_CUBE_PIPESORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "cube/lattice.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// PIPESORT-style cube computation (paper §4.4, Figure 2; after [AAD+96]).
+///
+/// The algebraic reading the paper gives: Theorem 4.1 partitions the cube's
+/// base-values table into its cuboids, and Theorem 4.5 lets every coarser
+/// cuboid be computed from a finer one instead of from the detail relation.
+/// What remains is choosing, for each cuboid, *which* parent computes it and
+/// whether the parent's sort order can be reused (pipelined) or the parent's
+/// result must be re-sorted first — the dashed edges of Figure 2.
+
+/// One tree edge of the plan.
+struct PipesortEdge {
+  CuboidMask parent;
+  CuboidMask child;
+  bool pipelined;  // false => child requires re-sorting parent's result
+};
+
+struct PipesortPlan {
+  std::vector<std::string> dims;
+  std::vector<PipesortEdge> edges;  // one per non-root cuboid
+  /// Sort order (dimension indices) under which each cuboid is produced.
+  std::map<CuboidMask, std::vector<int>> sort_orders;
+  /// Pipelined chains, finest-first; path 0 starts at the full cuboid, every
+  /// further path starts at a re-sorted cuboid. This is the "pipelined paths"
+  /// presentation of Figure 2.
+  std::vector<std::vector<CuboidMask>> paths;
+
+  int num_sorts() const;  // re-sorts (dashed edges) + 1 for the initial sort
+  std::string ToString() const;
+};
+
+/// Exact per-cuboid distinct counts from the data (this engine is in-memory,
+/// so the "cost-based optimizer" can afford true statistics).
+Result<std::map<CuboidMask, int64_t>> CuboidCardinalities(const Table& t,
+                                                          const CubeLattice& lattice);
+
+/// Builds the plan: level-by-level greedy matching (largest child first).
+/// A child pipelines from an unused parent whose sort order it prefixes;
+/// otherwise it re-sorts the smallest available parent.
+Result<PipesortPlan> BuildPipesortPlan(const CubeLattice& lattice,
+                                       const std::map<CuboidMask, int64_t>& cardinality);
+
+/// Execution statistics for comparing strategies in the benches.
+struct CubeExecStats {
+  int64_t sorts = 0;
+  int64_t rows_scanned = 0;     // input rows read across all aggregations
+  int64_t rows_aggregated = 0;  // output rows produced
+};
+
+/// Executes the plan over `detail`: the full cuboid is computed by sorting
+/// the detail relation; every other cuboid is rolled up from its tree parent
+/// (Theorem 4.5: `aggs` must be distributive). Returns the complete cube with
+/// schema [dims..., agg outputs...], ALL markers in rolled-up positions —
+/// extensionally equal to MdJoin(CubeByBase(detail), detail, aggs, θ_eq).
+Result<Table> ExecutePipesortPlan(const PipesortPlan& plan, const Table& detail,
+                                  const std::vector<AggSpec>& aggs,
+                                  CubeExecStats* stats = nullptr);
+
+/// Baseline for the ablation: computes every cuboid independently from the
+/// detail relation (no Theorem 4.5 reuse), same output.
+Result<Table> ComputeCubeFromDetailOnly(const CubeLattice& lattice, const Table& detail,
+                                        const std::vector<AggSpec>& aggs,
+                                        CubeExecStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CUBE_PIPESORT_H_

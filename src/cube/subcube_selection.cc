@@ -1,0 +1,218 @@
+#include "cube/subcube_selection.h"
+
+#include <algorithm>
+
+#include "cube/base_tables.h"
+#include "ra/group_by.h"
+
+namespace mdjoin {
+
+bool SubcubeSelection::Contains(CuboidMask mask) const {
+  return std::find(materialized.begin(), materialized.end(), mask) !=
+         materialized.end();
+}
+
+std::string SubcubeSelection::ToString(const CubeLattice& lattice) const {
+  std::string out = "materialized:";
+  for (CuboidMask mask : materialized) {
+    out += " ";
+    out += lattice.CuboidName(mask);
+  }
+  return out;
+}
+
+namespace {
+
+int64_t Card(const std::map<CuboidMask, int64_t>& cardinality, CuboidMask mask) {
+  auto it = cardinality.find(mask);
+  return it == cardinality.end() ? 0 : it->second;
+}
+
+bool IsAncestor(CuboidMask ancestor, CuboidMask target) {
+  return (target & ancestor) == target;
+}
+
+/// Cost of answering `target` under `chosen`: cardinality of the cheapest
+/// chosen ancestor; -1 if none (cannot happen once the full cuboid is in).
+int64_t AnswerCost(const std::vector<CuboidMask>& chosen,
+                   const std::map<CuboidMask, int64_t>& cardinality,
+                   CuboidMask target) {
+  int64_t best = -1;
+  for (CuboidMask m : chosen) {
+    if (!IsAncestor(m, target)) continue;
+    int64_t c = Card(cardinality, m);
+    if (best < 0 || c < best) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<SubcubeSelection> SelectSubcubesGreedy(
+    const CubeLattice& lattice, const std::map<CuboidMask, int64_t>& cardinality,
+    int max_views) {
+  if (max_views < 1) {
+    return Status::InvalidArgument("SelectSubcubesGreedy: max_views must be >= 1");
+  }
+  SubcubeSelection selection;
+  selection.materialized.push_back(lattice.full_cuboid());
+
+  std::vector<CuboidMask> all = lattice.AllCuboids();
+  while (static_cast<int>(selection.materialized.size()) < max_views) {
+    CuboidMask best_candidate = 0;
+    double best_benefit = 0;
+    for (CuboidMask candidate : all) {
+      if (selection.Contains(candidate)) continue;
+      // Benefit: total reduction in answer cost across every granularity
+      // that could roll up from the candidate.
+      double benefit = 0;
+      int64_t candidate_card = Card(cardinality, candidate);
+      for (CuboidMask w : all) {
+        if (!IsAncestor(candidate, w)) continue;
+        int64_t now = AnswerCost(selection.materialized, cardinality, w);
+        if (now > candidate_card) {
+          benefit += static_cast<double>(now - candidate_card);
+        }
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_candidate = candidate;
+      }
+    }
+    if (best_benefit <= 0) break;  // nothing helps anymore
+    selection.materialized.push_back(best_candidate);
+    selection.total_benefit += best_benefit;
+  }
+  return selection;
+}
+
+Result<CuboidMask> CheapestMaterializedAncestor(
+    const SubcubeSelection& selection,
+    const std::map<CuboidMask, int64_t>& cardinality, CuboidMask target) {
+  CuboidMask best = 0;
+  int64_t best_card = -1;
+  for (CuboidMask m : selection.materialized) {
+    if (!IsAncestor(m, target)) continue;
+    int64_t c = Card(cardinality, m);
+    if (best_card < 0 || c < best_card) {
+      best = m;
+      best_card = c;
+    }
+  }
+  if (best_card < 0) {
+    return Status::InvalidArgument(
+        "selection lacks an ancestor for the target granularity (the full cuboid "
+        "must always be materialized)");
+  }
+  return best;
+}
+
+namespace {
+
+/// Rolls `source` (a cuboid table with schema [dims..., agg outputs...],
+/// granularity `source_mask`) up to `target` with the Theorem 4.5 rewritten
+/// aggregates. `target` ⊆ `source_mask`.
+Result<Table> RollupCuboidTable(const Table& source, const CubeLattice& lattice,
+                                CuboidMask target,
+                                const std::vector<AggSpec>& rollup_specs,
+                                const Schema& cube_schema) {
+  std::vector<std::string> target_attrs = lattice.CuboidAttrs(target);
+  // Rollup-spec arguments reference the agg output columns via kDetail —
+  // GroupBy's single-table frame.
+  Table grouped;
+  if (!target_attrs.empty()) {
+    MDJ_ASSIGN_OR_RETURN(grouped, GroupBy(source, target_attrs, rollup_specs));
+  } else if (source.num_rows() > 0) {
+    MDJ_ASSIGN_OR_RETURN(grouped, AggregateAll(source, rollup_specs));
+  } else {
+    // Empty grand total: zero rows with the right aggregate fields.
+    MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                         BindAggs(rollup_specs, nullptr, &source.schema()));
+    std::vector<Field> fields;
+    for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+    grouped = Table{Schema(std::move(fields))};
+  }
+  return WidenGroupedToCube(grouped, lattice.dims(), target, cube_schema);
+}
+
+}  // namespace
+
+Result<std::map<CuboidMask, Table>> MaterializeSubcubes(
+    const SubcubeSelection& selection, const CubeLattice& lattice,
+    const std::map<CuboidMask, int64_t>& cardinality, const Table& detail,
+    const std::vector<AggSpec>& aggs) {
+  if (selection.materialized.empty() ||
+      selection.materialized.front() != lattice.full_cuboid()) {
+    return Status::InvalidArgument(
+        "MaterializeSubcubes: selection must start with the full cuboid");
+  }
+  MDJ_ASSIGN_OR_RETURN(bool distributive, AllDistributive(aggs));
+  if (!distributive) {
+    return Status::InvalidArgument(
+        "MaterializeSubcubes: Theorem 4.5 roll-ups need distributive aggregates");
+  }
+  std::vector<AggSpec> rollup_specs;
+  for (const AggSpec& a : aggs) {
+    MDJ_ASSIGN_OR_RETURN(AggSpec r, RollupSpec(a));
+    rollup_specs.push_back(std::move(r));
+  }
+
+  // Cube result schema: dims (typed from detail) + aggregate fields.
+  std::vector<Field> fields;
+  for (const std::string& d : lattice.dims()) {
+    MDJ_ASSIGN_OR_RETURN(int idx, detail.schema().GetFieldIndex(d));
+    fields.push_back(detail.schema().field(idx));
+  }
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, nullptr, &detail.schema()));
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  Schema cube_schema(std::move(fields));
+
+  std::map<CuboidMask, Table> out;
+  // Full cuboid from the detail relation.
+  {
+    std::vector<std::string> attrs = lattice.CuboidAttrs(lattice.full_cuboid());
+    MDJ_ASSIGN_OR_RETURN(Table grouped, GroupBy(detail, attrs, aggs));
+    MDJ_ASSIGN_OR_RETURN(Table widened,
+                         WidenGroupedToCube(grouped, lattice.dims(),
+                                            lattice.full_cuboid(), cube_schema));
+    out.emplace(lattice.full_cuboid(), std::move(widened));
+  }
+  // Remaining cuboids, each from its cheapest already-materialized ancestor.
+  for (size_t i = 1; i < selection.materialized.size(); ++i) {
+    CuboidMask target = selection.materialized[i];
+    SubcubeSelection done;
+    done.materialized.assign(selection.materialized.begin(),
+                             selection.materialized.begin() + static_cast<long>(i));
+    MDJ_ASSIGN_OR_RETURN(CuboidMask source_mask,
+                         CheapestMaterializedAncestor(done, cardinality, target));
+    MDJ_ASSIGN_OR_RETURN(
+        Table rolled, RollupCuboidTable(out.at(source_mask), lattice, target,
+                                        rollup_specs, cube_schema));
+    out.emplace(target, std::move(rolled));
+  }
+  return out;
+}
+
+Result<Table> AnswerFromSubcubes(const SubcubeSelection& selection,
+                                 const CubeLattice& lattice,
+                                 const std::map<CuboidMask, int64_t>& cardinality,
+                                 const std::map<CuboidMask, Table>& materialized,
+                                 const std::vector<AggSpec>& aggs, CuboidMask target) {
+  MDJ_ASSIGN_OR_RETURN(CuboidMask source_mask,
+                       CheapestMaterializedAncestor(selection, cardinality, target));
+  auto it = materialized.find(source_mask);
+  if (it == materialized.end()) {
+    return Status::InvalidArgument("ancestor cuboid not present in materialized set");
+  }
+  if (source_mask == target) return it->second.Clone();
+  std::vector<AggSpec> rollup_specs;
+  for (const AggSpec& a : aggs) {
+    MDJ_ASSIGN_OR_RETURN(AggSpec r, RollupSpec(a));
+    rollup_specs.push_back(std::move(r));
+  }
+  return RollupCuboidTable(it->second, lattice, target, rollup_specs,
+                           it->second.schema());
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,73 @@
+#ifndef MDJOIN_CUBE_SUBCUBE_SELECTION_H_
+#define MDJOIN_CUBE_SUBCUBE_SELECTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "cube/lattice.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// "Materializing an optimal set of subcubes" — an application the paper
+/// names in §4.4 and §6 as a payoff of the algebraic framework. This module
+/// implements the classical greedy benefit heuristic (Harinarayan–Rajaraman–
+/// Ullman style) over the cuboid lattice, then materializes the chosen set
+/// with Theorem 4.5 roll-ups: only the full cuboid reads the detail
+/// relation; every other chosen cuboid is computed from its cheapest chosen
+/// ancestor.
+
+struct SubcubeSelection {
+  /// Chosen cuboids, in selection order. Always starts with the full cuboid
+  /// (the mandatory seed: every query must be answerable).
+  std::vector<CuboidMask> materialized;
+  /// Sum of per-step benefits (rows of reading saved per query, HRU-style).
+  double total_benefit = 0;
+
+  bool Contains(CuboidMask mask) const;
+  std::string ToString(const CubeLattice& lattice) const;
+};
+
+/// Greedy selection: seed with the full cuboid; repeatedly add the cuboid
+/// maximizing Σ_w max(0, cost(w) − cost'(w)), where cost(w) is the
+/// cardinality of w's cheapest materialized ancestor (a query at granularity
+/// w rolls up from it, Theorem 4.5). Stops after `max_views` cuboids or when
+/// no candidate has positive benefit. `cardinality` comes from
+/// CuboidCardinalities().
+Result<SubcubeSelection> SelectSubcubesGreedy(
+    const CubeLattice& lattice, const std::map<CuboidMask, int64_t>& cardinality,
+    int max_views);
+
+/// The cheapest materialized ancestor (superset mask, possibly `target`
+/// itself) to answer granularity `target` from. Errors only if the selection
+/// lacks the full cuboid.
+Result<CuboidMask> CheapestMaterializedAncestor(
+    const SubcubeSelection& selection,
+    const std::map<CuboidMask, int64_t>& cardinality, CuboidMask target);
+
+/// Materializes the selection over `detail`: the full cuboid via one
+/// aggregation of the detail relation, every other chosen cuboid rolled up
+/// from its cheapest earlier-materialized ancestor (distributive `aggs`
+/// required, per Theorem 4.5). Each table has schema [dims..., aggs...] with
+/// ALL fill, so any of them can serve directly as an MD-join detail or base
+/// relation.
+Result<std::map<CuboidMask, Table>> MaterializeSubcubes(
+    const SubcubeSelection& selection, const CubeLattice& lattice,
+    const std::map<CuboidMask, int64_t>& cardinality, const Table& detail,
+    const std::vector<AggSpec>& aggs);
+
+/// Answers a query at granularity `target` from a materialized selection:
+/// rolls the cheapest ancestor's table up to `target` (identity when the
+/// target itself is materialized). Output schema [dims..., aggs...].
+Result<Table> AnswerFromSubcubes(const SubcubeSelection& selection,
+                                 const CubeLattice& lattice,
+                                 const std::map<CuboidMask, int64_t>& cardinality,
+                                 const std::map<CuboidMask, Table>& materialized,
+                                 const std::vector<AggSpec>& aggs, CuboidMask target);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CUBE_SUBCUBE_SELECTION_H_

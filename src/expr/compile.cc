@@ -1,0 +1,262 @@
+#include "expr/compile.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mdjoin {
+
+namespace {
+
+using EvalFn = std::function<Value(const RowCtx&)>;
+
+struct Compiled {
+  EvalFn fn;
+  DataType type;
+};
+
+Value EvalArith(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null() || a.is_all() || b.is_all()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
+  if (a.is_int64() && b.is_int64() && op != BinaryOp::kDiv) {
+    int64_t x = a.int64(), y = b.int64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int64(x + y);
+      case BinaryOp::kSub:
+        return Value::Int64(x - y);
+      case BinaryOp::kMul:
+        return Value::Int64(x * y);
+      case BinaryOp::kMod:
+        return y == 0 ? Value::Null() : Value::Int64(x % y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Float64(x + y);
+    case BinaryOp::kSub:
+      return Value::Float64(x - y);
+    case BinaryOp::kMul:
+      return Value::Float64(x * y);
+    case BinaryOp::kDiv:
+      return y == 0 ? Value::Null() : Value::Float64(x / y);
+    case BinaryOp::kMod:
+      return y == 0 ? Value::Null() : Value::Float64(std::fmod(x, y));
+    default:
+      break;
+  }
+  return Value::Null();
+}
+
+Value EvalCompare(BinaryOp op, const Value& a, const Value& b) {
+  if (op == BinaryOp::kEq) return Value::Bool(a.MatchesEq(b));
+  if (op == BinaryOp::kNe) {
+    if (a.is_null() || b.is_null()) return Value::Bool(false);
+    return Value::Bool(!a.MatchesEq(b));
+  }
+  // Ordered comparisons: NULL or ALL on either side -> false.
+  if (a.is_null() || b.is_null() || a.is_all() || b.is_all()) return Value::Bool(false);
+  // Mixed numeric/string comparison is false rather than an error: θ-conditions
+  // meet heterogeneous data during exploratory queries.
+  bool comparable = (a.is_numeric() && b.is_numeric()) || (a.is_string() && b.is_string());
+  if (!comparable) return Value::Bool(false);
+  int c = a.Compare(b);
+  switch (op) {
+    case BinaryOp::kLt:
+      return Value::Bool(c < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(c <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(c > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(c >= 0);
+    default:
+      break;
+  }
+  return Value::Bool(false);
+}
+
+Result<Compiled> CompileRec(const ExprPtr& expr, const Schema* base,
+                            const Schema* detail) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      Value v = expr->literal();
+      DataType t = DataType::kInt64;
+      if (Result<DataType> rt = v.Type(); rt.ok()) t = *rt;
+      return Compiled{[v](const RowCtx&) { return v; }, t};
+    }
+    case ExprKind::kColumnRef: {
+      const Schema* schema = expr->side() == Side::kBase ? base : detail;
+      const char* side_name = expr->side() == Side::kBase ? "base" : "detail";
+      if (schema == nullptr) {
+        return Status::BindError("column ", expr->ToString(), " references the ",
+                                 side_name, " side, which is absent in this context");
+      }
+      MDJ_ASSIGN_OR_RETURN(int idx, schema->GetFieldIndex(expr->column_name()));
+      DataType t = schema->field(idx).type;
+      if (expr->side() == Side::kBase) {
+        return Compiled{[idx](const RowCtx& ctx) {
+                          MDJ_DCHECK(ctx.base != nullptr);
+                          return ctx.base->Get(ctx.base_row, idx);
+                        },
+                        t};
+      }
+      return Compiled{[idx](const RowCtx& ctx) {
+                        MDJ_DCHECK(ctx.detail != nullptr);
+                        return ctx.detail->Get(ctx.detail_row, idx);
+                      },
+                      t};
+    }
+    case ExprKind::kUnary: {
+      MDJ_ASSIGN_OR_RETURN(Compiled in, CompileRec(expr->operand(), base, detail));
+      EvalFn f = std::move(in.fn);
+      switch (expr->unary_op()) {
+        case UnaryOp::kNot:
+          return Compiled{[f](const RowCtx& ctx) {
+                            Value v = f(ctx);
+                            if (v.is_null()) return Value::Bool(false);
+                            return Value::Bool(!v.IsTruthy());
+                          },
+                          DataType::kInt64};
+        case UnaryOp::kNegate:
+          return Compiled{[f](const RowCtx& ctx) {
+                            Value v = f(ctx);
+                            if (v.is_int64()) return Value::Int64(-v.int64());
+                            if (v.is_float64()) return Value::Float64(-v.float64());
+                            return Value::Null();
+                          },
+                          in.type};
+        case UnaryOp::kIsNull:
+          return Compiled{[f](const RowCtx& ctx) { return Value::Bool(f(ctx).is_null()); },
+                          DataType::kInt64};
+      }
+      return Status::Internal("unreachable unary op");
+    }
+    case ExprKind::kIn: {
+      MDJ_ASSIGN_OR_RETURN(Compiled in, CompileRec(expr->operand(), base, detail));
+      EvalFn f = std::move(in.fn);
+      std::vector<Value> cands = expr->candidates();
+      return Compiled{[f, cands](const RowCtx& ctx) {
+                        Value v = f(ctx);
+                        for (const Value& c : cands) {
+                          if (v.MatchesEq(c)) return Value::Bool(true);
+                        }
+                        return Value::Bool(false);
+                      },
+                      DataType::kInt64};
+    }
+    case ExprKind::kCase: {
+      struct CompiledArm {
+        EvalFn when;
+        EvalFn then;
+      };
+      auto arms = std::make_shared<std::vector<CompiledArm>>();
+      DataType result_type = DataType::kInt64;
+      bool saw_float = false, saw_string = false, saw_numeric = false;
+      for (const auto& [when_ast, then_ast] : expr->when_then()) {
+        MDJ_ASSIGN_OR_RETURN(Compiled when, CompileRec(when_ast, base, detail));
+        MDJ_ASSIGN_OR_RETURN(Compiled then, CompileRec(then_ast, base, detail));
+        saw_float = saw_float || then.type == DataType::kFloat64;
+        saw_numeric = saw_numeric || IsNumeric(then.type);
+        saw_string = saw_string || then.type == DataType::kString;
+        arms->push_back({std::move(when.fn), std::move(then.fn)});
+      }
+      EvalFn else_fn;
+      if (expr->else_expr() != nullptr) {
+        MDJ_ASSIGN_OR_RETURN(Compiled els, CompileRec(expr->else_expr(), base, detail));
+        saw_float = saw_float || els.type == DataType::kFloat64;
+        saw_numeric = saw_numeric || IsNumeric(els.type);
+        saw_string = saw_string || els.type == DataType::kString;
+        else_fn = std::move(els.fn);
+      }
+      if (saw_string && saw_numeric) {
+        return Status::TypeError("CASE arms mix string and numeric results");
+      }
+      if (saw_string) {
+        result_type = DataType::kString;
+      } else if (saw_float) {
+        result_type = DataType::kFloat64;
+      }
+      return Compiled{[arms, else_fn](const RowCtx& ctx) {
+                        for (const CompiledArm& arm : *arms) {
+                          if (arm.when(ctx).IsTruthy()) return arm.then(ctx);
+                        }
+                        return else_fn ? else_fn(ctx) : Value::Null();
+                      },
+                      result_type};
+    }
+    case ExprKind::kBinary: {
+      MDJ_ASSIGN_OR_RETURN(Compiled lhs, CompileRec(expr->left(), base, detail));
+      MDJ_ASSIGN_OR_RETURN(Compiled rhs, CompileRec(expr->right(), base, detail));
+      EvalFn lf = std::move(lhs.fn), rf = std::move(rhs.fn);
+      BinaryOp op = expr->binary_op();
+      switch (op) {
+        case BinaryOp::kAnd:
+          return Compiled{[lf, rf](const RowCtx& ctx) {
+                            if (!lf(ctx).IsTruthy()) return Value::Bool(false);
+                            return Value::Bool(rf(ctx).IsTruthy());
+                          },
+                          DataType::kInt64};
+        case BinaryOp::kOr:
+          return Compiled{[lf, rf](const RowCtx& ctx) {
+                            if (lf(ctx).IsTruthy()) return Value::Bool(true);
+                            return Value::Bool(rf(ctx).IsTruthy());
+                          },
+                          DataType::kInt64};
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return Compiled{[lf, rf, op](const RowCtx& ctx) {
+                            return EvalCompare(op, lf(ctx), rf(ctx));
+                          },
+                          DataType::kInt64};
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          DataType t = DataType::kFloat64;
+          if (IsNumeric(lhs.type) && IsNumeric(rhs.type) && op != BinaryOp::kDiv) {
+            t = CommonNumericType(lhs.type, rhs.type);
+          }
+          return Compiled{[lf, rf, op](const RowCtx& ctx) {
+                            return EvalArith(op, lf(ctx), rf(ctx));
+                          },
+                          t};
+        }
+      }
+      return Status::Internal("unreachable binary op");
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace
+
+Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema* base_schema,
+                                 const Schema* detail_schema) {
+  if (expr == nullptr) return Status::InvalidArgument("CompileExpr: null expression");
+  MDJ_ASSIGN_OR_RETURN(Compiled c, CompileRec(expr, base_schema, detail_schema));
+  CompiledExpr out;
+  out.fn_ = std::move(c.fn);
+  out.result_type_ = c.type;
+  return out;
+}
+
+Result<Value> EvalConstExpr(const ExprPtr& expr) {
+  if (expr->ReferencesSide(Side::kBase) || expr->ReferencesSide(Side::kDetail)) {
+    return Status::InvalidArgument("EvalConstExpr: expression references columns: ",
+                                   expr->ToString());
+  }
+  MDJ_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(expr, nullptr, nullptr));
+  RowCtx ctx;
+  return c.Eval(ctx);
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,63 @@
+#ifndef MDJOIN_EXPR_COMPILE_H_
+#define MDJOIN_EXPR_COMPILE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Evaluation context: a (base row, detail row) pair. Single-table evaluation
+/// leaves the unused side null.
+struct RowCtx {
+  const Table* base = nullptr;
+  int64_t base_row = 0;
+  const Table* detail = nullptr;
+  int64_t detail_row = 0;
+};
+
+/// An Expr resolved against concrete schemas: column names become indices and
+/// the node tree becomes a closure tree, so per-row evaluation does no name
+/// lookups. Compile once, evaluate millions of times.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;
+
+  /// Evaluates against `ctx`. Predicates return Int64 0/1.
+  Value Eval(const RowCtx& ctx) const { return fn_(ctx); }
+
+  /// Convenience for predicates.
+  bool EvalBool(const RowCtx& ctx) const { return fn_(ctx).IsTruthy(); }
+
+  /// Static result type inferred at compile time.
+  DataType result_type() const { return result_type_; }
+
+  bool valid() const { return static_cast<bool>(fn_); }
+
+ private:
+  friend Result<CompiledExpr> CompileExpr(const ExprPtr&, const Schema*, const Schema*);
+
+  std::function<Value(const RowCtx&)> fn_;
+  DataType result_type_ = DataType::kInt64;
+};
+
+/// Resolves `expr` against the given schemas. Pass nullptr for a side the
+/// expression must not reference (a base-side reference with a null base
+/// schema is a bind error).
+Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema* base_schema,
+                                 const Schema* detail_schema);
+
+/// Single-table convenience: kDetail references resolve against `schema`.
+inline Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema& schema) {
+  return CompileExpr(expr, /*base_schema=*/nullptr, &schema);
+}
+
+/// Evaluates a constant expression (no column references).
+Result<Value> EvalConstExpr(const ExprPtr& expr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_EXPR_COMPILE_H_

@@ -1,0 +1,62 @@
+#ifndef MDJOIN_MDJOIN_MDJOIN_H_
+#define MDJOIN_MDJOIN_MDJOIN_H_
+
+/// Umbrella header: the full public API of the mdjoin engine.
+///
+/// Layers, bottom to top:
+///  - common/   Status, Result<T>, logging, random, timing
+///  - types/    Value (with the ALL roll-up marker), Schema
+///  - table/    columnar Table, builder, structural ops, CSV
+///  - expr/     θ-condition expression trees over (base, detail) row pairs
+///  - agg/      aggregate functions (UDAF-style), specs, roll-up rewrites
+///  - ra/       classical relational algebra (σ, π, joins, Σ) for baselines
+///  - cube/     ALL-marker cube machinery, PIPESORT, partitioned cube
+///  - core/     the MD-join operator (Definition 3.1 / Algorithm 3.1)
+///  - optimizer plan IR + the §4 theorem rewrites + executor + cost model
+///  - parallel/ Theorem 4.1 intra-operator parallelism
+///  - analyze/  the §5 ANALYZE BY query language
+///  - workload/ synthetic Sales/Payments generators
+
+#include "agg/agg_spec.h"
+#include "agg/aggregate.h"
+#include "analyze/binder.h"
+#include "analyze/parser.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/access_path.h"
+#include "core/generalized.h"
+#include "core/incremental.h"
+#include "core/mdjoin.h"
+#include "core/reference.h"
+#include "cube/base_tables.h"
+#include "cube/lattice.h"
+#include "cube/partitioned_cube.h"
+#include "cube/pipesort.h"
+#include "cube/subcube_selection.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+#include "expr/expr.h"
+#include "optimizer/cost.h"
+#include "optimizer/executor.h"
+#include "optimizer/optimize.h"
+#include "optimizer/plan.h"
+#include "optimizer/profile.h"
+#include "optimizer/rules.h"
+#include "parallel/parallel_mdjoin.h"
+#include "parallel/thread_pool.h"
+#include "ra/filter.h"
+#include "ra/group_by.h"
+#include "ra/join.h"
+#include "ra/project.h"
+#include "table/clustered_index.h"
+#include "table/csv.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "table/table_ops.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "workload/generators.h"
+
+#endif  // MDJOIN_MDJOIN_MDJOIN_H_

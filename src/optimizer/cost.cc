@@ -1,0 +1,126 @@
+#include "optimizer/cost.h"
+
+#include <cmath>
+
+#include "expr/conjuncts.h"
+
+namespace mdjoin {
+
+namespace {
+
+constexpr double kFilterSelectivity = 0.3;
+constexpr double kDistinctRatio = 0.6;
+constexpr double kGroupByRatio = 0.2;
+constexpr double kCuboidRatio = 0.2;
+
+Result<PlanCost> CostMdJoinLike(double base_rows, double base_work, double detail_rows,
+                                double detail_work, bool has_equi) {
+  PlanCost cost;
+  cost.output_rows = base_rows;
+  double pairs = has_equi ? detail_rows  // one indexed probe per tuple
+                          : detail_rows * base_rows;
+  cost.work = base_work + detail_work + detail_rows + pairs + base_rows;
+  return cost;
+}
+
+}  // namespace
+
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
+  if (plan == nullptr) return Status::InvalidArgument("EstimateCost: null plan");
+  switch (plan->kind()) {
+    case PlanKind::kTableRef: {
+      MDJ_ASSIGN_OR_RETURN(const Table* t, catalog.Lookup(plan->table_name));
+      return PlanCost{static_cast<double>(t->num_rows()), 0};
+    }
+    case PlanKind::kFilter: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows * kFilterSelectivity,
+                      child.work + child.output_rows};
+    }
+    case PlanKind::kProject: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows, child.work + child.output_rows};
+    }
+    case PlanKind::kDistinct: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows * kDistinctRatio, child.work + child.output_rows};
+    }
+    case PlanKind::kUnion: {
+      PlanCost total;
+      for (const PlanPtr& c : plan->children()) {
+        MDJ_ASSIGN_OR_RETURN(PlanCost cc, EstimateCost(c, catalog));
+        total.output_rows += cc.output_rows;
+        total.work += cc.work;
+      }
+      return total;
+    }
+    case PlanKind::kPartition: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows / plan->partition_count,
+                      child.work + child.output_rows};
+    }
+    case PlanKind::kHashJoin: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost l, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost r, EstimateCost(plan->child(1), catalog));
+      return PlanCost{std::max(l.output_rows, r.output_rows),
+                      l.work + r.work + l.output_rows + r.output_rows};
+    }
+    case PlanKind::kGroupBy: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows * kGroupByRatio, child.work + child.output_rows};
+    }
+    case PlanKind::kMdJoin: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost b, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost r, EstimateCost(plan->child(1), catalog));
+      bool has_equi = !AnalyzeTheta(plan->theta).equi.empty();
+      return CostMdJoinLike(b.output_rows, b.work, r.output_rows, r.work, has_equi);
+    }
+    case PlanKind::kGeneralizedMdJoin: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost b, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost r, EstimateCost(plan->child(1), catalog));
+      PlanCost cost;
+      cost.output_rows = b.output_rows;
+      cost.work = b.work + r.work + r.output_rows;  // ONE scan of R
+      for (const MdJoinComponent& comp : plan->components) {
+        bool has_equi = !AnalyzeTheta(comp.theta).equi.empty();
+        cost.work += has_equi ? r.output_rows : r.output_rows * b.output_rows;
+      }
+      cost.work += b.output_rows;
+      return cost;
+    }
+    case PlanKind::kCubeBase: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      double cuboids = std::pow(2.0, static_cast<double>(plan->cube_dims.size()));
+      return PlanCost{child.output_rows * kCuboidRatio * cuboids,
+                      child.work + child.output_rows};
+    }
+    case PlanKind::kSort: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows, child.work + 2 * child.output_rows};
+    }
+    case PlanKind::kCuboidBase: {
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      return PlanCost{child.output_rows * kCuboidRatio, child.work + child.output_rows};
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+Result<size_t> ChooseCheapestPlan(const std::vector<PlanPtr>& alternatives,
+                                  const Catalog& catalog) {
+  if (alternatives.empty()) {
+    return Status::InvalidArgument("ChooseCheapestPlan: no alternatives");
+  }
+  size_t best = 0;
+  double best_work = 0;
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    MDJ_ASSIGN_OR_RETURN(PlanCost c, EstimateCost(alternatives[i], catalog));
+    if (i == 0 || c.work < best_work) {
+      best = i;
+      best_work = c.work;
+    }
+  }
+  return best;
+}
+
+}  // namespace mdjoin

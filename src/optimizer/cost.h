@@ -1,0 +1,35 @@
+#ifndef MDJOIN_OPTIMIZER_COST_H_
+#define MDJOIN_OPTIMIZER_COST_H_
+
+#include "optimizer/plan.h"
+
+namespace mdjoin {
+
+/// Estimated cost of a plan. `work` is in abstract row-touch units:
+/// tuples scanned plus candidate pairs tested plus rows materialized.
+/// Deliberately simple — the point (paper §4) is that MD-join plans become
+/// amenable to ordinary cost-based optimization once the transformations
+/// exist; the constants here only need to rank alternatives sensibly.
+struct PlanCost {
+  double output_rows = 0;
+  double work = 0;
+};
+
+/// Heuristics (documented so benches can reason about rankings):
+///  - TableRef: |T| rows, no work.
+///  - Filter: selectivity 0.3; Distinct: 0.6; GroupBy: 0.2 of child rows.
+///  - CubeBase over d dims: 2^d × 0.2 × child; CuboidBase: 0.2 × child.
+///  - MD-join with an equi conjunct: work = |R| + |R| (index probes);
+///    without: work = |R| × |B| (nested loop). Output rows = |B|.
+///  - Generalized MD-join: one scan of R plus per-component probe work.
+///  - HashJoin: |L| + |R|; Union: sum; Partition: child / count.
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog);
+
+/// Returns the index of the cheapest plan by `work`. Errors if empty or if
+/// any estimate fails — a minimal cost-based chooser for rule alternatives.
+Result<size_t> ChooseCheapestPlan(const std::vector<PlanPtr>& alternatives,
+                                  const Catalog& catalog);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OPTIMIZER_COST_H_

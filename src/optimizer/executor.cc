@@ -1,0 +1,235 @@
+#include "optimizer/executor.h"
+
+#include <chrono>
+
+#include "optimizer/profile.h"
+
+#include "core/generalized.h"
+#include "cube/base_tables.h"
+#include "ra/filter.h"
+#include "ra/group_by.h"
+#include "ra/join.h"
+#include "ra/project.h"
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+namespace {
+
+/// Optional memo for ExecutePlanCse: explain-rendering of a subtree → result.
+using CseCache = std::unordered_map<std::string, Table>;
+
+Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
+                   const MdJoinOptions& md_options, ExecStats* stats,
+                   CseCache* cse = nullptr, ProfileNode* parent_profile = nullptr);
+
+Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
+                       const MdJoinOptions& md_options, ExecStats* stats,
+                       CseCache* cse, ProfileNode* profile = nullptr);
+
+Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
+                   const MdJoinOptions& md_options, ExecStats* stats, CseCache* cse,
+                   ProfileNode* parent_profile) {
+  if (parent_profile != nullptr) {
+    auto node = std::make_unique<ProfileNode>();
+    ProfileNode* raw = node.get();
+    raw->label = plan->Label();
+    parent_profile->children.push_back(std::move(node));
+    auto start = std::chrono::steady_clock::now();
+    Result<Table> result = ExecNode(plan, catalog, md_options, stats, cse, raw);
+    raw->elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  start)
+            .count();
+    double child_ms = 0;
+    for (const auto& c : raw->children) child_ms += c->elapsed_ms;
+    raw->self_ms = raw->elapsed_ms - child_ms;
+    if (result.ok()) raw->output_rows = result->num_rows();
+    return result;
+  }
+  if (cse != nullptr) {
+    std::string key = ExplainPlan(plan);
+    auto it = cse->find(key);
+    if (it != cse->end()) {
+      ++stats->cse_hits;
+      return it->second.Clone();
+    }
+    MDJ_ASSIGN_OR_RETURN(Table out, ExecNode(plan, catalog, md_options, stats, cse));
+    cse->emplace(std::move(key), out.Clone());
+    return out;
+  }
+  return ExecNode(plan, catalog, md_options, stats, cse);
+}
+
+Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
+                       const MdJoinOptions& md_options, ExecStats* stats,
+                       CseCache* cse, ProfileNode* profile) {
+  ++stats->nodes_executed;
+  switch (plan->kind()) {
+    case PlanKind::kTableRef: {
+      MDJ_ASSIGN_OR_RETURN(const Table* t, catalog.Lookup(plan->table_name));
+      Table copy = t->Clone();
+      stats->rows_materialized += copy.num_rows();
+      return copy;
+    }
+    case PlanKind::kFilter: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table out, Filter(child, plan->predicate));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kProject: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table out, Project(child, plan->projections));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kDistinct: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      Table out = Distinct(child);
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kUnion: {
+      std::vector<Table> pieces;
+      pieces.reserve(plan->children().size());
+      for (const PlanPtr& c : plan->children()) {
+        MDJ_ASSIGN_OR_RETURN(Table piece, Exec(c, catalog, md_options, stats, cse, profile));
+        pieces.push_back(std::move(piece));
+      }
+      MDJ_ASSIGN_OR_RETURN(Table out, ConcatAll(pieces));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kPartition: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      std::vector<Table> parts = PartitionIntoN(child, plan->partition_count);
+      Table out = std::move(parts[static_cast<size_t>(plan->partition_index)]);
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kHashJoin: {
+      MDJ_ASSIGN_OR_RETURN(Table left, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table right, Exec(plan->child(1), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table out, HashJoin(left, right, plan->left_keys,
+                                               plan->right_keys, plan->join_type));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kGroupBy: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table out, GroupBy(child, plan->group_columns, plan->aggs));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kMdJoin: {
+      MDJ_ASSIGN_OR_RETURN(Table base, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table detail, Exec(plan->child(1), catalog, md_options, stats, cse, profile));
+      MdJoinStats md_stats;
+      MDJ_ASSIGN_OR_RETURN(
+          Table out, MdJoin(base, detail, plan->aggs, plan->theta, md_options, &md_stats));
+      ++stats->mdjoin_operators;
+      stats->detail_rows_scanned += md_stats.detail_rows_scanned;
+      stats->candidate_pairs += md_stats.candidate_pairs;
+      stats->matched_pairs += md_stats.matched_pairs;
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kGeneralizedMdJoin: {
+      MDJ_ASSIGN_OR_RETURN(Table base, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table detail, Exec(plan->child(1), catalog, md_options, stats, cse, profile));
+      MdJoinStats md_stats;
+      MDJ_ASSIGN_OR_RETURN(Table out, GeneralizedMdJoin(base, detail, plan->components,
+                                                        md_options, &md_stats));
+      ++stats->mdjoin_operators;
+      stats->detail_rows_scanned += md_stats.detail_rows_scanned;
+      stats->candidate_pairs += md_stats.candidate_pairs;
+      stats->matched_pairs += md_stats.matched_pairs;
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kCubeBase: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(Table out, CubeByBase(child, plan->cube_dims));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kSort: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(std::vector<int> cols,
+                           ResolveColumns(child.schema(), plan->sort_columns));
+      std::vector<SortKey> keys;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        keys.push_back({cols[i], plan->sort_ascending[i]});
+      }
+      Table out = SortTable(child, keys);
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+    case PlanKind::kCuboidBase: {
+      MDJ_ASSIGN_OR_RETURN(Table child, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      MDJ_ASSIGN_OR_RETURN(CubeLattice lattice, CubeLattice::Make(plan->cube_dims));
+      MDJ_ASSIGN_OR_RETURN(Table out, CuboidBase(child, lattice, plan->cuboid_mask));
+      stats->rows_materialized += out.num_rows();
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+Result<Table> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                          const MdJoinOptions& md_options, ExecStats* stats) {
+  if (plan == nullptr) return Status::InvalidArgument("ExecutePlan: null plan");
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecStats{};
+  return Exec(plan, catalog, md_options, stats);
+}
+
+Result<Table> ExecutePlanCse(const PlanPtr& plan, const Catalog& catalog,
+                             const MdJoinOptions& md_options, ExecStats* stats) {
+  if (plan == nullptr) return Status::InvalidArgument("ExecutePlanCse: null plan");
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ExecStats{};
+  CseCache cache;
+  return Exec(plan, catalog, md_options, stats, &cache);
+}
+
+namespace {
+
+void ProfileToString(const ProfileNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  rows=%lld total=%.3fms self=%.3fms",
+                static_cast<long long>(node.output_rows), node.elapsed_ms,
+                node.self_ms);
+  *out += node.label + buf + "\n";
+  for (const auto& child : node.children) ProfileToString(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string ProfiledResult::ToString() const {
+  std::string out;
+  if (profile != nullptr && !profile->children.empty()) {
+    ProfileToString(*profile->children[0], 0, &out);
+  }
+  return out;
+}
+
+Result<ProfiledResult> ExecutePlanProfiled(const PlanPtr& plan, const Catalog& catalog,
+                                           const MdJoinOptions& md_options) {
+  if (plan == nullptr) return Status::InvalidArgument("ExecutePlanProfiled: null plan");
+  ExecStats stats;
+  auto root = std::make_unique<ProfileNode>();
+  root->label = "(root)";
+  MDJ_ASSIGN_OR_RETURN(Table table, Exec(plan, catalog, md_options, &stats,
+                                         /*cse=*/nullptr, root.get()));
+  ProfiledResult result{std::move(table), std::move(root)};
+  return result;
+}
+
+}  // namespace mdjoin

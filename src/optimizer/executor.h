@@ -1,0 +1,40 @@
+#ifndef MDJOIN_OPTIMIZER_EXECUTOR_H_
+#define MDJOIN_OPTIMIZER_EXECUTOR_H_
+
+#include "core/mdjoin.h"
+#include "optimizer/plan.h"
+
+namespace mdjoin {
+
+/// Work counters accumulated over a whole plan execution, for comparing
+/// rewritten plans in the experiment harness.
+struct ExecStats {
+  int64_t nodes_executed = 0;
+  int64_t detail_rows_scanned = 0;   // summed over all (generalized) MD-joins
+  int64_t candidate_pairs = 0;
+  int64_t matched_pairs = 0;
+  int64_t mdjoin_operators = 0;      // MD-join nodes evaluated
+  int64_t rows_materialized = 0;     // total output rows across nodes
+  int64_t cse_hits = 0;              // subtree reuses (ExecutePlanCse only)
+};
+
+/// Executes `plan` against `catalog`. Every node materializes its result (an
+/// in-memory engine in the paper's §4.1.1 spirit). MD-join nodes run with
+/// `md_options`.
+Result<Table> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                          const MdJoinOptions& md_options = {},
+                          ExecStats* stats = nullptr);
+
+/// ExecutePlan with common-subexpression elimination: structurally identical
+/// subtrees (same explain rendering) are evaluated once and their results
+/// reused. Rewrites like ExpandCubeBaseWithRollups (Theorem 4.5 chains) build
+/// trees where a finer cuboid feeds several coarser ones; the paper notes
+/// "usually optimizers perform common subexpression elimination" — this is
+/// that step. `stats->cse_hits` counts reuses.
+Result<Table> ExecutePlanCse(const PlanPtr& plan, const Catalog& catalog,
+                             const MdJoinOptions& md_options = {},
+                             ExecStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OPTIMIZER_EXECUTOR_H_

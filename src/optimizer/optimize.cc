@@ -1,0 +1,112 @@
+#include "optimizer/optimize.h"
+
+#include "optimizer/cost.h"
+#include "optimizer/rules.h"
+
+namespace mdjoin {
+
+std::string OptimizeReport::ToString() const {
+  std::string out;
+  for (const std::string& entry : applied) {
+    out += entry;
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Applies `candidate` if it succeeded and does not increase estimated work.
+/// Returns true when the plan was replaced.
+bool Accept(const Result<PlanPtr>& candidate, const Catalog& catalog,
+            const char* rule_name, PlanPtr* plan, OptimizeReport* report) {
+  if (!candidate.ok()) return false;
+  Result<PlanCost> before = EstimateCost(*plan, catalog);
+  Result<PlanCost> after = EstimateCost(*candidate, catalog);
+  if (!before.ok() || !after.ok()) return false;
+  if (after->work > before->work) return false;
+  *plan = *candidate;
+  if (report != nullptr) {
+    report->applied.push_back(std::string(rule_name) + " (work " +
+                              std::to_string(static_cast<long long>(before->work)) +
+                              " -> " +
+                              std::to_string(static_cast<long long>(after->work)) + ")");
+  }
+  return true;
+}
+
+Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
+                            const OptimizeOptions& options, OptimizeReport* report);
+
+/// Fusion must fire on the *raw* chain: optimizing the inner MD-joins first
+/// would push their detail-only conjuncts into per-component Filter nodes,
+/// making the shared detail relation look different per component and
+/// defeating the Theorem 4.3 match. So chains fuse top-down before the
+/// regular bottom-up pass.
+Result<PlanPtr> TryFuseChainFirst(const PlanPtr& plan, const Catalog& catalog,
+                                  const OptimizeOptions& options,
+                                  OptimizeReport* report, bool* fused) {
+  *fused = false;
+  if (!options.enable_fusion || plan->kind() != PlanKind::kMdJoin ||
+      plan->child(0)->kind() != PlanKind::kMdJoin) {
+    return plan;
+  }
+  PlanPtr current = plan;
+  if (Accept(FuseMdJoinSeries(current), catalog, "Theorem 4.3 fusion", &current,
+             report)) {
+    *fused = true;
+  }
+  return current;
+}
+
+Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
+                            const OptimizeOptions& options, OptimizeReport* report) {
+  {
+    bool fused = false;
+    MDJ_ASSIGN_OR_RETURN(PlanPtr maybe_fused,
+                         TryFuseChainFirst(plan, catalog, options, report, &fused));
+    if (fused) return OptimizeRec(maybe_fused, catalog, options, report);
+  }
+  // Children first.
+  std::vector<PlanPtr> new_children;
+  bool changed = false;
+  new_children.reserve(plan->children().size());
+  for (const PlanPtr& child : plan->children()) {
+    MDJ_ASSIGN_OR_RETURN(PlanPtr rewritten, OptimizeRec(child, catalog, options, report));
+    changed = changed || rewritten != child;
+    new_children.push_back(std::move(rewritten));
+  }
+  PlanPtr current = changed ? CloneWithChildren(plan, std::move(new_children)) : plan;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool fired = false;
+    if (options.enable_fusion && current->kind() == PlanKind::kMdJoin) {
+      fired |= Accept(FuseMdJoinSeries(current), catalog, "Theorem 4.3 fusion",
+                      &current, report);
+    }
+    if (options.enable_cube_rollup && current->kind() == PlanKind::kMdJoin) {
+      fired |= Accept(ExpandCubeBaseWithRollups(current), catalog,
+                      "Theorem 4.5 cube roll-up expansion", &current, report);
+    }
+    if (options.enable_pushdown && current->kind() == PlanKind::kMdJoin) {
+      fired |= Accept(ApplySelectionPushdown(current), catalog,
+                      "Theorem 4.2 selection pushdown", &current, report);
+    }
+    if (options.enable_transfer && current->kind() == PlanKind::kMdJoin) {
+      fired |= Accept(ApplyBaseSelectionTransfer(current), catalog,
+                      "Observation 4.1 selection transfer", &current, report);
+    }
+    if (!fired) break;
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<PlanPtr> OptimizePlan(const PlanPtr& plan, const Catalog& catalog,
+                             const OptimizeOptions& options, OptimizeReport* report) {
+  if (plan == nullptr) return Status::InvalidArgument("OptimizePlan: null plan");
+  return OptimizeRec(plan, catalog, options, report);
+}
+
+}  // namespace mdjoin

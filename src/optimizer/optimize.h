@@ -1,0 +1,42 @@
+#ifndef MDJOIN_OPTIMIZER_OPTIMIZE_H_
+#define MDJOIN_OPTIMIZER_OPTIMIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/plan.h"
+
+namespace mdjoin {
+
+/// Which rewrites the driver may apply. The defaults apply everything that
+/// is beneficial under the plain executor; cube roll-up chains only pay off
+/// under ExecutePlanCse (shared parent cuboids), so they are opt-in.
+struct OptimizeOptions {
+  bool enable_pushdown = true;       // Theorem 4.2
+  bool enable_transfer = true;       // Observation 4.1
+  bool enable_fusion = true;         // Theorem 4.3
+  bool enable_cube_rollup = false;   // cube expansion + Theorem 4.5 chains
+  int max_rounds = 4;                // fixpoint guard per node
+};
+
+/// What the driver did, for explainability and tests.
+struct OptimizeReport {
+  std::vector<std::string> applied;  // human-readable rule firings
+
+  std::string ToString() const;
+};
+
+/// Rule-driven plan optimization: rewrites bottom-up, firing each enabled
+/// rule wherever its pattern matches, re-checking with the cost model that
+/// the rewrite does not increase estimated work (a tiny cost-based
+/// optimizer in the sense of §4: the transformations make MD-join plans
+/// "immediately incorporable into present cost- and algebraic-based query
+/// optimizers"). Result equivalence is guaranteed by the rules' theorems and
+/// enforced by the property-test suite.
+Result<PlanPtr> OptimizePlan(const PlanPtr& plan, const Catalog& catalog,
+                             const OptimizeOptions& options = {},
+                             OptimizeReport* report = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OPTIMIZER_OPTIMIZE_H_

@@ -1,0 +1,137 @@
+#ifndef MDJOIN_OPTIMIZER_PLAN_H_
+#define MDJOIN_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "core/generalized.h"
+#include "cube/lattice.h"
+#include "expr/expr.h"
+#include "ra/join.h"
+#include "ra/project.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Logical/physical plan node kinds. The tree is logical enough to rewrite
+/// algebraically (the §4 theorems are tree transformations) and physical
+/// enough to execute directly — appropriate for an in-memory engine.
+enum class PlanKind {
+  kTableRef,           // named input relation from the catalog
+  kFilter,             // σ
+  kProject,            // π (extended projection)
+  kDistinct,           // duplicate elimination over all columns
+  kUnion,              // bag union (concat) of same-schema children
+  kPartition,          // slice i of an m-way row split of the child (Thm 4.1)
+  kHashJoin,           // equijoin on named key columns
+  kGroupBy,            // conventional Σ aggregation
+  kMdJoin,             // MD(B, R, l, θ) — children: [base, detail]
+  kGeneralizedMdJoin,  // MD(B, R, (l..), (θ..)) — children: [base, detail]
+  kCubeBase,           // CUBE BY base-values generator over the child
+  kCuboidBase,         // one cuboid of the child (π_{X,ALL..}) (Thm 4.5)
+  kSort,               // order the child by named columns
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Immutable plan node; rewrites build new trees and share unchanged
+/// subtrees. Payload fields are public and set by the factory functions below
+/// (the node is const after construction).
+class PlanNode {
+ public:
+  explicit PlanNode(PlanKind kind) : kind_(kind) {}
+
+  PlanKind kind() const { return kind_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(int i) const { return children_[static_cast<size_t>(i)]; }
+
+  // --- payloads (validity depends on kind) ---
+  std::string table_name;                    // kTableRef
+  ExprPtr predicate;                         // kFilter
+  std::vector<ProjectItem> projections;      // kProject
+  int partition_index = 0;                   // kPartition
+  int partition_count = 1;                   // kPartition
+  std::vector<std::string> left_keys;        // kHashJoin
+  std::vector<std::string> right_keys;       // kHashJoin
+  JoinType join_type = JoinType::kInner;     // kHashJoin
+  std::vector<std::string> group_columns;    // kGroupBy
+  std::vector<AggSpec> aggs;                 // kGroupBy, kMdJoin
+  ExprPtr theta;                             // kMdJoin
+  std::vector<MdJoinComponent> components;   // kGeneralizedMdJoin
+  std::vector<std::string> cube_dims;        // kCubeBase, kCuboidBase
+  CuboidMask cuboid_mask = 0;                // kCuboidBase
+  std::vector<std::string> sort_columns;     // kSort
+  std::vector<bool> sort_ascending;          // kSort (parallel to sort_columns)
+
+  /// One-line description of this node (no children).
+  std::string Label() const;
+
+ private:
+  friend PlanPtr MakeNode(PlanKind, std::vector<PlanPtr>);
+
+  PlanKind kind_;
+  std::vector<PlanPtr> children_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+PlanPtr TableRef(std::string name);
+PlanPtr FilterPlan(PlanPtr child, ExprPtr predicate);
+PlanPtr ProjectPlan(PlanPtr child, std::vector<ProjectItem> items);
+PlanPtr DistinctPlan(PlanPtr child);
+PlanPtr UnionPlan(std::vector<PlanPtr> children);
+PlanPtr PartitionPlan(PlanPtr child, int index, int count);
+PlanPtr HashJoinPlan(PlanPtr left, PlanPtr right, std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys,
+                     JoinType type = JoinType::kInner);
+PlanPtr GroupByPlan(PlanPtr child, std::vector<std::string> group_columns,
+                    std::vector<AggSpec> aggs);
+PlanPtr MdJoinPlan(PlanPtr base, PlanPtr detail, std::vector<AggSpec> aggs,
+                   ExprPtr theta);
+PlanPtr GeneralizedMdJoinPlan(PlanPtr base, PlanPtr detail,
+                              std::vector<MdJoinComponent> components);
+PlanPtr CubeBasePlan(PlanPtr child, std::vector<std::string> dims);
+PlanPtr CuboidBasePlan(PlanPtr child, std::vector<std::string> dims, CuboidMask mask);
+
+PlanPtr SortPlan(PlanPtr child, std::vector<std::string> columns,
+                 std::vector<bool> ascending = {});
+
+/// Copy of `node` with its children replaced (payload preserved). The
+/// building block for rewrites that recurse through unchanged operators.
+PlanPtr CloneWithChildren(const PlanPtr& node, std::vector<PlanPtr> children);
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+/// Name → table binding used at execution and schema-inference time. Holds
+/// non-owning pointers; the caller keeps the tables alive.
+class Catalog {
+ public:
+  Status Register(std::string name, const Table* table);
+  Result<const Table*> Lookup(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, const Table*> tables_;
+};
+
+/// Output schema of `plan` against `catalog`, without executing. Errors on
+/// unbound names or type mismatches — running this is the plan's type check.
+Result<Schema> InferSchema(const PlanPtr& plan, const Catalog& catalog);
+
+/// Renders the plan tree, one node per line, children indented.
+std::string ExplainPlan(const PlanPtr& plan);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OPTIMIZER_PLAN_H_

@@ -1,0 +1,39 @@
+#ifndef MDJOIN_OPTIMIZER_PROFILE_H_
+#define MDJOIN_OPTIMIZER_PROFILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mdjoin.h"
+#include "optimizer/plan.h"
+
+namespace mdjoin {
+
+/// Per-node execution record: the EXPLAIN ANALYZE view of a plan.
+struct ProfileNode {
+  std::string label;         // PlanNode::Label() of the operator
+  int64_t output_rows = 0;
+  double elapsed_ms = 0;     // inclusive of children
+  double self_ms = 0;        // exclusive: elapsed minus children
+  std::vector<std::unique_ptr<ProfileNode>> children;
+};
+
+struct ProfiledResult {
+  Table table;
+  std::unique_ptr<ProfileNode> profile;
+
+  /// Indented tree: one line per operator with rows and timings, e.g.
+  ///   MdJoin(...)                 rows=1000  total=12.3ms  self=11.1ms
+  std::string ToString() const;
+};
+
+/// Executes `plan` while recording per-node row counts and wall-clock
+/// timings. Functionally identical to ExecutePlan (no CSE — every node runs,
+/// so the numbers reflect the plan as written).
+Result<ProfiledResult> ExecutePlanProfiled(const PlanPtr& plan, const Catalog& catalog,
+                                           const MdJoinOptions& md_options = {});
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OPTIMIZER_PROFILE_H_

@@ -1,0 +1,343 @@
+#include "optimizer/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "expr/conjuncts.h"
+
+namespace mdjoin {
+
+namespace {
+
+Status NotApplicable(const char* rule, const std::string& why) {
+  return Status::InvalidArgument(rule, ": rule not applicable: ", why);
+}
+
+bool IsMdJoin(const PlanPtr& p) { return p->kind() == PlanKind::kMdJoin; }
+
+/// Structural plan identity via the explain rendering (labels carry the full
+/// payload). Used to decide whether two detail subplans are "the same
+/// relation" for fusion.
+bool SamePlan(const PlanPtr& a, const PlanPtr& b) {
+  return a == b || ExplainPlan(a) == ExplainPlan(b);
+}
+
+std::set<std::string> AggOutputNames(const std::vector<AggSpec>& aggs) {
+  std::set<std::string> out;
+  for (const AggSpec& a : aggs) out.insert(a.output_name);
+  return out;
+}
+
+bool Intersects(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x)) return true;
+  }
+  return false;
+}
+
+/// True if θ is exactly the dimension-equality condition of a cube query:
+/// a conjunction of B.d = R.d over precisely `dims`.
+bool IsPureDimEquality(const ExprPtr& theta, const std::vector<std::string>& dims) {
+  ThetaParts parts = AnalyzeTheta(theta);
+  if (!parts.detail_only.empty() || !parts.base_only.empty() || !parts.residual.empty()) {
+    return false;
+  }
+  std::set<std::string> seen;
+  for (const EquiPair& p : parts.equi) {
+    if (p.base_expr->kind() != ExprKind::kColumnRef ||
+        p.detail_expr->kind() != ExprKind::kColumnRef) {
+      return false;
+    }
+    if (p.base_expr->column_name() != p.detail_expr->column_name()) return false;
+    seen.insert(p.base_expr->column_name());
+  }
+  std::set<std::string> want(dims.begin(), dims.end());
+  return seen == want;
+}
+
+}  // namespace
+
+Result<PlanPtr> ApplyBasePartitioning(const PlanPtr& plan, int num_partitions) {
+  if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.1", "root is not an MD-join");
+  if (num_partitions < 1) {
+    return NotApplicable("Theorem 4.1", "partition count must be >= 1");
+  }
+  std::vector<PlanPtr> pieces;
+  pieces.reserve(static_cast<size_t>(num_partitions));
+  for (int i = 0; i < num_partitions; ++i) {
+    pieces.push_back(MdJoinPlan(PartitionPlan(plan->child(0), i, num_partitions),
+                                plan->child(1), plan->aggs, plan->theta));
+  }
+  return UnionPlan(std::move(pieces));
+}
+
+Result<PlanPtr> ApplySelectionPushdown(const PlanPtr& plan) {
+  if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.2", "root is not an MD-join");
+  ThetaParts parts = AnalyzeTheta(FoldConstants(plan->theta));
+  if (parts.detail_only.empty()) {
+    return NotApplicable("Theorem 4.2", "θ has no R-only conjuncts");
+  }
+  ExprPtr detail_sel = CombineConjuncts(parts.detail_only);
+  ThetaParts rest = parts;
+  rest.detail_only.clear();
+  return MdJoinPlan(plan->child(0), FilterPlan(plan->child(1), std::move(detail_sel)),
+                    plan->aggs, CombineTheta(rest));
+}
+
+Result<PlanPtr> ApplyBaseSelectionTransfer(const PlanPtr& plan) {
+  if (!IsMdJoin(plan)) return NotApplicable("Observation 4.1", "root is not an MD-join");
+  const PlanPtr& base = plan->child(0);
+  if (base->kind() != PlanKind::kFilter) {
+    return NotApplicable("Observation 4.1", "base child is not a selection");
+  }
+  // Map every B attribute that θ binds by a *plain column* equi conjunct to
+  // its R-side key expression.
+  ThetaParts parts = AnalyzeTheta(plan->theta);
+  std::vector<std::pair<std::string, ExprPtr>> substitution;
+  for (const EquiPair& pair : parts.equi) {
+    if (pair.base_expr->kind() == ExprKind::kColumnRef) {
+      substitution.emplace_back(pair.base_expr->column_name(), pair.detail_expr);
+    }
+  }
+  // The base selection predicate is a single-table expression over B (kDetail
+  // frame); every column it touches must be substitutable.
+  const ExprPtr& sel = base->predicate;
+  for (const std::string& col : sel->ReferencedColumns(Side::kDetail)) {
+    bool covered = false;
+    for (const auto& [name, repl] : substitution) covered = covered || name == col;
+    if (!covered) {
+      return NotApplicable("Observation 4.1", "selection column '" + col +
+                                                  "' is not bound by an equi conjunct");
+    }
+  }
+  // Substitute B attributes with R key expressions. The resulting predicate
+  // references R via kDetail, exactly the frame a Filter over R expects.
+  ExprPtr detail_sel = Expr::SubstituteColumns(sel, Side::kDetail, substitution);
+  // Idempotence guard: the pattern (base is a Filter) persists after the
+  // rewrite, so a rule driver would otherwise stack the same σ on R every
+  // round. If the detail child already carries this predicate, we are done.
+  if (plan->child(1)->kind() == PlanKind::kFilter &&
+      plan->child(1)->predicate->ToString() == detail_sel->ToString()) {
+    return NotApplicable("Observation 4.1", "selection already transferred");
+  }
+  return MdJoinPlan(base, FilterPlan(plan->child(1), std::move(detail_sel)), plan->aggs,
+                    plan->theta);
+}
+
+Result<PlanPtr> FuseMdJoinSeries(const PlanPtr& plan) {
+  if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.3", "root is not an MD-join");
+  // Collect the chain of nested MD-joins, outermost first.
+  std::vector<PlanPtr> chain;
+  PlanPtr cursor = plan;
+  while (IsMdJoin(cursor)) {
+    chain.push_back(cursor);
+    cursor = cursor->child(0);
+  }
+  PlanPtr innermost_base = cursor;
+  if (chain.size() < 2) {
+    return NotApplicable("Theorem 4.3", "series has a single MD-join");
+  }
+  // Application order: innermost (applied first) to outermost.
+  std::reverse(chain.begin(), chain.end());
+
+  // Dependency analysis: a component's generation is one past the highest
+  // generation whose outputs its θ (or aggregate arguments) reference.
+  const size_t k = chain.size();
+  std::vector<std::set<std::string>> outputs(k);
+  std::vector<int> generation(k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    outputs[i] = AggOutputNames(chain[i]->aggs);
+    std::set<std::string> refs = chain[i]->theta->ReferencedColumns(Side::kBase);
+    for (const AggSpec& a : chain[i]->aggs) {
+      if (a.argument != nullptr) {
+        std::set<std::string> arg_refs = a.argument->ReferencedColumns(Side::kBase);
+        refs.insert(arg_refs.begin(), arg_refs.end());
+      }
+    }
+    int gen = 0;
+    for (size_t j = 0; j < i; ++j) {
+      if (Intersects(refs, outputs[j])) gen = std::max(gen, generation[j] + 1);
+    }
+    generation[i] = gen;
+  }
+
+  // Group components by (generation, detail subplan); emit one (generalized)
+  // MD-join per group, stacked in generation order. Groups keep first-member
+  // order within a generation.
+  int max_gen = *std::max_element(generation.begin(), generation.end());
+  PlanPtr current = innermost_base;
+  bool fused_anything = false;
+  for (int gen = 0; gen <= max_gen; ++gen) {
+    // Partition this generation's members into detail-equality groups.
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < k; ++i) {
+      if (generation[i] != gen) continue;
+      bool placed = false;
+      for (std::vector<size_t>& g : groups) {
+        if (SamePlan(chain[g[0]]->child(1), chain[i]->child(1))) {
+          g.push_back(i);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) groups.push_back({i});
+    }
+    for (const std::vector<size_t>& g : groups) {
+      if (g.size() == 1) {
+        const PlanPtr& node = chain[g[0]];
+        current = MdJoinPlan(current, node->child(1), node->aggs, node->theta);
+      } else {
+        fused_anything = true;
+        std::vector<MdJoinComponent> comps;
+        comps.reserve(g.size());
+        for (size_t i : g) comps.push_back({chain[i]->aggs, chain[i]->theta});
+        current = GeneralizedMdJoinPlan(current, chain[g[0]]->child(1), std::move(comps));
+      }
+    }
+  }
+  if (!fused_anything) {
+    return NotApplicable("Theorem 4.3",
+                         "no two independent MD-joins share a detail relation");
+  }
+  return current;
+}
+
+Result<PlanPtr> CommuteMdJoins(const PlanPtr& plan, const Catalog& catalog) {
+  if (!IsMdJoin(plan) || !IsMdJoin(plan->child(0))) {
+    return NotApplicable("Theorem 4.3 (commute)", "root is not two nested MD-joins");
+  }
+  const PlanPtr& inner = plan->child(0);
+  MDJ_ASSIGN_OR_RETURN(Schema base_schema, InferSchema(inner->child(0), catalog));
+  // θ2 (and l2's arguments) may reference only B's attributes, not l1's
+  // outputs — otherwise the operators do not commute.
+  std::set<std::string> outer_refs = plan->theta->ReferencedColumns(Side::kBase);
+  for (const AggSpec& a : plan->aggs) {
+    if (a.argument != nullptr) {
+      std::set<std::string> r = a.argument->ReferencedColumns(Side::kBase);
+      outer_refs.insert(r.begin(), r.end());
+    }
+  }
+  for (const std::string& col : outer_refs) {
+    if (!base_schema.FindField(col)) {
+      return NotApplicable("Theorem 4.3 (commute)",
+                           "outer θ references generated column '" + col + "'");
+    }
+  }
+  PlanPtr new_inner =
+      MdJoinPlan(inner->child(0), plan->child(1), plan->aggs, plan->theta);
+  return MdJoinPlan(std::move(new_inner), inner->child(1), inner->aggs, inner->theta);
+}
+
+Result<PlanPtr> SplitToEquiJoin(const PlanPtr& plan, const Catalog& catalog) {
+  if (!IsMdJoin(plan) || !IsMdJoin(plan->child(0))) {
+    return NotApplicable("Theorem 4.4", "root is not two nested MD-joins");
+  }
+  const PlanPtr& inner = plan->child(0);
+  const PlanPtr& b_plan = inner->child(0);
+  MDJ_ASSIGN_OR_RETURN(Schema base_schema, InferSchema(b_plan, catalog));
+  std::set<std::string> outer_refs = plan->theta->ReferencedColumns(Side::kBase);
+  for (const std::string& col : outer_refs) {
+    if (!base_schema.FindField(col)) {
+      return NotApplicable("Theorem 4.4",
+                           "outer θ references generated column '" + col + "'");
+    }
+  }
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(base_schema.num_fields()));
+  for (const Field& f : base_schema.fields()) keys.push_back(f.name);
+  PlanPtr right = MdJoinPlan(b_plan, plan->child(1), plan->aggs, plan->theta);
+  return HashJoinPlan(inner, std::move(right), keys, keys, JoinType::kInner);
+}
+
+Result<PlanPtr> ApplyRollup(const PlanPtr& plan, CuboidMask finer_mask) {
+  if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.5", "root is not an MD-join");
+  const PlanPtr& base = plan->child(0);
+  if (base->kind() != PlanKind::kCuboidBase) {
+    return NotApplicable("Theorem 4.5", "base child is not a cuboid base-values table");
+  }
+  const CuboidMask coarse = base->cuboid_mask;
+  if ((coarse & finer_mask) != coarse || coarse == finer_mask) {
+    return NotApplicable("Theorem 4.5", "finer mask is not a strict superset");
+  }
+  MDJ_ASSIGN_OR_RETURN(bool distributive, AllDistributive(plan->aggs));
+  if (!distributive) {
+    return NotApplicable("Theorem 4.5", "aggregate list is not distributive");
+  }
+  if (!IsPureDimEquality(plan->theta, base->cube_dims)) {
+    return NotApplicable("Theorem 4.5", "θ is not the dimension-equality condition");
+  }
+  std::vector<AggSpec> rollup_specs;
+  rollup_specs.reserve(plan->aggs.size());
+  for (const AggSpec& a : plan->aggs) {
+    MDJ_ASSIGN_OR_RETURN(AggSpec r, RollupSpec(a));
+    rollup_specs.push_back(std::move(r));
+  }
+  PlanPtr finer_base = CuboidBasePlan(base->child(0), base->cube_dims, finer_mask);
+  PlanPtr finer_cuboid =
+      MdJoinPlan(std::move(finer_base), plan->child(1), plan->aggs, plan->theta);
+  return MdJoinPlan(base, std::move(finer_cuboid), std::move(rollup_specs), plan->theta);
+}
+
+Result<PlanPtr> ExpandCubeBase(const PlanPtr& plan) {
+  if (!IsMdJoin(plan)) return NotApplicable("cube expansion", "root is not an MD-join");
+  const PlanPtr& base = plan->child(0);
+  if (base->kind() != PlanKind::kCubeBase) {
+    return NotApplicable("cube expansion", "base child is not a CUBE BY generator");
+  }
+  MDJ_ASSIGN_OR_RETURN(CubeLattice lattice, CubeLattice::Make(base->cube_dims));
+  std::vector<PlanPtr> pieces;
+  for (int level = lattice.num_dims(); level >= 0; --level) {
+    for (CuboidMask mask : lattice.CuboidsAtLevel(level)) {
+      pieces.push_back(
+          MdJoinPlan(CuboidBasePlan(base->child(0), base->cube_dims, mask),
+                     plan->child(1), plan->aggs, plan->theta));
+    }
+  }
+  return UnionPlan(std::move(pieces));
+}
+
+Result<PlanPtr> ExpandCubeBaseWithRollups(const PlanPtr& plan) {
+  MDJ_ASSIGN_OR_RETURN(PlanPtr expanded, ExpandCubeBase(plan));
+  const PlanPtr& base = plan->child(0);
+  MDJ_ASSIGN_OR_RETURN(CubeLattice lattice, CubeLattice::Make(base->cube_dims));
+  // Re-plan each non-full cuboid to roll up from its finest direct parent
+  // (lowest set bit added — deterministic; a cost-based optimizer would pick
+  // by estimated parent size). The full cuboid keeps reading the detail
+  // relation. Relies on executor CSE to share parent results.
+  std::map<CuboidMask, PlanPtr> cuboid_plans;
+  for (const PlanPtr& piece : expanded->children()) {
+    cuboid_plans[piece->child(0)->cuboid_mask] = piece;
+  }
+  const CuboidMask full = lattice.full_cuboid();
+  // Process from finest to coarsest so parents are already re-planned.
+  for (int level = lattice.num_dims() - 1; level >= 0; --level) {
+    for (CuboidMask mask : lattice.CuboidsAtLevel(level)) {
+      // Choose the direct parent with the lowest added bit.
+      CuboidMask parent = 0;
+      for (int bit = 0; bit < lattice.num_dims(); ++bit) {
+        CuboidMask candidate = mask | (CuboidMask{1} << bit);
+        if (candidate != mask && candidate <= full) {
+          parent = candidate;
+          break;
+        }
+      }
+      MDJ_ASSIGN_OR_RETURN(PlanPtr rolled, ApplyRollup(cuboid_plans[mask], parent));
+      // Splice the re-planned parent in as the detail of the rolled plan:
+      // ApplyRollup rebuilt the parent from scratch; use the shared one.
+      const PlanPtr& coarse_base = rolled->child(0);
+      cuboid_plans[mask] = MdJoinPlan(coarse_base, cuboid_plans[parent], rolled->aggs,
+                                      rolled->theta);
+    }
+  }
+  std::vector<PlanPtr> pieces;
+  for (int level = lattice.num_dims(); level >= 0; --level) {
+    for (CuboidMask mask : lattice.CuboidsAtLevel(level)) {
+      pieces.push_back(cuboid_plans[mask]);
+    }
+  }
+  return UnionPlan(std::move(pieces));
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,213 @@
+#include "parallel/parallel_mdjoin.h"
+
+#include <atomic>
+#include <numeric>
+
+#include "core/base_index.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+#include "parallel/thread_pool.h"
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+Result<Table> ParallelMdJoin(const Table& base, const Table& detail,
+                             const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                             int num_partitions, int num_threads,
+                             const MdJoinOptions& options, ParallelMdJoinStats* stats) {
+  ParallelMdJoinStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ParallelMdJoinStats{};
+  if (num_partitions < 1 || num_threads < 1) {
+    return Status::InvalidArgument("ParallelMdJoin: partitions and threads must be >= 1");
+  }
+  stats->num_partitions = num_partitions;
+  stats->num_threads = num_threads;
+
+  std::vector<Table> fragments = PartitionIntoN(base, num_partitions);
+  std::vector<Result<Table>> results;
+  std::vector<MdJoinStats> md_stats(static_cast<size_t>(num_partitions));
+  results.reserve(fragments.size());
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    results.emplace_back(Status::Internal("fragment not evaluated"));
+  }
+
+  {
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < fragments.size(); ++i) {
+      pool.Submit([&, i] {
+        results[i] = MdJoin(fragments[i], detail, aggs, theta, options, &md_stats[i]);
+      });
+    }
+    pool.Wait();
+  }
+
+  std::vector<Table> pieces;
+  pieces.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) return results[i].status();
+    stats->total_detail_rows_scanned += md_stats[i].detail_rows_scanned;
+    pieces.push_back(std::move(results[i]).value());
+  }
+  return ConcatAll(pieces);
+}
+
+Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
+                                        const std::vector<AggSpec>& aggs,
+                                        const ExprPtr& theta, int num_partitions,
+                                        int num_threads, const MdJoinOptions& options,
+                                        ParallelMdJoinStats* stats) {
+  ParallelMdJoinStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = ParallelMdJoinStats{};
+  if (num_partitions < 1 || num_threads < 1) {
+    return Status::InvalidArgument(
+        "ParallelMdJoinDetailSplit: partitions and threads must be >= 1");
+  }
+  if (theta == nullptr) {
+    return Status::InvalidArgument("ParallelMdJoinDetailSplit: θ must not be null");
+  }
+  stats->num_partitions = num_partitions;
+  stats->num_threads = num_threads;
+
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, &base.schema(), &detail.schema()));
+  ThetaParts parts = AnalyzeTheta(theta);
+
+  // Base rows eligible for updates (B-only conjuncts).
+  std::vector<int64_t> active(static_cast<size_t>(base.num_rows()));
+  std::iota(active.begin(), active.end(), 0);
+  if (!parts.base_only.empty()) {
+    MDJ_ASSIGN_OR_RETURN(CompiledExpr base_pred,
+                         CompileExpr(CombineConjuncts(parts.base_only), &base.schema(),
+                                     nullptr));
+    std::vector<int64_t> filtered;
+    RowCtx bctx;
+    bctx.base = &base;
+    for (int64_t row : active) {
+      bctx.base_row = row;
+      if (base_pred.EvalBool(bctx)) filtered.push_back(row);
+    }
+    active = std::move(filtered);
+  }
+
+  // Shared read-only machinery: index over B, compiled predicates.
+  const bool indexed = options.use_index && !parts.equi.empty();
+  BaseIndex index;
+  if (indexed) {
+    MDJ_ASSIGN_OR_RETURN(index,
+                         BaseIndex::Build(base, active, parts.equi, detail.schema()));
+  }
+  std::vector<ExprPtr> residual_conjuncts = parts.residual;
+  if (!indexed) {
+    for (const EquiPair& pair : parts.equi) {
+      residual_conjuncts.push_back(
+          Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
+    }
+  }
+  CompiledExpr detail_pred;
+  if (options.push_detail_selection) {
+    if (!parts.detail_only.empty()) {
+      MDJ_ASSIGN_OR_RETURN(detail_pred,
+                           CompileExpr(CombineConjuncts(parts.detail_only), nullptr,
+                                       &detail.schema()));
+    }
+  } else {
+    residual_conjuncts.insert(residual_conjuncts.end(), parts.detail_only.begin(),
+                              parts.detail_only.end());
+  }
+  CompiledExpr residual;
+  if (!residual_conjuncts.empty()) {
+    MDJ_ASSIGN_OR_RETURN(residual,
+                         CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
+                                     &base.schema(), &detail.schema()));
+  }
+
+  // Per-fragment partial states: states[fragment][agg][base_row].
+  const size_t nrows = static_cast<size_t>(base.num_rows());
+  std::vector<std::vector<std::vector<std::unique_ptr<AggregateState>>>> states(
+      static_cast<size_t>(num_partitions));
+  for (auto& frag : states) {
+    frag.resize(bound.size());
+    for (size_t i = 0; i < bound.size(); ++i) {
+      frag[i].reserve(nrows);
+      for (size_t r = 0; r < nrows; ++r) frag[i].push_back(bound[i].fn->MakeState());
+    }
+  }
+
+  // Fragment bounds over detail rows.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  {
+    int64_t rows = detail.num_rows();
+    int64_t base_len = rows / num_partitions, extra = rows % num_partitions;
+    int64_t start = 0;
+    for (int i = 0; i < num_partitions; ++i) {
+      int64_t len = base_len + (i < extra ? 1 : 0);
+      ranges.emplace_back(start, start + len);
+      start += len;
+    }
+  }
+
+  std::atomic<int64_t> scanned{0};
+  {
+    ThreadPool pool(num_threads);
+    for (int f = 0; f < num_partitions; ++f) {
+      pool.Submit([&, f] {
+        auto& frag_states = states[static_cast<size_t>(f)];
+        RowCtx ctx;
+        ctx.base = &base;
+        ctx.detail = &detail;
+        std::vector<int64_t> candidates;
+        int64_t local_scanned = 0;
+        for (int64_t t = ranges[static_cast<size_t>(f)].first;
+             t < ranges[static_cast<size_t>(f)].second; ++t) {
+          ctx.detail_row = t;
+          ++local_scanned;
+          if (detail_pred.valid() && !detail_pred.EvalBool(ctx)) continue;
+          const std::vector<int64_t>* probe_rows;
+          if (indexed) {
+            candidates.clear();
+            index.Probe(ctx, &candidates);
+            probe_rows = &candidates;
+          } else {
+            probe_rows = &active;
+          }
+          for (int64_t b : *probe_rows) {
+            ctx.base_row = b;
+            if (residual.valid() && !residual.EvalBool(ctx)) continue;
+            for (size_t i = 0; i < bound.size(); ++i) {
+              bound[i].UpdateFromRow(frag_states[i][static_cast<size_t>(b)].get(), ctx);
+            }
+          }
+        }
+        scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+      });
+    }
+    pool.Wait();
+  }
+  stats->total_detail_rows_scanned = scanned.load();
+
+  // Merge fragment partials into fragment 0 and finalize.
+  for (int f = 1; f < num_partitions; ++f) {
+    for (size_t i = 0; i < bound.size(); ++i) {
+      for (size_t r = 0; r < nrows; ++r) {
+        bound[i].fn->Merge(states[0][i][r].get(), *states[static_cast<size_t>(f)][i][r]);
+      }
+    }
+  }
+
+  std::vector<Field> fields = base.schema().fields();
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  Table out{Schema(std::move(fields))};
+  out.Reserve(base.num_rows());
+  for (int64_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<Value> row = base.GetRow(r);
+    for (size_t i = 0; i < bound.size(); ++i) {
+      row.push_back(bound[i].fn->Finalize(*states[0][i][static_cast<size_t>(r)]));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,45 @@
+#ifndef MDJOIN_PARALLEL_PARALLEL_MDJOIN_H_
+#define MDJOIN_PARALLEL_PARALLEL_MDJOIN_H_
+
+#include <vector>
+
+#include "core/mdjoin.h"
+
+namespace mdjoin {
+
+struct ParallelMdJoinStats {
+  int num_partitions = 0;
+  int num_threads = 0;
+  int64_t total_detail_rows_scanned = 0;  // summed over fragments
+};
+
+/// Intra-operator parallel MD-join (§4.1.2): Theorem 4.1 splits the base
+/// relation into `num_partitions` fragments, each evaluated as an independent
+/// MD-join against the full detail relation on a thread pool of
+/// `num_threads`; the union of fragment results (a concatenation, since
+/// partitioning preserves base order per fragment) is the answer. Total
+/// detail-scan work is num_partitions × |R| — the theorem trades scan volume
+/// for parallelism, and Observation 4.1 (bench E11) shows how to win the
+/// scans back when θ permits.
+Result<Table> ParallelMdJoin(const Table& base, const Table& detail,
+                             const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                             int num_partitions, int num_threads,
+                             const MdJoinOptions& options = {},
+                             ParallelMdJoinStats* stats = nullptr);
+
+/// Detail-partitioned variant (the dual split, not in the paper's theorems
+/// but enabled by the aggregate framework's Merge support): R is split into
+/// `num_partitions` fragments, each fragment aggregated into per-base partial
+/// states in parallel, and partials merged. One logical scan of R total;
+/// requires nothing beyond the UDAF Merge callback. Included as an ablation
+/// point against the Theorem 4.1 split.
+Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
+                                        const std::vector<AggSpec>& aggs,
+                                        const ExprPtr& theta, int num_partitions,
+                                        int num_threads,
+                                        const MdJoinOptions& options = {},
+                                        ParallelMdJoinStats* stats = nullptr);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_PARALLEL_PARALLEL_MDJOIN_H_

@@ -1,0 +1,46 @@
+#ifndef MDJOIN_PARALLEL_THREAD_POOL_H_
+#define MDJOIN_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdjoin {
+
+/// Fixed-size worker pool. Submit closures; Wait() blocks until the queue
+/// drains and all workers are idle. Used by the intra-operator parallelism of
+/// §4.1.2: one MD-join fragment per task.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Tasks must not throw (the engine is exception-free).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_PARALLEL_THREAD_POOL_H_

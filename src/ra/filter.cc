@@ -1,0 +1,19 @@
+#include "ra/filter.h"
+
+#include "expr/compile.h"
+
+namespace mdjoin {
+
+Result<Table> Filter(const Table& t, const ExprPtr& predicate) {
+  MDJ_ASSIGN_OR_RETURN(CompiledExpr pred, CompileExpr(predicate, t.schema()));
+  Table out(t.schema());
+  RowCtx ctx;
+  ctx.detail = &t;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    ctx.detail_row = r;
+    if (pred.EvalBool(ctx)) out.AppendRowFrom(t, r);
+  }
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,16 @@
+#ifndef MDJOIN_RA_FILTER_H_
+#define MDJOIN_RA_FILTER_H_
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// σ_predicate(t): rows of `t` satisfying `predicate` (a single-table
+/// expression; column references use Side::kDetail / dsl::Col).
+Result<Table> Filter(const Table& t, const ExprPtr& predicate);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_RA_FILTER_H_

@@ -1,0 +1,139 @@
+#include "ra/group_by.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "table/key.h"
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+Result<Table> GroupBy(const Table& t, const std::vector<std::string>& group_columns,
+                      const std::vector<AggSpec>& aggs) {
+  MDJ_ASSIGN_OR_RETURN(std::vector<int> gcols, ResolveColumns(t.schema(), group_columns));
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, /*base_schema=*/nullptr, &t.schema()));
+
+  std::vector<Field> fields;
+  for (int c : gcols) fields.push_back(t.schema().field(c));
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+
+  // Group states, in first-occurrence order.
+  struct Group {
+    RowKey key;
+    std::vector<std::unique_ptr<AggregateState>> states;
+  };
+  std::unordered_map<RowKey, size_t, RowKeyHash, RowKeyEqual> group_of;
+  std::vector<Group> groups;
+
+  RowCtx ctx;
+  ctx.detail = &t;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    RowKey key = t.GetRowKey(r, gcols);
+    auto [it, inserted] = group_of.try_emplace(key, groups.size());
+    if (inserted) {
+      Group g;
+      g.key = std::move(key);
+      g.states.reserve(bound.size());
+      for (const BoundAgg& b : bound) g.states.push_back(b.fn->MakeState());
+      groups.push_back(std::move(g));
+    }
+    Group& g = groups[it->second];
+    ctx.detail_row = r;
+    for (size_t i = 0; i < bound.size(); ++i) {
+      bound[i].UpdateFromRow(g.states[i].get(), ctx);
+    }
+  }
+
+  Table out{Schema(std::move(fields))};
+  out.Reserve(static_cast<int64_t>(groups.size()));
+  for (Group& g : groups) {
+    std::vector<Value> row = std::move(g.key);
+    for (size_t i = 0; i < bound.size(); ++i) {
+      row.push_back(bound[i].fn->Finalize(*g.states[i]));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> SortedGroupBy(const Table& t, const std::vector<std::string>& group_columns,
+                            const std::vector<AggSpec>& aggs) {
+  MDJ_ASSIGN_OR_RETURN(std::vector<int> gcols, ResolveColumns(t.schema(), group_columns));
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, /*base_schema=*/nullptr, &t.schema()));
+  std::vector<Field> fields;
+  for (int c : gcols) fields.push_back(t.schema().field(c));
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  Table out{Schema(std::move(fields))};
+
+  // One live accumulator set; a closed key set for the contiguity check.
+  std::unordered_set<RowKey, RowKeyHash, RowKeyEqual> closed;
+  RowKey current_key;
+  bool has_group = false;
+  std::vector<std::unique_ptr<AggregateState>> states;
+
+  auto emit = [&] {
+    std::vector<Value> row = current_key;
+    for (size_t i = 0; i < bound.size(); ++i) {
+      row.push_back(bound[i].fn->Finalize(*states[i]));
+    }
+    out.AppendRowUnchecked(std::move(row));
+  };
+
+  RowCtx ctx;
+  ctx.detail = &t;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    RowKey key = t.GetRowKey(r, gcols);
+    if (!has_group || !RowKeyEqual()(key, current_key)) {
+      if (has_group) {
+        emit();
+        closed.insert(current_key);
+      }
+      if (closed.count(key)) {
+        return Status::InvalidArgument(
+            "SortedGroupBy: input is not grouped on the key columns (a key run "
+            "re-appeared); sort the input or use GroupBy");
+      }
+      current_key = std::move(key);
+      has_group = true;
+      states.clear();
+      for (const BoundAgg& b : bound) states.push_back(b.fn->MakeState());
+    }
+    ctx.detail_row = r;
+    for (size_t i = 0; i < bound.size(); ++i) {
+      bound[i].UpdateFromRow(states[i].get(), ctx);
+    }
+  }
+  if (has_group) emit();
+  return out;
+}
+
+Result<Table> AggregateAll(const Table& t, const std::vector<AggSpec>& aggs) {
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, /*base_schema=*/nullptr, &t.schema()));
+  std::vector<Field> fields;
+  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+
+  std::vector<std::unique_ptr<AggregateState>> states;
+  states.reserve(bound.size());
+  for (const BoundAgg& b : bound) states.push_back(b.fn->MakeState());
+
+  RowCtx ctx;
+  ctx.detail = &t;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    ctx.detail_row = r;
+    for (size_t i = 0; i < bound.size(); ++i) {
+      bound[i].UpdateFromRow(states[i].get(), ctx);
+    }
+  }
+
+  Table out{Schema(std::move(fields))};
+  std::vector<Value> row;
+  row.reserve(bound.size());
+  for (size_t i = 0; i < bound.size(); ++i) row.push_back(bound[i].fn->Finalize(*states[i]));
+  out.AppendRowUnchecked(std::move(row));
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,36 @@
+#ifndef MDJOIN_RA_GROUP_BY_H_
+#define MDJOIN_RA_GROUP_BY_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Conventional hash GROUP BY aggregation (the Σ operator the paper contrasts
+/// MD-join with): groups `t` on the named columns and computes `aggs` within
+/// each group. Aggregate arguments are single-table expressions over `t`
+/// (Side::kDetail). Groups appear in first-occurrence order. Unlike the
+/// MD-join, only groups that occur in `t` appear in the output.
+Result<Table> GroupBy(const Table& t, const std::vector<std::string>& group_columns,
+                      const std::vector<AggSpec>& aggs);
+
+/// Aggregates all of `t` as a single group (GROUP BY ()); always returns
+/// exactly one row.
+Result<Table> AggregateAll(const Table& t, const std::vector<AggSpec>& aggs);
+
+/// Streaming sort-based aggregation: `t` MUST already be ordered so that
+/// equal group keys are contiguous (e.g., sorted by `group_columns`); groups
+/// are emitted as their runs end, holding one accumulator set at a time —
+/// the evaluation style PIPESORT's pipelined paths assume (§4.4). Returns
+/// InvalidArgument if a key run re-appears later (input not grouped).
+/// Output equals GroupBy() on the same input up to row order.
+Result<Table> SortedGroupBy(const Table& t, const std::vector<std::string>& group_columns,
+                            const std::vector<AggSpec>& aggs);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_RA_GROUP_BY_H_

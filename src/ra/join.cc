@@ -1,0 +1,113 @@
+#include "ra/join.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/compile.h"
+#include "table/key.h"
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+namespace {
+
+/// Output schema for a join: all left fields, then right fields (minus
+/// `skip_right` indices), suffixing right names that clash.
+Schema JoinSchema(const Table& left, const Table& right,
+                  const std::unordered_set<int>& skip_right) {
+  std::vector<Field> fields = left.schema().fields();
+  Schema left_schema = left.schema();
+  auto taken = [&fields](const std::string& name) {
+    for (const Field& f : fields) {
+      if (f.name == name) return true;
+    }
+    return false;
+  };
+  for (int c = 0; c < right.num_columns(); ++c) {
+    if (skip_right.count(c)) continue;
+    Field f = right.schema().field(c);
+    while (taken(f.name)) f.name += "_r";
+    fields.push_back(std::move(f));
+  }
+  return Schema(std::move(fields));
+}
+
+void AppendJoined(Table* out, const Table& left, int64_t lrow, const Table& right,
+                  int64_t rrow, const std::unordered_set<int>& skip_right,
+                  bool right_null) {
+  std::vector<Value> row;
+  row.reserve(static_cast<size_t>(out->num_columns()));
+  for (int c = 0; c < left.num_columns(); ++c) row.push_back(left.Get(lrow, c));
+  for (int c = 0; c < right.num_columns(); ++c) {
+    if (skip_right.count(c)) continue;
+    row.push_back(right_null ? Value::Null() : right.Get(rrow, c));
+  }
+  out->AppendRowUnchecked(std::move(row));
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinType type) {
+  if (left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("HashJoin: key count mismatch");
+  }
+  MDJ_ASSIGN_OR_RETURN(std::vector<int> lcols, ResolveColumns(left.schema(), left_keys));
+  MDJ_ASSIGN_OR_RETURN(std::vector<int> rcols, ResolveColumns(right.schema(), right_keys));
+
+  std::unordered_set<int> skip_right(rcols.begin(), rcols.end());
+  Table out{JoinSchema(left, right, skip_right)};
+
+  std::unordered_map<RowKey, std::vector<int64_t>, RowKeyHash, RowKeyEqual> index;
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    index[right.GetRowKey(r, rcols)].push_back(r);
+  }
+
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    auto it = index.find(left.GetRowKey(l, lcols));
+    if (it == index.end()) {
+      if (type == JoinType::kLeftOuter) {
+        AppendJoined(&out, left, l, right, 0, skip_right, /*right_null=*/true);
+      }
+      continue;
+    }
+    for (int64_t r : it->second) {
+      AppendJoined(&out, left, l, right, r, skip_right, /*right_null=*/false);
+    }
+  }
+  return out;
+}
+
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const ExprPtr& condition, JoinType type) {
+  MDJ_ASSIGN_OR_RETURN(CompiledExpr cond,
+                       CompileExpr(condition, &left.schema(), &right.schema()));
+  std::unordered_set<int> skip_right;
+  Table out{JoinSchema(left, right, skip_right)};
+  RowCtx ctx;
+  ctx.base = &left;
+  ctx.detail = &right;
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    ctx.base_row = l;
+    bool matched = false;
+    for (int64_t r = 0; r < right.num_rows(); ++r) {
+      ctx.detail_row = r;
+      if (cond.EvalBool(ctx)) {
+        matched = true;
+        AppendJoined(&out, left, l, right, r, skip_right, /*right_null=*/false);
+      }
+    }
+    if (!matched && type == JoinType::kLeftOuter) {
+      AppendJoined(&out, left, l, right, 0, skip_right, /*right_null=*/true);
+    }
+  }
+  return out;
+}
+
+Result<Table> CrossProduct(const Table& left, const Table& right) {
+  return NestedLoopJoin(left, right, dsl::True(), JoinType::kInner);
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,40 @@
+#ifndef MDJOIN_RA_JOIN_H_
+#define MDJOIN_RA_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+enum class JoinType {
+  kInner,
+  kLeftOuter,
+};
+
+/// Hash equi-join of `left` and `right` on the named key columns (structural
+/// Value equality). Output schema is left's columns followed by right's
+/// non-key columns; duplicate names on the right get a "_r" suffix.
+/// kLeftOuter pads unmatched left rows with NULLs — the shape SQL needs to
+/// emulate the MD-join's outer semantics (paper §3, Example 2.2).
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_keys,
+                       const std::vector<std::string>& right_keys,
+                       JoinType type = JoinType::kInner);
+
+/// General θ-join by nested loops: `condition` references `left` columns via
+/// Side::kBase and `right` columns via Side::kDetail. Output schema is all
+/// left columns then all right columns (right duplicates suffixed "_r").
+/// kLeftOuter keeps unmatched left rows NULL-padded.
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const ExprPtr& condition, JoinType type = JoinType::kInner);
+
+/// Cartesian product (for tiny inputs / tests).
+Result<Table> CrossProduct(const Table& left, const Table& right);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_RA_JOIN_H_

@@ -1,0 +1,45 @@
+#include "ra/project.h"
+
+#include "expr/compile.h"
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+Result<Table> Project(const Table& t, const std::vector<ProjectItem>& items) {
+  std::vector<CompiledExpr> exprs;
+  std::vector<Field> fields;
+  exprs.reserve(items.size());
+  fields.reserve(items.size());
+  for (const ProjectItem& item : items) {
+    MDJ_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(item.expr, t.schema()));
+    fields.push_back(Field{item.name, c.result_type()});
+    exprs.push_back(std::move(c));
+  }
+  Table out{Schema(std::move(fields))};
+  out.Reserve(t.num_rows());
+  RowCtx ctx;
+  ctx.detail = &t;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    ctx.detail_row = r;
+    std::vector<Value> row;
+    row.reserve(exprs.size());
+    for (const CompiledExpr& e : exprs) row.push_back(e.Eval(ctx));
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> ProjectColumns(const Table& t, const std::vector<std::string>& columns) {
+  MDJ_ASSIGN_OR_RETURN(std::vector<int> cols, ResolveColumns(t.schema(), columns));
+  std::vector<Field> fields;
+  fields.reserve(cols.size());
+  for (int c : cols) fields.push_back(t.schema().field(c));
+  Table out{Schema(std::move(fields))};
+  out.Reserve(t.num_rows());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    out.AppendRowUnchecked(t.GetRowKey(r, cols));
+  }
+  return out;
+}
+
+}  // namespace mdjoin

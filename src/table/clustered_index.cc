@@ -1,0 +1,50 @@
+#include "table/clustered_index.h"
+
+#include "table/table_ops.h"
+
+namespace mdjoin {
+
+Result<ClusteredIndex> ClusteredIndex::Build(const Table& t, const std::string& column) {
+  MDJ_ASSIGN_OR_RETURN(int idx, t.schema().GetFieldIndex(column));
+  Table sorted = SortTable(t, {{idx, /*ascending=*/true}});
+  return ClusteredIndex(std::move(sorted), column, idx);
+}
+
+int64_t ClusteredIndex::LowerBound(const Value& v) const {
+  int64_t lo = 0, hi = table_.num_rows();
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (table_.Get(mid, column_index_).Compare(v) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int64_t ClusteredIndex::UpperBound(const Value& v) const {
+  int64_t lo = 0, hi = table_.num_rows();
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (table_.Get(mid, column_index_).Compare(v) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Table ClusteredIndex::RangeScan(const Value& lo, const Value& hi) const {
+  int64_t begin = LowerBound(lo);
+  int64_t end = UpperBound(hi);
+  Table out(table_.schema());
+  if (end > begin) {
+    out.Reserve(end - begin);
+    for (int64_t r = begin; r < end; ++r) out.AppendRowFrom(table_, r);
+  }
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,48 @@
+#ifndef MDJOIN_TABLE_CLUSTERED_INDEX_H_
+#define MDJOIN_TABLE_CLUSTERED_INDEX_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// A clustered (sorted) copy of a table on one key column, supporting
+/// binary-searched range scans. This is the storage structure §4.2 assumes
+/// when it says a pushed-down selection makes the MD-join read "an indexed
+/// instead of a full scan of R" (Example 4.1's year ranges): feed
+/// RangeScan()'s result to MdJoin as the detail relation and only the
+/// qualifying region is ever touched.
+class ClusteredIndex {
+ public:
+  /// Sorts a copy of `t` on `column` (NULLs first, per Value ordering).
+  static Result<ClusteredIndex> Build(const Table& t, const std::string& column);
+
+  /// The clustered table (sorted by the key column).
+  const Table& table() const { return table_; }
+  const std::string& key_column() const { return column_; }
+
+  /// First row index with key >= v / > v (standard bounds).
+  int64_t LowerBound(const Value& v) const;
+  int64_t UpperBound(const Value& v) const;
+
+  /// Rows with lo <= key <= hi, as a contiguous slice of the clustered
+  /// table. O(log n + answer).
+  Table RangeScan(const Value& lo, const Value& hi) const;
+
+  /// Rows with key == v.
+  Table PointScan(const Value& v) const { return RangeScan(v, v); }
+
+ private:
+  ClusteredIndex(Table table, std::string column, int column_index)
+      : table_(std::move(table)), column_(std::move(column)), column_index_(column_index) {}
+
+  Table table_;
+  std::string column_;
+  int column_index_;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TABLE_CLUSTERED_INDEX_H_

@@ -1,0 +1,179 @@
+#include "table/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "table/table_builder.h"
+
+namespace mdjoin {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one logical CSV line into fields, honoring double quotes.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in CSV line: ", line);
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseCell(const std::string& raw, DataType type) {
+  if (raw.empty()) return Value::Null();
+  if (raw == "ALL") return Value::All();
+  switch (type) {
+    case DataType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(raw.c_str(), &end, 10);
+      if (errno != 0 || end != raw.c_str() + raw.size()) {
+        return Status::ParseError("bad int64 cell: '", raw, "'");
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kFloat64: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(raw.c_str(), &end);
+      if (errno != 0 || end != raw.c_str() + raw.size()) {
+        return Status::ParseError("bad float64 cell: '", raw, "'");
+      }
+      return Value::Float64(v);
+    }
+    case DataType::kString:
+      return Value::String(raw);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+namespace {
+
+/// CSV cell rendering differs from display rendering in one way: float64
+/// uses max_digits10 so parsing recovers the exact bits (ToString's %.6g is
+/// for humans and would corrupt a round trip).
+std::string CsvCell(const Value& v) {
+  if (v.is_float64()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.float64());
+    return buf;
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& t) {
+  std::string out;
+  const Schema& schema = t.schema();
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += ",";
+    out += QuoteField(schema.field(c).name);
+  }
+  out += "\n";
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out += ",";
+      const Value& v = t.Get(r, c);
+      if (v.is_null()) continue;  // empty field
+      out += QuoteField(CsvCell(v));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Table> TableFromCsv(const std::string& csv, const Schema& schema) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) return Status::ParseError("empty CSV input");
+  MDJ_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
+  if (static_cast<int>(header.size()) != schema.num_fields()) {
+    return Status::ParseError("CSV header has ", header.size(), " columns, schema has ",
+                              schema.num_fields());
+  }
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (header[c] != schema.field(c).name) {
+      return Status::ParseError("CSV header column ", c, " is '", header[c],
+                                "', expected '", schema.field(c).name, "'");
+    }
+  }
+  TableBuilder builder(schema);
+  int64_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    MDJ_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    if (static_cast<int>(fields.size()) != schema.num_fields()) {
+      return Status::ParseError("CSV line ", lineno, " has ", fields.size(), " fields");
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      MDJ_ASSIGN_OR_RETURN(Value v, ParseCell(fields[c], schema.field(c).type));
+      row.push_back(std::move(v));
+    }
+    MDJ_RETURN_NOT_OK(builder.AppendRow(std::move(row)));
+  }
+  return std::move(builder).Finish();
+}
+
+Status WriteCsvFile(const Table& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::ExecutionError("cannot open '", path, "' for writing");
+  out << TableToCsv(t);
+  if (!out) return Status::ExecutionError("write to '", path, "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::ExecutionError("cannot open '", path, "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return TableFromCsv(buf.str(), schema);
+}
+
+}  // namespace mdjoin

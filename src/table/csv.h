@@ -1,0 +1,29 @@
+#ifndef MDJOIN_TABLE_CSV_H_
+#define MDJOIN_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Serializes `t` as CSV with a header row. NULL renders as an empty field,
+/// ALL as the literal token "ALL". Fields containing commas, quotes or
+/// newlines are double-quoted.
+std::string TableToCsv(const Table& t);
+
+/// Parses CSV produced by TableToCsv (or hand-written data) against `schema`.
+/// The header row must match the schema's column names in order. Empty fields
+/// parse to NULL; "ALL" parses to the roll-up marker.
+Result<Table> TableFromCsv(const std::string& csv, const Schema& schema);
+
+/// Writes `t` to `path` as CSV; error on I/O failure.
+Status WriteCsvFile(const Table& t, const std::string& path);
+
+/// Reads `path` and parses against `schema`.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TABLE_CSV_H_

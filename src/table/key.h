@@ -1,0 +1,46 @@
+#ifndef MDJOIN_TABLE_KEY_H_
+#define MDJOIN_TABLE_KEY_H_
+
+#include <vector>
+
+#include "common/hash_util.h"
+#include "types/value.h"
+
+namespace mdjoin {
+
+/// Composite key: a row projected onto some columns. Hash/equality are
+/// structural (Value::Equals), so ALL keys only collide with ALL keys.
+using RowKey = std::vector<Value>;
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& key) const {
+    size_t seed = key.size();
+    for (const Value& v : key) HashCombine(&seed, v.Hash());
+    return seed;
+  }
+};
+
+struct RowKeyEqual {
+  bool operator()(const RowKey& a, const RowKey& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Lexicographic comparison via Value::Compare; used by sort-based operators.
+inline int CompareRowKeys(const RowKey& a, const RowKey& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TABLE_KEY_H_

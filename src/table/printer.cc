@@ -1,0 +1,70 @@
+#include "table/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "table/table.h"
+
+namespace mdjoin {
+
+std::string PrintTable(const Table& t, int64_t max_rows) {
+  const Schema& schema = t.schema();
+  int ncols = schema.num_fields();
+  int64_t nrows = t.num_rows();
+  int64_t shown = (max_rows > 0 && nrows > max_rows) ? max_rows : nrows;
+
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(static_cast<size_t>(shown) + 1);
+  std::vector<std::string> header;
+  header.reserve(ncols);
+  for (int c = 0; c < ncols; ++c) header.push_back(schema.field(c).name);
+  cells.push_back(std::move(header));
+  for (int64_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    row.reserve(ncols);
+    for (int c = 0; c < ncols; ++c) row.push_back(t.Get(r, c).ToString());
+    cells.push_back(std::move(row));
+  }
+
+  std::vector<size_t> widths(ncols, 0);
+  for (const auto& row : cells) {
+    for (int c = 0; c < ncols; ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::vector<bool> right_align(ncols);
+  for (int c = 0; c < ncols; ++c) right_align[c] = IsNumeric(schema.field(c).type);
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (int c = 0; c < ncols; ++c) {
+      out += " ";
+      size_t pad = widths[c] - row[c].size();
+      if (right_align[c]) out += std::string(pad, ' ');
+      out += row[c];
+      if (!right_align[c]) out += std::string(pad, ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  auto emit_sep = [&] {
+    out += "+";
+    for (int c = 0; c < ncols; ++c) {
+      out += std::string(widths[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+  };
+
+  emit_sep();
+  emit_row(cells[0]);
+  emit_sep();
+  for (size_t i = 1; i < cells.size(); ++i) emit_row(cells[i]);
+  emit_sep();
+  if (shown < nrows) {
+    out += "(" + std::to_string(nrows - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,16 @@
+#ifndef MDJOIN_TABLE_PRINTER_H_
+#define MDJOIN_TABLE_PRINTER_H_
+
+#include <string>
+
+namespace mdjoin {
+
+class Table;
+
+/// Renders `t` as an aligned text grid with a header row, truncating after
+/// `max_rows` rows (<=0 means no limit). Numeric columns right-align.
+std::string PrintTable(const Table& t, int64_t max_rows = 50);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TABLE_PRINTER_H_

@@ -1,0 +1,69 @@
+#include "table/table.h"
+
+#include "table/printer.h"
+
+namespace mdjoin {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_fields());
+}
+
+Table Table::Clone() const {
+  Table out(schema_);
+  out.columns_ = columns_;
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+void Table::AppendRowUnchecked(std::vector<Value> values) {
+  MDJ_DCHECK(static_cast<int>(values.size()) == num_columns());
+  for (int c = 0; c < num_columns(); ++c) {
+    columns_[c].push_back(std::move(values[c]));
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& src, int64_t row) {
+  MDJ_DCHECK(src.num_columns() == num_columns());
+  for (int c = 0; c < num_columns(); ++c) {
+    columns_[c].push_back(src.Get(row, c));
+  }
+  ++num_rows_;
+}
+
+RowKey Table::GetRow(int64_t row) const {
+  RowKey key;
+  key.reserve(num_columns());
+  for (int c = 0; c < num_columns(); ++c) key.push_back(Get(row, c));
+  return key;
+}
+
+RowKey Table::GetRowKey(int64_t row, const std::vector<int>& cols) const {
+  RowKey key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(Get(row, c));
+  return key;
+}
+
+Status Table::AddColumn(Field field, std::vector<Value> values) {
+  if (num_rows_ != 0 && static_cast<int64_t>(values.size()) != num_rows_) {
+    return Status::InvalidArgument("AddColumn: length ", values.size(),
+                                   " != table rows ", num_rows_);
+  }
+  MDJ_RETURN_NOT_OK(schema_.AddField(std::move(field)));
+  if (num_rows_ == 0 && columns_.empty()) {
+    num_rows_ = static_cast<int64_t>(values.size());
+  }
+  columns_.push_back(std::move(values));
+  return Status::OK();
+}
+
+void Table::Reserve(int64_t rows) {
+  for (auto& col : columns_) col.reserve(static_cast<size_t>(rows));
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  return PrintTable(*this, max_rows);
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,78 @@
+#ifndef MDJOIN_TABLE_TABLE_H_
+#define MDJOIN_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/key.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace mdjoin {
+
+/// In-memory columnar relation: a Schema plus one Value vector per column.
+/// Cheap to move, explicit to copy (Clone). All engine operators (relational
+/// algebra, cube generators, the MD-join itself) consume and produce Tables.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  Table Clone() const;
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_fields(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Value& Get(int64_t row, int col) const {
+    MDJ_DCHECK(row >= 0 && row < num_rows_);
+    MDJ_DCHECK(col >= 0 && col < num_columns());
+    return columns_[col][row];
+  }
+  void Set(int64_t row, int col, Value v) {
+    MDJ_DCHECK(row >= 0 && row < num_rows_);
+    MDJ_DCHECK(col >= 0 && col < num_columns());
+    columns_[col][row] = std::move(v);
+  }
+
+  const std::vector<Value>& column(int col) const { return columns_[col]; }
+
+  /// Appends a row without type checking (internal fast path; use
+  /// TableBuilder for checked construction). `values` must have one entry per
+  /// column.
+  void AppendRowUnchecked(std::vector<Value> values);
+
+  /// Appends row `row` of `src`; schemas must have equal arity.
+  void AppendRowFrom(const Table& src, int64_t row);
+
+  /// Materializes row `row` as a RowKey over all columns.
+  RowKey GetRow(int64_t row) const;
+
+  /// Materializes row `row` projected onto `cols`.
+  RowKey GetRowKey(int64_t row, const std::vector<int>& cols) const;
+
+  /// Appends an entire column; only valid while the table has 0 rows or the
+  /// column length matches num_rows(). Returns error on name clash.
+  Status AddColumn(Field field, std::vector<Value> values);
+
+  void Reserve(int64_t rows);
+
+  /// Human-readable grid (delegates to printer.h).
+  std::string ToString(int64_t max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TABLE_TABLE_H_

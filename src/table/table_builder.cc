@@ -1,0 +1,36 @@
+#include "table/table_builder.h"
+
+#include "common/logging.h"
+
+namespace mdjoin {
+
+Status TableBuilder::AppendRow(std::vector<Value> values) {
+  const Schema& schema = table_.schema();
+  if (static_cast<int>(values.size()) != schema.num_fields()) {
+    return Status::InvalidArgument("AppendRow: got ", values.size(), " values, expected ",
+                                   schema.num_fields());
+  }
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    const Value& v = values[c];
+    if (v.is_null() || v.is_all()) continue;
+    Result<DataType> t = v.Type();
+    if (!t.ok()) return t.status();
+    DataType expected = schema.field(c).type;
+    bool ok = (*t == expected) ||
+              (IsNumeric(*t) && IsNumeric(expected));  // int64 literals into float cols
+    if (!ok) {
+      return Status::TypeError("AppendRow: column '", schema.field(c).name, "' expects ",
+                               DataTypeToString(expected), ", got ",
+                               DataTypeToString(*t));
+    }
+  }
+  table_.AppendRowUnchecked(std::move(values));
+  return Status::OK();
+}
+
+void TableBuilder::AppendRowOrDie(std::vector<Value> values) {
+  Status s = AppendRow(std::move(values));
+  MDJ_CHECK(s.ok()) << s.ToString();
+}
+
+}  // namespace mdjoin

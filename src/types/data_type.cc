@@ -1,0 +1,27 @@
+#include "types/data_type.h"
+
+#include "common/logging.h"
+
+namespace mdjoin {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(DataType t) { return t == DataType::kInt64 || t == DataType::kFloat64; }
+
+DataType CommonNumericType(DataType a, DataType b) {
+  MDJ_CHECK(IsNumeric(a) && IsNumeric(b));
+  if (a == DataType::kFloat64 || b == DataType::kFloat64) return DataType::kFloat64;
+  return DataType::kInt64;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,28 @@
+#ifndef MDJOIN_TYPES_DATA_TYPE_H_
+#define MDJOIN_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace mdjoin {
+
+/// Storage types understood by the engine. Columns are typed; individual
+/// cells may additionally hold NULL or the cube roll-up marker ALL
+/// (see Value), both of which are valid in a column of any type.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+const char* DataTypeToString(DataType t);
+
+/// True if `t` is kInt64 or kFloat64.
+bool IsNumeric(DataType t);
+
+/// Result type of arithmetic between `a` and `b` (int64 op int64 -> int64,
+/// anything involving float64 -> float64). Requires both numeric.
+DataType CommonNumericType(DataType a, DataType b);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TYPES_DATA_TYPE_H_

@@ -1,0 +1,65 @@
+#include "types/schema.h"
+
+#include "common/logging.h"
+
+namespace mdjoin {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    for (size_t j = i + 1; j < fields_.size(); ++j) {
+      MDJ_CHECK(fields_[i].name != fields_[j].name)
+          << "duplicate column name in schema: " << fields_[i].name;
+    }
+  }
+}
+
+const Field& Schema::field(int i) const {
+  MDJ_CHECK(i >= 0 && i < num_fields()) << "field index " << i << " out of range";
+  return fields_[i];
+}
+
+std::optional<int> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+Result<int> Schema::GetFieldIndex(const std::string& name) const {
+  auto idx = FindField(name);
+  if (!idx) {
+    return Status::NotFound("no column named '", name, "' in schema [", ToString(), "]");
+  }
+  return *idx;
+}
+
+Status Schema::AddField(Field field) {
+  if (FindField(field.name)) {
+    return Status::AlreadyExists("column '", field.name, "' already in schema");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Result<Schema> Schema::Select(const std::vector<std::string>& names) const {
+  std::vector<Field> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    MDJ_ASSIGN_OR_RETURN(int idx, GetFieldIndex(name));
+    out.push_back(fields_[idx]);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace mdjoin

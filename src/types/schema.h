@@ -1,0 +1,54 @@
+#ifndef MDJOIN_TYPES_SCHEMA_H_
+#define MDJOIN_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace mdjoin {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// Ordered list of fields. Column names are unique (case-sensitive).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of column `name`, or nullopt.
+  std::optional<int> FindField(const std::string& name) const;
+
+  /// Index of column `name`, or NotFound with a helpful message.
+  Result<int> GetFieldIndex(const std::string& name) const;
+
+  /// Appends a field; error if the name already exists.
+  Status AddField(Field field);
+
+  /// Schema with `names` selected in order; error on unknown names.
+  Result<Schema> Select(const std::vector<std::string>& names) const;
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TYPES_SCHEMA_H_

@@ -1,0 +1,108 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/hash_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mdjoin {
+
+int64_t Value::int64() const {
+  MDJ_CHECK(is_int64()) << "Value is not int64: " << ToString();
+  return std::get<int64_t>(rep_);
+}
+
+double Value::float64() const {
+  MDJ_CHECK(is_float64()) << "Value is not float64: " << ToString();
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::string() const {
+  MDJ_CHECK(is_string()) << "Value is not string: " << ToString();
+  return std::get<std::string>(rep_);
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(std::get<int64_t>(rep_));
+  MDJ_CHECK(is_float64()) << "Value is not numeric: " << ToString();
+  return std::get<double>(rep_);
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int64() && other.is_int64()) return int64() == other.int64();
+    return AsDouble() == other.AsDouble();
+  }
+  return rep_ == other.rep_;
+}
+
+bool Value::MatchesEq(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_all() || other.is_all()) return true;
+  return Equals(other);
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_all()) return 1;
+    if (v.is_numeric()) return 2;
+    return 3;  // string
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+    case 1:
+      return 0;
+    case 2: {
+      if (is_int64() && other.is_int64()) {
+        int64_t a = int64(), b = other.int64();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      int c = string().compare(other.string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  size_t seed = 0;
+  if (is_null()) {
+    HashCombine(&seed, 0x6e756c6cULL);  // "null"
+  } else if (is_all()) {
+    HashCombine(&seed, 0x616c6cULL);  // "all"
+  } else if (is_numeric()) {
+    // Hash numerics through double so Int64(3) and Float64(3.0) collide,
+    // consistent with Equals().
+    double d = AsDouble();
+    if (d == 0.0) d = 0.0;  // normalize -0.0
+    HashCombineValue(&seed, d);
+  } else {
+    HashCombineValue(&seed, string());
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_all()) return "ALL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_float64()) return FormatDouble(float64());
+  return string();
+}
+
+Result<DataType> Value::Type() const {
+  if (is_int64()) return DataType::kInt64;
+  if (is_float64()) return DataType::kFloat64;
+  if (is_string()) return DataType::kString;
+  return Status::TypeError("NULL/ALL values carry no storage type");
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,116 @@
+#ifndef MDJOIN_TYPES_VALUE_H_
+#define MDJOIN_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace mdjoin {
+
+/// A single cell. In addition to typed payloads, a Value can be:
+///
+///  - NULL — absent data (SQL semantics: aggregates skip it, comparisons with
+///    it are false);
+///  - ALL  — the roll-up marker of Gray et al. [GBLP96] used in base-values
+///    tables to model coarser-granularity cube entries, e.g. the row
+///    (44, 3, ALL) stands for "product 44, month 3, over all states".
+///
+/// Two notions of equality coexist deliberately (paper §3):
+///  - Equals()  — structural: ALL == ALL only. Used by table operations
+///    (DISTINCT, hashing, sorting, set union), where an ALL row is a row like
+///    any other.
+///  - MatchesEq() — θ-condition semantics: ALL matches every non-NULL value.
+///    Used when evaluating an MD-join condition such as `B.state = R.state`
+///    against a base row whose state is ALL: that base row aggregates detail
+///    tuples of every state.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : rep_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  static Value All() {
+    Value v;
+    v.rep_ = AllTag{};
+    return v;
+  }
+  static Value Int64(int64_t v) {
+    Value out;
+    out.rep_ = v;
+    return out;
+  }
+  static Value Float64(double v) {
+    Value out;
+    out.rep_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.rep_ = std::move(v);
+    return out;
+  }
+  static Value Bool(bool b) { return Int64(b ? 1 : 0); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(rep_); }
+  bool is_all() const { return std::holds_alternative<AllTag>(rep_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_float64() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int64() || is_float64(); }
+
+  int64_t int64() const;
+  double float64() const;
+  const std::string& string() const;
+
+  /// Numeric payload widened to double. Requires is_numeric().
+  double AsDouble() const;
+
+  /// True iff the value is non-null, non-ALL int64 and nonzero (the engine's
+  /// boolean convention: predicates evaluate to Int64 0/1).
+  bool IsTruthy() const { return is_int64() && int64() != 0; }
+
+  /// Structural equality: NULL==NULL, ALL==ALL, payloads compare by type with
+  /// int64/float64 comparing numerically (so Int64(3)==Float64(3.0)).
+  bool Equals(const Value& other) const;
+
+  /// θ-equality: ALL on either side matches any non-NULL value; NULL matches
+  /// nothing (not even NULL).
+  bool MatchesEq(const Value& other) const;
+
+  /// Total order for sorting: NULL < ALL < numerics (by value) < strings
+  /// (lexicographic). Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Structural hash, consistent with Equals().
+  size_t Hash() const;
+
+  /// Renders the value for table printers: "NULL", "ALL", payload otherwise.
+  std::string ToString() const;
+
+  /// The storage type of the payload; error for NULL/ALL (which are typeless).
+  Result<DataType> Type() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  struct NullTag {
+    bool operator==(const NullTag&) const = default;
+  };
+  struct AllTag {
+    bool operator==(const AllTag&) const = default;
+  };
+
+  std::variant<NullTag, AllTag, int64_t, double, std::string> rep_;
+};
+
+/// std::hash adapter so Value can key unordered containers directly.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TYPES_VALUE_H_

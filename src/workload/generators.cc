@@ -1,0 +1,76 @@
+#include "workload/generators.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "table/table_builder.h"
+
+namespace mdjoin {
+
+std::string StateName(int index) {
+  static const char* kNamed[] = {"NY", "NJ", "CT", "CA", "IL"};
+  if (index < 5) return kNamed[index];
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "S%02d", index);
+  return buf;
+}
+
+Table GenerateSales(const SalesConfig& config) {
+  MDJ_CHECK(config.num_customers > 0 && config.num_products > 0);
+  MDJ_CHECK(config.num_months >= 1 && config.num_months <= 12);
+  MDJ_CHECK(config.first_year <= config.last_year);
+  MDJ_CHECK(config.num_states >= 1);
+
+  Random rng(config.seed);
+  ZipfGenerator cust_zipf(static_cast<uint64_t>(config.num_customers), config.zipf_theta);
+  ZipfGenerator prod_zipf(static_cast<uint64_t>(config.num_products), config.zipf_theta);
+
+  std::vector<std::string> states;
+  states.reserve(static_cast<size_t>(config.num_states));
+  for (int i = 0; i < config.num_states; ++i) states.push_back(StateName(i));
+
+  TableBuilder b({{"cust", DataType::kInt64},
+                  {"prod", DataType::kInt64},
+                  {"day", DataType::kInt64},
+                  {"month", DataType::kInt64},
+                  {"year", DataType::kInt64},
+                  {"state", DataType::kString},
+                  {"sale", DataType::kFloat64}});
+  b.Reserve(config.num_rows);
+  for (int64_t i = 0; i < config.num_rows; ++i) {
+    int64_t cust = static_cast<int64_t>(cust_zipf.Next(&rng)) + 1;
+    int64_t prod = static_cast<int64_t>(prod_zipf.Next(&rng)) + 1;
+    int64_t day = rng.UniformInt(1, 28);
+    int64_t month = rng.UniformInt(1, config.num_months);
+    int64_t year = rng.UniformInt(config.first_year, config.last_year);
+    const std::string& state = states[rng.Uniform(static_cast<uint64_t>(config.num_states))];
+    double sale = rng.NextDouble() * config.max_sale;
+    b.AppendRowOrDie({Value::Int64(cust), Value::Int64(prod), Value::Int64(day),
+                      Value::Int64(month), Value::Int64(year), Value::String(state),
+                      Value::Float64(sale)});
+  }
+  return std::move(b).Finish();
+}
+
+Table GeneratePayments(const PaymentsConfig& config) {
+  MDJ_CHECK(config.num_customers > 0);
+  MDJ_CHECK(config.num_months >= 1 && config.num_months <= 12);
+  Random rng(config.seed);
+  TableBuilder b({{"cust", DataType::kInt64},
+                  {"day", DataType::kInt64},
+                  {"month", DataType::kInt64},
+                  {"year", DataType::kInt64},
+                  {"amount", DataType::kFloat64}});
+  b.Reserve(config.num_rows);
+  for (int64_t i = 0; i < config.num_rows; ++i) {
+    b.AppendRowOrDie({Value::Int64(rng.UniformInt(1, config.num_customers)),
+                      Value::Int64(rng.UniformInt(1, 28)),
+                      Value::Int64(rng.UniformInt(1, config.num_months)),
+                      Value::Int64(rng.UniformInt(config.first_year, config.last_year)),
+                      Value::Float64(rng.NextDouble() * config.max_amount)});
+  }
+  return std::move(b).Finish();
+}
+
+}  // namespace mdjoin

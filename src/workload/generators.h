@@ -1,0 +1,54 @@
+#ifndef MDJOIN_WORKLOAD_GENERATORS_H_
+#define MDJOIN_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Synthetic-data substitute for the paper's retail examples (it reports no
+/// dataset; every experiment here depends only on cardinalities, match
+/// selectivity and skew, which these knobs control). Dimension values can be
+/// drawn uniformly or Zipf-skewed.
+struct SalesConfig {
+  int64_t num_rows = 100000;
+  int64_t num_customers = 1000;
+  int64_t num_products = 100;
+  int num_months = 12;
+  int first_year = 1994;
+  int last_year = 1999;
+  int num_states = 50;
+  double zipf_theta = 0.0;  // 0 = uniform; ~1 = heavy skew on cust & prod
+  double max_sale = 1000.0;
+  uint64_t seed = 42;
+};
+
+/// Sales(cust:int64, prod:int64, day:int64, month:int64, year:int64,
+///       state:string, sale:float64). States are "S00".."S49"-style codes
+/// except the first five, which are NY/NJ/CT/CA/IL so the paper's literal
+/// example queries run unchanged.
+Table GenerateSales(const SalesConfig& config);
+
+struct PaymentsConfig {
+  int64_t num_rows = 50000;
+  int64_t num_customers = 1000;
+  int num_months = 12;
+  int first_year = 1994;
+  int last_year = 1999;
+  double max_amount = 2000.0;
+  uint64_t seed = 43;
+};
+
+/// Payments(cust:int64, day:int64, month:int64, year:int64, amount:float64)
+/// — the second fact table of Example 3.3.
+Table GeneratePayments(const PaymentsConfig& config);
+
+/// The name a generated state code gets: index 0..4 are NY/NJ/CT/CA/IL, then
+/// "S05", "S06", ...
+std::string StateName(int index);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "agg/agg_spec.h"
+#include "agg/aggregate.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using testutil::F;
+using testutil::I;
+
+/// Runs `fn` over `values` and finalizes.
+Value RunAgg(const std::string& name, const std::vector<Value>& values) {
+  const AggregateFunction* fn = *AggregateRegistry::Global()->Lookup(name);
+  std::unique_ptr<AggregateState> state = fn->MakeState();
+  for (const Value& v : values) fn->Update(state.get(), v);
+  return fn->Finalize(*state);
+}
+
+/// Splits `values` at every position, merging the two partial states, and
+/// checks the merged result equals the single-pass result.
+void CheckMergeConsistent(const std::string& name, const std::vector<Value>& values) {
+  const AggregateFunction* fn = *AggregateRegistry::Global()->Lookup(name);
+  Value expected = RunAgg(name, values);
+  for (size_t split = 0; split <= values.size(); ++split) {
+    std::unique_ptr<AggregateState> a = fn->MakeState();
+    std::unique_ptr<AggregateState> b = fn->MakeState();
+    for (size_t i = 0; i < split; ++i) fn->Update(a.get(), values[i]);
+    for (size_t i = split; i < values.size(); ++i) fn->Update(b.get(), values[i]);
+    fn->Merge(a.get(), *b);
+    Value merged = fn->Finalize(*a);
+    EXPECT_TRUE(merged.Equals(expected) || (merged.is_null() && expected.is_null()))
+        << name << " split at " << split << ": " << merged.ToString() << " vs "
+        << expected.ToString();
+  }
+}
+
+TEST(AggTest, RegistryLookup) {
+  EXPECT_TRUE(AggregateRegistry::Global()->Lookup("sum").ok());
+  EXPECT_TRUE(AggregateRegistry::Global()->Lookup("SUM").ok());  // case-insensitive
+  EXPECT_TRUE(AggregateRegistry::Global()->Lookup("nope").status().IsNotFound());
+}
+
+TEST(AggTest, CountSkipsNull) {
+  EXPECT_EQ(RunAgg("count", {I(1), Value::Null(), I(3)}).int64(), 2);
+  EXPECT_EQ(RunAgg("count", {}).int64(), 0);  // identity: 0, not NULL
+}
+
+TEST(AggTest, SumIntStaysInt) {
+  Value v = RunAgg("sum", {I(1), I(2), I(3)});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 6);
+}
+
+TEST(AggTest, SumPromotesOnFloat) {
+  Value v = RunAgg("sum", {I(1), F(2.5)});
+  EXPECT_TRUE(v.is_float64());
+  EXPECT_DOUBLE_EQ(v.float64(), 3.5);
+}
+
+TEST(AggTest, SumOfEmptyIsNull) {
+  EXPECT_TRUE(RunAgg("sum", {}).is_null());
+  EXPECT_TRUE(RunAgg("sum", {Value::Null()}).is_null());
+}
+
+TEST(AggTest, MinMax) {
+  EXPECT_EQ(RunAgg("min", {I(3), I(1), I(2)}).int64(), 1);
+  EXPECT_EQ(RunAgg("max", {I(3), I(1), I(2)}).int64(), 3);
+  EXPECT_EQ(RunAgg("min", {Value::String("NY"), Value::String("CT")}).string(), "CT");
+  EXPECT_TRUE(RunAgg("min", {}).is_null());
+}
+
+TEST(AggTest, Avg) {
+  Value v = RunAgg("avg", {I(1), I(2), I(3), Value::Null()});
+  EXPECT_DOUBLE_EQ(v.float64(), 2.0);
+  EXPECT_TRUE(RunAgg("avg", {}).is_null());
+}
+
+TEST(AggTest, VarAndStddev) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  std::vector<Value> vals;
+  for (int64_t x : {2, 4, 4, 4, 5, 5, 7, 9}) vals.push_back(I(x));
+  EXPECT_DOUBLE_EQ(RunAgg("var_pop", vals).float64(), 4.0);
+  EXPECT_DOUBLE_EQ(RunAgg("stddev_pop", vals).float64(), 2.0);
+}
+
+TEST(AggTest, CountDistinct) {
+  EXPECT_EQ(RunAgg("count_distinct", {I(1), I(1), I(2), Value::Null(), I(2)}).int64(), 2);
+}
+
+TEST(AggTest, MergeConsistency) {
+  std::vector<Value> values = {I(5), I(1), Value::Null(), I(3), F(2.5), I(1)};
+  for (const char* name :
+       {"count", "sum", "min", "max", "avg", "var_pop", "stddev_pop", "count_distinct"}) {
+    CheckMergeConsistent(name, values);
+  }
+}
+
+TEST(AggTest, Classification) {
+  auto cls = [](const char* n) {
+    return (*AggregateRegistry::Global()->Lookup(n))->agg_class();
+  };
+  EXPECT_EQ(cls("count"), AggClass::kDistributive);
+  EXPECT_EQ(cls("sum"), AggClass::kDistributive);
+  EXPECT_EQ(cls("min"), AggClass::kDistributive);
+  EXPECT_EQ(cls("max"), AggClass::kDistributive);
+  EXPECT_EQ(cls("avg"), AggClass::kAlgebraic);
+  EXPECT_EQ(cls("var_pop"), AggClass::kAlgebraic);
+  EXPECT_EQ(cls("count_distinct"), AggClass::kHolistic);
+}
+
+TEST(AggTest, RollupNames) {
+  auto rollup = [](const char* n) {
+    return (*AggregateRegistry::Global()->Lookup(n))->RollupFunctionName();
+  };
+  EXPECT_EQ(rollup("count"), "sum");  // "a count in l becomes a sum in l'"
+  EXPECT_EQ(rollup("sum"), "sum");
+  EXPECT_EQ(rollup("min"), "min");
+  EXPECT_EQ(rollup("max"), "max");
+  EXPECT_EQ(rollup("avg"), "");  // algebraic: no roll-up rewrite
+}
+
+TEST(AggTest, RollupSpecRewrite) {
+  Result<AggSpec> r = RollupSpec(Count("n"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->function, "sum");
+  EXPECT_EQ(r->output_name, "n");
+  ASSERT_NE(r->argument, nullptr);
+  EXPECT_EQ(r->argument->ToString(), "R.n");
+  EXPECT_TRUE(RollupSpec(Avg(RCol("sale"), "a")).status().IsInvalidArgument());
+}
+
+TEST(AggTest, AllDistributiveCheck) {
+  EXPECT_TRUE(*AllDistributive({Count("n"), Sum(RCol("sale"), "s")}));
+  EXPECT_FALSE(*AllDistributive({Count("n"), Avg(RCol("sale"), "a")}));
+}
+
+TEST(AggTest, BindAggsValidates) {
+  Schema detail({{"sale", DataType::kFloat64}, {"state", DataType::kString}});
+  // OK case.
+  Result<std::vector<BoundAgg>> ok = BindAggs({Sum(RCol("sale"), "total"), Count("n")},
+                                              /*base_schema=*/nullptr, &detail);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)[0].output_field.type, DataType::kFloat64);
+  EXPECT_EQ((*ok)[1].output_field.type, DataType::kInt64);
+  // Duplicate output names.
+  EXPECT_FALSE(BindAggs({Count("n"), Count("n")}, nullptr, &detail).ok());
+  // sum of a string column is a type error.
+  EXPECT_TRUE(
+      BindAggs({Sum(RCol("state"), "s")}, nullptr, &detail).status().IsTypeError());
+  // sum needs an argument.
+  EXPECT_FALSE(BindAggs({AggSpec{"sum", nullptr, "s"}}, nullptr, &detail).ok());
+  // Unknown column in the argument.
+  EXPECT_FALSE(BindAggs({Sum(RCol("nope"), "s")}, nullptr, &detail).ok());
+  // Output name colliding with a base column.
+  Schema base({{"total", DataType::kInt64}});
+  EXPECT_FALSE(BindAggs({Sum(RCol("sale"), "total")}, &base, &detail).ok());
+}
+
+TEST(AggTest, UserDefinedAggregateRegisters) {
+  // A tiny UDAF: product of values (distributive, rollup = itself).
+  struct ProductState : AggregateState {
+    double product = 1;
+    bool any = false;
+  };
+  class ProductFunction : public AggregateFunction {
+   public:
+    const std::string& name() const override {
+      static const std::string kName = "test_product";
+      return kName;
+    }
+    AggClass agg_class() const override { return AggClass::kDistributive; }
+    Result<DataType> ResultType(std::optional<DataType>) const override {
+      return DataType::kFloat64;
+    }
+    std::unique_ptr<AggregateState> MakeState() const override {
+      return std::make_unique<ProductState>();
+    }
+    void Update(AggregateState* state, const Value& v) const override {
+      if (!v.is_numeric()) return;
+      auto* s = static_cast<ProductState*>(state);
+      s->product *= v.AsDouble();
+      s->any = true;
+    }
+    void Merge(AggregateState* state, const AggregateState& other) const override {
+      auto* s = static_cast<ProductState*>(state);
+      const auto& o = static_cast<const ProductState&>(other);
+      s->product *= o.product;
+      s->any = s->any || o.any;
+    }
+    Value Finalize(const AggregateState& state) const override {
+      const auto& s = static_cast<const ProductState&>(state);
+      return s.any ? Value::Float64(s.product) : Value::Null();
+    }
+    std::string RollupFunctionName() const override { return "test_product"; }
+  };
+
+  static bool registered = [] {
+    return AggregateRegistry::Global()->Register(std::make_unique<ProductFunction>()).ok();
+  }();
+  ASSERT_TRUE(registered);
+  EXPECT_DOUBLE_EQ(RunAgg("test_product", {I(2), I(3), I(4)}).float64(), 24.0);
+  // Double registration is rejected.
+  EXPECT_FALSE(
+      AggregateRegistry::Global()->Register(std::make_unique<ProductFunction>()).ok());
+}
+
+}  // namespace
+}  // namespace mdjoin

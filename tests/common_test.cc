@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mdjoin {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad count: ", 42);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad count: 42");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad count: 42");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::NotFound("x");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_TRUE(s.IsNotFound());
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, EveryFactoryProducesMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("m").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::TypeError("m").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ParseError("m").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("m").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::ExecutionError("m").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::TypeError("inner"); };
+  auto outer = [&]() -> Status {
+    MDJ_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsTypeError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::InvalidArgument("no");
+  };
+  auto chain = [&](bool ok) -> Result<int> {
+    MDJ_ASSIGN_OR_RETURN(int v, produce(ok));
+    return v * 2;
+  };
+  ASSERT_TRUE(chain(true).ok());
+  EXPECT_EQ(*chain(true), 10);
+  EXPECT_TRUE(chain(false).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("CUBE", "cube"));
+  EXPECT_FALSE(EqualsIgnoreCase("cube", "cub"));
+  EXPECT_TRUE(StartsWith("analyze by", "analyze"));
+  EXPECT_FALSE(StartsWith("an", "analyze"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-12.0), "-12");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  Random rng(1);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(ZipfTest, HighThetaSkewsToRankZero) {
+  Random rng(2);
+  ZipfGenerator zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(&rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+}  // namespace
+}  // namespace mdjoin

@@ -1,0 +1,58 @@
+/// Death tests for programmer-error invariants: MDJ_CHECK aborts with a
+/// diagnostic, Result::value() on an error dies, and out-of-contract Table
+/// access is caught. These guard the boundary between recoverable errors
+/// (Status/Result) and contract violations (abort).
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "table/table_builder.h"
+#include "types/value.h"
+
+namespace mdjoin {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH({ MDJ_CHECK(1 == 2) << "custom detail " << 42; },
+               "check failed.*1 == 2.*custom detail 42");
+}
+
+TEST(DeathTest, CheckComparisonMacros) {
+  EXPECT_DEATH({ MDJ_CHECK_EQ(1, 2); }, "check failed");
+  EXPECT_DEATH({ MDJ_CHECK_LT(5, 3); }, "check failed");
+  // Passing checks do not abort.
+  MDJ_CHECK_LE(1, 1);
+  MDJ_CHECK_NE(1, 2);
+  MDJ_CHECK_GT(2, 1);
+  MDJ_CHECK_GE(2, 2);
+}
+
+TEST(DeathTest, ResultValueOnErrorDies) {
+  EXPECT_DEATH(
+      {
+        Result<int> r = Status::NotFound("nothing here");
+        (void)r.value();
+      },
+      "nothing here");
+}
+
+TEST(DeathTest, ValueWrongAccessorDies) {
+  EXPECT_DEATH({ (void)Value::String("x").int64(); }, "not int64");
+  EXPECT_DEATH({ (void)Value::Int64(1).string(); }, "not string");
+  EXPECT_DEATH({ (void)Value::Null().AsDouble(); }, "not numeric");
+}
+
+TEST(DeathTest, AppendRowOrDieOnTypeError) {
+  EXPECT_DEATH(
+      {
+        TableBuilder b({{"k", DataType::kInt64}});
+        b.AppendRowOrDie({Value::String("oops")});
+      },
+      "Type error");
+}
+
+}  // namespace
+}  // namespace mdjoin

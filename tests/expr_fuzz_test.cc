@@ -1,0 +1,192 @@
+/// Randomized robustness sweep over the expression system: generated
+/// expression trees must compile against matching schemas, evaluate without
+/// crashing on any row (including NULL/ALL cells), produce values consistent
+/// with the statically inferred type, and round-trip through the conjunct
+/// analyzer without changing semantics.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+#include "table/table_builder.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+
+/// Schemas used by the generator: numeric and string columns on both sides.
+Schema BaseSchema() {
+  return Schema({{"b_int", DataType::kInt64},
+                 {"b_flt", DataType::kFloat64},
+                 {"b_str", DataType::kString}});
+}
+Schema DetailSchema() {
+  return Schema({{"d_int", DataType::kInt64},
+                 {"d_flt", DataType::kFloat64},
+                 {"d_str", DataType::kString}});
+}
+
+/// Random table over `schema` with NULL/ALL sprinkled in.
+Table RandomTable(const Schema& schema, Random* rng, int64_t rows) {
+  TableBuilder b(schema);
+  const char* strings[] = {"NY", "NJ", "CT", "zz"};
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      double dice = rng->NextDouble();
+      if (dice < 0.08) {
+        row.push_back(Value::Null());
+      } else if (dice < 0.16) {
+        row.push_back(Value::All());
+      } else {
+        switch (schema.field(c).type) {
+          case DataType::kInt64:
+            row.push_back(Value::Int64(rng->UniformInt(-5, 5)));
+            break;
+          case DataType::kFloat64:
+            row.push_back(Value::Float64(static_cast<double>(rng->UniformInt(-50, 50)) / 4));
+            break;
+          case DataType::kString:
+            row.push_back(Value::String(strings[rng->Uniform(4)]));
+            break;
+        }
+      }
+    }
+    b.AppendRowOrDie(std::move(row));
+  }
+  return std::move(b).Finish();
+}
+
+/// Random expression of bounded depth over both sides.
+ExprPtr RandomExpr(Random* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.3)) {
+    // Leaf.
+    switch (rng->Uniform(8)) {
+      case 0:
+        return BCol("b_int");
+      case 1:
+        return BCol("b_flt");
+      case 2:
+        return BCol("b_str");
+      case 3:
+        return RCol("d_int");
+      case 4:
+        return RCol("d_flt");
+      case 5:
+        return RCol("d_str");
+      case 6:
+        return Lit(rng->UniformInt(-5, 5));
+      default:
+        return Lit(static_cast<double>(rng->UniformInt(-20, 20)) / 4);
+    }
+  }
+  switch (rng->Uniform(12)) {
+    case 0:
+      return Add(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 1:
+      return Sub(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 2:
+      return Mul(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 3:
+      return Div(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 4:
+      return Eq(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 5:
+      return Lt(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 6:
+      return Ge(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 7:
+      return And(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 8:
+      return Or(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 9:
+      return Not(RandomExpr(rng, depth - 1));
+    case 10:
+      return IsNull(RandomExpr(rng, depth - 1));
+    default:
+      return In(RandomExpr(rng, depth - 1),
+                {Value::Int64(rng->UniformInt(-3, 3)), Value::String("NY")});
+  }
+}
+
+class ExprFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprFuzz, CompileEvalTypeConsistency) {
+  Random rng(GetParam());
+  Schema base_schema = BaseSchema();
+  Schema detail_schema = DetailSchema();
+  Table base = RandomTable(base_schema, &rng, 12);
+  Table detail = RandomTable(detail_schema, &rng, 12);
+
+  for (int round = 0; round < 60; ++round) {
+    ExprPtr expr = RandomExpr(&rng, 4);
+    Result<CompiledExpr> compiled = CompileExpr(expr, &base_schema, &detail_schema);
+    ASSERT_TRUE(compiled.ok()) << expr->ToString();
+    RowCtx ctx;
+    ctx.base = &base;
+    ctx.detail = &detail;
+    for (int64_t b = 0; b < base.num_rows(); ++b) {
+      for (int64_t d = 0; d < detail.num_rows(); ++d) {
+        ctx.base_row = b;
+        ctx.detail_row = d;
+        Value v = compiled->Eval(ctx);
+        // The inferred static type must match the runtime payload type (up
+        // to NULL, which any expression may produce, and numeric widening:
+        // int64-typed expressions never produce float64, float64-typed ones
+        // may produce either through int fast paths).
+        if (v.is_null() || v.is_all()) continue;
+        DataType rt = *v.Type();
+        DataType st = compiled->result_type();
+        bool consistent = rt == st || (st == DataType::kFloat64 && rt == DataType::kInt64);
+        EXPECT_TRUE(consistent)
+            << expr->ToString() << " static=" << DataTypeToString(st)
+            << " runtime=" << DataTypeToString(rt) << " value=" << v.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ExprFuzz, ConjunctAnalysisPreservesSemantics) {
+  Random rng(GetParam() + 5000);
+  Schema base_schema = BaseSchema();
+  Schema detail_schema = DetailSchema();
+  Table base = RandomTable(base_schema, &rng, 10);
+  Table detail = RandomTable(detail_schema, &rng, 10);
+
+  for (int round = 0; round < 40; ++round) {
+    // Conjunctions of random predicates — the θ shape AnalyzeTheta sees.
+    std::vector<ExprPtr> conjuncts;
+    int n = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < n; ++i) {
+      conjuncts.push_back(
+          Eq(RandomExpr(&rng, 2), RandomExpr(&rng, 2)));
+    }
+    ExprPtr theta = CombineConjuncts(conjuncts);
+    ExprPtr recombined = CombineTheta(AnalyzeTheta(theta));
+    Result<CompiledExpr> a = CompileExpr(theta, &base_schema, &detail_schema);
+    Result<CompiledExpr> b = CompileExpr(recombined, &base_schema, &detail_schema);
+    ASSERT_TRUE(a.ok() && b.ok());
+    RowCtx ctx;
+    ctx.base = &base;
+    ctx.detail = &detail;
+    for (int64_t br = 0; br < base.num_rows(); ++br) {
+      for (int64_t dr = 0; dr < detail.num_rows(); ++dr) {
+        ctx.base_row = br;
+        ctx.detail_row = dr;
+        EXPECT_EQ(a->EvalBool(ctx), b->EvalBool(ctx))
+            << theta->ToString() << " vs " << recombined->ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz, ::testing::Values(101, 202, 303, 404),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mdjoin

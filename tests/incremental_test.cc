@@ -1,0 +1,170 @@
+/// Tests for the two access/maintenance extensions: range extraction +
+/// clustered-index detail access (access_path.h) and incremental MD-join
+/// maintenance under appends (incremental.h).
+
+#include <gtest/gtest.h>
+
+#include "core/access_path.h"
+#include "core/incremental.h"
+#include "cube/base_tables.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using testutil::I;
+
+TEST(AccessPathTest, ExtractsRangesFromDetailConjuncts) {
+  ExprPtr theta = And(Eq(RCol("prod"), BCol("prod")), Ge(RCol("year"), Lit(1995)),
+                      Le(RCol("year"), Lit(1997)));
+  DetailKeyRange range = ExtractDetailKeyRange(theta, "year");
+  ASSERT_TRUE(range.bounded());
+  EXPECT_EQ(range.lo->int64(), 1995);
+  EXPECT_EQ(range.hi->int64(), 1997);
+}
+
+TEST(AccessPathTest, IntersectsMultipleBoundsAndMirrors) {
+  // 1994 <= year, year <= 1999, 1996 >= year (mirrored: year <= 1996),
+  // year >= 1995: net [1995, 1996].
+  ExprPtr theta = And(Le(Lit(1994), RCol("year")), Le(RCol("year"), Lit(1999)),
+                      Ge(Lit(1996), RCol("year")), Ge(RCol("year"), Lit(1995)));
+  DetailKeyRange range = ExtractDetailKeyRange(theta, "year");
+  EXPECT_EQ(range.lo->int64(), 1995);
+  EXPECT_EQ(range.hi->int64(), 1996);
+}
+
+TEST(AccessPathTest, EqualityAndIrrelevantConjuncts) {
+  ExprPtr theta = And(Eq(RCol("year"), Lit(1999)), Eq(RCol("state"), Lit("NY")),
+                      Gt(RCol("sale"), BCol("cust")));
+  DetailKeyRange range = ExtractDetailKeyRange(theta, "year");
+  EXPECT_EQ(range.lo->int64(), 1999);
+  EXPECT_EQ(range.hi->int64(), 1999);
+  // No predicate on the key at all: unbounded.
+  EXPECT_FALSE(ExtractDetailKeyRange(Eq(RCol("prod"), BCol("prod")), "year").bounded());
+  // Equi conjuncts with the base side do not constrain the scan.
+  EXPECT_FALSE(ExtractDetailKeyRange(Eq(RCol("year"), BCol("year")), "year").bounded());
+}
+
+TEST(AccessPathTest, IndexedDetailMatchesFullScan) {
+  Table sales = testutil::RandomSales(41, 400);
+  Result<Table> base = GroupByBase(sales, {"prod"});
+  Result<ClusteredIndex> index = ClusteredIndex::Build(sales, "year");
+  ASSERT_TRUE(index.ok());
+  std::vector<AggSpec> aggs = {Sum(RCol("sale"), "total"), Count("n")};
+  for (const ExprPtr& theta : {
+           And(Eq(RCol("prod"), BCol("prod")), Ge(RCol("year"), Lit(1997))),
+           And(Eq(RCol("prod"), BCol("prod")), Eq(RCol("year"), Lit(1999))),
+           And(Eq(RCol("prod"), BCol("prod")), Gt(RCol("year"), Lit(1996)),
+               Lt(RCol("year"), Lit(1999))),  // strict bounds widen, θ rechecks
+           Eq(RCol("prod"), BCol("prod")),    // unbounded: full clustered scan
+       }) {
+    MdJoinStats indexed_stats;
+    Result<Table> indexed =
+        MdJoinIndexedDetail(*base, *index, aggs, theta, {}, &indexed_stats);
+    Result<Table> full = MdJoin(*base, sales, aggs, theta);
+    ASSERT_TRUE(indexed.ok() && full.ok()) << theta->ToString();
+    EXPECT_TRUE(TablesEqualOrdered(*indexed, *full)) << theta->ToString();
+  }
+}
+
+TEST(AccessPathTest, IndexedDetailScansOnlyTheRange) {
+  Table sales = testutil::RandomSales(42, 600);
+  Result<Table> base = GroupByBase(sales, {"prod"});
+  Result<ClusteredIndex> index = ClusteredIndex::Build(sales, "year");
+  ExprPtr theta = And(Eq(RCol("prod"), BCol("prod")), Eq(RCol("year"), Lit(1999)));
+  MdJoinStats stats;
+  Result<Table> out = MdJoinIndexedDetail(*base, *index, {Count("n")}, theta, {},
+                                          &stats);
+  ASSERT_TRUE(out.ok());
+  int64_t year_rows = index->PointScan(I(1999)).num_rows();
+  EXPECT_EQ(stats.detail_rows_scanned, year_rows);
+  EXPECT_LT(year_rows, sales.num_rows());
+}
+
+TEST(AccessPathTest, ContradictoryRangeYieldsIdentityAggregates) {
+  Table sales = testutil::RandomSales(43, 100);
+  Result<Table> base = GroupByBase(sales, {"prod"});
+  Result<ClusteredIndex> index = ClusteredIndex::Build(sales, "year");
+  ExprPtr theta = And(Eq(RCol("prod"), BCol("prod")), Ge(RCol("year"), Lit(2005)),
+                      Le(RCol("year"), Lit(2000)));
+  Result<Table> out = MdJoinIndexedDetail(*base, *index, {Count("n")}, theta);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), base->num_rows());
+  for (int64_t r = 0; r < out->num_rows(); ++r) {
+    EXPECT_EQ(out->Get(r, 1).int64(), 0);
+  }
+}
+
+TEST(IncrementalTest, DeltaEqualsRecomputation) {
+  Table all = testutil::RandomSales(51, 500);
+  // Split into an initial load and three appended batches.
+  std::vector<Table> batches = PartitionIntoN(all, 4);
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month")));
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total"),
+                               Min(RCol("sale"), "lo"), Max(RCol("sale"), "hi")};
+  // The base is fixed up front (all cust/month pairs of the full data) —
+  // base values are decoupled from the data, so this is natural here.
+  Result<Table> base = GroupByBase(all, {"cust", "month"});
+  Result<Table> materialized = MdJoin(*base, batches[0], aggs, theta);
+  ASSERT_TRUE(materialized.ok());
+  Table current = std::move(*materialized);
+  Table loaded = batches[0].Clone();
+  for (size_t i = 1; i < batches.size(); ++i) {
+    MdJoinStats stats;
+    Result<Table> updated =
+        MdJoinApplyDelta(current, batches[i], aggs, theta, {}, &stats);
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    // Only the delta was scanned.
+    EXPECT_EQ(stats.detail_rows_scanned, batches[i].num_rows());
+    current = std::move(*updated);
+    Result<Table> both = Concat(loaded, batches[i]);
+    loaded = std::move(*both);
+    Result<Table> recomputed = MdJoin(*base, loaded, aggs, theta);
+    ASSERT_TRUE(recomputed.ok());
+    EXPECT_TRUE(TablesEqualOrdered(current, *recomputed)) << "batch " << i;
+  }
+}
+
+TEST(IncrementalTest, CubeMaintenance) {
+  // Maintaining a full data cube under appends — the materialized-view case.
+  Table all = testutil::RandomSales(53, 300);
+  std::vector<Table> halves = PartitionIntoN(all, 2);
+  std::vector<std::string> dims = {"prod", "month"};
+  ExprPtr theta = And(Eq(BCol("prod"), RCol("prod")), Eq(BCol("month"), RCol("month")));
+  std::vector<AggSpec> aggs = {Sum(RCol("sale"), "total"), Count("n")};
+  Result<Table> base = CubeByBase(all, dims);
+  Result<Table> cube0 = MdJoin(*base, halves[0], aggs, theta);
+  Result<Table> cube1 = MdJoinApplyDelta(*cube0, halves[1], aggs, theta);
+  Result<Table> full = MdJoin(*base, all, aggs, theta);
+  ASSERT_TRUE(cube1.ok() && full.ok());
+  EXPECT_TRUE(TablesEqualOrdered(*cube1, *full));
+}
+
+TEST(IncrementalTest, EmptyDeltaIsIdentity) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+  ExprPtr theta = Eq(RCol("cust"), BCol("cust"));
+  Result<Table> current = MdJoin(*base, sales, aggs, theta);
+  Table empty{testutil::SalesSchema()};
+  Result<Table> updated = MdJoinApplyDelta(*current, empty, aggs, theta);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_TRUE(TablesEqualOrdered(*current, *updated));
+}
+
+TEST(IncrementalTest, Preconditions) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ExprPtr theta = Eq(RCol("cust"), BCol("cust"));
+  Result<Table> current = MdJoin(*base, sales, {Avg(RCol("sale"), "a")}, theta);
+  // avg is algebraic, not distributive: refuse.
+  EXPECT_FALSE(MdJoinApplyDelta(*current, sales, {Avg(RCol("sale"), "a")}, theta).ok());
+  // Mismatched aggregate names against the previous schema.
+  Result<Table> counted = MdJoin(*base, sales, {Count("n")}, theta);
+  EXPECT_FALSE(MdJoinApplyDelta(*counted, sales, {Count("m")}, theta).ok());
+}
+
+}  // namespace
+}  // namespace mdjoin

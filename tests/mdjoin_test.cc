@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include "core/generalized.h"
+#include "core/mdjoin.h"
+#include "core/reference.h"
+#include "cube/base_tables.h"
+#include "ra/filter.h"
+#include "ra/group_by.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using testutil::I;
+using testutil::S;
+
+/// θ for per-customer aggregation: R.cust = B.cust.
+ExprPtr CustTheta() { return Eq(RCol("cust"), BCol("cust")); }
+
+TEST(MdJoinTest, MatchesGroupByWhenBaseIsDistinctKeys) {
+  // When B = select distinct cust and θ is the key equality, the MD-join
+  // computes exactly the GROUP BY (note 3.1 in the paper).
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ASSERT_TRUE(base.ok());
+  Result<Table> md = MdJoin(*base, sales, {Sum(RCol("sale"), "total"), Count("n")},
+                            CustTheta());
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+  Result<Table> gb = GroupBy(sales, {"cust"}, {Sum(Col("sale"), "total"), Count("n")});
+  ASSERT_TRUE(gb.ok());
+  EXPECT_TRUE(TablesEqualUnordered(*md, *gb));
+}
+
+TEST(MdJoinTest, OuterSemanticsKeepEveryBaseRow) {
+  // Base rows with no matching detail tuples still appear (count 0, sum NULL).
+  Table sales = testutil::SmallSales();
+  TableBuilder extra({{"cust", DataType::kInt64}});
+  for (int64_t c : {1, 2, 3, 4, 99}) extra.AppendRowOrDie({I(c)});
+  Table base = std::move(extra).Finish();
+  Result<Table> md =
+      MdJoin(base, sales, {Count("n"), Sum(RCol("sale"), "total")}, CustTheta());
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->num_rows(), 5);
+  // Customer 99 never bought anything.
+  EXPECT_EQ(md->Get(4, 0).int64(), 99);
+  EXPECT_EQ(md->Get(4, 1).int64(), 0);
+  EXPECT_TRUE(md->Get(4, 2).is_null());
+}
+
+TEST(MdJoinTest, OutputOrderFollowsBase) {
+  Table sales = testutil::SmallSales();
+  TableBuilder b({{"cust", DataType::kInt64}});
+  for (int64_t c : {3, 1, 4}) b.AppendRowOrDie({I(c)});
+  Result<Table> md = MdJoin(std::move(b).Finish(), sales, {Count("n")}, CustTheta());
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->Get(0, 0).int64(), 3);
+  EXPECT_EQ(md->Get(1, 0).int64(), 1);
+  EXPECT_EQ(md->Get(2, 0).int64(), 4);
+}
+
+TEST(MdJoinTest, DetailOnlyConjunctRestricts) {
+  // Example 2.2 shape: per-customer average sale in NY only.
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ExprPtr theta = And(CustTheta(), Eq(RCol("state"), Lit("NY")));
+  Result<Table> md = MdJoin(*base, sales, {Avg(RCol("sale"), "avg_ny")}, theta);
+  ASSERT_TRUE(md.ok());
+  // cust 1: NY sales 100, 200 -> avg 150. cust 4: none -> NULL.
+  EXPECT_DOUBLE_EQ(md->Get(0, 1).float64(), 150.0);
+  EXPECT_TRUE(md->Get(3, 1).is_null());
+}
+
+TEST(MdJoinTest, ComputedKeyTheta) {
+  // Example 2.5 shape: aggregate the *previous* month per (prod, month).
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"prod", "month"});
+  ExprPtr theta = And(Eq(RCol("prod"), BCol("prod")),
+                      Eq(RCol("month"), Sub(BCol("month"), Lit(1))));
+  Result<Table> md = MdJoin(*base, sales, {Avg(RCol("sale"), "prev_avg")}, theta);
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+  Result<Table> ref = MdJoinReference(*base, sales, {Avg(RCol("sale"), "prev_avg")}, theta);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(TablesEqualUnordered(*md, *ref));
+}
+
+TEST(MdJoinTest, ResidualNonEquiConjunct) {
+  // θ with an inequality against a base column (Example 2.3's second pass).
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  Result<Table> with_avg = MdJoin(*base, sales, {Avg(RCol("sale"), "avg_sale")},
+                                  CustTheta());
+  ASSERT_TRUE(with_avg.ok());
+  ExprPtr theta2 = And(CustTheta(), Gt(RCol("sale"), BCol("avg_sale")));
+  Result<Table> md = MdJoin(*with_avg, sales, {Count("above")}, theta2);
+  ASSERT_TRUE(md.ok());
+  Result<Table> ref = MdJoinReference(*with_avg, sales, {Count("above")}, theta2);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(TablesEqualUnordered(*md, *ref));
+}
+
+TEST(MdJoinTest, CubeBaseWithAllWildcards) {
+  // MD over a cube base: the ALL rows aggregate at coarser granularity.
+  Table sales = testutil::SmallSales();
+  Result<Table> base = CubeByBase(sales, {"prod", "month"});
+  ASSERT_TRUE(base.ok());
+  ExprPtr theta =
+      And(Eq(BCol("prod"), RCol("prod")), Eq(BCol("month"), RCol("month")));
+  Result<Table> md = MdJoin(*base, sales, {Sum(RCol("sale"), "total")}, theta);
+  ASSERT_TRUE(md.ok());
+  Result<Table> ref = MdJoinReference(*base, sales, {Sum(RCol("sale"), "total")}, theta);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(TablesEqualUnordered(*md, *ref));
+  // The (ALL, ALL) row holds the grand total.
+  double grand = 0;
+  for (int64_t r = 0; r < sales.num_rows(); ++r) grand += sales.Get(r, 6).AsDouble();
+  bool found = false;
+  for (int64_t r = 0; r < md->num_rows(); ++r) {
+    if (md->Get(r, 0).is_all() && md->Get(r, 1).is_all()) {
+      found = true;
+      EXPECT_DOUBLE_EQ(md->Get(r, 2).AsDouble(), grand);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MdJoinTest, IndexAndNoIndexAgree) {
+  Table sales = testutil::RandomSales(11, 300);
+  Result<Table> base = GroupByBase(sales, {"cust", "month"});
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month")),
+                      Gt(RCol("sale"), Lit(100)));
+  MdJoinOptions indexed;
+  MdJoinOptions plain;
+  plain.use_index = false;
+  plain.push_detail_selection = false;
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total"),
+                               Min(RCol("sale"), "lo"), Max(RCol("sale"), "hi")};
+  Result<Table> a = MdJoin(*base, sales, aggs, theta, indexed);
+  Result<Table> b = MdJoin(*base, sales, aggs, theta, plain);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(TablesEqualOrdered(*a, *b));
+}
+
+TEST(MdJoinTest, IndexPrunesCandidatePairs) {
+  Table sales = testutil::RandomSales(13, 500);
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  MdJoinStats with_index, without_index;
+  MdJoinOptions no_index;
+  no_index.use_index = false;
+  ASSERT_TRUE(MdJoin(*base, sales, {Count("n")}, CustTheta(), {}, &with_index).ok());
+  ASSERT_TRUE(
+      MdJoin(*base, sales, {Count("n")}, CustTheta(), no_index, &without_index).ok());
+  // Nested loop tests |B| pairs per tuple; the index tests only Rel(t).
+  EXPECT_EQ(without_index.candidate_pairs, base->num_rows() * sales.num_rows());
+  EXPECT_EQ(with_index.candidate_pairs, sales.num_rows());  // unique cust key
+  EXPECT_EQ(with_index.matched_pairs, without_index.matched_pairs);
+}
+
+TEST(MdJoinTest, PushdownSkipsDetailRows) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ExprPtr theta = And(CustTheta(), Eq(RCol("year"), Lit(1999)));
+  MdJoinStats pushed, unpushed;
+  MdJoinOptions no_push;
+  no_push.push_detail_selection = false;
+  ASSERT_TRUE(MdJoin(*base, sales, {Count("n")}, theta, {}, &pushed).ok());
+  ASSERT_TRUE(MdJoin(*base, sales, {Count("n")}, theta, no_push, &unpushed).ok());
+  EXPECT_EQ(pushed.detail_rows_qualified, 3);  // three 1999 rows
+  EXPECT_EQ(unpushed.detail_rows_qualified, sales.num_rows());
+  EXPECT_EQ(pushed.matched_pairs, unpushed.matched_pairs);
+}
+
+TEST(MdJoinTest, MemoryBudgetMultiPass) {
+  // §4.1.1: base larger than the budget => several scans of R, same result.
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});  // 4 rows
+  MdJoinOptions budget;
+  budget.base_rows_per_pass = 1;
+  MdJoinStats stats;
+  Result<Table> md = MdJoin(*base, sales, {Count("n")}, CustTheta(), budget, &stats);
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(stats.passes_over_detail, 4);
+  EXPECT_EQ(stats.detail_rows_scanned, 4 * sales.num_rows());
+  Result<Table> single = MdJoin(*base, sales, {Count("n")}, CustTheta());
+  EXPECT_TRUE(TablesEqualOrdered(*md, *single));
+}
+
+TEST(MdJoinTest, EmptyBaseAndEmptyDetail) {
+  Table sales = testutil::SmallSales();
+  Table empty_base{Schema({{"cust", DataType::kInt64}})};
+  Result<Table> md = MdJoin(empty_base, sales, {Count("n")}, CustTheta());
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->num_rows(), 0);
+  EXPECT_EQ(md->num_columns(), 2);
+
+  Table empty_detail{testutil::SalesSchema()};
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  Result<Table> md2 =
+      MdJoin(*base, empty_detail, {Count("n"), Sum(RCol("sale"), "t")}, CustTheta());
+  ASSERT_TRUE(md2.ok());
+  EXPECT_EQ(md2->num_rows(), base->num_rows());
+  for (int64_t r = 0; r < md2->num_rows(); ++r) {
+    EXPECT_EQ(md2->Get(r, 1).int64(), 0);
+    EXPECT_TRUE(md2->Get(r, 2).is_null());
+  }
+}
+
+TEST(MdJoinTest, NullThetaRejected) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  EXPECT_FALSE(MdJoin(*base, sales, {Count("n")}, nullptr).ok());
+}
+
+TEST(MdJoinTest, ThetaReferencingUnknownColumnFails) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  EXPECT_FALSE(MdJoin(*base, sales, {Count("n")}, Eq(RCol("cust"), BCol("nope"))).ok());
+}
+
+TEST(MdJoinTest, TrueThetaAggregatesEverything) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  Result<Table> md = MdJoin(*base, sales, {Count("n")}, True());
+  ASSERT_TRUE(md.ok());
+  for (int64_t r = 0; r < md->num_rows(); ++r) {
+    EXPECT_EQ(md->Get(r, 1).int64(), sales.num_rows());
+  }
+}
+
+TEST(MdJoinTest, NullKeysNeverMatch) {
+  TableBuilder bb({{"cust", DataType::kInt64}});
+  bb.AppendRowOrDie({testutil::NUL()});
+  bb.AppendRowOrDie({I(1)});
+  Table base = std::move(bb).Finish();
+  TableBuilder db({{"cust", DataType::kInt64}, {"sale", DataType::kFloat64}});
+  db.AppendRowOrDie({testutil::NUL(), testutil::F(5)});
+  db.AppendRowOrDie({I(1), testutil::F(7)});
+  Table detail = std::move(db).Finish();
+  for (bool use_index : {true, false}) {
+    MdJoinOptions opts;
+    opts.use_index = use_index;
+    Result<Table> md = MdJoin(base, detail, {Count("n")}, CustTheta(), opts);
+    ASSERT_TRUE(md.ok());
+    EXPECT_EQ(md->Get(0, 1).int64(), 0);  // NULL base key matches nothing
+    EXPECT_EQ(md->Get(1, 1).int64(), 1);  // NULL detail key matches nothing
+  }
+}
+
+TEST(GeneralizedMdJoinTest, MatchesSeriesOfMdJoins) {
+  // Example 2.2 / 3.1 fused: three independent θs in one scan.
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  auto state_theta = [](const char* st) {
+    return And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("state"), Lit(st)));
+  };
+  std::vector<MdJoinComponent> comps;
+  comps.push_back({{Avg(RCol("sale"), "avg_ny")}, state_theta("NY")});
+  comps.push_back({{Avg(RCol("sale"), "avg_nj")}, state_theta("NJ")});
+  comps.push_back({{Avg(RCol("sale"), "avg_ct")}, state_theta("CT")});
+  MdJoinStats stats;
+  Result<Table> fused = GeneralizedMdJoin(*base, sales, comps, {}, &stats);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_EQ(stats.detail_rows_scanned, sales.num_rows());  // ONE scan
+
+  // Series evaluation: three separate MD-joins, three scans.
+  Result<Table> step = MdJoin(*base, sales, {Avg(RCol("sale"), "avg_ny")},
+                              state_theta("NY"));
+  ASSERT_TRUE(step.ok());
+  step = MdJoin(*step, sales, {Avg(RCol("sale"), "avg_nj")}, state_theta("NJ"));
+  ASSERT_TRUE(step.ok());
+  step = MdJoin(*step, sales, {Avg(RCol("sale"), "avg_ct")}, state_theta("CT"));
+  ASSERT_TRUE(step.ok());
+  EXPECT_TRUE(TablesEqualOrdered(*fused, *step));
+}
+
+TEST(GeneralizedMdJoinTest, RejectsDuplicateOutputs) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  std::vector<MdJoinComponent> comps;
+  comps.push_back({{Count("n")}, CustTheta()});
+  comps.push_back({{Count("n")}, CustTheta()});
+  EXPECT_FALSE(GeneralizedMdJoin(*base, sales, comps).ok());
+}
+
+TEST(GeneralizedMdJoinTest, RejectsDependentTheta) {
+  // A θ that references the first component's output cannot bind: fusion
+  // preconditions (Theorem 4.3) are enforced by construction.
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  std::vector<MdJoinComponent> comps;
+  comps.push_back({{Avg(RCol("sale"), "avg_sale")}, CustTheta()});
+  comps.push_back({{Count("n")}, And(CustTheta(), Gt(RCol("sale"), BCol("avg_sale")))});
+  EXPECT_FALSE(GeneralizedMdJoin(*base, sales, comps).ok());
+}
+
+TEST(GeneralizedMdJoinTest, EmptyComponentsRejected) {
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  EXPECT_FALSE(GeneralizedMdJoin(*base, sales, {}).ok());
+}
+
+TEST(ReferenceTest, AgreesWithOptimizedOnRandomInputs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Table sales = testutil::RandomSales(seed, 120);
+    Result<Table> base = GroupByBase(sales, {"prod", "month"});
+    ExprPtr theta = And(Eq(RCol("prod"), BCol("prod")),
+                        Eq(RCol("month"), BCol("month")), Gt(RCol("sale"), Lit(50)));
+    std::vector<AggSpec> aggs = {Count("n"), Avg(RCol("sale"), "a")};
+    Result<Table> fast = MdJoin(*base, sales, aggs, theta);
+    Result<Table> ref = MdJoinReference(*base, sales, aggs, theta);
+    ASSERT_TRUE(fast.ok() && ref.ok());
+    EXPECT_TRUE(TablesEqualOrdered(*fast, *ref)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mdjoin

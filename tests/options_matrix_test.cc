@@ -1,0 +1,99 @@
+/// Exhaustive evaluator-configuration sweep: every combination of
+/// MdJoinOptions (index on/off × pushdown on/off × memory budget) must
+/// produce bit-identical results for every θ-condition class, across seeds.
+/// One parameterized suite covering the evaluator's whole option space.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mdjoin.h"
+#include "core/reference.h"
+#include "cube/base_tables.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+
+struct ThetaCase {
+  const char* name;
+  ExprPtr theta;
+  bool cube_base;  // use a cube base table instead of distinct keys
+};
+
+std::vector<ThetaCase> ThetaCases() {
+  std::vector<ThetaCase> cases;
+  cases.push_back({"plain_equi", Eq(RCol("cust"), BCol("cust")), false});
+  cases.push_back({"multi_equi",
+                   And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month"))),
+                   false});
+  cases.push_back({"computed_key",
+                   And(Eq(RCol("cust"), BCol("cust")),
+                       Eq(RCol("month"), Sub(BCol("month"), Lit(1)))),
+                   false});
+  cases.push_back({"detail_only",
+                   And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("state"), Lit("NY")),
+                       Gt(RCol("sale"), Lit(100))),
+                   false});
+  cases.push_back({"base_only",
+                   And(Eq(RCol("cust"), BCol("cust")), Le(BCol("cust"), Lit(3))),
+                   false});
+  cases.push_back({"residual_mixed",
+                   And(Eq(RCol("cust"), BCol("cust")),
+                       Gt(RCol("sale"), Mul(BCol("month"), Lit(30)))),
+                   false});
+  cases.push_back({"no_equi_at_all", Gt(RCol("sale"), Mul(BCol("cust"), Lit(50))),
+                   false});
+  cases.push_back({"cube_wildcards",
+                   And(Eq(BCol("prod"), RCol("prod")), Eq(BCol("month"), RCol("month"))),
+                   true});
+  return cases;
+}
+
+/// Param: (seed, theta case index).
+class OptionsMatrix : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(OptionsMatrix, AllConfigurationsAgreeWithReference) {
+  auto [seed, case_index] = GetParam();
+  ThetaCase theta_case = ThetaCases()[static_cast<size_t>(case_index)];
+  Table sales = testutil::RandomSales(seed, 150);
+  Table base = theta_case.cube_base
+                   ? *CubeByBase(sales, {"prod", "month"})
+                   : *GroupByBase(sales, {"cust", "month"});
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total"),
+                               Min(RCol("sale"), "lo"), Avg(RCol("sale"), "mean")};
+
+  Result<Table> oracle = MdJoinReference(base, sales, aggs, theta_case.theta);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  for (bool use_index : {true, false}) {
+    for (bool pushdown : {true, false}) {
+      for (int64_t budget : {int64_t{0}, int64_t{1}, int64_t{7}}) {
+        MdJoinOptions options;
+        options.use_index = use_index;
+        options.push_detail_selection = pushdown;
+        options.base_rows_per_pass = budget;
+        Result<Table> got = MdJoin(base, sales, aggs, theta_case.theta, options);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_TRUE(TablesEqualOrdered(*oracle, *got))
+            << theta_case.name << " index=" << use_index << " pushdown=" << pushdown
+            << " budget=" << budget;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThetas, OptionsMatrix,
+    ::testing::Combine(::testing::Values(3, 17, 29),
+                       ::testing::Range(0, static_cast<int>(ThetaCases().size()))),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, int>>& info) {
+      return "seed_" + std::to_string(std::get<0>(info.param)) + "_" +
+             ThetaCases()[static_cast<size_t>(std::get<1>(info.param))].name;
+    });
+
+}  // namespace
+}  // namespace mdjoin

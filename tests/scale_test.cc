@@ -1,0 +1,138 @@
+/// Moderate-scale smoke tests (~20k detail rows): catch quadratic
+/// regressions and verify the headline paths agree with each other at a
+/// size where accidental O(|B|·|R|) behavior would visibly drag. Each test
+/// should stay well under a second on a laptop core.
+///
+/// Strategy comparisons use the approximate table equality: with thousands
+/// of float64 rows per group, plans that add in different orders legally
+/// differ in the last ulps (IEEE addition is not associative). The exact
+/// comparisons remain in the small-input suites, where sums stay exact.
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/mdjoin.h"
+#include "cube/base_tables.h"
+#include "cube/partitioned_cube.h"
+#include "cube/pipesort.h"
+#include "expr/conjuncts.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+
+Table BigSales() {
+  SalesConfig config;
+  config.num_rows = 20000;
+  config.num_customers = 500;
+  config.num_products = 30;
+  config.num_months = 12;
+  config.num_states = 8;
+  config.seed = 1234;
+  return GenerateSales(config);
+}
+
+TEST(ScaleTest, IndexedMdJoinAtTwentyThousandRows) {
+  Table sales = BigSales();
+  Result<Table> base = GroupByBase(sales, {"cust", "month"});
+  ASSERT_TRUE(base.ok());
+  EXPECT_GT(base->num_rows(), 4000);
+  MdJoinStats stats;
+  Result<Table> md = MdJoin(
+      *base, sales,
+      {Count("n"), Sum(RCol("sale"), "total"), Avg(RCol("sale"), "mean")},
+      And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month"))), {},
+      &stats);
+  ASSERT_TRUE(md.ok());
+  // The index keeps pair work linear in |R|, independent of |B|.
+  EXPECT_EQ(stats.candidate_pairs, sales.num_rows());
+  EXPECT_EQ(stats.matched_pairs, sales.num_rows());
+  // Row-count conservation: the counts across the output sum to |R|.
+  int64_t total_n = 0;
+  int agg_col = md->num_columns() - 3;
+  for (int64_t r = 0; r < md->num_rows(); ++r) total_n += md->Get(r, agg_col).int64();
+  EXPECT_EQ(total_n, sales.num_rows());
+}
+
+TEST(ScaleTest, ThreeDimCubeStrategiesAgree) {
+  Table sales = BigSales();
+  std::vector<std::string> dims = {"prod", "month", "state"};
+  std::vector<AggSpec> aggs = {Sum(RCol("sale"), "total"), Count("n")};
+  std::vector<ExprPtr> eqs;
+  for (const std::string& d : dims) eqs.push_back(Eq(BCol(d), RCol(d)));
+  ExprPtr theta = CombineConjuncts(std::move(eqs));
+
+  Result<Table> base = CubeByBase(sales, dims);
+  Result<Table> direct = MdJoin(*base, sales, aggs, theta);
+  ASSERT_TRUE(direct.ok());
+
+  Result<CubeLattice> lattice = CubeLattice::Make(dims);
+  auto cardinality = *CuboidCardinalities(sales, *lattice);
+  Result<PipesortPlan> plan = BuildPipesortPlan(*lattice, cardinality);
+  Result<Table> pipesort = ExecutePipesortPlan(*plan, sales, aggs);
+  ASSERT_TRUE(pipesort.ok());
+  EXPECT_TRUE(TablesApproxEqualUnordered(*direct, *pipesort));
+
+  Result<Table> partitioned = PartitionedCube(sales, {"prod", "month"}, aggs, "month");
+  ASSERT_TRUE(partitioned.ok());
+  Result<Table> base2 = CubeByBase(sales, {"prod", "month"});
+  Result<Table> direct2 =
+      MdJoin(*base2, sales, aggs,
+             And(Eq(BCol("prod"), RCol("prod")), Eq(BCol("month"), RCol("month"))));
+  EXPECT_TRUE(TablesApproxEqualUnordered(*partitioned, *direct2));
+}
+
+TEST(ScaleTest, IncrementalBatchesConvergeAtScale) {
+  Table sales = BigSales();
+  std::vector<Table> batches = PartitionIntoN(sales, 5);
+  ExprPtr theta = Eq(RCol("cust"), BCol("cust"));
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  Table current = *MdJoin(*base, batches[0], aggs, theta);
+  for (size_t i = 1; i < batches.size(); ++i) {
+    current = *MdJoinApplyDelta(current, batches[i], aggs, theta);
+  }
+  Result<Table> full = MdJoin(*base, sales, aggs, theta);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(TablesApproxEqualOrdered(current, *full));
+}
+
+TEST(ScaleTest, ConstantFoldingOnGeneratedTheta) {
+  // Machine-generated θs often carry literal scaffolding; folding must not
+  // change results and must simplify trivially-true parts away.
+  Table sales = BigSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ExprPtr theta = And(And(True(), Eq(RCol("cust"), BCol("cust"))),
+                      Or(False(), Gt(RCol("sale"), Add(Lit(50), Mul(Lit(10), Lit(5))))));
+  ExprPtr folded = FoldConstants(theta);
+  // The folded tree contains the computed literal 100 and no and-true shims.
+  EXPECT_EQ(folded->ToString(),
+            "((R.cust = B.cust) and (R.sale > 100))");
+  Result<Table> a = MdJoin(*base, sales, {Count("n")}, theta);
+  Result<Table> b = MdJoin(*base, sales, {Count("n")}, folded);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(TablesEqualOrdered(*a, *b));
+}
+
+TEST(ScaleTest, FoldConstantsIdentities) {
+  ExprPtr col = Gt(RCol("sale"), Lit(10));
+  EXPECT_EQ(FoldConstants(And(col, True()))->ToString(), col->ToString());
+  EXPECT_EQ(FoldConstants(And(True(), col))->ToString(), col->ToString());
+  EXPECT_EQ(FoldConstants(And(col, False()))->ToString(), "0");
+  EXPECT_EQ(FoldConstants(Or(col, False()))->ToString(), col->ToString());
+  EXPECT_EQ(FoldConstants(Or(col, True()))->ToString(), "1");
+  EXPECT_EQ(FoldConstants(Add(Lit(2), Lit(3)))->ToString(), "5");
+  // Column-bearing subtrees stay intact.
+  EXPECT_EQ(FoldConstants(col)->ToString(), col->ToString());
+  // CASE arms fold recursively.
+  ExprPtr folded_case =
+      FoldConstants(dsl::CaseWhen({{col, Add(Lit(1), Lit(1))}}, Lit(0)));
+  EXPECT_EQ(folded_case->ToString(), "(case when (R.sale > 10) then 2 else 0 end)");
+}
+
+}  // namespace
+}  // namespace mdjoin

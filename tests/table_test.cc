@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using testutil::ALL;
+using testutil::F;
+using testutil::I;
+using testutil::NUL;
+using testutil::S;
+
+Table TwoColumn() {
+  TableBuilder b({{"k", DataType::kInt64}, {"v", DataType::kString}});
+  b.AppendRowOrDie({I(2), S("b")});
+  b.AppendRowOrDie({I(1), S("a")});
+  b.AppendRowOrDie({I(2), S("c")});
+  b.AppendRowOrDie({I(3), S("a")});
+  return std::move(b).Finish();
+}
+
+TEST(TableBuilderTest, TypeChecksCells) {
+  TableBuilder b({{"k", DataType::kInt64}, {"v", DataType::kString}});
+  EXPECT_TRUE(b.AppendRow({I(1), S("x")}).ok());
+  EXPECT_TRUE(b.AppendRow({NUL(), ALL()}).ok());  // NULL/ALL fit any column
+  EXPECT_TRUE(b.AppendRow({I(1), I(2)}).IsTypeError());
+  EXPECT_TRUE(b.AppendRow({I(1)}).IsInvalidArgument());  // arity
+}
+
+TEST(TableBuilderTest, NumericColumnsInterchangeable) {
+  TableBuilder b({{"x", DataType::kFloat64}});
+  EXPECT_TRUE(b.AppendRow({I(3)}).ok());  // int literal into float column
+  EXPECT_TRUE(b.AppendRow({F(3.5)}).ok());
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t = TwoColumn();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.Get(0, 0).int64(), 2);
+  EXPECT_EQ(t.Get(2, 1).string(), "c");
+}
+
+TEST(TableTest, CloneIsIndependent) {
+  Table t = TwoColumn();
+  Table c = t.Clone();
+  c.Set(0, 0, I(99));
+  EXPECT_EQ(t.Get(0, 0).int64(), 2);
+  EXPECT_EQ(c.Get(0, 0).int64(), 99);
+}
+
+TEST(TableTest, GetRowKey) {
+  Table t = TwoColumn();
+  RowKey key = t.GetRowKey(1, {1, 0});
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0].string(), "a");
+  EXPECT_EQ(key[1].int64(), 1);
+}
+
+TEST(TableTest, AddColumn) {
+  Table t = TwoColumn();
+  ASSERT_TRUE(t.AddColumn({"w", DataType::kInt64}, {I(1), I(2), I(3), I(4)}).ok());
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.Get(3, 2).int64(), 4);
+  EXPECT_FALSE(t.AddColumn({"w", DataType::kInt64}, {}).ok());       // duplicate name
+  EXPECT_FALSE(t.AddColumn({"z", DataType::kInt64}, {I(1)}).ok());   // wrong length
+}
+
+TEST(TableOpsTest, SortByKeyColumns) {
+  Table t = TwoColumn();
+  Table sorted = SortTable(t, {{0, true}, {1, false}});
+  EXPECT_EQ(sorted.Get(0, 0).int64(), 1);
+  EXPECT_EQ(sorted.Get(1, 0).int64(), 2);
+  EXPECT_EQ(sorted.Get(1, 1).string(), "c");  // descending v within k=2
+  EXPECT_EQ(sorted.Get(2, 1).string(), "b");
+  EXPECT_EQ(sorted.Get(3, 0).int64(), 3);
+}
+
+TEST(TableOpsTest, SortPlacesNullAndAllFirst) {
+  TableBuilder b({{"k", DataType::kInt64}});
+  b.AppendRowOrDie({I(5)});
+  b.AppendRowOrDie({ALL()});
+  b.AppendRowOrDie({NUL()});
+  Table sorted = SortTable(std::move(b).Finish(), {{0, true}});
+  EXPECT_TRUE(sorted.Get(0, 0).is_null());
+  EXPECT_TRUE(sorted.Get(1, 0).is_all());
+  EXPECT_EQ(sorted.Get(2, 0).int64(), 5);
+}
+
+TEST(TableOpsTest, DistinctKeepsFirstOccurrence) {
+  TableBuilder b({{"k", DataType::kInt64}});
+  for (int64_t v : {3, 1, 3, 2, 1}) b.AppendRowOrDie({I(v)});
+  Table d = Distinct(std::move(b).Finish());
+  EXPECT_EQ(d.num_rows(), 3);
+  EXPECT_EQ(d.Get(0, 0).int64(), 3);
+  EXPECT_EQ(d.Get(1, 0).int64(), 1);
+  EXPECT_EQ(d.Get(2, 0).int64(), 2);
+}
+
+TEST(TableOpsTest, DistinctTreatsAllAsOrdinaryValue) {
+  TableBuilder b({{"k", DataType::kInt64}});
+  b.AppendRowOrDie({ALL()});
+  b.AppendRowOrDie({I(1)});
+  b.AppendRowOrDie({ALL()});
+  Table d = Distinct(std::move(b).Finish());
+  EXPECT_EQ(d.num_rows(), 2);  // ALL deduplicates with ALL, not with 1
+}
+
+TEST(TableOpsTest, DistinctOnProjects) {
+  Table t = TwoColumn();
+  Result<Table> d = DistinctOn(t, {"v"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_columns(), 1);
+  EXPECT_EQ(d->num_rows(), 3);  // b, a, c
+}
+
+TEST(TableOpsTest, ConcatRequiresMatchingSchemas) {
+  Table t = TwoColumn();
+  Result<Table> both = Concat(t, TwoColumn());
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->num_rows(), 8);
+  TableBuilder other({{"z", DataType::kInt64}});
+  EXPECT_FALSE(Concat(t, std::move(other).Finish()).ok());
+}
+
+TEST(TableOpsTest, PartitionIntoNPreservesAllRows) {
+  Table t = testutil::SmallSales();
+  std::vector<Table> parts = PartitionIntoN(t, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  int64_t total = 0;
+  for (const Table& p : parts) total += p.num_rows();
+  EXPECT_EQ(total, t.num_rows());
+  Result<Table> rejoined = ConcatAll(parts);
+  ASSERT_TRUE(rejoined.ok());
+  EXPECT_TRUE(TablesEqualOrdered(t, *rejoined));  // order-preserving split
+}
+
+TEST(TableOpsTest, PartitionIntoMoreThanRows) {
+  Table t = TwoColumn();
+  std::vector<Table> parts = PartitionIntoN(t, 10);
+  ASSERT_EQ(parts.size(), 10u);
+  int64_t total = 0;
+  for (const Table& p : parts) total += p.num_rows();
+  EXPECT_EQ(total, 4);
+}
+
+TEST(TableOpsTest, PartitionByColumns) {
+  Table t = TwoColumn();
+  Result<std::vector<Table>> parts = PartitionByColumns(t, {"k"});
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 3u);  // k = 2, 1, 3
+  int64_t total = 0;
+  for (const Table& p : *parts) total += p.num_rows();
+  EXPECT_EQ(total, 4);
+}
+
+TEST(TableOpsTest, UnorderedEqualityIgnoresRowOrder) {
+  Table t = TwoColumn();
+  Table shuffled = TakeRows(t, {3, 1, 0, 2});
+  EXPECT_TRUE(TablesEqualUnordered(t, shuffled));
+  EXPECT_FALSE(TablesEqualOrdered(t, shuffled));
+}
+
+TEST(TableOpsTest, UnorderedEqualityIsMultiset) {
+  TableBuilder a({{"k", DataType::kInt64}});
+  a.AppendRowOrDie({I(1)});
+  a.AppendRowOrDie({I(1)});
+  a.AppendRowOrDie({I(2)});
+  TableBuilder b({{"k", DataType::kInt64}});
+  b.AppendRowOrDie({I(1)});
+  b.AppendRowOrDie({I(2)});
+  b.AppendRowOrDie({I(2)});
+  EXPECT_FALSE(TablesEqualUnordered(std::move(a).Finish(), std::move(b).Finish()));
+}
+
+TEST(TableOpsTest, RenameColumns) {
+  Table t = TwoColumn();
+  Result<Table> renamed = RenameColumns(t, {"k"}, {"key"});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->schema().FindField("key").has_value());
+  EXPECT_FALSE(renamed->schema().FindField("k").has_value());
+}
+
+TEST(TableOpsTest, PrefixColumns) {
+  Table prefixed = PrefixColumns(TwoColumn(), "S.");
+  EXPECT_EQ(prefixed.schema().field(0).name, "S.k");
+  EXPECT_EQ(prefixed.schema().field(1).name, "S.v");
+  EXPECT_EQ(prefixed.num_rows(), 4);
+}
+
+TEST(PrinterTest, RendersGridWithAllAndNull) {
+  TableBuilder b({{"k", DataType::kInt64}, {"v", DataType::kString}});
+  b.AppendRowOrDie({ALL(), NUL()});
+  std::string s = std::move(b).Finish().ToString();
+  EXPECT_NE(s.find("ALL"), std::string::npos);
+  EXPECT_NE(s.find("NULL"), std::string::npos);
+  EXPECT_NE(s.find("k |"), std::string::npos);  // header cell (right-aligned: numeric)
+  EXPECT_NE(s.find("| v"), std::string::npos);  // header cell (left-aligned: string)
+}
+
+TEST(PrinterTest, TruncatesLongTables) {
+  TableBuilder b({{"k", DataType::kInt64}});
+  for (int i = 0; i < 100; ++i) b.AppendRowOrDie({I(i)});
+  std::string s = std::move(b).Finish().ToString(/*max_rows=*/10);
+  EXPECT_NE(s.find("(90 more rows)"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t = testutil::SmallSales();
+  std::string csv = TableToCsv(t);
+  Result<Table> back = TableFromCsv(csv, t.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(TablesEqualOrdered(t, *back));
+}
+
+TEST(CsvTest, NullAllAndQuoting) {
+  TableBuilder b({{"k", DataType::kInt64}, {"v", DataType::kString}});
+  b.AppendRowOrDie({NUL(), S("has,comma")});
+  b.AppendRowOrDie({ALL(), S("has\"quote")});
+  Table t = std::move(b).Finish();
+  std::string csv = TableToCsv(t);
+  Result<Table> back = TableFromCsv(csv, t.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->Get(0, 0).is_null());
+  EXPECT_TRUE(back->Get(1, 0).is_all());
+  EXPECT_EQ(back->Get(0, 1).string(), "has,comma");
+  EXPECT_EQ(back->Get(1, 1).string(), "has\"quote");
+}
+
+TEST(CsvTest, RejectsBadHeaderAndCells) {
+  Schema schema({{"k", DataType::kInt64}});
+  EXPECT_TRUE(TableFromCsv("wrong\n1\n", schema).status().IsParseError());
+  EXPECT_TRUE(TableFromCsv("k\nnotanumber\n", schema).status().IsParseError());
+  EXPECT_TRUE(TableFromCsv("", schema).status().IsParseError());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = TwoColumn();
+  std::string path = ::testing::TempDir() + "/mdjoin_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  Result<Table> back = ReadCsvFile(path, t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(TablesEqualOrdered(t, *back));
+}
+
+}  // namespace
+}  // namespace mdjoin

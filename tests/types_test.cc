@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace mdjoin {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_all());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Payloads) {
+  EXPECT_EQ(Value::Int64(42).int64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Float64(2.5).float64(), 2.5);
+  EXPECT_EQ(Value::String("NY").string(), "NY");
+  EXPECT_TRUE(Value::All().is_all());
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Float64(3.5).AsDouble(), 3.5);
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Int64(3)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Int64(4)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_TRUE(Value::All().Equals(Value::All()));
+  EXPECT_FALSE(Value::All().Equals(Value::Null()));
+  // ALL is NOT structurally equal to a concrete value.
+  EXPECT_FALSE(Value::All().Equals(Value::Int64(3)));
+  EXPECT_TRUE(Value::String("x").Equals(Value::String("x")));
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Float64(3.0)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Float64(3.5)));
+  // Hash must agree with Equals across numeric types.
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Float64(3.0).Hash());
+}
+
+TEST(ValueTest, ThetaEqualityTreatsAllAsWildcard) {
+  EXPECT_TRUE(Value::All().MatchesEq(Value::Int64(7)));
+  EXPECT_TRUE(Value::Int64(7).MatchesEq(Value::All()));
+  EXPECT_TRUE(Value::All().MatchesEq(Value::String("NY")));
+  EXPECT_TRUE(Value::All().MatchesEq(Value::All()));
+  // NULL matches nothing, not even NULL or ALL.
+  EXPECT_FALSE(Value::Null().MatchesEq(Value::Null()));
+  EXPECT_FALSE(Value::Null().MatchesEq(Value::All()));
+  EXPECT_FALSE(Value::All().MatchesEq(Value::Null()));
+  EXPECT_FALSE(Value::Null().MatchesEq(Value::Int64(1)));
+  // Concrete values: same as structural.
+  EXPECT_TRUE(Value::Int64(7).MatchesEq(Value::Int64(7)));
+  EXPECT_FALSE(Value::Int64(7).MatchesEq(Value::Int64(8)));
+}
+
+TEST(ValueTest, TotalOrder) {
+  // NULL < ALL < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value::All()), 0);
+  EXPECT_LT(Value::All().Compare(Value::Int64(-100)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::String("")), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Int64(3)), 0);
+  EXPECT_GT(Value::Int64(4).Compare(Value::Float64(3.5)), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Float64(3.0)), 0);
+  EXPECT_LT(Value::String("CT").Compare(Value::String("NY")), 0);
+  EXPECT_EQ(Value::All().Compare(Value::All()), 0);
+}
+
+TEST(ValueTest, IsTruthy) {
+  EXPECT_TRUE(Value::Int64(1).IsTruthy());
+  EXPECT_TRUE(Value::Int64(-3).IsTruthy());
+  EXPECT_FALSE(Value::Int64(0).IsTruthy());
+  EXPECT_FALSE(Value::Null().IsTruthy());
+  EXPECT_FALSE(Value::All().IsTruthy());
+  EXPECT_FALSE(Value::Float64(1.0).IsTruthy());  // booleans are Int64 by convention
+}
+
+TEST(ValueTest, TypeOfPayloads) {
+  EXPECT_EQ(*Value::Int64(1).Type(), DataType::kInt64);
+  EXPECT_EQ(*Value::Float64(1).Type(), DataType::kFloat64);
+  EXPECT_EQ(*Value::String("a").Type(), DataType::kString);
+  EXPECT_FALSE(Value::Null().Type().ok());
+  EXPECT_FALSE(Value::All().Type().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::All().ToString(), "ALL");
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Float64(2.0).ToString(), "2");
+  EXPECT_EQ(Value::String("CA").ToString(), "CA");
+}
+
+TEST(DataTypeTest, Helpers) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kFloat64));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+  EXPECT_EQ(CommonNumericType(DataType::kInt64, DataType::kInt64), DataType::kInt64);
+  EXPECT_EQ(CommonNumericType(DataType::kInt64, DataType::kFloat64), DataType::kFloat64);
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "string");
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(*s.FindField("b"), 1);
+  EXPECT_FALSE(s.FindField("c").has_value());
+  EXPECT_EQ(*s.GetFieldIndex("a"), 0);
+  EXPECT_TRUE(s.GetFieldIndex("zzz").status().IsNotFound());
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_TRUE(s.AddField({"b", DataType::kFloat64}).ok());
+  EXPECT_EQ(s.num_fields(), 2);
+  Status dup = s.AddField({"a", DataType::kString});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, SelectSubset) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}, {"c", DataType::kFloat64}});
+  Result<Schema> sub = s.Select({"c", "a"});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_fields(), 2);
+  EXPECT_EQ(sub->field(0).name, "c");
+  EXPECT_EQ(sub->field(1).name, "a");
+  EXPECT_FALSE(s.Select({"nope"}).ok());
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "a:int64, b:string");
+}
+
+}  // namespace
+}  // namespace mdjoin

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "table/table_ops.h"
+#include "workload/generators.h"
+
+namespace mdjoin {
+namespace {
+
+TEST(WorkloadTest, SalesSchemaAndBounds) {
+  SalesConfig config;
+  config.num_rows = 2000;
+  config.num_customers = 10;
+  config.num_products = 5;
+  config.num_months = 6;
+  config.first_year = 1995;
+  config.last_year = 1997;
+  config.num_states = 8;
+  config.max_sale = 100.0;
+  Table t = GenerateSales(config);
+  EXPECT_EQ(t.num_rows(), 2000);
+  EXPECT_EQ(t.schema().ToString(),
+            "cust:int64, prod:int64, day:int64, month:int64, year:int64, "
+            "state:string, sale:float64");
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.Get(r, 0).int64(), 1);
+    EXPECT_LE(t.Get(r, 0).int64(), 10);
+    EXPECT_GE(t.Get(r, 1).int64(), 1);
+    EXPECT_LE(t.Get(r, 1).int64(), 5);
+    EXPECT_GE(t.Get(r, 3).int64(), 1);
+    EXPECT_LE(t.Get(r, 3).int64(), 6);
+    EXPECT_GE(t.Get(r, 4).int64(), 1995);
+    EXPECT_LE(t.Get(r, 4).int64(), 1997);
+    EXPECT_GE(t.Get(r, 6).float64(), 0.0);
+    EXPECT_LT(t.Get(r, 6).float64(), 100.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  SalesConfig config;
+  config.num_rows = 100;
+  Table a = GenerateSales(config);
+  Table b = GenerateSales(config);
+  EXPECT_TRUE(TablesEqualOrdered(a, b));
+  config.seed = 99;
+  Table c = GenerateSales(config);
+  EXPECT_FALSE(TablesEqualOrdered(a, c));
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesCustomers) {
+  SalesConfig uniform;
+  uniform.num_rows = 5000;
+  uniform.num_customers = 100;
+  SalesConfig skewed = uniform;
+  skewed.zipf_theta = 1.2;
+  Table u = GenerateSales(uniform);
+  Table z = GenerateSales(skewed);
+  auto count_cust1 = [](const Table& t) {
+    int64_t n = 0;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      if (t.Get(r, 0).int64() == 1) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_cust1(z), count_cust1(u) * 3);
+}
+
+TEST(WorkloadTest, StateNamesIncludePaperStates) {
+  EXPECT_EQ(StateName(0), "NY");
+  EXPECT_EQ(StateName(1), "NJ");
+  EXPECT_EQ(StateName(2), "CT");
+  EXPECT_EQ(StateName(3), "CA");
+  EXPECT_EQ(StateName(4), "IL");
+  EXPECT_EQ(StateName(7), "S07");
+  SalesConfig config;
+  config.num_rows = 500;
+  config.num_states = 3;
+  Table t = GenerateSales(config);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    const std::string& s = t.Get(r, 5).string();
+    EXPECT_TRUE(s == "NY" || s == "NJ" || s == "CT") << s;
+  }
+}
+
+TEST(WorkloadTest, PaymentsSchemaAndBounds) {
+  PaymentsConfig config;
+  config.num_rows = 300;
+  config.num_customers = 7;
+  Table t = GeneratePayments(config);
+  EXPECT_EQ(t.num_rows(), 300);
+  EXPECT_EQ(t.schema().ToString(),
+            "cust:int64, day:int64, month:int64, year:int64, amount:float64");
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.Get(r, 0).int64(), 1);
+    EXPECT_LE(t.Get(r, 0).int64(), 7);
+  }
+}
+
+}  // namespace
+}  // namespace mdjoin
