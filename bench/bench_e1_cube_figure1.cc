@@ -61,6 +61,31 @@ BENCHMARK(BM_CubeMdJoin)
     ->ArgsProduct({{10000, 50000, 200000}, {1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
+void BM_CubeMdJoinGuarded(benchmark::State& state) {
+  // BM_CubeMdJoin with a QueryGuard attached (no limits set, default 4096-row
+  // check stride): the delta against the unguarded rows is the whole cost of
+  // the guardrail machinery on the hot scan — the budget is < 5%.
+  const int64_t rows = state.range(0);
+  const int ndims = static_cast<int>(state.range(1));
+  const Table& sales = CachedSales(rows, 100, 50, 12);
+  std::vector<std::string> all_dims = {"prod", "month", "state"};
+  std::vector<std::string> dims(all_dims.begin(), all_dims.begin() + ndims);
+  Table base = *CubeByBase(sales, dims);
+  ExprPtr theta = DimsTheta(dims);
+  std::vector<AggSpec> aggs = {Sum(dsl::RCol("sale"), "total"), Count("n")};
+  for (auto _ : state) {
+    QueryGuard guard;
+    MdJoinOptions options;
+    options.guard = &guard;
+    Table cube = *MdJoin(base, sales, aggs, theta, options);
+    benchmark::DoNotOptimize(cube.num_rows());
+  }
+  state.counters["base_rows"] = static_cast<double>(base.num_rows());
+}
+BENCHMARK(BM_CubeMdJoinGuarded)
+    ->ArgsProduct({{10000, 50000, 200000}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GroupingSetsViaSameOperator(benchmark::State& state) {
   // The decoupling payoff: switching the group definition (cube → unpivot
   // marginals, the [GFC98] use case) changes only the base table.

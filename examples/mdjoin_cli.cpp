@@ -2,11 +2,17 @@
 /// command line. The library as a usable tool:
 ///
 ///   example_mdjoin_cli --table Sales=sales.csv:'cust:int64,state:string,...'
-///                      [--emf] [--explain] [--optimize] 'select ... analyze by ...'
+///                      [--emf] [--explain] [--optimize]
+///                      [--timeout-ms N] [--memory-limit BYTES[k|m|g]]
+///                      'select ... analyze by ...'
 ///
-/// With no arguments, runs a self-contained demo on generated data.
+/// --timeout-ms and --memory-limit attach a QueryGuard to the run: the query
+/// is cancelled with "Deadline exceeded" past the timeout, and "Resource
+/// exhausted" if the engine's accounted memory crosses the limit (exit 3 for
+/// either). With no arguments, runs a self-contained demo on generated data.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -47,6 +53,26 @@ struct LoadedTable {
   std::string name;
   Table table;
 };
+
+/// Parses "67108864", "64m", "1g", ... into bytes.
+Result<int64_t> ParseByteSize(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("--memory-limit: empty value");
+  std::string digits = spec;
+  int64_t multiplier = 1;
+  switch (digits.back()) {
+    case 'k': case 'K': multiplier = 1024; digits.pop_back(); break;
+    case 'm': case 'M': multiplier = 1024 * 1024; digits.pop_back(); break;
+    case 'g': case 'G': multiplier = 1024 * 1024 * 1024; digits.pop_back(); break;
+    default: break;
+  }
+  char* end = nullptr;
+  int64_t value = std::strtoll(digits.c_str(), &end, 10);
+  if (digits.empty() || *end != '\0' || value <= 0) {
+    return Status::InvalidArgument("--memory-limit: bad size '", spec,
+                                   "' (want N, Nk, Nm, or Ng)");
+  }
+  return value * multiplier;
+}
 
 /// Parses "Name=path.csv:col:type,col:type" and loads the file.
 Result<LoadedTable> LoadTableSpec(const std::string& spec) {
@@ -108,6 +134,7 @@ int main(int argc, char** argv) {
 
   std::vector<LoadedTable> tables;
   bool use_emf = false, explain = false, optimize = false;
+  QueryGuardOptions guard_options;
   std::string query;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--table") == 0 && i + 1 < argc) {
@@ -123,6 +150,21 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(argv[i], "--optimize") == 0) {
       optimize = true;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      guard_options.timeout_ms = std::strtoll(argv[++i], nullptr, 10);
+      if (guard_options.timeout_ms <= 0) {
+        std::fprintf(stderr, "error: --timeout-ms wants a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--memory-limit") == 0 && i + 1 < argc) {
+      Result<int64_t> bytes = ParseByteSize(argv[++i]);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "error: %s\n", bytes.status().ToString().c_str());
+        return 2;
+      }
+      // Soft budget (degrade to multi-pass) and hard ceiling in one flag.
+      guard_options.memory_budget_bytes = *bytes;
+      guard_options.memory_hard_limit_bytes = *bytes;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -133,7 +175,8 @@ int main(int argc, char** argv) {
   if (query.empty() || tables.empty()) {
     std::fprintf(stderr,
                  "usage: %s --table Name=file.csv:col:type,... [--emf] [--explain] "
-                 "[--optimize] 'query'\n",
+                 "[--optimize] [--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
+                 "'query'\n",
                  argv[0]);
     return 2;
   }
@@ -163,10 +206,19 @@ int main(int argc, char** argv) {
     plan = *optimized;
   }
   if (explain) std::printf("plan:\n%s\n", ExplainPlan(plan).c_str());
-  Result<Table> result = ExecutePlanCse(plan, catalog);
+  const bool guarded = guard_options.timeout_ms > 0 ||
+                       guard_options.memory_hard_limit_bytes > 0;
+  QueryGuard guard(guard_options);
+  MdJoinOptions md_options;
+  if (guarded) md_options.guard = &guard;
+  Result<Table> result = ExecutePlanCse(plan, catalog, md_options);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
+    StatusCode code = result.status().code();
+    return (code == StatusCode::kCancelled || code == StatusCode::kDeadlineExceeded ||
+            code == StatusCode::kResourceExhausted)
+               ? 3
+               : 1;
   }
   std::printf("%s", TableToCsv(*result).c_str());
   return 0;

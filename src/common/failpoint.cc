@@ -1,0 +1,114 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mdjoin {
+
+FailpointRegistry* FailpointRegistry::Global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* spec = std::getenv("MDJOIN_FAILPOINTS"); spec != nullptr) {
+      Status s = r->LoadSpec(spec);
+      if (!s.ok()) {
+        MDJ_CHECK(false) << "bad MDJOIN_FAILPOINTS spec: " << s.ToString();
+      }
+    }
+    return r;
+  }();
+  return registry;
+}
+
+void FailpointRegistry::Enable(const std::string& name, int64_t count, int64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = points_[name];
+  e.skip = skip;
+  e.remaining = count;
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it != points_.end()) {
+    it->second.skip = 0;
+    it->second.remaining = 0;
+  }
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  RecountArmedLocked();
+}
+
+bool FailpointRegistry::Evaluate(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  Entry& e = it->second;
+  if (e.remaining == 0) return false;
+  if (e.skip > 0) {
+    --e.skip;
+    return false;
+  }
+  if (e.remaining > 0) --e.remaining;
+  ++e.fired;
+  if (e.remaining == 0) RecountArmedLocked();
+  return true;
+}
+
+int64_t FailpointRegistry::fire_count(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+Status FailpointRegistry::LoadSpec(const std::string& spec) {
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ',') c = ';';
+  }
+  for (const std::string& piece : SplitString(normalized, ';')) {
+    std::string entry(StripWhitespace(piece));
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec entry '", entry,
+                                     "' (want name=count or name=count@skip)");
+    }
+    std::string name = entry.substr(0, eq);
+    std::string counts = entry.substr(eq + 1);
+    size_t at = counts.find('@');
+    std::string count_str = counts.substr(0, at);
+    std::string skip_str = at == std::string::npos ? "0" : counts.substr(at + 1);
+    char* end = nullptr;
+    int64_t count = std::strtoll(count_str.c_str(), &end, 10);
+    bool ok = !count_str.empty() && *end == '\0';
+    int64_t skip = std::strtoll(skip_str.c_str(), &end, 10);
+    ok = ok && !skip_str.empty() && *end == '\0';
+    if (!ok) {
+      return Status::InvalidArgument("failpoint spec entry '", entry,
+                                     "': count/skip must be integers");
+    }
+    if (skip < 0) {
+      return Status::InvalidArgument("failpoint spec entry '", entry,
+                                     "': skip must be >= 0");
+    }
+    Enable(name, count, skip);
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::RecountArmedLocked() {
+  int armed = 0;
+  for (const auto& [name, e] : points_) {
+    if (e.remaining != 0) ++armed;
+  }
+  armed_.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace mdjoin

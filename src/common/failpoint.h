@@ -1,0 +1,87 @@
+#ifndef MDJOIN_COMMON_FAILPOINT_H_
+#define MDJOIN_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace mdjoin {
+
+/// Deterministic fault-injection points, modeled on WiredTiger's failpoint /
+/// error-injection idiom: code that owns a hard-to-reach error path plants a
+/// named `MDJ_FAILPOINT("area:event")` on it; tests (or an operator, via the
+/// MDJOIN_FAILPOINTS environment variable) arm the point to fire a fixed
+/// number of times after skipping a fixed number of hits. This turns "the
+/// allocation failed mid-scan" from an untestable race into a unit test.
+///
+/// Activation:
+///  - programmatic: `FailpointRegistry::Global()->Enable("mdjoin:x", 1, 2)`
+///    fires once after skipping two hits;
+///  - environment:  `MDJOIN_FAILPOINTS="query_guard:cancel=1;a:b=3@2"` — a
+///    `;`/`,`-separated list of `name=count` or `name=count@skip` entries,
+///    loaded on first use of the global registry. count -1 means "forever".
+///
+/// The whole subsystem compiles to `(false)` unless the build defines
+/// MDJOIN_FAILPOINTS (CMake option of the same name, ON by default so the
+/// test build exercises every injected path; turn OFF for release binaries
+/// where even the armed-check branch is unwanted).
+class FailpointRegistry {
+ public:
+  /// Process-wide registry; loads MDJOIN_FAILPOINTS from the environment the
+  /// first time it is constructed.
+  static FailpointRegistry* Global();
+
+  /// Arms `name`: after `skip` evaluations pass through, the next `count`
+  /// evaluations fire (count < 0 = fire forever). Re-enabling resets state.
+  void Enable(const std::string& name, int64_t count = 1, int64_t skip = 0);
+
+  /// Disarms `name`; hit statistics for it are kept until Reset().
+  void Disable(const std::string& name);
+
+  /// Disarms everything and clears statistics. Tests call this in SetUp.
+  void Reset();
+
+  /// True iff the point is armed and its skip budget is exhausted; consumes
+  /// one firing. Called via MDJ_FAILPOINT, not directly.
+  bool Evaluate(const char* name);
+
+  /// Times `name` actually fired (not merely evaluated) since Reset().
+  int64_t fire_count(const std::string& name);
+
+  /// Parses an MDJOIN_FAILPOINTS-style spec; error on malformed entries.
+  Status LoadSpec(const std::string& spec);
+
+  /// Fast armed check so unarmed builds pay one relaxed atomic load per site.
+  bool any_armed() const { return armed_.load(std::memory_order_relaxed) > 0; }
+
+ private:
+  struct Entry {
+    int64_t skip = 0;       // evaluations to let through before firing
+    int64_t remaining = 0;  // firings left; -1 = unlimited; 0 = disarmed
+    int64_t fired = 0;      // statistics
+  };
+
+  void RecountArmedLocked();
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Entry> points_;
+  std::atomic<int> armed_{0};
+};
+
+}  // namespace mdjoin
+
+/// True when the named failpoint fires. Zero-cost (constant false) when the
+/// build does not define MDJOIN_FAILPOINTS.
+#ifdef MDJOIN_FAILPOINTS
+#define MDJ_FAILPOINT(name)                                  \
+  (::mdjoin::FailpointRegistry::Global()->any_armed() &&     \
+   ::mdjoin::FailpointRegistry::Global()->Evaluate(name))
+#else
+#define MDJ_FAILPOINT(name) (false)
+#endif
+
+#endif  // MDJOIN_COMMON_FAILPOINT_H_

@@ -1,0 +1,121 @@
+#include "common/query_guard.h"
+
+#include "common/failpoint.h"
+
+namespace mdjoin {
+
+QueryGuard::QueryGuard(const QueryGuardOptions& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {}
+
+void QueryGuard::Cancel() {
+  Trip(Status::Cancelled("query cancelled by caller"));
+}
+
+void QueryGuard::Trip(Status status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tripped_.load(std::memory_order_relaxed)) return;  // first error wins
+  status_ = std::move(status);
+  tripped_.store(true, std::memory_order_release);
+}
+
+Status QueryGuard::TripStatus() const {
+  if (!tripped()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+Status QueryGuard::Check(int64_t rows_delta, int64_t pairs_delta) {
+  // Failpoints simulate a mid-scan cancel / deadline expiry deterministically:
+  // they fire at a stride boundary, exactly where the real events are seen.
+  if (MDJ_FAILPOINT("query_guard:cancel")) Cancel();
+  if (MDJ_FAILPOINT("query_guard:deadline")) {
+    Trip(Status::DeadlineExceeded("deadline expired (failpoint query_guard:deadline)"));
+  }
+
+  const int64_t rows = rows_delta > 0
+                           ? rows_.fetch_add(rows_delta, std::memory_order_relaxed) +
+                                 rows_delta
+                           : rows_.load(std::memory_order_relaxed);
+  const int64_t pairs = pairs_delta > 0
+                            ? pairs_.fetch_add(pairs_delta, std::memory_order_relaxed) +
+                                  pairs_delta
+                            : pairs_.load(std::memory_order_relaxed);
+
+  if (tripped()) return TripStatus();
+
+  if (options_.timeout_ms > 0) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const int64_t elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+    if (elapsed_ms >= options_.timeout_ms) {
+      Trip(Status::DeadlineExceeded("query exceeded deadline of ", options_.timeout_ms,
+                                    "ms (elapsed ", elapsed_ms, "ms)"));
+      return TripStatus();
+    }
+  }
+  if (options_.max_detail_rows > 0 && rows > options_.max_detail_rows) {
+    Trip(Status::ResourceExhausted("detail-row budget exceeded: scanned ", rows,
+                                   " rows, budget ", options_.max_detail_rows));
+    return TripStatus();
+  }
+  if (options_.max_candidate_pairs > 0 && pairs > options_.max_candidate_pairs) {
+    Trip(Status::ResourceExhausted("candidate-pair budget exceeded: tested ", pairs,
+                                   " pairs, budget ", options_.max_candidate_pairs));
+    return TripStatus();
+  }
+  return Status::OK();
+}
+
+Status QueryGuard::ReserveBytes(int64_t bytes, const char* what) {
+  if (bytes < 0) bytes = 0;
+  if (MDJ_FAILPOINT("query_guard:reserve")) {
+    Status s = Status::ResourceExhausted(
+        "allocation of ", bytes, " bytes for ", what,
+        " failed (failpoint query_guard:reserve)");
+    Trip(s);
+    return s;
+  }
+  const int64_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Track the peak; racy max-update loop is the standard idiom.
+  int64_t peak = high_water_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !high_water_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (options_.memory_hard_limit_bytes > 0 && now > options_.memory_hard_limit_bytes) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    Status s = Status::ResourceExhausted(
+        "memory hard limit exceeded reserving ", bytes, " bytes for ", what, ": ",
+        now, " > limit ", options_.memory_hard_limit_bytes);
+    Trip(s);
+    return s;
+  }
+  return Status::OK();
+}
+
+void QueryGuard::ReleaseBytes(int64_t bytes) {
+  if (bytes > 0) reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+int64_t QueryGuard::remaining_soft_bytes() const {
+  if (!has_memory_budget()) return std::numeric_limits<int64_t>::max();
+  const int64_t remaining = options_.memory_budget_bytes - bytes_reserved();
+  return remaining > 0 ? remaining : 0;
+}
+
+Status ScopedReservation::Reserve(QueryGuard* guard, int64_t bytes, const char* what) {
+  Release();
+  if (guard == nullptr) return Status::OK();
+  MDJ_RETURN_NOT_OK(guard->ReserveBytes(bytes, what));
+  guard_ = guard;
+  bytes_ = bytes;
+  return Status::OK();
+}
+
+void ScopedReservation::Release() {
+  if (guard_ != nullptr) guard_->ReleaseBytes(bytes_);
+  guard_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace mdjoin

@@ -24,6 +24,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Bind error";
     case StatusCode::kExecutionError:
       return "Execution error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
     case StatusCode::kInternal:
       return "Internal error";
   }

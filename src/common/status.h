@@ -20,6 +20,9 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kExecutionError,
+  kCancelled,
+  kResourceExhausted,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -86,6 +89,18 @@ class Status {
     return Make(StatusCode::kExecutionError, std::forward<Args>(args)...);
   }
   template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return Make(StatusCode::kCancelled, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
   }
@@ -103,6 +118,9 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsBindError() const { return code() == StatusCode::kBindError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

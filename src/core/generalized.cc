@@ -38,6 +38,8 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   if (components.empty()) {
     return Status::InvalidArgument("GeneralizedMdJoin: no components");
   }
+  QueryGuard* guard = options.guard;
+  if (guard != nullptr) MDJ_RETURN_NOT_OK(guard->Check());
 
   std::vector<int64_t> all_rows(static_cast<size_t>(base.num_rows()));
   std::iota(all_rows.begin(), all_rows.end(), 0);
@@ -45,6 +47,8 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   std::unordered_set<std::string> seen_outputs;
   std::vector<CompiledComponent> compiled;
   compiled.reserve(components.size());
+  // Index and state reservations held until the scan completes.
+  std::vector<ScopedReservation> reservations;
   for (const MdJoinComponent& comp : components) {
     if (comp.theta == nullptr) {
       return Status::InvalidArgument("GeneralizedMdJoin: null θ in component");
@@ -87,6 +91,11 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
 
     cc.indexed = options.use_index && !cc.parts.equi.empty();
     if (cc.indexed) {
+      ScopedReservation res;
+      MDJ_RETURN_NOT_OK(res.Reserve(
+          guard, static_cast<int64_t>(cc.active.size()) * kGuardBytesPerIndexedBaseRow,
+          "generalized base index"));
+      reservations.push_back(std::move(res));
       MDJ_ASSIGN_OR_RETURN(
           cc.index, BaseIndex::Build(base, cc.active, cc.parts.equi, detail.schema()));
       stats->index_masks += cc.index.num_masks();
@@ -102,6 +111,12 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
                                        &base.schema(), &detail.schema()));
     }
 
+    ScopedReservation state_res;
+    MDJ_RETURN_NOT_OK(state_res.Reserve(
+        guard,
+        static_cast<int64_t>(cc.aggs.size()) * base.num_rows() * kGuardBytesPerAggState,
+        "generalized aggregate states"));
+    reservations.push_back(std::move(state_res));
     cc.states.resize(cc.aggs.size());
     for (size_t i = 0; i < cc.aggs.size(); ++i) {
       cc.states[i].reserve(static_cast<size_t>(base.num_rows()));
@@ -117,10 +132,12 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   ctx.base = &base;
   ctx.detail = &detail;
   std::vector<int64_t> candidates;
+  GuardTicket ticket(guard);
   for (int64_t t = 0; t < detail.num_rows(); ++t) {
     ctx.detail_row = t;
     ++stats->detail_rows_scanned;
     bool any_qualified = false;
+    int64_t pairs_this_row = 0;
     for (CompiledComponent& cc : compiled) {
       if (cc.detail_pred.valid() && !cc.detail_pred.EvalBool(ctx)) continue;
       any_qualified = true;
@@ -132,6 +149,7 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       } else {
         probe_rows = &cc.active;
       }
+      pairs_this_row += static_cast<int64_t>(probe_rows->size());
       for (int64_t b : *probe_rows) {
         ctx.base_row = b;
         ++stats->candidate_pairs;
@@ -143,7 +161,9 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       }
     }
     if (any_qualified) ++stats->detail_rows_qualified;
+    MDJ_RETURN_NOT_OK(ticket.Tick(pairs_this_row));
   }
+  MDJ_RETURN_NOT_OK(ticket.Finish());
 
   // Output: base columns then every component's aggregates in order.
   std::vector<Field> fields = base.schema().fields();

@@ -7,6 +7,7 @@ namespace mdjoin {
 Result<Table> MdJoinApplyDelta(const Table& previous, const Table& delta_detail,
                                const std::vector<AggSpec>& aggs, const ExprPtr& theta,
                                const MdJoinOptions& options, MdJoinStats* stats) {
+  if (options.guard != nullptr) MDJ_RETURN_NOT_OK(options.guard->Check());
   MDJ_ASSIGN_OR_RETURN(bool distributive, AllDistributive(aggs));
   if (!distributive) {
     return Status::InvalidArgument(
@@ -50,9 +51,19 @@ Result<Table> MdJoinApplyDelta(const Table& previous, const Table& delta_detail,
     combiners.push_back(combiner);
   }
 
+  // The delta evaluation above ran under the guard (options flow through
+  // MdJoin); the roll-up combine below ticks it too, so a cancel arriving
+  // during a large combine is still observed within one stride.
+  ScopedReservation combine_bytes;
+  MDJ_RETURN_NOT_OK(combine_bytes.Reserve(
+      options.guard,
+      previous.num_rows() * previous.num_columns() * kGuardBytesPerOutputCell,
+      "incremental combine output"));
+  GuardTicket ticket(options.guard, /*count_rows=*/false);
   Table out(previous.schema());
   out.Reserve(previous.num_rows());
   for (int64_t r = 0; r < previous.num_rows(); ++r) {
+    MDJ_RETURN_NOT_OK(ticket.Tick());
     std::vector<Value> row;
     row.reserve(static_cast<size_t>(previous.num_columns()));
     for (int c = 0; c < num_base_cols; ++c) row.push_back(previous.Get(r, c));

@@ -17,6 +17,9 @@ std::string MdJoinStats::ToString() const {
   out += " matched_pairs=" + std::to_string(matched_pairs);
   out += " passes=" + std::to_string(passes_over_detail);
   out += " index_masks=" + std::to_string(index_masks);
+  if (memory_degraded) {
+    out += " degraded_rows_per_pass=" + std::to_string(base_rows_per_pass_effective);
+  }
   return out;
 }
 
@@ -96,36 +99,52 @@ Status RunPass(const PassContext& pc, const std::vector<int64_t>& pass_rows,
   const std::vector<BoundAgg>& aggs = *pc.aggs;
   auto& states = *pc.states;
 
+  // The per-pass index is the memory the guard's soft budget governs; the
+  // caller sized pass_rows so this reservation fits (or degraded to more
+  // passes). The hard limit is still enforced here.
+  ScopedReservation index_bytes;
+  if (indexed) {
+    MDJ_RETURN_NOT_OK(index_bytes.Reserve(
+        options.guard,
+        static_cast<int64_t>(active.size()) * kGuardBytesPerIndexedBaseRow,
+        "base index"));
+  }
+
   RowCtx ctx;
   ctx.base = &base;
   ctx.detail = &detail;
   std::vector<int64_t> candidates;
+  GuardTicket ticket(options.guard);
   for (int64_t t = 0; t < detail.num_rows(); ++t) {
     ctx.detail_row = t;
     ++pc.stats->detail_rows_scanned;
-    if (detail_pred.valid() && !detail_pred.EvalBool(ctx)) continue;
-    ++pc.stats->detail_rows_qualified;
+    int64_t pairs_this_row = 0;
+    if (!detail_pred.valid() || detail_pred.EvalBool(ctx)) {
+      ++pc.stats->detail_rows_qualified;
 
-    const std::vector<int64_t>* probe_rows;
-    if (indexed) {
-      candidates.clear();
-      index.Probe(ctx, &candidates);
-      probe_rows = &candidates;
-    } else {
-      probe_rows = &active;
-    }
+      const std::vector<int64_t>* probe_rows;
+      if (indexed) {
+        candidates.clear();
+        index.Probe(ctx, &candidates);
+        probe_rows = &candidates;
+      } else {
+        probe_rows = &active;
+      }
+      pairs_this_row = static_cast<int64_t>(probe_rows->size());
 
-    for (int64_t b : *probe_rows) {
-      ctx.base_row = b;
-      ++pc.stats->candidate_pairs;
-      if (residual.valid() && !residual.EvalBool(ctx)) continue;
-      ++pc.stats->matched_pairs;
-      for (size_t i = 0; i < aggs.size(); ++i) {
-        aggs[i].UpdateFromRow(states[i][static_cast<size_t>(b)].get(), ctx);
+      for (int64_t b : *probe_rows) {
+        ctx.base_row = b;
+        ++pc.stats->candidate_pairs;
+        if (residual.valid() && !residual.EvalBool(ctx)) continue;
+        ++pc.stats->matched_pairs;
+        for (size_t i = 0; i < aggs.size(); ++i) {
+          aggs[i].UpdateFromRow(states[i][static_cast<size_t>(b)].get(), ctx);
+        }
       }
     }
+    MDJ_RETURN_NOT_OK(ticket.Tick(pairs_this_row));
   }
-  return Status::OK();
+  return ticket.Finish();
 }
 
 }  // namespace
@@ -141,12 +160,23 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
   *stats = MdJoinStats{};
   stats->base_rows = base.num_rows();
 
+  QueryGuard* guard = options.guard;
+  // Observe a pre-issued cancel / expired deadline before doing any work.
+  if (guard != nullptr) MDJ_RETURN_NOT_OK(guard->Check());
+
   MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
                        BindAggs(aggs, &base.schema(), &detail.schema()));
 
   ThetaParts parts = AnalyzeTheta(theta);
 
-  // Aggregate states for every base row: states[agg][row].
+  // Aggregate states live for the whole query (every pass updates them), so
+  // their footprint is reserved up front and cannot be degraded away.
+  ScopedReservation state_bytes;
+  MDJ_RETURN_NOT_OK(state_bytes.Reserve(
+      guard,
+      static_cast<int64_t>(bound.size()) * base.num_rows() * kGuardBytesPerAggState,
+      "aggregate states"));
+
   std::vector<std::vector<std::unique_ptr<AggregateState>>> states(bound.size());
   for (size_t i = 0; i < bound.size(); ++i) {
     states[i].reserve(static_cast<size_t>(base.num_rows()));
@@ -157,11 +187,25 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
 
   PassContext pc{&base, &detail, &bound, &states, stats};
 
-  // Theorem 4.1 memory staging: ceil(|B| / budget) passes over R.
+  // Theorem 4.1 memory staging: ceil(|B| / budget) passes over R. Under a
+  // guard soft memory budget the per-pass base partition is additionally
+  // capped so the per-pass index fits the remaining budget — graceful
+  // degradation to multi-pass, trading scans of R for memory, before the
+  // hard limit ever has to fail the query.
   std::vector<int64_t> all_rows(static_cast<size_t>(base.num_rows()));
   std::iota(all_rows.begin(), all_rows.end(), 0);
-  const int64_t budget =
+  int64_t budget =
       options.base_rows_per_pass > 0 ? options.base_rows_per_pass : base.num_rows();
+  const bool will_index = options.use_index && !parts.equi.empty();
+  if (guard != nullptr && guard->has_memory_budget() && will_index &&
+      base.num_rows() > 0) {
+    const int64_t fit = guard->remaining_soft_bytes() / kGuardBytesPerIndexedBaseRow;
+    if (fit < budget) {
+      budget = std::max<int64_t>(1, fit);
+      stats->memory_degraded = true;
+    }
+  }
+  stats->base_rows_per_pass_effective = budget;
   if (base.num_rows() == 0) {
     stats->passes_over_detail = 0;
   } else {
@@ -176,6 +220,11 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
   // Assemble output: base columns then one column per aggregate.
   std::vector<Field> fields = base.schema().fields();
   for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  ScopedReservation output_bytes;
+  MDJ_RETURN_NOT_OK(output_bytes.Reserve(
+      guard,
+      base.num_rows() * static_cast<int64_t>(fields.size()) * kGuardBytesPerOutputCell,
+      "materialized output"));
   Table out{Schema(std::move(fields))};
   out.Reserve(base.num_rows());
   for (int64_t r = 0; r < base.num_rows(); ++r) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "agg/agg_spec.h"
+#include "common/query_guard.h"
 #include "common/result.h"
 #include "expr/expr.h"
 #include "table/table.h"
@@ -31,7 +32,21 @@ struct MdJoinOptions {
   /// evaluator makes ceil(n/m) passes, exactly the trade the paper describes:
   /// "a well-defined increase in the number of scans of R".
   int64_t base_rows_per_pass = 0;
+
+  /// Optional per-query resource governor (cancellation, deadline, memory
+  /// accounting, work budgets), shared by every operator/pass/fragment of
+  /// one query. Not owned; must outlive the call. When the guard carries a
+  /// soft memory budget, the classic path degrades to multi-pass evaluation
+  /// (Theorem 4.1) under pressure instead of failing.
+  QueryGuard* guard = nullptr;
 };
+
+/// Engine-side byte estimates used by the guard's memory accountant. They
+/// deliberately over-approximate container overhead a little: the accountant
+/// exists to bound blow-ups and trigger degradation, not to audit malloc.
+constexpr int64_t kGuardBytesPerAggState = 64;        // one AggregateState
+constexpr int64_t kGuardBytesPerIndexedBaseRow = 128; // BaseIndex entry
+constexpr int64_t kGuardBytesPerOutputCell = 48;      // one materialized Value
 
 /// Work counters exposed for the experiment harness; incremented across all
 /// passes.
@@ -43,6 +58,8 @@ struct MdJoinStats {
   int64_t matched_pairs = 0;         // pairs satisfying θ
   int64_t passes_over_detail = 0;    // 1 unless base_rows_per_pass forces more
   int64_t index_masks = 0;           // ALL-mask buckets in the base index
+  int64_t base_rows_per_pass_effective = 0;  // after guard memory degradation
+  bool memory_degraded = false;      // guard budget forced extra passes
 
   std::string ToString() const;
 };

@@ -21,6 +21,8 @@
 #include "agg/aggregate.h"
 #include "analyze/binder.h"
 #include "analyze/parser.h"
+#include "common/failpoint.h"
+#include "common/query_guard.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "optimizer/profile.h"
 
 #include "core/generalized.h"
@@ -27,9 +28,21 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
                        const MdJoinOptions& md_options, ExecStats* stats,
                        CseCache* cse, ProfileNode* profile = nullptr);
 
+Status AccountMaterialization(const MdJoinOptions& md_options, const Table& t);
+
 Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
                    const MdJoinOptions& md_options, ExecStats* stats, CseCache* cse,
                    ProfileNode* parent_profile) {
+  // Guard gate per plan node: a cancel/deadline issued between operators is
+  // observed here even when no MD-join scan is running; inside scans the
+  // stride checks take over.
+  if (md_options.guard != nullptr) {
+    MDJ_RETURN_NOT_OK(md_options.guard->Check());
+  }
+  if (MDJ_FAILPOINT("executor:node_error")) {
+    return Status::Internal("plan node '", plan->Label(),
+                            "' failed (failpoint executor:node_error)");
+  }
   if (parent_profile != nullptr) {
     auto node = std::make_unique<ProfileNode>();
     ProfileNode* raw = node.get();
@@ -44,7 +57,10 @@ Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
     double child_ms = 0;
     for (const auto& c : raw->children) child_ms += c->elapsed_ms;
     raw->self_ms = raw->elapsed_ms - child_ms;
-    if (result.ok()) raw->output_rows = result->num_rows();
+    if (result.ok()) {
+      raw->output_rows = result->num_rows();
+      MDJ_RETURN_NOT_OK(AccountMaterialization(md_options, *result));
+    }
     return result;
   }
   if (cse != nullptr) {
@@ -55,10 +71,26 @@ Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
       return it->second.Clone();
     }
     MDJ_ASSIGN_OR_RETURN(Table out, ExecNode(plan, catalog, md_options, stats, cse));
+    MDJ_RETURN_NOT_OK(AccountMaterialization(md_options, out));
     cse->emplace(std::move(key), out.Clone());
     return out;
   }
-  return ExecNode(plan, catalog, md_options, stats, cse);
+  MDJ_ASSIGN_OR_RETURN(Table out, ExecNode(plan, catalog, md_options, stats, cse));
+  MDJ_RETURN_NOT_OK(AccountMaterialization(md_options, out));
+  return out;
+}
+
+/// Charges a freshly materialized node output against the guard's memory
+/// accountant. The reservation is transient (released immediately): the
+/// executor hands tables up the tree rather than owning them, so this checks
+/// each materialization against the hard limit and feeds the high-water
+/// counter without double-charging long-lived results.
+Status AccountMaterialization(const MdJoinOptions& md_options, const Table& t) {
+  if (md_options.guard == nullptr) return Status::OK();
+  MDJ_RETURN_NOT_OK(
+      md_options.guard->ReserveBytes(t.ApproxBytes(), "materialized node output"));
+  md_options.guard->ReleaseBytes(t.ApproxBytes());
+  return Status::OK();
 }
 
 Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,

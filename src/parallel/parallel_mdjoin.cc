@@ -1,8 +1,8 @@
 #include "parallel/parallel_mdjoin.h"
 
-#include <atomic>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "core/base_index.h"
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
@@ -10,6 +10,30 @@
 #include "table/table_ops.h"
 
 namespace mdjoin {
+
+namespace {
+
+/// Folds per-fragment MdJoinStats into the parallel roll-up, including the
+/// min/max scan extremes used to spot fragment skew.
+void AccumulateFragmentStats(const std::vector<MdJoinStats>& md_stats,
+                             ParallelMdJoinStats* stats) {
+  bool first = true;
+  for (const MdJoinStats& s : md_stats) {
+    stats->total_detail_rows_scanned += s.detail_rows_scanned;
+    stats->detail_rows_qualified += s.detail_rows_qualified;
+    stats->candidate_pairs += s.candidate_pairs;
+    stats->matched_pairs += s.matched_pairs;
+    if (first || s.detail_rows_scanned < stats->min_fragment_detail_rows) {
+      stats->min_fragment_detail_rows = s.detail_rows_scanned;
+    }
+    if (first || s.detail_rows_scanned > stats->max_fragment_detail_rows) {
+      stats->max_fragment_detail_rows = s.detail_rows_scanned;
+    }
+    first = false;
+  }
+}
+
+}  // namespace
 
 Result<Table> ParallelMdJoin(const Table& base, const Table& detail,
                              const std::vector<AggSpec>& aggs, const ExprPtr& theta,
@@ -21,8 +45,20 @@ Result<Table> ParallelMdJoin(const Table& base, const Table& detail,
   if (num_partitions < 1 || num_threads < 1) {
     return Status::InvalidArgument("ParallelMdJoin: partitions and threads must be >= 1");
   }
+  if (theta == nullptr) {
+    return Status::InvalidArgument("ParallelMdJoin: θ must not be null");
+  }
   stats->num_partitions = num_partitions;
   stats->num_threads = num_threads;
+
+  // All fragments share one guard so the first failure (or an external
+  // cancel/deadline) short-circuits the siblings at their next stride check.
+  // With no caller guard a limit-free local one provides the short-circuit.
+  QueryGuard fallback_guard;
+  MdJoinOptions frag_options = options;
+  if (frag_options.guard == nullptr) frag_options.guard = &fallback_guard;
+  QueryGuard* guard = frag_options.guard;
+  MDJ_RETURN_NOT_OK(guard->Check());
 
   std::vector<Table> fragments = PartitionIntoN(base, num_partitions);
   std::vector<Result<Table>> results;
@@ -36,17 +72,27 @@ Result<Table> ParallelMdJoin(const Table& base, const Table& detail,
     ThreadPool pool(num_threads);
     for (size_t i = 0; i < fragments.size(); ++i) {
       pool.Submit([&, i] {
-        results[i] = MdJoin(fragments[i], detail, aggs, theta, options, &md_stats[i]);
+        if (MDJ_FAILPOINT("parallel:fragment_error")) {
+          results[i] = Status::Internal("fragment ", i,
+                                        " failed (failpoint parallel:fragment_error)");
+        } else {
+          results[i] = MdJoin(fragments[i], detail, aggs, theta, frag_options,
+                              &md_stats[i]);
+        }
+        if (!results[i].ok()) guard->Trip(results[i].status());
       });
     }
     pool.Wait();
   }
 
+  AccumulateFragmentStats(md_stats, stats);
+
+  // First error wins: the guard latched whichever fragment tripped first.
+  if (guard->tripped()) return guard->TripStatus();
   std::vector<Table> pieces;
   pieces.reserve(results.size());
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok()) return results[i].status();
-    stats->total_detail_rows_scanned += md_stats[i].detail_rows_scanned;
     pieces.push_back(std::move(results[i]).value());
   }
   return ConcatAll(pieces);
@@ -69,6 +115,10 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
   }
   stats->num_partitions = num_partitions;
   stats->num_threads = num_threads;
+
+  QueryGuard fallback_guard;
+  QueryGuard* guard = options.guard != nullptr ? options.guard : &fallback_guard;
+  MDJ_RETURN_NOT_OK(guard->Check());
 
   MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
                        BindAggs(aggs, &base.schema(), &detail.schema()));
@@ -94,7 +144,12 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
   // Shared read-only machinery: index over B, compiled predicates.
   const bool indexed = options.use_index && !parts.equi.empty();
   BaseIndex index;
+  ScopedReservation index_bytes;
   if (indexed) {
+    MDJ_RETURN_NOT_OK(index_bytes.Reserve(
+        options.guard,
+        static_cast<int64_t>(active.size()) * kGuardBytesPerIndexedBaseRow,
+        "detail-split base index"));
     MDJ_ASSIGN_OR_RETURN(index,
                          BaseIndex::Build(base, active, parts.equi, detail.schema()));
   }
@@ -123,6 +178,14 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
                                      &base.schema(), &detail.schema()));
   }
 
+  // One partial-state array per fragment.
+  ScopedReservation state_bytes;
+  MDJ_RETURN_NOT_OK(state_bytes.Reserve(
+      options.guard,
+      static_cast<int64_t>(num_partitions) * static_cast<int64_t>(bound.size()) *
+          base.num_rows() * kGuardBytesPerAggState,
+      "detail-split partial states"));
+
   // Per-fragment partial states: states[fragment][agg][base_row].
   const size_t nrows = static_cast<size_t>(base.num_rows());
   std::vector<std::vector<std::vector<std::unique_ptr<AggregateState>>>> states(
@@ -148,44 +211,68 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
     }
   }
 
-  std::atomic<int64_t> scanned{0};
+  std::vector<MdJoinStats> md_stats(static_cast<size_t>(num_partitions));
+  std::vector<Status> frag_status(static_cast<size_t>(num_partitions));
   {
     ThreadPool pool(num_threads);
     for (int f = 0; f < num_partitions; ++f) {
       pool.Submit([&, f] {
+        if (MDJ_FAILPOINT("parallel:fragment_error")) {
+          frag_status[static_cast<size_t>(f)] = Status::Internal(
+              "fragment ", f, " failed (failpoint parallel:fragment_error)");
+          guard->Trip(frag_status[static_cast<size_t>(f)]);
+          return;
+        }
         auto& frag_states = states[static_cast<size_t>(f)];
+        MdJoinStats& fs = md_stats[static_cast<size_t>(f)];
         RowCtx ctx;
         ctx.base = &base;
         ctx.detail = &detail;
         std::vector<int64_t> candidates;
-        int64_t local_scanned = 0;
+        GuardTicket ticket(guard);
+        Status scan_status;
         for (int64_t t = ranges[static_cast<size_t>(f)].first;
              t < ranges[static_cast<size_t>(f)].second; ++t) {
           ctx.detail_row = t;
-          ++local_scanned;
-          if (detail_pred.valid() && !detail_pred.EvalBool(ctx)) continue;
-          const std::vector<int64_t>* probe_rows;
-          if (indexed) {
-            candidates.clear();
-            index.Probe(ctx, &candidates);
-            probe_rows = &candidates;
-          } else {
-            probe_rows = &active;
-          }
-          for (int64_t b : *probe_rows) {
-            ctx.base_row = b;
-            if (residual.valid() && !residual.EvalBool(ctx)) continue;
-            for (size_t i = 0; i < bound.size(); ++i) {
-              bound[i].UpdateFromRow(frag_states[i][static_cast<size_t>(b)].get(), ctx);
+          ++fs.detail_rows_scanned;
+          int64_t pairs_this_row = 0;
+          if (!detail_pred.valid() || detail_pred.EvalBool(ctx)) {
+            ++fs.detail_rows_qualified;
+            const std::vector<int64_t>* probe_rows;
+            if (indexed) {
+              candidates.clear();
+              index.Probe(ctx, &candidates);
+              probe_rows = &candidates;
+            } else {
+              probe_rows = &active;
+            }
+            pairs_this_row = static_cast<int64_t>(probe_rows->size());
+            for (int64_t b : *probe_rows) {
+              ctx.base_row = b;
+              ++fs.candidate_pairs;
+              if (residual.valid() && !residual.EvalBool(ctx)) continue;
+              ++fs.matched_pairs;
+              for (size_t i = 0; i < bound.size(); ++i) {
+                bound[i].UpdateFromRow(frag_states[i][static_cast<size_t>(b)].get(),
+                                       ctx);
+              }
             }
           }
+          scan_status = ticket.Tick(pairs_this_row);
+          if (!scan_status.ok()) break;
         }
-        scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+        if (scan_status.ok()) scan_status = ticket.Finish();
+        frag_status[static_cast<size_t>(f)] = scan_status;
+        if (!scan_status.ok()) guard->Trip(scan_status);
       });
     }
     pool.Wait();
   }
-  stats->total_detail_rows_scanned = scanned.load();
+  AccumulateFragmentStats(md_stats, stats);
+  if (guard->tripped()) return guard->TripStatus();
+  for (const Status& s : frag_status) {
+    if (!s.ok()) return s;
+  }
 
   // Merge fragment partials into fragment 0 and finalize.
   for (int f = 1; f < num_partitions; ++f) {
@@ -198,9 +285,16 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
 
   std::vector<Field> fields = base.schema().fields();
   for (const BoundAgg& b : bound) fields.push_back(b.output_field);
+  ScopedReservation output_bytes;
+  MDJ_RETURN_NOT_OK(output_bytes.Reserve(
+      options.guard,
+      base.num_rows() * static_cast<int64_t>(fields.size()) * kGuardBytesPerOutputCell,
+      "detail-split output"));
+  GuardTicket finalize_ticket(guard, /*count_rows=*/false);
   Table out{Schema(std::move(fields))};
   out.Reserve(base.num_rows());
   for (int64_t r = 0; r < base.num_rows(); ++r) {
+    MDJ_RETURN_NOT_OK(finalize_ticket.Tick());
     std::vector<Value> row = base.GetRow(r);
     for (size_t i = 0; i < bound.size(); ++i) {
       row.push_back(bound[i].fn->Finalize(*states[0][i][static_cast<size_t>(r)]));

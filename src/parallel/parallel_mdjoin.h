@@ -10,7 +10,15 @@ namespace mdjoin {
 struct ParallelMdJoinStats {
   int num_partitions = 0;
   int num_threads = 0;
-  int64_t total_detail_rows_scanned = 0;  // summed over fragments
+  // Work counters summed over per-fragment MdJoinStats.
+  int64_t total_detail_rows_scanned = 0;
+  int64_t detail_rows_qualified = 0;
+  int64_t candidate_pairs = 0;
+  int64_t matched_pairs = 0;
+  // Per-fragment scan extremes: a wide min/max spread means fragment skew
+  // (uneven base partitions or early guard short-circuiting).
+  int64_t min_fragment_detail_rows = 0;
+  int64_t max_fragment_detail_rows = 0;
 };
 
 /// Intra-operator parallel MD-join (§4.1.2): Theorem 4.1 splits the base

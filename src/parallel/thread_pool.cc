@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include <exception>
+
 #include "common/logging.h"
 
 namespace mdjoin {
@@ -35,6 +37,14 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadPool::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();
+    if (active_ == 0) all_done_.notify_all();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -46,7 +56,19 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // Trap escaping exceptions while no pool lock is held: unwinding into
+    // the scheduler would std::terminate with mu_'s state unknown and no
+    // diagnostic. Library code is exception-free, so anything caught here is
+    // an environment failure (bad_alloc) or a misbehaving user closure.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      MDJ_CHECK(false) << "ThreadPool task terminated with uncaught exception: "
+                       << e.what();
+    } catch (...) {
+      MDJ_CHECK(false) << "ThreadPool task terminated with uncaught non-standard "
+                          "exception";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

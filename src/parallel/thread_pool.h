@@ -21,11 +21,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task`. Tasks must not throw (the engine is exception-free).
+  /// Enqueues `task`. Tasks must not throw (the engine is exception-free);
+  /// an exception that escapes anyway — e.g. std::bad_alloc from a container
+  /// — is trapped in the worker and aborts the process with a logged message
+  /// rather than letting std::terminate fire mid-unwind.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
+
+  /// Drops every task still queued without running it; tasks already being
+  /// executed finish normally (pair with a QueryGuard cancel to stop those
+  /// cooperatively). Wait() then returns once in-flight tasks drain.
+  void Cancel();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 

@@ -62,6 +62,17 @@ void Table::Reserve(int64_t rows) {
   for (auto& col : columns_) col.reserve(static_cast<size_t>(rows));
 }
 
+int64_t Table::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& col : columns_) {
+    bytes += static_cast<int64_t>(col.capacity() * sizeof(Value));
+    for (const Value& v : col) {
+      if (v.is_string()) bytes += static_cast<int64_t>(v.string().capacity());
+    }
+  }
+  return bytes;
+}
+
 std::string Table::ToString(int64_t max_rows) const {
   return PrintTable(*this, max_rows);
 }

@@ -64,6 +64,11 @@ class Table {
 
   void Reserve(int64_t rows);
 
+  /// Rough heap footprint of the table's cells (Value storage plus string
+  /// payloads), used by the QueryGuard memory accountant when the executor
+  /// materializes intermediates. O(rows × columns).
+  int64_t ApproxBytes() const;
+
   /// Human-readable grid (delegates to printer.h).
   std::string ToString(int64_t max_rows = 50) const;
 

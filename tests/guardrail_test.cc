@@ -1,0 +1,439 @@
+/// Query-guardrail coverage: cooperative cancellation (before and mid-scan,
+/// observed within one check stride), deadlines, memory accounting with
+/// graceful degradation to multi-pass (Theorem 4.1), row/pair work budgets,
+/// first-error-wins propagation out of the parallel paths, failpoint-driven
+/// fault injection, and the hardened ThreadPool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/query_guard.h"
+#include "core/generalized.h"
+#include "core/incremental.h"
+#include "core/mdjoin.h"
+#include "cube/base_tables.h"
+#include "optimizer/executor.h"
+#include "optimizer/plan.h"
+#include "parallel/parallel_mdjoin.h"
+#include "parallel/thread_pool.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+
+ExprPtr CustTheta() { return Eq(RCol("cust"), BCol("cust")); }
+
+/// Resets the global failpoint registry around every test so armed points
+/// never leak across tests.
+class GuardrailTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Global()->Reset(); }
+  void TearDown() override { FailpointRegistry::Global()->Reset(); }
+};
+
+TEST_F(GuardrailTest, CancelBeforeScanAllPaths) {
+  Table sales = testutil::RandomSales(41, 300);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+
+  QueryGuard guard;
+  guard.Cancel();
+  MdJoinOptions options;
+  options.guard = &guard;
+
+  Result<Table> classic = MdJoin(base, sales, aggs, CustTheta(), options);
+  ASSERT_FALSE(classic.ok());
+  EXPECT_EQ(classic.status().code(), StatusCode::kCancelled);
+
+  Result<Table> parallel =
+      ParallelMdJoin(base, sales, aggs, CustTheta(), 4, 2, options);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), StatusCode::kCancelled);
+
+  Result<Table> split =
+      ParallelMdJoinDetailSplit(base, sales, aggs, CustTheta(), 4, 2, options);
+  ASSERT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kCancelled);
+
+  std::vector<MdJoinComponent> components = {{aggs, CustTheta()}};
+  Result<Table> generalized = GeneralizedMdJoin(base, sales, components, options);
+  ASSERT_FALSE(generalized.ok());
+  EXPECT_EQ(generalized.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardrailTest, CancelMidScanObservedWithinStride) {
+  Table sales = testutil::RandomSales(43, 2000);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n")};
+
+  // The failpoint fires inside QueryGuard::Check at a stride boundary, which
+  // is exactly where a concurrent Cancel() would first be seen. Skip the
+  // first two checks (operator entry + first stride) so the cancel lands
+  // mid-scan, then verify it is observed within one further stride.
+  const int64_t stride = 64;
+  QueryGuardOptions guard_options;
+  guard_options.check_stride = stride;
+  QueryGuard guard(guard_options);
+  MdJoinOptions options;
+  options.guard = &guard;
+  FailpointRegistry::Global()->Enable("query_guard:cancel", /*count=*/1, /*skip=*/2);
+
+  MdJoinStats stats;
+  Result<Table> result = MdJoin(base, sales, aggs, CustTheta(), options, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // Two checks passed (entry + one stride of 64 rows), the third cancelled:
+  // the scan stopped after at most two strides of detail rows.
+  EXPECT_GT(stats.detail_rows_scanned, 0);
+  EXPECT_LE(stats.detail_rows_scanned, 2 * stride);
+  EXPECT_LT(stats.detail_rows_scanned, sales.num_rows());
+}
+
+TEST_F(GuardrailTest, CancelMidScanParallelPaths) {
+  Table sales = testutil::RandomSales(45, 2000);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n")};
+
+  for (int variant = 0; variant < 2; ++variant) {
+    FailpointRegistry::Global()->Reset();
+    FailpointRegistry::Global()->Enable("query_guard:cancel", /*count=*/1,
+                                        /*skip=*/4);
+    QueryGuardOptions guard_options;
+    guard_options.check_stride = 64;
+    QueryGuard guard(guard_options);
+    MdJoinOptions options;
+    options.guard = &guard;
+    Result<Table> result =
+        variant == 0
+            ? ParallelMdJoin(base, sales, aggs, CustTheta(), 4, 2, options)
+            : ParallelMdJoinDetailSplit(base, sales, aggs, CustTheta(), 4, 2, options);
+    ASSERT_FALSE(result.ok()) << "variant=" << variant;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << "variant=" << variant;
+  }
+}
+
+TEST_F(GuardrailTest, DeadlineExpires) {
+  Table sales = testutil::RandomSales(47, 200);
+  Table base = *GroupByBase(sales, {"cust"});
+
+  QueryGuardOptions guard_options;
+  guard_options.timeout_ms = 1;
+  QueryGuard guard(guard_options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  MdJoinOptions options;
+  options.guard = &guard;
+  Result<Table> result = MdJoin(base, sales, {Count("n")}, CustTheta(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos);
+}
+
+TEST_F(GuardrailTest, MemoryBudgetDegradesToMultiPass) {
+  Table sales = testutil::RandomSales(49, 600);
+  Table base = *GroupByBase(sales, {"cust", "month"});
+  ExprPtr theta =
+      And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month")));
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+
+  MdJoinStats unguarded_stats;
+  Result<Table> unguarded = MdJoin(base, sales, aggs, theta, {}, &unguarded_stats);
+  ASSERT_TRUE(unguarded.ok());
+  ASSERT_EQ(unguarded_stats.passes_over_detail, 1);
+
+  // Budget: full state footprint plus index room for ~1/3 of the base rows.
+  const int64_t n = base.num_rows();
+  const int64_t per_pass_rows = std::max<int64_t>(1, n / 3);
+  QueryGuardOptions guard_options;
+  guard_options.memory_budget_bytes =
+      static_cast<int64_t>(aggs.size()) * n * kGuardBytesPerAggState +
+      per_pass_rows * kGuardBytesPerIndexedBaseRow;
+  QueryGuard guard(guard_options);
+  MdJoinOptions options;
+  options.guard = &guard;
+
+  MdJoinStats stats;
+  Result<Table> guarded = MdJoin(base, sales, aggs, theta, options, &stats);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+  EXPECT_TRUE(stats.memory_degraded);
+  EXPECT_LE(stats.base_rows_per_pass_effective, per_pass_rows);
+  EXPECT_GT(stats.passes_over_detail, 1);
+  // Theorem 4.1: the multi-pass evaluation is result-identical, it only
+  // trades extra scans of R for the smaller per-pass index.
+  EXPECT_TRUE(TablesEqualOrdered(*unguarded, *guarded));
+  EXPECT_EQ(stats.detail_rows_scanned,
+            stats.passes_over_detail * sales.num_rows());
+}
+
+TEST_F(GuardrailTest, MemoryHardLimitFails) {
+  Table sales = testutil::RandomSales(51, 200);
+  Table base = *GroupByBase(sales, {"cust"});
+
+  QueryGuardOptions guard_options;
+  guard_options.memory_hard_limit_bytes = 64;  // nothing fits
+  QueryGuard guard(guard_options);
+  MdJoinOptions options;
+  options.guard = &guard;
+  Result<Table> result = MdJoin(base, sales, {Count("n")}, CustTheta(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status().ToString();
+  EXPECT_NE(result.status().message().find("hard limit"), std::string::npos);
+}
+
+TEST_F(GuardrailTest, DetailRowAndPairBudgets) {
+  Table sales = testutil::RandomSales(53, 500);
+  Table base = *GroupByBase(sales, {"cust"});
+
+  {
+    QueryGuardOptions guard_options;
+    guard_options.max_detail_rows = 100;
+    guard_options.check_stride = 32;
+    QueryGuard guard(guard_options);
+    MdJoinOptions options;
+    options.guard = &guard;
+    Result<Table> result = MdJoin(base, sales, {Count("n")}, CustTheta(), options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsResourceExhausted());
+    EXPECT_NE(result.status().message().find("detail-row budget"), std::string::npos);
+  }
+  {
+    QueryGuardOptions guard_options;
+    guard_options.max_candidate_pairs = 50;
+    guard_options.check_stride = 32;
+    QueryGuard guard(guard_options);
+    MdJoinOptions options;
+    options.guard = &guard;
+    Result<Table> result = MdJoin(base, sales, {Count("n")}, CustTheta(), options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsResourceExhausted());
+    EXPECT_NE(result.status().message().find("candidate-pair budget"),
+              std::string::npos);
+  }
+}
+
+TEST_F(GuardrailTest, GuardedRunMatchesUnguardedAndAccountsWork) {
+  Table sales = testutil::RandomSales(55, 400);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+
+  Result<Table> unguarded = MdJoin(base, sales, aggs, CustTheta());
+  ASSERT_TRUE(unguarded.ok());
+
+  QueryGuard guard;  // no limits: pure observation
+  MdJoinOptions options;
+  options.guard = &guard;
+  MdJoinStats stats;
+  Result<Table> guarded = MdJoin(base, sales, aggs, CustTheta(), options, &stats);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_TRUE(TablesEqualOrdered(*unguarded, *guarded));
+  // GuardTicket::Finish flushes the tail, so accounting is exact.
+  EXPECT_EQ(guard.detail_rows_seen(), stats.detail_rows_scanned);
+  EXPECT_EQ(guard.candidate_pairs_seen(), stats.candidate_pairs);
+  EXPECT_GT(guard.bytes_high_water(), 0);
+  EXPECT_EQ(guard.bytes_reserved(), 0);  // everything released
+}
+
+TEST_F(GuardrailTest, ParallelFragmentErrorFirstErrorWins) {
+  Table sales = testutil::RandomSales(57, 400);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n")};
+
+  FailpointRegistry::Global()->Enable("parallel:fragment_error", /*count=*/1);
+  Result<Table> result = ParallelMdJoin(base, sales, aggs, CustTheta(), 4, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("parallel:fragment_error"),
+            std::string::npos);
+
+  FailpointRegistry::Global()->Reset();
+  FailpointRegistry::Global()->Enable("parallel:fragment_error", /*count=*/1);
+  result = ParallelMdJoinDetailSplit(base, sales, aggs, CustTheta(), 4, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("parallel:fragment_error"),
+            std::string::npos);
+}
+
+TEST_F(GuardrailTest, ParallelNullThetaSymmetry) {
+  Table sales = testutil::SmallSales();
+  Table base = *GroupByBase(sales, {"cust"});
+  // Both entry points reject a null θ the same way (this was asymmetric).
+  Result<Table> a = ParallelMdJoin(base, sales, {Count("n")}, nullptr, 2, 2);
+  ASSERT_FALSE(a.ok());
+  EXPECT_TRUE(a.status().IsInvalidArgument());
+  Result<Table> b = ParallelMdJoinDetailSplit(base, sales, {Count("n")}, nullptr, 2, 2);
+  ASSERT_FALSE(b.ok());
+  EXPECT_TRUE(b.status().IsInvalidArgument());
+}
+
+TEST_F(GuardrailTest, ParallelStatsAggregateAcrossFragments) {
+  Table sales = testutil::RandomSales(59, 400);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+
+  MdJoinStats seq;
+  ASSERT_TRUE(MdJoin(base, sales, aggs, CustTheta(), {}, &seq).ok());
+
+  const int partitions = 4;
+  ParallelMdJoinStats base_split;
+  ASSERT_TRUE(ParallelMdJoin(base, sales, aggs, CustTheta(), partitions, 2, {},
+                             &base_split)
+                  .ok());
+  // Theorem 4.1 split: every fragment scans all of R; base rows (and thus
+  // candidate/matched pairs) partition across fragments.
+  EXPECT_EQ(base_split.total_detail_rows_scanned, partitions * sales.num_rows());
+  EXPECT_EQ(base_split.detail_rows_qualified, partitions * seq.detail_rows_qualified);
+  EXPECT_EQ(base_split.candidate_pairs, seq.candidate_pairs);
+  EXPECT_EQ(base_split.matched_pairs, seq.matched_pairs);
+  EXPECT_EQ(base_split.min_fragment_detail_rows, sales.num_rows());
+  EXPECT_EQ(base_split.max_fragment_detail_rows, sales.num_rows());
+
+  ParallelMdJoinStats detail_split;
+  ASSERT_TRUE(ParallelMdJoinDetailSplit(base, sales, aggs, CustTheta(), partitions, 2,
+                                        {}, &detail_split)
+                  .ok());
+  // Detail split: R is scanned exactly once in total; every pair is tested
+  // exactly once across fragments.
+  EXPECT_EQ(detail_split.total_detail_rows_scanned, sales.num_rows());
+  EXPECT_EQ(detail_split.detail_rows_qualified, seq.detail_rows_qualified);
+  EXPECT_EQ(detail_split.candidate_pairs, seq.candidate_pairs);
+  EXPECT_EQ(detail_split.matched_pairs, seq.matched_pairs);
+  EXPECT_LE(detail_split.min_fragment_detail_rows,
+            detail_split.max_fragment_detail_rows);
+  EXPECT_EQ(detail_split.max_fragment_detail_rows,
+            (sales.num_rows() + partitions - 1) / partitions);
+}
+
+TEST_F(GuardrailTest, ExecutorObservesGuard) {
+  Table sales = testutil::RandomSales(61, 300);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("Sales", &sales).ok());
+  Table base = *GroupByBase(sales, {"cust"});
+  ASSERT_TRUE(catalog.Register("Base", &base).ok());
+  PlanPtr plan = MdJoinPlan(TableRef("Base"), TableRef("Sales"),
+                            {Count("n"), Sum(RCol("sale"), "total")}, CustTheta());
+
+  {
+    QueryGuard guard;
+    guard.Cancel();
+    MdJoinOptions options;
+    options.guard = &guard;
+    Result<Table> result = ExecutePlan(plan, catalog, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  {
+    FailpointRegistry::Global()->Enable("executor:node_error", /*count=*/1);
+    Result<Table> result = ExecutePlan(plan, catalog);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("executor:node_error"),
+              std::string::npos);
+  }
+  {
+    // A hard limit smaller than the materialized detail table trips the
+    // executor's per-node memory accounting.
+    QueryGuardOptions guard_options;
+    guard_options.memory_hard_limit_bytes = 1024;
+    QueryGuard guard(guard_options);
+    MdJoinOptions options;
+    options.guard = &guard;
+    Result<Table> result = ExecutePlan(plan, catalog, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status().ToString();
+  }
+}
+
+TEST_F(GuardrailTest, IncrementalMaintenanceObservesGuard) {
+  Table sales = testutil::RandomSales(63, 200);
+  Table base = *GroupByBase(sales, {"cust"});
+  std::vector<AggSpec> aggs = {Count("n"), Sum(RCol("sale"), "total")};
+  Result<Table> previous = MdJoin(base, sales, aggs, CustTheta());
+  ASSERT_TRUE(previous.ok());
+  Table delta = testutil::RandomSales(64, 50);
+
+  QueryGuard guard;
+  guard.Cancel();
+  MdJoinOptions options;
+  options.guard = &guard;
+  Result<Table> result = MdJoinApplyDelta(*previous, delta, aggs, CustTheta(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardrailTest, ReserveFailpointInjectsAllocationFailure) {
+  Table sales = testutil::RandomSales(65, 200);
+  Table base = *GroupByBase(sales, {"cust"});
+  FailpointRegistry::Global()->Enable("query_guard:reserve", /*count=*/1);
+  QueryGuard guard;
+  MdJoinOptions options;
+  options.guard = &guard;
+  Result<Table> result = MdJoin(base, sales, {Count("n")}, CustTheta(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_NE(result.status().message().find("query_guard:reserve"), std::string::npos);
+  EXPECT_EQ(FailpointRegistry::Global()->fire_count("query_guard:reserve"), 1);
+}
+
+TEST_F(GuardrailTest, FailpointRegistrySpecAndCounts) {
+  FailpointRegistry* registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry->LoadSpec("a:x=2@1; b:y=-1,c:z=1").ok());
+  // a:x skips one evaluation then fires twice.
+  EXPECT_FALSE(registry->Evaluate("a:x"));
+  EXPECT_TRUE(registry->Evaluate("a:x"));
+  EXPECT_TRUE(registry->Evaluate("a:x"));
+  EXPECT_FALSE(registry->Evaluate("a:x"));
+  EXPECT_EQ(registry->fire_count("a:x"), 2);
+  // b:y fires forever.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(registry->Evaluate("b:y"));
+  // c:z fires once.
+  EXPECT_TRUE(registry->Evaluate("c:z"));
+  EXPECT_FALSE(registry->Evaluate("c:z"));
+  // Unknown points never fire; malformed specs error.
+  EXPECT_FALSE(registry->Evaluate("nope"));
+  EXPECT_FALSE(registry->LoadSpec("missing-equals").ok());
+  EXPECT_FALSE(registry->LoadSpec("p=abc").ok());
+  registry->Reset();
+  EXPECT_FALSE(registry->Evaluate("b:y"));
+}
+
+TEST_F(GuardrailTest, ThreadPoolCancelDrainsQueue) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+
+  // Occupy the single worker so the follow-up tasks stay queued.
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  // Every queued-but-unstarted task was dropped.
+  EXPECT_EQ(ran.load(), 0);
+  // The pool remains usable after a Cancel round.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace mdjoin
