@@ -72,4 +72,6 @@ BENCHMARK(BM_DetailSplitParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMill
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e10");
+}

@@ -98,4 +98,6 @@ BENCHMARK(BM_RangeWithoutTransfer)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e11");
+}

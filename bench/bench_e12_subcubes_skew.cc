@@ -91,4 +91,6 @@ BENCHMARK(BM_SkewedMdJoin)->Arg(0)->Arg(60)->Arg(120)->Unit(benchmark::kMillisec
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e12");
+}

@@ -90,4 +90,6 @@ BENCHMARK(BM_RecomputeFromScratch)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e13");
+}

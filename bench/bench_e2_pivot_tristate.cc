@@ -118,4 +118,6 @@ BENCHMARK(BM_SqlCasePivotBaseline)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e2");
+}

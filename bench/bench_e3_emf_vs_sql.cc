@@ -91,4 +91,6 @@ BENCHMARK(BM_RelationalPlan)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e3");
+}

@@ -74,4 +74,6 @@ BENCHMARK(BM_UnionOfPartitionsOperatorForm)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e4");
+}

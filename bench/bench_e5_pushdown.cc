@@ -49,4 +49,6 @@ BENCHMARK(BM_WithoutPushdown)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e5");
+}

@@ -73,4 +73,6 @@ BENCHMARK(BM_UnfusedSeries)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e6");
+}

@@ -93,4 +93,6 @@ BENCHMARK(BM_SimulatedDistributedSites)
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e7");
+}

@@ -108,7 +108,5 @@ BENCHMARK(BM_DirectMdJoinCube)
 
 int main(int argc, char** argv) {
   mdjoin::PrintFigure2();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mdjoin::bench::RunBenchMain(argc, argv, "e8");
 }

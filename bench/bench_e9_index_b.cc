@@ -76,4 +76,6 @@ BENCHMARK(BM_ComputedKeyIndex)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecon
 }  // namespace
 }  // namespace mdjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mdjoin::bench::RunBenchMain(argc, argv, "e9");
+}

@@ -1,6 +1,10 @@
 #ifndef MDJOIN_BENCH_BENCH_UTIL_H_
 #define MDJOIN_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,6 +58,95 @@ inline ExprPtr DimsTheta(const std::vector<std::string>& dims) {
                                Expr::ColumnRef(Side::kDetail, d)));
   }
   return CombineConjuncts(std::move(eqs));
+}
+
+/// Console reporter that additionally collects one machine-readable record
+/// per benchmark run for the harness: name, rows (the "detail_rows" counter
+/// when the bench sets it), ns/op, and detail-row throughput.
+class JsonCollectingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    double rows = 0;
+    double ns_per_op = 0;
+    double rows_per_sec = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ::benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      auto it = run.counters.find("detail_rows");
+      if (it != run.counters.end()) rec.rows = it->second.value;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1;
+      rec.ns_per_op = run.real_accumulated_time / iters * 1e9;
+      rec.rows_per_sec = rec.ns_per_op > 0 ? rec.rows * 1e9 / rec.ns_per_op : 0;
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Writes the collected records as a JSON array of flat objects.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<JsonCollectingReporter::Record>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"rows\": %.0f, \"ns_per_op\": %.1f, "
+                 "\"rows_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), r.rows, r.ns_per_op, r.rows_per_sec,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Shared main body for every bench target. Handles `--json_out` /
+/// `--json_out=<path>` (default path BENCH_<experiment>.json in the working
+/// directory), which google-benchmark would otherwise reject as an unknown
+/// flag — so it is parsed and stripped from argv before Initialize().
+inline int RunBenchMain(int argc, char** argv, const std::string& experiment) {
+  std::string json_path;
+  bool json = false;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json_out") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json = true;
+      json_path = argv[i] + 11;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  if (json && json_path.empty()) json_path = "BENCH_" + experiment + ".json";
+  int kept_argc = static_cast<int>(kept.size());
+  ::benchmark::Initialize(&kept_argc, kept.data());
+  if (!json) {
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  JsonCollectingReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!WriteBenchJson(json_path, reporter.records())) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu records to %s\n", reporter.records().size(),
+               json_path.c_str());
+  return 0;
 }
 
 }  // namespace bench

@@ -60,6 +60,13 @@ Result<std::vector<BoundAgg>> BindAggs(const std::vector<AggSpec>& specs,
       MDJ_ASSIGN_OR_RETURN(bound.arg,
                            CompileExpr(spec.argument, base_schema, detail_schema));
       arg_type = bound.arg.result_type();
+      if (spec.argument->kind() == ExprKind::kColumnRef &&
+          spec.argument->side() == Side::kDetail && detail_schema != nullptr) {
+        if (std::optional<int> idx =
+                detail_schema->FindField(spec.argument->column_name())) {
+          bound.detail_arg_col = *idx;
+        }
+      }
     }
     MDJ_ASSIGN_OR_RETURN(DataType out_type, bound.fn->ResultType(arg_type));
     bound.output_field = Field{spec.output_name, out_type};

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "agg/aggregate.h"
+#include "agg/flat_state.h"
 #include "expr/compile.h"
 #include "expr/expr.h"
 #include "types/schema.h"
@@ -39,6 +40,11 @@ struct BoundAgg {
   CompiledExpr arg;
   Field output_field;
 
+  /// When the argument is a plain detail-column reference, its column index;
+  /// -1 otherwise. The vectorized scan reads the cell straight out of the
+  /// column instead of running the compiled closure per matched pair.
+  int detail_arg_col = -1;
+
   /// Evaluates the argument (if any) on `ctx` and folds it into `state`.
   void UpdateFromRow(AggregateState* state, const RowCtx& ctx) const {
     if (has_arg) {
@@ -46,6 +52,16 @@ struct BoundAgg {
     } else {
       // count(*): every matching row counts; feed a non-NULL token.
       fn->Update(state, Value::Int64(1));
+    }
+  }
+
+  /// Flat-state analogue of UpdateFromRow for scan loops that keep their
+  /// accumulators in an AggStateColumn.
+  void UpdateColumnFromRow(AggStateColumn* col, int64_t group, const RowCtx& ctx) const {
+    if (has_arg) {
+      col->Update(group, arg.Eval(ctx));
+    } else {
+      col->UpdateCountStar(group);
     }
   }
 };

@@ -33,6 +33,22 @@ class AggregateState {
   virtual ~AggregateState() = default;
 };
 
+/// Flat-state representations understood by the vectorized MD-join path
+/// (agg/flat_state.h). A built-in whose accumulator is a few scalars can
+/// declare one of these kinds and have its per-group state stored as
+/// contiguous typed arrays — one cache line holds many groups — updated by a
+/// non-virtual kernel instead of one heap object + virtual call per group.
+/// kNone keeps the classic MakeState()/Update() path (holistic aggregates,
+/// UDAFs, anything with unbounded state).
+enum class FlatAggKind {
+  kNone,
+  kCount,  // int64 count per group
+  kSum,    // (int64 isum, double dsum, any/is_float flags) per group
+  kMin,    // (Value best, any flag) per group
+  kMax,    // (Value best, any flag) per group
+  kAvg,    // (double sum, int64 count) per group
+};
+
 /// A (user-definable) aggregate function, in the UDAF style the paper cites
 /// [JM98, WZ00a]: allocate state, add values, merge partials, report.
 ///
@@ -68,6 +84,13 @@ class AggregateFunction {
   /// becomes a sum in l'"). Empty string if no such rewrite exists (only
   /// distributive aggregates have one).
   virtual std::string RollupFunctionName() const { return ""; }
+
+  /// Flat-state support for the vectorized evaluator. A non-kNone kind is a
+  /// contract that AggStateColumn's kernels for that kind reproduce this
+  /// function's Update/Merge/Finalize semantics exactly (A/B-tested in
+  /// tests/vectorized_test.cc); implementations that cannot honor that must
+  /// return kNone and take the per-group heap-state fallback.
+  virtual FlatAggKind flat_kind() const { return FlatAggKind::kNone; }
 };
 
 /// Name → implementation registry. Built-ins self-register; user-defined

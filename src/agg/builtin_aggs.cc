@@ -42,6 +42,7 @@ class CountFunction : public AggregateFunction {
     return Value::Int64(static_cast<const CountState&>(state).count);
   }
   std::string RollupFunctionName() const override { return "sum"; }
+  FlatAggKind flat_kind() const override { return FlatAggKind::kCount; }
 };
 
 // ---------------------------------------------------------------------------
@@ -93,6 +94,7 @@ class SumFunction : public AggregateFunction {
     return Value::Int64(s.isum);
   }
   std::string RollupFunctionName() const override { return "sum"; }
+  FlatAggKind flat_kind() const override { return FlatAggKind::kSum; }
 };
 
 // ---------------------------------------------------------------------------
@@ -134,6 +136,9 @@ class ExtremumFunction : public AggregateFunction {
     return s.any ? s.best : Value::Null();
   }
   std::string RollupFunctionName() const override { return name_; }
+  FlatAggKind flat_kind() const override {
+    return is_min_ ? FlatAggKind::kMin : FlatAggKind::kMax;
+  }
 
  private:
   bool Better(const Value& candidate, const Value& incumbent) const {
@@ -186,6 +191,7 @@ class AvgFunction : public AggregateFunction {
     if (s.count == 0) return Value::Null();
     return Value::Float64(s.sum / static_cast<double>(s.count));
   }
+  FlatAggKind flat_kind() const override { return FlatAggKind::kAvg; }
 };
 
 // ---------------------------------------------------------------------------

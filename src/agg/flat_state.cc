@@ -1,0 +1,93 @@
+#include "agg/flat_state.h"
+
+#include "common/logging.h"
+
+namespace mdjoin {
+
+AggStateColumn AggStateColumn::Make(const AggregateFunction* fn, int64_t groups) {
+  AggStateColumn col;
+  col.fn_ = fn;
+  col.kind_ = fn->flat_kind();
+  col.groups_ = groups;
+  const size_t n = static_cast<size_t>(groups);
+  switch (col.kind_) {
+    case FlatAggKind::kCount:
+      col.i64_.assign(n, 0);
+      break;
+    case FlatAggKind::kSum:
+      col.i64_.assign(n, 0);
+      col.f64_.assign(n, 0.0);
+      col.flags_.assign(n, 0);
+      break;
+    case FlatAggKind::kMin:
+    case FlatAggKind::kMax:
+      col.vals_.assign(n, Value::Null());
+      col.flags_.assign(n, 0);
+      break;
+    case FlatAggKind::kAvg:
+      col.i64_.assign(n, 0);
+      col.f64_.assign(n, 0.0);
+      break;
+    case FlatAggKind::kNone:
+      col.heap_.reserve(n);
+      for (size_t i = 0; i < n; ++i) col.heap_.push_back(fn->MakeState());
+      break;
+  }
+  return col;
+}
+
+void AggStateColumn::Merge(const AggStateColumn& other) {
+  MDJ_CHECK(fn_ == other.fn_ && groups_ == other.groups_)
+      << "AggStateColumn::Merge: mismatched columns";
+  const size_t n = static_cast<size_t>(groups_);
+  switch (kind_) {
+    case FlatAggKind::kCount:
+      for (size_t i = 0; i < n; ++i) i64_[i] += other.i64_[i];
+      break;
+    case FlatAggKind::kSum:
+      for (size_t i = 0; i < n; ++i) {
+        i64_[i] += other.i64_[i];
+        f64_[i] += other.f64_[i];
+        flags_[i] |= other.flags_[i];
+      }
+      break;
+    case FlatAggKind::kMin:
+    case FlatAggKind::kMax:
+      for (size_t i = 0; i < n; ++i) {
+        if (other.flags_[i] & kAny) UpdateExtremum(i, other.vals_[i]);
+      }
+      break;
+    case FlatAggKind::kAvg:
+      for (size_t i = 0; i < n; ++i) {
+        f64_[i] += other.f64_[i];
+        i64_[i] += other.i64_[i];
+      }
+      break;
+    case FlatAggKind::kNone:
+      for (size_t i = 0; i < n; ++i) fn_->Merge(heap_[i].get(), *other.heap_[i]);
+      break;
+  }
+}
+
+Value AggStateColumn::Finalize(int64_t g) const {
+  const size_t i = static_cast<size_t>(g);
+  switch (kind_) {
+    case FlatAggKind::kCount:
+      return Value::Int64(i64_[i]);
+    case FlatAggKind::kSum:
+      if (!(flags_[i] & kAny)) return Value::Null();
+      if (flags_[i] & kIsFloat) return Value::Float64(f64_[i]);
+      return Value::Int64(i64_[i]);
+    case FlatAggKind::kMin:
+    case FlatAggKind::kMax:
+      return (flags_[i] & kAny) ? vals_[i] : Value::Null();
+    case FlatAggKind::kAvg:
+      if (i64_[i] == 0) return Value::Null();
+      return Value::Float64(f64_[i] / static_cast<double>(i64_[i]));
+    case FlatAggKind::kNone:
+      return fn_->Finalize(*heap_[i]);
+  }
+  return Value::Null();  // unreachable
+}
+
+}  // namespace mdjoin

@@ -144,6 +144,18 @@ class GuardTicket {
     return Flush(stride_);
   }
 
+  /// Accounts `rows` scanned detail rows plus `pairs` candidate pairs in one
+  /// call — the block-at-a-time counterpart of Tick(). Budgets stay exact
+  /// (every row/pair is charged); the guard is consulted whenever the stride
+  /// countdown is exhausted, so trip latency is at most stride + block rows.
+  Status TickBlock(int64_t rows, int64_t pairs) {
+    if (guard_ == nullptr) return Status::OK();
+    pending_pairs_ += pairs;
+    countdown_ -= rows;
+    if (countdown_ > 0) return Status::OK();
+    return Flush(stride_ - countdown_);
+  }
+
   /// Flushes rows/pairs accumulated since the last stride check and performs
   /// a final guard check. Call at scan end so budgets stay exact.
   Status Finish() {

@@ -18,6 +18,17 @@ Result<BaseIndex> BaseIndex::Build(const Table& base, const std::vector<int64_t>
                          CompileExpr(pair.detail_expr, nullptr, &detail_schema));
     base_keys.push_back(std::move(bk));
     index.detail_keys_.push_back(std::move(dk));
+    // Plain-column keys (the overwhelmingly common case) are read straight
+    // from the column during probes, bypassing the compiled closure.
+    int col = -1;
+    if (pair.detail_expr->kind() == ExprKind::kColumnRef &&
+        pair.detail_expr->side() == Side::kDetail) {
+      if (std::optional<int> idx =
+              detail_schema.FindField(pair.detail_expr->column_name())) {
+        col = *idx;
+      }
+    }
+    index.detail_cols_.push_back(col);
   }
   MDJ_CHECK(equi.size() <= 64) << "too many equi conjuncts for ALL-mask";
 
@@ -59,34 +70,85 @@ Result<BaseIndex> BaseIndex::Build(const Table& base, const std::vector<int64_t>
   return index;
 }
 
-void BaseIndex::Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const {
-  // Evaluate the detail-side key once per tuple.
-  RowKey detail_key;
-  detail_key.reserve(detail_keys_.size());
+namespace {
+
+// Probe-memo tuning: cache at most this many distinct keys, and give up on
+// memoization entirely when the warmup window shows the hit rate of a
+// high-cardinality key stream (the memo then costs one extra hash per probe).
+constexpr size_t kProbeMemoCap = 1 << 14;
+constexpr int64_t kProbeMemoWarmup = 1 << 13;
+
+}  // namespace
+
+void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scratch,
+                      std::vector<int64_t>* out) const {
+  const size_t nkeys = detail_keys_.size();
+  // Materialize the detail-side key once per tuple — as pointers. Plain
+  // columns alias the cell in place; computed keys evaluate into reused
+  // scratch slots.
+  scratch->key.clear();
   bool any_all = false;
-  for (const CompiledExpr& dk : detail_keys_) {
-    Value v = dk.Eval(detail_ctx);
-    if (v.is_all()) any_all = true;
-    detail_key.push_back(std::move(v));
+  bool any_computed = false;
+  for (size_t i = 0; i < nkeys; ++i) {
+    const Value* v;
+    if (detail_cols_[i] >= 0) {
+      v = &detail.column(detail_cols_[i])[detail_row];
+    } else {
+      if (!any_computed) {
+        scratch->computed.resize(nkeys);
+        any_computed = true;
+      }
+      RowCtx ctx;
+      ctx.detail = &detail;
+      ctx.detail_row = detail_row;
+      scratch->computed[i] = detail_keys_[i].Eval(ctx);
+      v = &scratch->computed[i];
+    }
+    if (v->is_all()) any_all = true;
+    scratch->key.push_back(v);
+  }
+
+  // Multi-bucket (cube) indexes pay 2^d map lookups per tuple; when the
+  // detail key stream repeats — the cube benchmarks have a few hundred
+  // distinct (dims) combinations over millions of rows — one memo lookup on
+  // the full key replaces all of them. Single-bucket probes are already one
+  // lookup, so the memo would be pure overhead there.
+  size_t memo_from = 0;
+  bool memoize = false;
+  if (buckets_.size() > 1 && scratch->memo_enabled) {
+    if (++scratch->memo_lookups == kProbeMemoWarmup &&
+        scratch->memo_hits * 4 < kProbeMemoWarmup) {
+      // High-cardinality keys: the memo misses its way to the cap. Stop.
+      scratch->memo_enabled = false;
+      scratch->memo.clear();
+    } else {
+      auto it = scratch->memo.find(RowKeyView{scratch->key.data(), nkeys});
+      if (it != scratch->memo.end()) {
+        ++scratch->memo_hits;
+        out->insert(out->end(), it->second.begin(), it->second.end());
+        return;
+      }
+      memoize = scratch->memo.size() < kProbeMemoCap;
+      memo_from = out->size();
+    }
   }
 
   for (const MaskBucket& bucket : buckets_) {
     // Gather the probe key for this bucket's non-ALL positions.
-    RowKey probe;
-    probe.reserve(bucket.probe_positions.size());
+    scratch->probe.clear();
     bool skip = false;
     bool wildcard = false;
     for (int pos : bucket.probe_positions) {
-      const Value& v = detail_key[static_cast<size_t>(pos)];
-      if (v.is_null()) {
+      const Value* v = scratch->key[static_cast<size_t>(pos)];
+      if (v->is_null()) {
         skip = true;  // NULL matches no base value
         break;
       }
-      if (v.is_all()) {
+      if (v->is_all()) {
         wildcard = true;  // detail-side ALL matches every base value
         break;
       }
-      probe.push_back(v);
+      scratch->probe.push_back(v);
     }
     if (skip) continue;
     if (any_all && wildcard) {
@@ -96,7 +158,7 @@ void BaseIndex::Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const
         bool match = true;
         size_t ki = 0;
         for (int pos : bucket.probe_positions) {
-          if (!key[ki++].MatchesEq(detail_key[static_cast<size_t>(pos)])) {
+          if (!key[ki++].MatchesEq(*scratch->key[static_cast<size_t>(pos)])) {
             match = false;
             break;
           }
@@ -105,11 +167,28 @@ void BaseIndex::Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const
       }
       continue;
     }
-    auto it = bucket.map.find(probe);
+    auto it = bucket.map.find(RowKeyView{scratch->probe.data(), scratch->probe.size()});
     if (it != bucket.map.end()) {
       out->insert(out->end(), it->second.begin(), it->second.end());
     }
   }
+
+  if (memoize) {
+    RowKey owned;
+    owned.reserve(nkeys);
+    for (size_t i = 0; i < nkeys; ++i) owned.push_back(*scratch->key[i]);
+    scratch->memo.emplace(std::move(owned),
+                          std::vector<int64_t>(out->begin() +
+                                                   static_cast<int64_t>(memo_from),
+                                               out->end()));
+  }
+}
+
+void BaseIndex::Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const {
+  ProbeScratch scratch;
+  // A single-probe scratch can never see a repeat; don't pay for the memo.
+  scratch.memo_enabled = false;
+  Probe(*detail_ctx.detail, detail_ctx.detail_row, &scratch, out);
 }
 
 }  // namespace mdjoin

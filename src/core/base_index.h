@@ -35,9 +35,36 @@ class BaseIndex {
                                  const std::vector<EquiPair>& equi,
                                  const Schema& detail_schema);
 
+  /// Reusable buffers for Probe: caller-owned so a scan's probes do zero
+  /// steady-state allocation. One scratch per scanning thread; a scratch must
+  /// not be reused across different indexes (the memo below caches this
+  /// index's candidate lists).
+  struct ProbeScratch {
+    std::vector<Value> computed;      // storage for non-column key expressions
+    std::vector<const Value*> key;    // detail key, one pointer per equi position
+    std::vector<const Value*> probe;  // per-bucket gathered probe key
+    // Probe memo for multi-bucket (cube) indexes: full detail key → candidate
+    // rows. Keyed on exact values (RowKeyEqual is strict Equals, no wildcard
+    // semantics), so it is a pure-function cache. Capped, and abandoned after
+    // a warmup window when the key cardinality is too high to pay off.
+    std::unordered_map<RowKey, std::vector<int64_t>, RowKeyHash, RowKeyEqual> memo;
+    int64_t memo_lookups = 0;
+    int64_t memo_hits = 0;
+    bool memo_enabled = true;
+  };
+
   /// Appends to `out` every indexed base row whose key θ-matches detail row
   /// `detail_row`. If some detail key value is ALL (possible when a cuboid
   /// feeds another MD-join), falls back to an exhaustive wildcard walk.
+  ///
+  /// Plain-column detail keys are read straight from the column (no Value
+  /// copy, no closure call) and buckets are probed through RowKeyView
+  /// heterogeneous lookup, so the per-tuple cost is hashing alone.
+  void Probe(const Table& detail, int64_t detail_row, ProbeScratch* scratch,
+             std::vector<int64_t>* out) const;
+
+  /// Convenience overload allocating its own scratch; prefer the scratch
+  /// overload in scan loops.
   void Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const;
 
   /// Number of distinct ALL-masks (== hash maps) in the index.
@@ -55,6 +82,7 @@ class BaseIndex {
   };
 
   std::vector<CompiledExpr> detail_keys_;
+  std::vector<int> detail_cols_;  // plain-column key positions (else -1)
   std::vector<MaskBucket> buckets_;
   // Rows whose base-side key evaluation produced ALL in *every* position are
   // still regular bucket entries (empty probe key). Nothing else special.

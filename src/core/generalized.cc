@@ -1,11 +1,14 @@
 #include "core/generalized.h"
 
+#include <algorithm>
 #include <numeric>
 #include <unordered_set>
 
+#include "agg/flat_state.h"
 #include "core/base_index.h"
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
+#include "expr/kernels.h"
 
 namespace mdjoin {
 
@@ -18,10 +21,16 @@ struct CompiledComponent {
   std::vector<int64_t> active;  // base rows passing the B-only conjuncts
   bool indexed = false;
   BaseIndex index;
-  CompiledExpr detail_pred;  // R-only conjuncts (pushdown)
+  CompiledExpr detail_pred;   // R-only conjuncts (row path pushdown)
+  PredicateKernels kernels;   // R-only conjuncts (vectorized path pushdown)
+  bool has_kernels = false;
   CompiledExpr residual;
-  // states[agg][base_row]
+  // Per-component: the scratch memoizes THIS index's candidate lists, so it
+  // must never be shared across components.
+  BaseIndex::ProbeScratch scratch;
+  // Row path: states[agg][base_row]. Vectorized path: cols[agg].
   std::vector<std::vector<std::unique_ptr<AggregateState>>> states;
+  std::vector<AggStateColumn> cols;
 };
 
 }  // namespace
@@ -40,6 +49,7 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   }
   QueryGuard* guard = options.guard;
   if (guard != nullptr) MDJ_RETURN_NOT_OK(guard->Check());
+  const bool vectorized = options.execution_mode != ExecutionMode::kRow;
 
   std::vector<int64_t> all_rows(static_cast<size_t>(base.num_rows()));
   std::iota(all_rows.begin(), all_rows.end(), 0);
@@ -80,9 +90,15 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
     std::vector<ExprPtr> residual_conjuncts = cc.parts.residual;
     if (options.push_detail_selection) {
       if (!cc.parts.detail_only.empty()) {
-        MDJ_ASSIGN_OR_RETURN(cc.detail_pred,
-                             CompileExpr(CombineConjuncts(cc.parts.detail_only), nullptr,
-                                         &detail.schema()));
+        if (vectorized) {
+          MDJ_ASSIGN_OR_RETURN(cc.kernels, PredicateKernels::Compile(
+                                               cc.parts.detail_only, detail.schema()));
+          cc.has_kernels = true;
+        } else {
+          MDJ_ASSIGN_OR_RETURN(cc.detail_pred,
+                               CompileExpr(CombineConjuncts(cc.parts.detail_only),
+                                           nullptr, &detail.schema()));
+        }
       }
     } else {
       residual_conjuncts.insert(residual_conjuncts.end(), cc.parts.detail_only.begin(),
@@ -117,53 +133,153 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
         static_cast<int64_t>(cc.aggs.size()) * base.num_rows() * kGuardBytesPerAggState,
         "generalized aggregate states"));
     reservations.push_back(std::move(state_res));
-    cc.states.resize(cc.aggs.size());
-    for (size_t i = 0; i < cc.aggs.size(); ++i) {
-      cc.states[i].reserve(static_cast<size_t>(base.num_rows()));
-      for (int64_t r = 0; r < base.num_rows(); ++r) {
-        cc.states[i].push_back(cc.aggs[i].fn->MakeState());
+    if (vectorized) {
+      cc.cols.reserve(cc.aggs.size());
+      for (const BoundAgg& a : cc.aggs) {
+        cc.cols.push_back(AggStateColumn::Make(a.fn, base.num_rows()));
+      }
+    } else {
+      cc.states.resize(cc.aggs.size());
+      for (size_t i = 0; i < cc.aggs.size(); ++i) {
+        cc.states[i].reserve(static_cast<size_t>(base.num_rows()));
+        for (int64_t r = 0; r < base.num_rows(); ++r) {
+          cc.states[i].push_back(cc.aggs[i].fn->MakeState());
+        }
       }
     }
     compiled.push_back(std::move(cc));
   }
 
-  // The single shared scan of R.
+  // The single shared scan of R. Work counters accumulate in locals and
+  // flush into *stats after the scan — including when a guard trip ends the
+  // scan early, so cancelled queries report how far they got.
   RowCtx ctx;
   ctx.base = &base;
   ctx.detail = &detail;
   std::vector<int64_t> candidates;
   GuardTicket ticket(guard);
-  for (int64_t t = 0; t < detail.num_rows(); ++t) {
-    ctx.detail_row = t;
-    ++stats->detail_rows_scanned;
-    bool any_qualified = false;
-    int64_t pairs_this_row = 0;
-    for (CompiledComponent& cc : compiled) {
-      if (cc.detail_pred.valid() && !cc.detail_pred.EvalBool(ctx)) continue;
-      any_qualified = true;
-      const std::vector<int64_t>* probe_rows;
-      if (cc.indexed) {
-        candidates.clear();
-        cc.index.Probe(ctx, &candidates);
-        probe_rows = &candidates;
-      } else {
-        probe_rows = &cc.active;
-      }
-      pairs_this_row += static_cast<int64_t>(probe_rows->size());
-      for (int64_t b : *probe_rows) {
-        ctx.base_row = b;
-        ++stats->candidate_pairs;
-        if (cc.residual.valid() && !cc.residual.EvalBool(ctx)) continue;
-        ++stats->matched_pairs;
-        for (size_t i = 0; i < cc.aggs.size(); ++i) {
-          cc.aggs[i].UpdateFromRow(cc.states[i][static_cast<size_t>(b)].get(), ctx);
+  int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0;
+  int64_t blocks = 0;
+  KernelStats kstats;
+  Status scan_status = [&]() -> Status {
+  if (vectorized) {
+    // Block-at-a-time: each component filters the block with its own kernels
+    // over a fresh selection vector; a row counts as qualified when it
+    // survives at least one component's pushed-down selection (same
+    // semantics as the row path's any_qualified flag). A guarded scan clamps
+    // the block to the check stride: trip latency outranks block shape.
+    int64_t block = options.block_size > 0 ? options.block_size : 1024;
+    if (guard != nullptr) block = std::min<int64_t>(block, guard->check_stride());
+    std::vector<uint32_t> sel(static_cast<size_t>(block));
+    std::vector<uint8_t> qual(static_cast<size_t>(block));
+    std::vector<int64_t> matched_buf;
+    const int64_t num_rows = detail.num_rows();
+    for (int64_t start = 0; start < num_rows; start += block) {
+      const int n = static_cast<int>(std::min<int64_t>(block, num_rows - start));
+      std::fill(qual.begin(), qual.begin() + n, uint8_t{0});
+      ++blocks;
+      scanned += n;
+      int64_t pairs_this_block = 0;
+      for (CompiledComponent& cc : compiled) {
+        for (int i = 0; i < n; ++i) {
+          sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+        }
+        int count = n;
+        if (cc.has_kernels) {
+          count = cc.kernels.FilterBlock(detail, start, sel.data(), count, &kstats);
+        }
+        for (int i = 0; i < count; ++i) {
+          const uint32_t off = sel[static_cast<size_t>(i)];
+          qual[off] = 1;
+          const int64_t t = start + off;
+          const std::vector<int64_t>* probe_rows;
+          if (cc.indexed) {
+            candidates.clear();
+            cc.index.Probe(detail, t, &cc.scratch, &candidates);
+            probe_rows = &candidates;
+          } else {
+            probe_rows = &cc.active;
+          }
+          pairs_this_block += static_cast<int64_t>(probe_rows->size());
+          if (probe_rows->empty()) continue;
+          ctx.detail_row = t;
+          // Residual resolves to a match list first; aggregates then fold the
+          // row column-at-a-time (one dispatch per (row, aggregate)).
+          const int64_t* match_rows = probe_rows->data();
+          int64_t nmatch = static_cast<int64_t>(probe_rows->size());
+          if (cc.residual.valid()) {
+            matched_buf.clear();
+            for (int64_t b : *probe_rows) {
+              ctx.base_row = b;
+              if (cc.residual.EvalBool(ctx)) matched_buf.push_back(b);
+            }
+            match_rows = matched_buf.data();
+            nmatch = static_cast<int64_t>(matched_buf.size());
+          }
+          if (nmatch == 0) continue;
+          matched += nmatch;
+          for (size_t i2 = 0; i2 < cc.aggs.size(); ++i2) {
+            const BoundAgg& agg = cc.aggs[i2];
+            if (agg.detail_arg_col >= 0) {
+              cc.cols[i2].UpdateMany(match_rows, nmatch,
+                                     detail.column(agg.detail_arg_col)[t]);
+            } else if (!agg.has_arg) {
+              cc.cols[i2].UpdateCountStarMany(match_rows, nmatch);
+            } else {
+              for (int64_t k = 0; k < nmatch; ++k) {
+                ctx.base_row = match_rows[k];
+                agg.UpdateColumnFromRow(&cc.cols[i2], match_rows[k], ctx);
+              }
+            }
+          }
         }
       }
+      for (int i = 0; i < n; ++i) qualified += qual[static_cast<size_t>(i)];
+      cand_pairs += pairs_this_block;
+      MDJ_RETURN_NOT_OK(ticket.TickBlock(n, pairs_this_block));
     }
-    if (any_qualified) ++stats->detail_rows_qualified;
-    MDJ_RETURN_NOT_OK(ticket.Tick(pairs_this_row));
+  } else {
+    for (int64_t t = 0; t < detail.num_rows(); ++t) {
+      ctx.detail_row = t;
+      ++scanned;
+      bool any_qualified = false;
+      int64_t pairs_this_row = 0;
+      for (CompiledComponent& cc : compiled) {
+        if (cc.detail_pred.valid() && !cc.detail_pred.EvalBool(ctx)) continue;
+        any_qualified = true;
+        const std::vector<int64_t>* probe_rows;
+        if (cc.indexed) {
+          candidates.clear();
+          cc.index.Probe(ctx, &candidates);
+          probe_rows = &candidates;
+        } else {
+          probe_rows = &cc.active;
+        }
+        pairs_this_row += static_cast<int64_t>(probe_rows->size());
+        for (int64_t b : *probe_rows) {
+          ctx.base_row = b;
+          if (cc.residual.valid() && !cc.residual.EvalBool(ctx)) continue;
+          ++matched;
+          for (size_t i = 0; i < cc.aggs.size(); ++i) {
+            cc.aggs[i].UpdateFromRow(cc.states[i][static_cast<size_t>(b)].get(), ctx);
+          }
+        }
+      }
+      if (any_qualified) ++qualified;
+      cand_pairs += pairs_this_row;
+      MDJ_RETURN_NOT_OK(ticket.Tick(pairs_this_row));
+    }
   }
-  MDJ_RETURN_NOT_OK(ticket.Finish());
+  return ticket.Finish();
+  }();
+  stats->detail_rows_scanned = scanned;
+  stats->detail_rows_qualified = qualified;
+  stats->candidate_pairs = cand_pairs;
+  stats->matched_pairs = matched;
+  stats->blocks = blocks;
+  stats->kernel_invocations = kstats.kernel_invocations;
+  stats->kernel_fallback_rows = kstats.fallback_rows;
+  MDJ_RETURN_NOT_OK(scan_status);
 
   // Output: base columns then every component's aggregates in order.
   std::vector<Field> fields = base.schema().fields();
@@ -176,7 +292,9 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
     std::vector<Value> row = base.GetRow(r);
     for (const CompiledComponent& cc : compiled) {
       for (size_t i = 0; i < cc.aggs.size(); ++i) {
-        row.push_back(cc.aggs[i].fn->Finalize(*cc.states[i][static_cast<size_t>(r)]));
+        row.push_back(vectorized
+                          ? cc.cols[i].Finalize(r)
+                          : cc.aggs[i].fn->Finalize(*cc.states[i][static_cast<size_t>(r)]));
       }
     }
     out.AppendRowUnchecked(std::move(row));

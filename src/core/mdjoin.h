@@ -13,6 +13,26 @@
 
 namespace mdjoin {
 
+/// How the scan of R is executed. Both modes produce identical results; the
+/// vectorized path is an execution-level rewrite, not a semantic one.
+enum class ExecutionMode {
+  /// Pick automatically. Currently always the vectorized path: its per-row
+  /// fallbacks (holistic aggregates, UDAFs, residual θ-conjuncts) keep
+  /// results identical, so there is no semantic reason to prefer row mode.
+  kAuto,
+
+  /// Block-at-a-time: detail rows are processed in fixed-size blocks,
+  /// detail-only θ-conjuncts run as columnar predicate kernels producing a
+  /// selection vector, and builtin distributive/algebraic aggregates update
+  /// flat typed state columns with non-virtual kernels.
+  kVectorized,
+
+  /// Tuple-at-a-time Algorithm 3.1 as literally stated: one compiled-closure
+  /// predicate evaluation and one heap aggregate-state update per row. Kept
+  /// as the ablation baseline for the vectorization experiments.
+  kRow,
+};
+
 /// Evaluation knobs for MdJoin(). The defaults give the fully-optimized
 /// single-operator plan; benches flip individual flags to ablate each
 /// optimization from the paper.
@@ -32,6 +52,15 @@ struct MdJoinOptions {
   /// evaluator makes ceil(n/m) passes, exactly the trade the paper describes:
   /// "a well-defined increase in the number of scans of R".
   int64_t base_rows_per_pass = 0;
+
+  /// Scan style for R; see ExecutionMode. Results are identical across modes
+  /// (enforced by the A/B property tests).
+  ExecutionMode execution_mode = ExecutionMode::kAuto;
+
+  /// Detail rows per block in the vectorized path. Sized so a block's column
+  /// slices and selection vector stay cache-resident; the default follows
+  /// the conventional 1K-row vector size. Values < 1 fall back to 1024.
+  int block_size = 1024;
 
   /// Optional per-query resource governor (cancellation, deadline, memory
   /// accounting, work budgets), shared by every operator/pass/fragment of
@@ -60,6 +89,11 @@ struct MdJoinStats {
   int64_t index_masks = 0;           // ALL-mask buckets in the base index
   int64_t base_rows_per_pass_effective = 0;  // after guard memory degradation
   bool memory_degraded = false;      // guard budget forced extra passes
+
+  // Vectorized-path counters; all zero when the row path ran.
+  int64_t blocks = 0;                // detail blocks processed (all passes)
+  int64_t kernel_invocations = 0;    // columnar predicate kernel runs
+  int64_t kernel_fallback_rows = 0;  // rows filtered per-row inside blocks
 
   std::string ToString() const;
 };

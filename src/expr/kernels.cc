@@ -1,0 +1,275 @@
+#include "expr/kernels.h"
+
+#include <algorithm>
+
+namespace mdjoin {
+
+namespace {
+
+/// Reference semantics for one comparison, byte-for-byte the logic of
+/// EvalCompare in expr/compile.cc. The typed loops below are fast paths that
+/// must agree with this on every input; they defer here for mixed-type cells.
+bool KeepCompareSlow(BinaryOp op, const Value& v, const Value& lit) {
+  if (op == BinaryOp::kEq) return v.MatchesEq(lit);
+  if (op == BinaryOp::kNe) {
+    if (v.is_null() || lit.is_null()) return false;
+    return !v.MatchesEq(lit);
+  }
+  if (v.is_null() || lit.is_null() || v.is_all() || lit.is_all()) return false;
+  bool comparable =
+      (v.is_numeric() && lit.is_numeric()) || (v.is_string() && lit.is_string());
+  if (!comparable) return false;
+  int c = v.Compare(lit);
+  switch (op) {
+    case BinaryOp::kLt:
+      return c < 0;
+    case BinaryOp::kLe:
+      return c <= 0;
+    case BinaryOp::kGt:
+      return c > 0;
+    case BinaryOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+template <BinaryOp Op>
+inline bool CmpInt(int64_t x, int64_t y) {
+  if constexpr (Op == BinaryOp::kEq) return x == y;
+  if constexpr (Op == BinaryOp::kNe) return x != y;
+  if constexpr (Op == BinaryOp::kLt) return x < y;
+  if constexpr (Op == BinaryOp::kLe) return x <= y;
+  if constexpr (Op == BinaryOp::kGt) return x > y;
+  if constexpr (Op == BinaryOp::kGe) return x >= y;
+  return false;
+}
+
+template <BinaryOp Op>
+inline bool CmpDouble(double x, double y) {
+  if constexpr (Op == BinaryOp::kEq) return x == y;
+  if constexpr (Op == BinaryOp::kNe) return x != y;
+  if constexpr (Op == BinaryOp::kLt) return x < y;
+  if constexpr (Op == BinaryOp::kLe) return x <= y;
+  if constexpr (Op == BinaryOp::kGt) return x > y;
+  if constexpr (Op == BinaryOp::kGe) return x >= y;
+  return false;
+}
+
+/// One selection-vector pass of `col[sel[i]] Op lit` with an int64 literal:
+/// int64 cells take the inline compare, anything else (NULL, ALL, float,
+/// string) the slow path.
+template <BinaryOp Op>
+int FilterIntLit(const Value* col, int64_t lit, const Value& lit_v, uint32_t* sel,
+                 int count) {
+  int out = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint32_t idx = sel[i];
+    const Value& v = col[idx];
+    const bool keep =
+        v.is_int64() ? CmpInt<Op>(v.int64(), lit) : KeepCompareSlow(Op, v, lit_v);
+    sel[out] = idx;
+    out += static_cast<int>(keep);
+  }
+  return out;
+}
+
+template <BinaryOp Op>
+int FilterDoubleLit(const Value* col, double lit, const Value& lit_v, uint32_t* sel,
+                    int count) {
+  int out = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint32_t idx = sel[i];
+    const Value& v = col[idx];
+    const bool keep = v.is_numeric() ? CmpDouble<Op>(v.AsDouble(), lit)
+                                     : KeepCompareSlow(Op, v, lit_v);
+    sel[out] = idx;
+    out += static_cast<int>(keep);
+  }
+  return out;
+}
+
+template <BinaryOp Op>
+int FilterStringLit(const Value* col, const std::string& lit, const Value& lit_v,
+                    uint32_t* sel, int count) {
+  int out = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint32_t idx = sel[i];
+    const Value& v = col[idx];
+    bool keep;
+    if (v.is_string()) {
+      const int c = v.string().compare(lit);
+      keep = CmpInt<Op>(c, 0);
+    } else {
+      keep = KeepCompareSlow(Op, v, lit_v);
+    }
+    sel[out] = idx;
+    out += static_cast<int>(keep);
+  }
+  return out;
+}
+
+template <BinaryOp Op>
+int FilterCompare(const Value* col, const Value& lit, uint32_t* sel, int count) {
+  if (lit.is_int64()) return FilterIntLit<Op>(col, lit.int64(), lit, sel, count);
+  if (lit.is_float64()) return FilterDoubleLit<Op>(col, lit.float64(), lit, sel, count);
+  if (lit.is_string()) return FilterStringLit<Op>(col, lit.string(), lit, sel, count);
+  // NULL/ALL literal: no typed fast path, defer every cell.
+  int out = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint32_t idx = sel[i];
+    sel[out] = idx;
+    out += static_cast<int>(KeepCompareSlow(Op, col[idx], lit));
+  }
+  return out;
+}
+
+int DispatchCompare(BinaryOp op, const Value* col, const Value& lit, uint32_t* sel,
+                    int count) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return FilterCompare<BinaryOp::kEq>(col, lit, sel, count);
+    case BinaryOp::kNe:
+      return FilterCompare<BinaryOp::kNe>(col, lit, sel, count);
+    case BinaryOp::kLt:
+      return FilterCompare<BinaryOp::kLt>(col, lit, sel, count);
+    case BinaryOp::kLe:
+      return FilterCompare<BinaryOp::kLe>(col, lit, sel, count);
+    case BinaryOp::kGt:
+      return FilterCompare<BinaryOp::kGt>(col, lit, sel, count);
+    case BinaryOp::kGe:
+      return FilterCompare<BinaryOp::kGe>(col, lit, sel, count);
+    default:
+      return count;  // unreachable: Compile only admits comparison ops
+  }
+}
+
+/// IN-list membership with MatchesEq semantics (ALL wildcard), as the
+/// compiled kIn closure evaluates it.
+inline bool MatchesAny(const Value& v, const std::vector<Value>& cands) {
+  for (const Value& c : cands) {
+    if (v.MatchesEq(c)) return true;
+  }
+  return false;
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // =, <> are symmetric
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsDetailColumn(const ExprPtr& e) {
+  return e->kind() == ExprKind::kColumnRef && e->side() == Side::kDetail;
+}
+
+}  // namespace
+
+Result<PredicateKernels> PredicateKernels::Compile(
+    const std::vector<ExprPtr>& conjuncts, const Schema& detail_schema) {
+  PredicateKernels k;
+  for (const ExprPtr& e : conjuncts) {
+    Pred p;
+    if (e->kind() == ExprKind::kBinary && IsComparison(e->binary_op())) {
+      const ExprPtr& l = e->left();
+      const ExprPtr& r = e->right();
+      if (IsDetailColumn(l) && r->kind() == ExprKind::kLiteral) {
+        MDJ_ASSIGN_OR_RETURN(p.col, detail_schema.GetFieldIndex(l->column_name()));
+        p.kind = PredKind::kCompare;
+        p.op = e->binary_op();
+        p.literal = r->literal();
+      } else if (IsDetailColumn(r) && l->kind() == ExprKind::kLiteral) {
+        MDJ_ASSIGN_OR_RETURN(p.col, detail_schema.GetFieldIndex(r->column_name()));
+        p.kind = PredKind::kCompare;
+        p.op = FlipComparison(e->binary_op());
+        p.literal = l->literal();
+      }
+    } else if (e->kind() == ExprKind::kIn && IsDetailColumn(e->operand())) {
+      MDJ_ASSIGN_OR_RETURN(p.col,
+                           detail_schema.GetFieldIndex(e->operand()->column_name()));
+      p.kind = PredKind::kInList;
+      p.candidates = e->candidates();
+    }
+    if (p.kind == PredKind::kGeneric) {
+      MDJ_ASSIGN_OR_RETURN(p.generic,
+                           CompileExpr(e, /*base_schema=*/nullptr, &detail_schema));
+    } else {
+      ++k.num_columnar_;
+    }
+    k.preds_.push_back(std::move(p));
+  }
+  // Columnar kernels first: they are cheaper per row than the generic
+  // fallback, so they should shrink the selection vector before it runs.
+  // Order among conjuncts cannot change results (pure predicates, AND).
+  std::stable_partition(k.preds_.begin(), k.preds_.end(), [](const Pred& p) {
+    return p.kind != PredKind::kGeneric;
+  });
+  return k;
+}
+
+int PredicateKernels::FilterBlock(const Table& detail, int64_t block_start,
+                                  uint32_t* sel, int count, KernelStats* stats) const {
+  for (const Pred& p : preds_) {
+    if (count == 0) break;
+    switch (p.kind) {
+      case PredKind::kCompare: {
+        const Value* col = detail.column(p.col).data() + block_start;
+        count = DispatchCompare(p.op, col, p.literal, sel, count);
+        ++stats->kernel_invocations;
+        break;
+      }
+      case PredKind::kInList: {
+        const Value* col = detail.column(p.col).data() + block_start;
+        int out = 0;
+        for (int i = 0; i < count; ++i) {
+          const uint32_t idx = sel[i];
+          sel[out] = idx;
+          out += static_cast<int>(MatchesAny(col[idx], p.candidates));
+        }
+        count = out;
+        ++stats->kernel_invocations;
+        break;
+      }
+      case PredKind::kGeneric: {
+        RowCtx ctx;
+        ctx.detail = &detail;
+        int out = 0;
+        for (int i = 0; i < count; ++i) {
+          const uint32_t idx = sel[i];
+          ctx.detail_row = block_start + idx;
+          sel[out] = idx;
+          out += static_cast<int>(p.generic.EvalBool(ctx));
+        }
+        stats->fallback_rows += count;
+        count = out;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace mdjoin

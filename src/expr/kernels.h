@@ -1,0 +1,73 @@
+#ifndef MDJOIN_EXPR_KERNELS_H_
+#define MDJOIN_EXPR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/compile.h"
+#include "expr/expr.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// Work counters for one PredicateKernels instance, accumulated by the caller
+/// into MdJoinStats at pass/block granularity.
+struct KernelStats {
+  int64_t kernel_invocations = 0;  // columnar kernel × block applications
+  int64_t fallback_rows = 0;       // rows filtered by per-row expression eval
+};
+
+/// A conjunct list over the detail relation compiled for block-at-a-time
+/// evaluation: each conjunct becomes either a columnar kernel — a typed
+/// compare/IN loop over a column slice driven by a selection vector — or, for
+/// shapes the kernel grammar does not cover, a per-row CompiledExpr fallback
+/// applied inside the same selection-vector pass. Conjuncts run in order,
+/// each shrinking the selection vector, so later (possibly fallback)
+/// predicates only touch surviving rows.
+///
+/// Kernel grammar (everything else falls back, results stay identical):
+///   R.col <cmp> literal      (either operand order; <cmp> ∈ =, <>, <, <=, >, >=)
+///   R.col IN (literals)
+///
+/// Comparison semantics mirror expr/compile.cc exactly: `=` is θ-equality
+/// (ALL wildcard), `<>` is false on NULL, ordered comparisons are false for
+/// NULL/ALL and for mixed string/numeric operands.
+class PredicateKernels {
+ public:
+  PredicateKernels() = default;
+
+  /// Compiles `conjuncts`, which must reference only the detail side (the
+  /// MD-join passes ThetaParts::detail_only).
+  static Result<PredicateKernels> Compile(const std::vector<ExprPtr>& conjuncts,
+                                          const Schema& detail_schema);
+
+  /// Filters `sel` (indices relative to `block_start`, ascending, `count`
+  /// entries) in place against detail rows [block_start + sel[i]]; returns
+  /// the surviving count.
+  int FilterBlock(const Table& detail, int64_t block_start, uint32_t* sel, int count,
+                  KernelStats* stats) const;
+
+  bool empty() const { return preds_.empty(); }
+  int num_columnar() const { return num_columnar_; }
+  int num_fallback() const { return static_cast<int>(preds_.size()) - num_columnar_; }
+
+ private:
+  enum class PredKind { kCompare, kInList, kGeneric };
+
+  struct Pred {
+    PredKind kind = PredKind::kGeneric;
+    int col = -1;           // kCompare / kInList: detail column index
+    BinaryOp op = BinaryOp::kEq;  // kCompare
+    Value literal;          // kCompare
+    std::vector<Value> candidates;  // kInList
+    CompiledExpr generic;   // kGeneric
+  };
+
+  std::vector<Pred> preds_;
+  int num_columnar_ = 0;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_EXPR_KERNELS_H_

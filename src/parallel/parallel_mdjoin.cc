@@ -2,10 +2,12 @@
 
 #include <numeric>
 
+#include "agg/flat_state.h"
 #include "common/failpoint.h"
 #include "core/base_index.h"
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
+#include "expr/kernels.h"
 #include "parallel/thread_pool.h"
 #include "table/table_ops.h"
 
@@ -23,6 +25,8 @@ void AccumulateFragmentStats(const std::vector<MdJoinStats>& md_stats,
     stats->detail_rows_qualified += s.detail_rows_qualified;
     stats->candidate_pairs += s.candidate_pairs;
     stats->matched_pairs += s.matched_pairs;
+    stats->blocks += s.blocks;
+    stats->kernel_invocations += s.kernel_invocations;
     if (first || s.detail_rows_scanned < stats->min_fragment_detail_rows) {
       stats->min_fragment_detail_rows = s.detail_rows_scanned;
     }
@@ -160,12 +164,21 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
           Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
     }
   }
+  const bool vectorized = options.execution_mode != ExecutionMode::kRow;
   CompiledExpr detail_pred;
+  PredicateKernels kernels;
+  bool has_kernels = false;
   if (options.push_detail_selection) {
     if (!parts.detail_only.empty()) {
-      MDJ_ASSIGN_OR_RETURN(detail_pred,
-                           CompileExpr(CombineConjuncts(parts.detail_only), nullptr,
-                                       &detail.schema()));
+      if (vectorized) {
+        MDJ_ASSIGN_OR_RETURN(
+            kernels, PredicateKernels::Compile(parts.detail_only, detail.schema()));
+        has_kernels = true;
+      } else {
+        MDJ_ASSIGN_OR_RETURN(detail_pred,
+                             CompileExpr(CombineConjuncts(parts.detail_only), nullptr,
+                                         &detail.schema()));
+      }
     }
   } else {
     residual_conjuncts.insert(residual_conjuncts.end(), parts.detail_only.begin(),
@@ -186,15 +199,27 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
           base.num_rows() * kGuardBytesPerAggState,
       "detail-split partial states"));
 
-  // Per-fragment partial states: states[fragment][agg][base_row].
+  // Per-fragment partial states: heap `states[fragment][agg][base_row]` on
+  // the row path, flat `cols[fragment][agg]` columns on the vectorized path.
   const size_t nrows = static_cast<size_t>(base.num_rows());
-  std::vector<std::vector<std::vector<std::unique_ptr<AggregateState>>>> states(
-      static_cast<size_t>(num_partitions));
-  for (auto& frag : states) {
-    frag.resize(bound.size());
-    for (size_t i = 0; i < bound.size(); ++i) {
-      frag[i].reserve(nrows);
-      for (size_t r = 0; r < nrows; ++r) frag[i].push_back(bound[i].fn->MakeState());
+  std::vector<std::vector<std::vector<std::unique_ptr<AggregateState>>>> states;
+  std::vector<std::vector<AggStateColumn>> cols;
+  if (vectorized) {
+    cols.resize(static_cast<size_t>(num_partitions));
+    for (auto& frag : cols) {
+      frag.reserve(bound.size());
+      for (const BoundAgg& b : bound) {
+        frag.push_back(AggStateColumn::Make(b.fn, base.num_rows()));
+      }
+    }
+  } else {
+    states.resize(static_cast<size_t>(num_partitions));
+    for (auto& frag : states) {
+      frag.resize(bound.size());
+      for (size_t i = 0; i < bound.size(); ++i) {
+        frag[i].reserve(nrows);
+        for (size_t r = 0; r < nrows; ++r) frag[i].push_back(bound[i].fn->MakeState());
+      }
     }
   }
 
@@ -223,44 +248,131 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
           guard->Trip(frag_status[static_cast<size_t>(f)]);
           return;
         }
-        auto& frag_states = states[static_cast<size_t>(f)];
         MdJoinStats& fs = md_stats[static_cast<size_t>(f)];
+        const int64_t lo = ranges[static_cast<size_t>(f)].first;
+        const int64_t hi = ranges[static_cast<size_t>(f)].second;
         RowCtx ctx;
         ctx.base = &base;
         ctx.detail = &detail;
         std::vector<int64_t> candidates;
         GuardTicket ticket(guard);
         Status scan_status;
-        for (int64_t t = ranges[static_cast<size_t>(f)].first;
-             t < ranges[static_cast<size_t>(f)].second; ++t) {
-          ctx.detail_row = t;
-          ++fs.detail_rows_scanned;
-          int64_t pairs_this_row = 0;
-          if (!detail_pred.valid() || detail_pred.EvalBool(ctx)) {
-            ++fs.detail_rows_qualified;
-            const std::vector<int64_t>* probe_rows;
-            if (indexed) {
-              candidates.clear();
-              index.Probe(ctx, &candidates);
-              probe_rows = &candidates;
-            } else {
-              probe_rows = &active;
+        // Work counters stay in fragment-locals and flush into fs once at
+        // scan end (satellites of the vectorization work: no per-row stores
+        // into shared stat structs in hot loops).
+        int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0;
+        if (vectorized) {
+          std::vector<AggStateColumn>& frag_cols = cols[static_cast<size_t>(f)];
+          // Guarded scans clamp the block to the check stride so per-worker
+          // trip latency keeps the guard's promise regardless of block shape.
+          int64_t block = options.block_size > 0 ? options.block_size : 1024;
+          if (guard != nullptr) {
+            block = std::min<int64_t>(block, guard->check_stride());
+          }
+          std::vector<uint32_t> sel(static_cast<size_t>(block));
+          std::vector<int64_t> matched_buf;
+          BaseIndex::ProbeScratch scratch;
+          KernelStats kstats;
+          int64_t blocks = 0;
+          for (int64_t bstart = lo; bstart < hi; bstart += block) {
+            const int n = static_cast<int>(std::min<int64_t>(block, hi - bstart));
+            for (int i = 0; i < n; ++i) {
+              sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
             }
-            pairs_this_row = static_cast<int64_t>(probe_rows->size());
-            for (int64_t b : *probe_rows) {
-              ctx.base_row = b;
-              ++fs.candidate_pairs;
-              if (residual.valid() && !residual.EvalBool(ctx)) continue;
-              ++fs.matched_pairs;
-              for (size_t i = 0; i < bound.size(); ++i) {
-                bound[i].UpdateFromRow(frag_states[i][static_cast<size_t>(b)].get(),
-                                       ctx);
+            int count = n;
+            if (has_kernels) {
+              count = kernels.FilterBlock(detail, bstart, sel.data(), count, &kstats);
+            }
+            ++blocks;
+            scanned += n;
+            qualified += count;
+            int64_t pairs_this_block = 0;
+            for (int i = 0; i < count; ++i) {
+              const int64_t t = bstart + sel[static_cast<size_t>(i)];
+              const std::vector<int64_t>* probe_rows;
+              if (indexed) {
+                candidates.clear();
+                index.Probe(detail, t, &scratch, &candidates);
+                probe_rows = &candidates;
+              } else {
+                probe_rows = &active;
+              }
+              pairs_this_block += static_cast<int64_t>(probe_rows->size());
+              if (probe_rows->empty()) continue;
+              ctx.detail_row = t;
+              // Residual resolves to a match list first; aggregates then fold
+              // the row column-at-a-time (one dispatch per (row, aggregate)).
+              const int64_t* match_rows = probe_rows->data();
+              int64_t nmatch = static_cast<int64_t>(probe_rows->size());
+              if (residual.valid()) {
+                matched_buf.clear();
+                for (int64_t b : *probe_rows) {
+                  ctx.base_row = b;
+                  if (residual.EvalBool(ctx)) matched_buf.push_back(b);
+                }
+                match_rows = matched_buf.data();
+                nmatch = static_cast<int64_t>(matched_buf.size());
+              }
+              if (nmatch == 0) continue;
+              matched += nmatch;
+              for (size_t i2 = 0; i2 < bound.size(); ++i2) {
+                const BoundAgg& agg = bound[i2];
+                if (agg.detail_arg_col >= 0) {
+                  frag_cols[i2].UpdateMany(match_rows, nmatch,
+                                           detail.column(agg.detail_arg_col)[t]);
+                } else if (!agg.has_arg) {
+                  frag_cols[i2].UpdateCountStarMany(match_rows, nmatch);
+                } else {
+                  for (int64_t k = 0; k < nmatch; ++k) {
+                    ctx.base_row = match_rows[k];
+                    agg.UpdateColumnFromRow(&frag_cols[i2], match_rows[k], ctx);
+                  }
+                }
               }
             }
+            cand_pairs += pairs_this_block;
+            scan_status = ticket.TickBlock(n, pairs_this_block);
+            if (!scan_status.ok()) break;
           }
-          scan_status = ticket.Tick(pairs_this_row);
-          if (!scan_status.ok()) break;
+          fs.blocks = blocks;
+          fs.kernel_invocations = kstats.kernel_invocations;
+          fs.kernel_fallback_rows = kstats.fallback_rows;
+        } else {
+          auto& frag_states = states[static_cast<size_t>(f)];
+          for (int64_t t = lo; t < hi; ++t) {
+            ctx.detail_row = t;
+            ++scanned;
+            int64_t pairs_this_row = 0;
+            if (!detail_pred.valid() || detail_pred.EvalBool(ctx)) {
+              ++qualified;
+              const std::vector<int64_t>* probe_rows;
+              if (indexed) {
+                candidates.clear();
+                index.Probe(ctx, &candidates);
+                probe_rows = &candidates;
+              } else {
+                probe_rows = &active;
+              }
+              pairs_this_row = static_cast<int64_t>(probe_rows->size());
+              cand_pairs += pairs_this_row;
+              for (int64_t b : *probe_rows) {
+                ctx.base_row = b;
+                if (residual.valid() && !residual.EvalBool(ctx)) continue;
+                ++matched;
+                for (size_t i = 0; i < bound.size(); ++i) {
+                  bound[i].UpdateFromRow(frag_states[i][static_cast<size_t>(b)].get(),
+                                         ctx);
+                }
+              }
+            }
+            scan_status = ticket.Tick(pairs_this_row);
+            if (!scan_status.ok()) break;
+          }
         }
+        fs.detail_rows_scanned = scanned;
+        fs.detail_rows_qualified = qualified;
+        fs.candidate_pairs = cand_pairs;
+        fs.matched_pairs = matched;
         if (scan_status.ok()) scan_status = ticket.Finish();
         frag_status[static_cast<size_t>(f)] = scan_status;
         if (!scan_status.ok()) guard->Trip(scan_status);
@@ -274,11 +386,18 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
     if (!s.ok()) return s;
   }
 
-  // Merge fragment partials into fragment 0 and finalize.
+  // Merge fragment partials into fragment 0 and finalize. Flat columns merge
+  // with one group-wise sweep per aggregate; heap states go through the
+  // function's virtual Merge per cell.
   for (int f = 1; f < num_partitions; ++f) {
     for (size_t i = 0; i < bound.size(); ++i) {
-      for (size_t r = 0; r < nrows; ++r) {
-        bound[i].fn->Merge(states[0][i][r].get(), *states[static_cast<size_t>(f)][i][r]);
+      if (vectorized) {
+        cols[0][i].Merge(cols[static_cast<size_t>(f)][i]);
+      } else {
+        for (size_t r = 0; r < nrows; ++r) {
+          bound[i].fn->Merge(states[0][i][r].get(),
+                             *states[static_cast<size_t>(f)][i][r]);
+        }
       }
     }
   }
@@ -297,7 +416,9 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
     MDJ_RETURN_NOT_OK(finalize_ticket.Tick());
     std::vector<Value> row = base.GetRow(r);
     for (size_t i = 0; i < bound.size(); ++i) {
-      row.push_back(bound[i].fn->Finalize(*states[0][i][static_cast<size_t>(r)]));
+      row.push_back(vectorized
+                        ? cols[0][i].Finalize(r)
+                        : bound[i].fn->Finalize(*states[0][i][static_cast<size_t>(r)]));
     }
     out.AppendRowUnchecked(std::move(row));
   }

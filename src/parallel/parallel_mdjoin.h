@@ -15,6 +15,9 @@ struct ParallelMdJoinStats {
   int64_t detail_rows_qualified = 0;
   int64_t candidate_pairs = 0;
   int64_t matched_pairs = 0;
+  // Vectorized-path counters (zero when fragments ran the row path).
+  int64_t blocks = 0;
+  int64_t kernel_invocations = 0;
   // Per-fragment scan extremes: a wide min/max spread means fragment skew
   // (uneven base partitions or early guard short-circuiting).
   int64_t min_fragment_detail_rows = 0;

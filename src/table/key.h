@@ -12,19 +12,53 @@ namespace mdjoin {
 /// structural (Value::Equals), so ALL keys only collide with ALL keys.
 using RowKey = std::vector<Value>;
 
+/// Borrowed composite key: pointers to Values owned elsewhere (table cells,
+/// scratch buffers). Hash/equality agree with RowKey's, so hash containers
+/// keyed on RowKey can be probed through the C++20 heterogeneous-lookup
+/// overloads without materializing (and copying string payloads into) a
+/// RowKey per probe — the hot-path win for the MD-join's base index.
+struct RowKeyView {
+  const Value* const* vals = nullptr;
+  size_t size = 0;
+};
+
 struct RowKeyHash {
+  using is_transparent = void;
+
   size_t operator()(const RowKey& key) const {
     size_t seed = key.size();
     for (const Value& v : key) HashCombine(&seed, v.Hash());
     return seed;
   }
+  size_t operator()(const RowKeyView& key) const {
+    size_t seed = key.size;
+    for (size_t i = 0; i < key.size; ++i) HashCombine(&seed, key.vals[i]->Hash());
+    return seed;
+  }
 };
 
 struct RowKeyEqual {
+  using is_transparent = void;
+
   bool operator()(const RowKey& a, const RowKey& b) const {
     if (a.size() != b.size()) return false;
     for (size_t i = 0; i < a.size(); ++i) {
       if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+  bool operator()(const RowKeyView& a, const RowKey& b) const {
+    if (a.size != b.size()) return false;
+    for (size_t i = 0; i < a.size; ++i) {
+      if (!a.vals[i]->Equals(b[i])) return false;
+    }
+    return true;
+  }
+  bool operator()(const RowKey& a, const RowKeyView& b) const { return (*this)(b, a); }
+  bool operator()(const RowKeyView& a, const RowKeyView& b) const {
+    if (a.size != b.size) return false;
+    for (size_t i = 0; i < a.size; ++i) {
+      if (!a.vals[i]->Equals(*b.vals[i])) return false;
     }
     return true;
   }

@@ -1,0 +1,306 @@
+/// A/B property tests for the vectorized execution path: for every θ shape
+/// the kernel grammar distinguishes (typed compares, string equality, IN
+/// lists, flipped literals, residuals, computed keys) and every option the
+/// evaluator exposes (index on/off, pushdown on/off, multi-pass staging,
+/// guard budgets, odd block sizes), ExecutionMode::kVectorized must produce
+/// the same table AND the same work counters as ExecutionMode::kRow. The
+/// aggregate list deliberately mixes flat-kernel builtins (count, sum, min,
+/// max, avg) with heap-fallback functions (count_distinct, var_pop) and a
+/// computed argument, so both state representations run side by side.
+
+#include <gtest/gtest.h>
+
+#include "core/generalized.h"
+#include "core/mdjoin.h"
+#include "cube/base_tables.h"
+#include "expr/conjuncts.h"
+#include "parallel/parallel_mdjoin.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using testutil::F;
+using testutil::I;
+using testutil::NUL;
+using testutil::S;
+
+/// RandomSales plus NULL-bearing rows: NULL sale (aggregate inputs), NULL
+/// month (equi key that matches nothing), NULL state (string kernels).
+Table SalesWithNulls(uint64_t seed, int64_t rows) {
+  Table t = testutil::RandomSales(seed, rows);
+  TableBuilder b(testutil::SalesSchema());
+  for (int64_t r = 0; r < t.num_rows(); ++r) b.AppendRowOrDie(t.GetRow(r));
+  b.AppendRowOrDie({I(1), I(10), I(1), I(1), I(1997), S("NY"), NUL()});
+  b.AppendRowOrDie({I(2), I(20), I(2), NUL(), I(1997), S("CA"), F(75)});
+  b.AppendRowOrDie({I(3), I(10), I(3), I(2), I(1999), NUL(), F(33)});
+  b.AppendRowOrDie({NUL(), I(20), I(4), I(3), I(1999), S("NJ"), F(12)});
+  return std::move(b).Finish();
+}
+
+/// Flat kernels (count/sum/min/max/avg), heap fallbacks (count_distinct,
+/// var_pop), string extremum, int sum, and a computed argument.
+std::vector<AggSpec> MixedAggs() {
+  std::vector<AggSpec> aggs = {Count("n"),
+                               Count(RCol("sale"), "n_sale"),
+                               Sum(RCol("sale"), "total"),
+                               Sum(RCol("cust"), "cust_sum"),
+                               Min(RCol("sale"), "lo"),
+                               Max(RCol("sale"), "hi"),
+                               Max(RCol("state"), "last_state"),
+                               Avg(RCol("sale"), "mean"),
+                               CountDistinct(RCol("prod"), "n_prod")};
+  aggs.push_back(AggSpec{"var_pop", RCol("sale"), "var"});
+  aggs.push_back(Sum(Mul(RCol("sale"), Lit(2.0)), "twice"));
+  return aggs;
+}
+
+/// θ shapes chosen so each predicate-kernel case (and the per-row fallback)
+/// gets exercised, on top of the always-present equi conjunct.
+std::vector<ExprPtr> ThetaVariants() {
+  std::vector<ExprPtr> thetas;
+  // Pure equi (single bucket index).
+  thetas.push_back(Eq(RCol("cust"), BCol("cust")));
+  // Typed compare kernels: float >, int <= with the literal on the left.
+  thetas.push_back(And(Eq(RCol("cust"), BCol("cust")), Gt(RCol("sale"), Lit(100.0)),
+                       Le(Lit(2), RCol("month"))));
+  // String equality kernel + IN-list kernel.
+  thetas.push_back(And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("state"), Lit("NY"))));
+  thetas.push_back(And(Eq(RCol("cust"), BCol("cust")),
+                       In(RCol("prod"), {Value::Int64(10), Value::Int64(30)})));
+  // Detail-only conjunct with no columnar kernel (generic fallback in-block).
+  thetas.push_back(
+      And(Eq(RCol("cust"), BCol("cust")), Gt(Mul(RCol("sale"), Lit(2)), Lit(150))));
+  // Base-only + residual conjuncts, computed equi key.
+  thetas.push_back(And(Eq(RCol("cust"), BCol("cust")), Le(BCol("cust"), Lit(4)),
+                       Gt(RCol("sale"), Mul(BCol("cust"), Lit(20)))));
+  thetas.push_back(And(Eq(RCol("cust"), BCol("cust")),
+                       Eq(RCol("month"), Sub(BCol("month"), Lit(1)))));
+  // Two equi conjuncts (month key has NULLs on both sides).
+  thetas.push_back(
+      And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("month"), BCol("month"))));
+  return thetas;
+}
+
+MdJoinOptions WithMode(MdJoinOptions base, ExecutionMode mode) {
+  base.execution_mode = mode;
+  return base;
+}
+
+/// Runs both modes and asserts identical tables and identical work counters.
+void ExpectModesAgree(const Table& base, const Table& detail,
+                      const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                      const MdJoinOptions& options) {
+  MdJoinStats row_stats, vec_stats;
+  Result<Table> row =
+      MdJoin(base, detail, aggs, theta, WithMode(options, ExecutionMode::kRow),
+             &row_stats);
+  Result<Table> vec =
+      MdJoin(base, detail, aggs, theta, WithMode(options, ExecutionMode::kVectorized),
+             &vec_stats);
+  ASSERT_TRUE(row.ok()) << row.status().ToString() << " θ=" << theta->ToString();
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString() << " θ=" << theta->ToString();
+  EXPECT_TRUE(TablesEqualOrdered(*row, *vec)) << "θ=" << theta->ToString();
+  // The vectorized path is an execution rewrite: every work counter the two
+  // paths share must agree exactly.
+  EXPECT_EQ(row_stats.detail_rows_scanned, vec_stats.detail_rows_scanned);
+  EXPECT_EQ(row_stats.detail_rows_qualified, vec_stats.detail_rows_qualified);
+  EXPECT_EQ(row_stats.candidate_pairs, vec_stats.candidate_pairs);
+  EXPECT_EQ(row_stats.matched_pairs, vec_stats.matched_pairs);
+  EXPECT_EQ(row_stats.passes_over_detail, vec_stats.passes_over_detail);
+  EXPECT_EQ(row_stats.index_masks, vec_stats.index_masks);
+  // Mode markers: blocks only on the vectorized path.
+  EXPECT_EQ(row_stats.blocks, 0);
+  EXPECT_GT(vec_stats.blocks, 0);
+}
+
+class VectorizedAB : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    sales_ = SalesWithNulls(GetParam(), 200);
+    base_ = *GroupByBase(sales_, {"cust", "month"});
+  }
+
+  Table sales_;
+  Table base_;
+};
+
+TEST_P(VectorizedAB, OptionsMatrix) {
+  for (const ExprPtr& theta : ThetaVariants()) {
+    for (bool use_index : {true, false}) {
+      for (bool pushdown : {true, false}) {
+        for (int64_t rows_per_pass : {int64_t{0}, int64_t{3}}) {
+          MdJoinOptions options;
+          options.use_index = use_index;
+          options.push_detail_selection = pushdown;
+          options.base_rows_per_pass = rows_per_pass;
+          ExpectModesAgree(base_, sales_, MixedAggs(), theta, options);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(VectorizedAB, OddBlockSizesCoverPartialBlocks) {
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")), Gt(RCol("sale"), Lit(50.0)));
+  for (int block_size : {1, 7, 64, 100000}) {
+    MdJoinOptions options;
+    options.block_size = block_size;
+    ExpectModesAgree(base_, sales_, MixedAggs(), theta, options);
+  }
+}
+
+TEST_P(VectorizedAB, CubeBaseWithAllMarkers) {
+  // Cube base: ALL markers in key positions, multiple index mask buckets.
+  Table cube = *CubeByBase(sales_, {"prod", "month"});
+  ExprPtr theta = And(Eq(RCol("prod"), BCol("prod")), Eq(RCol("month"), BCol("month")),
+                      Gt(RCol("sale"), Lit(30.0)));
+  for (bool use_index : {true, false}) {
+    MdJoinOptions options;
+    options.use_index = use_index;
+    ExpectModesAgree(cube, sales_, MixedAggs(), theta, options);
+  }
+}
+
+TEST_P(VectorizedAB, EmptyRngGroupsKeepIdentityValues) {
+  // A base built from different data: many groups have empty RNG(b, R, θ)
+  // and must finalize to the aggregate identities in both modes.
+  Table other = SalesWithNulls(GetParam() + 7777, 40);
+  Table disjoint_base = *GroupByBase(other, {"cust", "month"});
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")),
+                      Eq(RCol("month"), BCol("month")), Eq(RCol("state"), Lit("IL")));
+  ExpectModesAgree(disjoint_base, sales_, MixedAggs(), theta, MdJoinOptions{});
+}
+
+TEST_P(VectorizedAB, GuardBudgetDegradesBothModesAlike) {
+  // A soft memory budget forces multi-pass degradation; both modes must
+  // degrade identically (same effective partition size, same result).
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")), Gt(RCol("sale"), Lit(20.0)));
+  QueryGuardOptions gopt;
+  gopt.memory_budget_bytes =
+      MixedAggs().size() * base_.num_rows() * kGuardBytesPerAggState +
+      3 * kGuardBytesPerIndexedBaseRow;
+  QueryGuard row_guard(gopt), vec_guard(gopt);
+
+  MdJoinOptions row_options;
+  row_options.execution_mode = ExecutionMode::kRow;
+  row_options.guard = &row_guard;
+  MdJoinOptions vec_options;
+  vec_options.execution_mode = ExecutionMode::kVectorized;
+  vec_options.guard = &vec_guard;
+
+  MdJoinStats row_stats, vec_stats;
+  Result<Table> row = MdJoin(base_, sales_, MixedAggs(), theta, row_options, &row_stats);
+  Result<Table> vec = MdJoin(base_, sales_, MixedAggs(), theta, vec_options, &vec_stats);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  EXPECT_TRUE(TablesEqualOrdered(*row, *vec));
+  EXPECT_TRUE(row_stats.memory_degraded);
+  EXPECT_TRUE(vec_stats.memory_degraded);
+  EXPECT_EQ(row_stats.base_rows_per_pass_effective,
+            vec_stats.base_rows_per_pass_effective);
+  EXPECT_EQ(row_stats.passes_over_detail, vec_stats.passes_over_detail);
+  EXPECT_GT(row_stats.passes_over_detail, 1);
+}
+
+TEST_P(VectorizedAB, GeneralizedCubeComponentsKeepIndexesSeparate) {
+  // Two components over a cube base (multi-bucket indexes) whose equi keys
+  // coincide but whose base-only filters differ: the same probe key must
+  // yield different candidate sets per component. Catches any state (e.g. a
+  // probe memo) leaking across component indexes in the shared scan.
+  Table cube = *CubeByBase(sales_, {"prod", "month"});
+  std::vector<MdJoinComponent> components;
+  components.push_back(
+      {{Count("n_all"), Sum(RCol("sale"), "t_all")},
+       And(Eq(RCol("prod"), BCol("prod")), Eq(RCol("month"), BCol("month")))});
+  components.push_back(
+      {{Count("n_h2"), Sum(RCol("sale"), "t_h2")},
+       And(Eq(RCol("prod"), BCol("prod")), Eq(RCol("month"), BCol("month")),
+           Gt(BCol("month"), Lit(2)))});
+
+  MdJoinOptions options;
+  MdJoinStats row_stats, vec_stats;
+  Result<Table> row = GeneralizedMdJoin(cube, sales_, components,
+                                        WithMode(options, ExecutionMode::kRow),
+                                        &row_stats);
+  Result<Table> vec = GeneralizedMdJoin(cube, sales_, components,
+                                        WithMode(options, ExecutionMode::kVectorized),
+                                        &vec_stats);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  EXPECT_TRUE(TablesEqualOrdered(*row, *vec));
+  EXPECT_EQ(row_stats.matched_pairs, vec_stats.matched_pairs);
+}
+
+TEST_P(VectorizedAB, GeneralizedSharedScanAgrees) {
+  std::vector<MdJoinComponent> components;
+  components.push_back(
+      {{Count("ny_n"), Sum(RCol("sale"), "ny_total")},
+       And(Eq(RCol("cust"), BCol("cust")), Eq(RCol("state"), Lit("NY")))});
+  components.push_back(
+      {{Sum(RCol("sale"), "big_total"), Min(RCol("sale"), "big_lo"),
+        CountDistinct(RCol("prod"), "big_prods")},
+       And(Eq(RCol("cust"), BCol("cust")), Gt(RCol("sale"), Lit(100.0)))});
+
+  for (bool pushdown : {true, false}) {
+    MdJoinOptions options;
+    options.push_detail_selection = pushdown;
+    MdJoinStats row_stats, vec_stats;
+    Result<Table> row = GeneralizedMdJoin(base_, sales_, components,
+                                          WithMode(options, ExecutionMode::kRow),
+                                          &row_stats);
+    Result<Table> vec = GeneralizedMdJoin(base_, sales_, components,
+                                          WithMode(options, ExecutionMode::kVectorized),
+                                          &vec_stats);
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    EXPECT_TRUE(TablesEqualOrdered(*row, *vec));
+    EXPECT_EQ(row_stats.detail_rows_scanned, vec_stats.detail_rows_scanned);
+    EXPECT_EQ(row_stats.detail_rows_qualified, vec_stats.detail_rows_qualified);
+    EXPECT_EQ(row_stats.candidate_pairs, vec_stats.candidate_pairs);
+    EXPECT_EQ(row_stats.matched_pairs, vec_stats.matched_pairs);
+    EXPECT_GT(vec_stats.blocks, 0);
+  }
+}
+
+TEST_P(VectorizedAB, ParallelVariantsAgree) {
+  ExprPtr theta = And(Eq(RCol("cust"), BCol("cust")), Gt(RCol("sale"), Lit(60.0)));
+  MdJoinOptions options;  // kAuto
+  Result<Table> want =
+      MdJoin(base_, sales_, MixedAggs(), theta, WithMode(options, ExecutionMode::kRow));
+  ASSERT_TRUE(want.ok());
+  for (ExecutionMode mode : {ExecutionMode::kRow, ExecutionMode::kVectorized}) {
+    ParallelMdJoinStats base_split_stats, detail_split_stats;
+    Result<Table> base_split =
+        ParallelMdJoin(base_, sales_, MixedAggs(), theta, /*num_partitions=*/3,
+                       /*num_threads=*/2, WithMode(options, mode), &base_split_stats);
+    Result<Table> detail_split = ParallelMdJoinDetailSplit(
+        base_, sales_, MixedAggs(), theta, /*num_partitions=*/3,
+        /*num_threads=*/2, WithMode(options, mode), &detail_split_stats);
+    ASSERT_TRUE(base_split.ok()) << base_split.status().ToString();
+    ASSERT_TRUE(detail_split.ok()) << detail_split.status().ToString();
+    EXPECT_TRUE(TablesEqualUnordered(*want, *base_split));
+    EXPECT_TRUE(TablesEqualOrdered(*want, *detail_split));
+    const bool vec = mode == ExecutionMode::kVectorized;
+    EXPECT_EQ(base_split_stats.blocks > 0, vec);
+    EXPECT_EQ(detail_split_stats.blocks > 0, vec);
+  }
+}
+
+TEST_P(VectorizedAB, AutoModeResolvesToVectorized) {
+  ExprPtr theta = Eq(RCol("cust"), BCol("cust"));
+  MdJoinStats stats;
+  Result<Table> out = MdJoin(base_, sales_, MixedAggs(), theta, MdJoinOptions{}, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(stats.blocks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedAB, ::testing::Values(1, 2, 3, 4, 5),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mdjoin
