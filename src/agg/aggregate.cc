@@ -32,7 +32,7 @@ AggregateRegistry* AggregateRegistry::Global() {
 }
 
 Status AggregateRegistry::Register(std::unique_ptr<AggregateFunction> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string key = ToLower(fn->name());
   auto [it, inserted] = fns_.try_emplace(std::move(key), std::move(fn));
   if (!inserted) {
@@ -42,7 +42,7 @@ Status AggregateRegistry::Register(std::unique_ptr<AggregateFunction> fn) {
 }
 
 Result<const AggregateFunction*> AggregateRegistry::Lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = fns_.find(ToLower(name));
   if (it == fns_.end()) {
     std::string known;
@@ -56,7 +56,7 @@ Result<const AggregateFunction*> AggregateRegistry::Lookup(const std::string& na
 }
 
 std::vector<std::string> AggregateRegistry::RegisteredNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(fns_.size());
   for (const auto& [k, v] : fns_) out.push_back(k);

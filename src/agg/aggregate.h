@@ -2,13 +2,13 @@
 #define MDJOIN_AGG_AGGREGATE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "types/value.h"
 
 namespace mdjoin {
@@ -100,16 +100,18 @@ class AggregateRegistry {
   static AggregateRegistry* Global();
 
   /// Registers `fn` under its name(); error if taken.
-  Status Register(std::unique_ptr<AggregateFunction> fn);
+  Status Register(std::unique_ptr<AggregateFunction> fn) MDJ_EXCLUDES(mu_);
 
   /// Case-insensitive lookup; NotFound lists known functions.
-  Result<const AggregateFunction*> Lookup(const std::string& name) const;
+  Result<const AggregateFunction*> Lookup(const std::string& name) const
+      MDJ_EXCLUDES(mu_);
 
-  std::vector<std::string> RegisteredNames() const;
+  std::vector<std::string> RegisteredNames() const MDJ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<AggregateFunction>> fns_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<AggregateFunction>> fns_
+      MDJ_GUARDED_BY(mu_);
 };
 
 }  // namespace mdjoin

@@ -1,0 +1,42 @@
+#include "analyze/plan_invariants.h"
+
+#include <cstdlib>
+
+namespace mdjoin {
+
+std::vector<AnalyzerDiagnostic> CheckPlanInvariants(const PlanPtr& plan,
+                                                    const Catalog& catalog) {
+  if (plan == nullptr) {
+    return {{DiagSeverity::kError, "root", "invariant", "plan is null"}};
+  }
+  Result<PlanAnalysis> analysis = AnalyzePlan(plan, catalog);
+  if (!analysis.ok()) {
+    return {{DiagSeverity::kError, "root", "invariant", analysis.status().message()}};
+  }
+  return std::move(*analysis).diagnostics;
+}
+
+Status VerifyPlan(const PlanPtr& plan, const Catalog& catalog, const char* context) {
+  std::vector<AnalyzerDiagnostic> diags = CheckPlanInvariants(plan, catalog);
+  int errors = 0;
+  const AnalyzerDiagnostic* first = nullptr;
+  for (const AnalyzerDiagnostic& d : diags) {
+    if (d.severity != DiagSeverity::kError) continue;
+    if (first == nullptr) first = &d;
+    ++errors;
+  }
+  if (first == nullptr) return Status::OK();
+  return Status::InvalidArgument("plan verification failed in ", context, ": ",
+                                 first->ToString(), " (", errors,
+                                 " error diagnostic", errors == 1 ? "" : "s", ")");
+}
+
+bool VerifyPlansEnabledByEnv() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("MDJOIN_VERIFY_PLANS");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace mdjoin

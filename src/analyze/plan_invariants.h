@@ -1,0 +1,37 @@
+#ifndef MDJOIN_ANALYZE_PLAN_INVARIANTS_H_
+#define MDJOIN_ANALYZE_PLAN_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/plan_analyzer.h"
+
+namespace mdjoin {
+
+/// Debug invariant mode: the full analyzer run as a pass/fail gate.
+///
+/// In verify_plans mode (MdJoinOptions::verify_plans,
+/// OptimizeOptions::verify_plans, or the MDJOIN_VERIFY_PLANS environment
+/// variable) the optimizer re-checks the plan after every accepted rule
+/// application and the executor re-checks at query entry, so an illegal
+/// rewrite fails fast with a structured AnalyzerDiagnostic instead of
+/// producing a wrong table.
+
+/// Runs AnalyzePlan and returns every diagnostic (empty = clean). Never
+/// executes the plan. A null plan yields a single error diagnostic rather
+/// than a crash, so callers can gate unconditionally.
+std::vector<AnalyzerDiagnostic> CheckPlanInvariants(const PlanPtr& plan,
+                                                    const Catalog& catalog);
+
+/// CheckPlanInvariants as a gate: OK when clean, otherwise InvalidArgument
+/// carrying the first error diagnostic, the error count, and `context`
+/// (typically the rule that produced the plan, or "ExecutePlan").
+Status VerifyPlan(const PlanPtr& plan, const Catalog& catalog, const char* context);
+
+/// True when MDJOIN_VERIFY_PLANS is set in the environment to anything but
+/// "" or "0". Read once and cached (the gate sits on hot driver paths).
+bool VerifyPlansEnabledByEnv();
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_ANALYZE_PLAN_INVARIANTS_H_

@@ -22,7 +22,7 @@ FailpointRegistry* FailpointRegistry::Global() {
 }
 
 void FailpointRegistry::Enable(const std::string& name, int64_t count, int64_t skip) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = points_[name];
   e.skip = skip;
   e.remaining = count;
@@ -30,7 +30,7 @@ void FailpointRegistry::Enable(const std::string& name, int64_t count, int64_t s
 }
 
 void FailpointRegistry::Disable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   if (it != points_.end()) {
     it->second.skip = 0;
@@ -40,13 +40,13 @@ void FailpointRegistry::Disable(const std::string& name) {
 }
 
 void FailpointRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   RecountArmedLocked();
 }
 
 bool FailpointRegistry::Evaluate(const char* name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   if (it == points_.end()) return false;
   Entry& e = it->second;
@@ -62,7 +62,7 @@ bool FailpointRegistry::Evaluate(const char* name) {
 }
 
 int64_t FailpointRegistry::fire_count(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.fired;
 }

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mdjoin {
 
@@ -37,20 +37,21 @@ class FailpointRegistry {
 
   /// Arms `name`: after `skip` evaluations pass through, the next `count`
   /// evaluations fire (count < 0 = fire forever). Re-enabling resets state.
-  void Enable(const std::string& name, int64_t count = 1, int64_t skip = 0);
+  void Enable(const std::string& name, int64_t count = 1, int64_t skip = 0)
+      MDJ_EXCLUDES(mu_);
 
   /// Disarms `name`; hit statistics for it are kept until Reset().
-  void Disable(const std::string& name);
+  void Disable(const std::string& name) MDJ_EXCLUDES(mu_);
 
   /// Disarms everything and clears statistics. Tests call this in SetUp.
-  void Reset();
+  void Reset() MDJ_EXCLUDES(mu_);
 
   /// True iff the point is armed and its skip budget is exhausted; consumes
   /// one firing. Called via MDJ_FAILPOINT, not directly.
-  bool Evaluate(const char* name);
+  bool Evaluate(const char* name) MDJ_EXCLUDES(mu_);
 
   /// Times `name` actually fired (not merely evaluated) since Reset().
-  int64_t fire_count(const std::string& name);
+  int64_t fire_count(const std::string& name) MDJ_EXCLUDES(mu_);
 
   /// Parses an MDJOIN_FAILPOINTS-style spec; error on malformed entries.
   Status LoadSpec(const std::string& spec);
@@ -65,10 +66,10 @@ class FailpointRegistry {
     int64_t fired = 0;      // statistics
   };
 
-  void RecountArmedLocked();
+  void RecountArmedLocked() MDJ_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::unordered_map<std::string, Entry> points_;
+  Mutex mu_;
+  std::unordered_map<std::string, Entry> points_ MDJ_GUARDED_BY(mu_);
   std::atomic<int> armed_{0};
 };
 

@@ -13,7 +13,7 @@ void QueryGuard::Cancel() {
 
 void QueryGuard::Trip(Status status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tripped_.load(std::memory_order_relaxed)) return;  // first error wins
   status_ = std::move(status);
   tripped_.store(true, std::memory_order_release);
@@ -21,7 +21,7 @@ void QueryGuard::Trip(Status status) {
 
 Status QueryGuard::TripStatus() const {
   if (!tripped()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return status_;
 }
 

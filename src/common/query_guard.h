@@ -5,10 +5,10 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mdjoin {
 
@@ -67,12 +67,12 @@ class QueryGuard {
 
   /// Latches `status` as the query's outcome if nothing tripped before.
   /// Non-OK only; used by the parallel layer to propagate fragment failures.
-  void Trip(Status status);
+  void Trip(Status status) MDJ_EXCLUDES(mu_);
 
   bool tripped() const { return tripped_.load(std::memory_order_acquire); }
 
   /// The latched failure, or OK when the guard has not tripped.
-  Status TripStatus() const;
+  Status TripStatus() const MDJ_EXCLUDES(mu_);
 
   /// Accounts `rows_delta` scanned detail rows and `pairs_delta` candidate
   /// pairs, then checks (in order) latched trips, the deadline, and the work
@@ -116,8 +116,8 @@ class QueryGuard {
   std::atomic<int64_t> high_water_{0};
   std::atomic<int64_t> rows_{0};
   std::atomic<int64_t> pairs_{0};
-  mutable std::mutex mu_;  // guards status_
-  Status status_;          // first trip, latched
+  mutable Mutex mu_;
+  Status status_ MDJ_GUARDED_BY(mu_);  // first trip, latched
 };
 
 /// Per-scan helper for hot loops: counts rows/pairs locally and consults the

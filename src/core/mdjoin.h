@@ -68,6 +68,15 @@ struct MdJoinOptions {
   /// soft memory budget, the classic path degrades to multi-pass evaluation
   /// (Theorem 4.1) under pressure instead of failing.
   QueryGuard* guard = nullptr;
+
+  /// Debug invariant mode: the plan executor runs the full static analyzer
+  /// (analyze/plan_analyzer.h) over the plan before executing it and fails
+  /// fast with a structured diagnostic instead of evaluating an ill-formed
+  /// tree. Also enabled (independently of this flag) by setting the
+  /// MDJOIN_VERIFY_PLANS environment variable to a non-empty value other
+  /// than "0". Ignored by the low-level MdJoin() table entry point, which
+  /// has no plan to verify.
+  bool verify_plans = false;
 };
 
 /// Engine-side byte estimates used by the guard's memory accountant. They

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analyze/plan_invariants.h"
 #include "common/failpoint.h"
 #include "optimizer/profile.h"
 
@@ -209,11 +210,23 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
   return Status::Internal("unreachable plan kind");
 }
 
+/// Debug invariant mode: statically verify the plan before evaluating it,
+/// when asked to by the options or the MDJOIN_VERIFY_PLANS environment
+/// variable. Executing an ill-formed tree would surface as a confusing
+/// runtime error deep inside some operator; the analyzer diagnostic names
+/// the offending node and rule instead.
+Status MaybeVerify(const PlanPtr& plan, const Catalog& catalog,
+                   const MdJoinOptions& md_options, const char* context) {
+  if (!md_options.verify_plans && !VerifyPlansEnabledByEnv()) return Status::OK();
+  return VerifyPlan(plan, catalog, context);
+}
+
 }  // namespace
 
 Result<Table> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
                           const MdJoinOptions& md_options, ExecStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("ExecutePlan: null plan");
+  MDJ_RETURN_NOT_OK(MaybeVerify(plan, catalog, md_options, "ExecutePlan"));
   ExecStats local;
   if (stats == nullptr) stats = &local;
   *stats = ExecStats{};
@@ -223,6 +236,7 @@ Result<Table> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
 Result<Table> ExecutePlanCse(const PlanPtr& plan, const Catalog& catalog,
                              const MdJoinOptions& md_options, ExecStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("ExecutePlanCse: null plan");
+  MDJ_RETURN_NOT_OK(MaybeVerify(plan, catalog, md_options, "ExecutePlanCse"));
   ExecStats local;
   if (stats == nullptr) stats = &local;
   *stats = ExecStats{};
@@ -255,6 +269,7 @@ std::string ProfiledResult::ToString() const {
 Result<ProfiledResult> ExecutePlanProfiled(const PlanPtr& plan, const Catalog& catalog,
                                            const MdJoinOptions& md_options) {
   if (plan == nullptr) return Status::InvalidArgument("ExecutePlanProfiled: null plan");
+  MDJ_RETURN_NOT_OK(MaybeVerify(plan, catalog, md_options, "ExecutePlanProfiled"));
   ExecStats stats;
   auto root = std::make_unique<ProfileNode>();
   root->label = "(root)";

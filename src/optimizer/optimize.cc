@@ -1,5 +1,6 @@
 #include "optimizer/optimize.h"
 
+#include "analyze/plan_invariants.h"
 #include "optimizer/cost.h"
 #include "optimizer/rules.h"
 
@@ -17,14 +18,19 @@ std::string OptimizeReport::ToString() const {
 namespace {
 
 /// Applies `candidate` if it succeeded and does not increase estimated work.
-/// Returns true when the plan was replaced.
-bool Accept(const Result<PlanPtr>& candidate, const Catalog& catalog,
-            const char* rule_name, PlanPtr* plan, OptimizeReport* report) {
+/// Returns true when the plan was replaced; returns a non-OK status only in
+/// verify_plans mode, when the accepted rewrite fails static verification.
+Result<bool> Accept(const Result<PlanPtr>& candidate, const Catalog& catalog,
+                    const OptimizeOptions& options, const char* rule_name,
+                    PlanPtr* plan, OptimizeReport* report) {
   if (!candidate.ok()) return false;
   Result<PlanCost> before = EstimateCost(*plan, catalog);
   Result<PlanCost> after = EstimateCost(*candidate, catalog);
   if (!before.ok() || !after.ok()) return false;
   if (after->work > before->work) return false;
+  if (options.verify_plans || VerifyPlansEnabledByEnv()) {
+    MDJ_RETURN_NOT_OK(VerifyPlan(*candidate, catalog, rule_name));
+  }
   *plan = *candidate;
   if (report != nullptr) {
     report->applied.push_back(std::string(rule_name) + " (work " +
@@ -52,10 +58,10 @@ Result<PlanPtr> TryFuseChainFirst(const PlanPtr& plan, const Catalog& catalog,
     return plan;
   }
   PlanPtr current = plan;
-  if (Accept(FuseMdJoinSeries(current), catalog, "Theorem 4.3 fusion", &current,
-             report)) {
-    *fused = true;
-  }
+  MDJ_ASSIGN_OR_RETURN(bool accepted,
+                       Accept(FuseMdJoinSeries(current), catalog, options,
+                              "Theorem 4.3 fusion", &current, report));
+  *fused = accepted;
   return current;
 }
 
@@ -80,21 +86,32 @@ Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
 
   for (int round = 0; round < options.max_rounds; ++round) {
     bool fired = false;
+    bool accepted = false;
     if (options.enable_fusion && current->kind() == PlanKind::kMdJoin) {
-      fired |= Accept(FuseMdJoinSeries(current), catalog, "Theorem 4.3 fusion",
-                      &current, report);
+      MDJ_ASSIGN_OR_RETURN(accepted,
+                           Accept(FuseMdJoinSeries(current), catalog, options,
+                                  "Theorem 4.3 fusion", &current, report));
+      fired |= accepted;
     }
     if (options.enable_cube_rollup && current->kind() == PlanKind::kMdJoin) {
-      fired |= Accept(ExpandCubeBaseWithRollups(current), catalog,
-                      "Theorem 4.5 cube roll-up expansion", &current, report);
+      MDJ_ASSIGN_OR_RETURN(accepted,
+                           Accept(ExpandCubeBaseWithRollups(current), catalog, options,
+                                  "Theorem 4.5 cube roll-up expansion", &current,
+                                  report));
+      fired |= accepted;
     }
     if (options.enable_pushdown && current->kind() == PlanKind::kMdJoin) {
-      fired |= Accept(ApplySelectionPushdown(current), catalog,
-                      "Theorem 4.2 selection pushdown", &current, report);
+      MDJ_ASSIGN_OR_RETURN(accepted,
+                           Accept(ApplySelectionPushdown(current), catalog, options,
+                                  "Theorem 4.2 selection pushdown", &current, report));
+      fired |= accepted;
     }
     if (options.enable_transfer && current->kind() == PlanKind::kMdJoin) {
-      fired |= Accept(ApplyBaseSelectionTransfer(current), catalog,
-                      "Observation 4.1 selection transfer", &current, report);
+      MDJ_ASSIGN_OR_RETURN(accepted,
+                           Accept(ApplyBaseSelectionTransfer(current), catalog, options,
+                                  "Observation 4.1 selection transfer", &current,
+                                  report));
+      fired |= accepted;
     }
     if (!fired) break;
   }

@@ -17,6 +17,13 @@ struct OptimizeOptions {
   bool enable_fusion = true;         // Theorem 4.3
   bool enable_cube_rollup = false;   // cube expansion + Theorem 4.5 chains
   int max_rounds = 4;                // fixpoint guard per node
+
+  /// Debug invariant mode: re-run the full PlanAnalyzer over the plan after
+  /// every accepted rule application and fail fast with the analyzer's
+  /// structured diagnostic if the rewrite produced an ill-formed plan. Also
+  /// enabled (independently of this flag) by setting the MDJOIN_VERIFY_PLANS
+  /// environment variable to a non-empty value other than "0".
+  bool verify_plans = false;
 };
 
 /// What the driver did, for explainability and tests.

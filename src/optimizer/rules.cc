@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_set>
+#include <utility>
 
+#include "analyze/plan_analyzer.h"
 #include "expr/conjuncts.h"
 
 namespace mdjoin {
+
+// Every rule's legality precondition is decided by a PlanAnalyzer certificate
+// (analyze/plan_analyzer.h) — the rules contain no private θ classification
+// or provenance guessing. A rule's job here is purely the tree surgery; the
+// certificate is the proof it is allowed.
 
 namespace {
 
@@ -22,39 +28,6 @@ bool IsMdJoin(const PlanPtr& p) { return p->kind() == PlanKind::kMdJoin; }
 /// relation" for fusion.
 bool SamePlan(const PlanPtr& a, const PlanPtr& b) {
   return a == b || ExplainPlan(a) == ExplainPlan(b);
-}
-
-std::set<std::string> AggOutputNames(const std::vector<AggSpec>& aggs) {
-  std::set<std::string> out;
-  for (const AggSpec& a : aggs) out.insert(a.output_name);
-  return out;
-}
-
-bool Intersects(const std::set<std::string>& a, const std::set<std::string>& b) {
-  for (const std::string& x : a) {
-    if (b.count(x)) return true;
-  }
-  return false;
-}
-
-/// True if θ is exactly the dimension-equality condition of a cube query:
-/// a conjunction of B.d = R.d over precisely `dims`.
-bool IsPureDimEquality(const ExprPtr& theta, const std::vector<std::string>& dims) {
-  ThetaParts parts = AnalyzeTheta(theta);
-  if (!parts.detail_only.empty() || !parts.base_only.empty() || !parts.residual.empty()) {
-    return false;
-  }
-  std::set<std::string> seen;
-  for (const EquiPair& p : parts.equi) {
-    if (p.base_expr->kind() != ExprKind::kColumnRef ||
-        p.detail_expr->kind() != ExprKind::kColumnRef) {
-      return false;
-    }
-    if (p.base_expr->column_name() != p.detail_expr->column_name()) return false;
-    seen.insert(p.base_expr->column_name());
-  }
-  std::set<std::string> want(dims.begin(), dims.end());
-  return seen == want;
 }
 
 }  // namespace
@@ -74,47 +47,19 @@ Result<PlanPtr> ApplyBasePartitioning(const PlanPtr& plan, int num_partitions) {
 }
 
 Result<PlanPtr> ApplySelectionPushdown(const PlanPtr& plan) {
-  if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.2", "root is not an MD-join");
-  ThetaParts parts = AnalyzeTheta(FoldConstants(plan->theta));
-  if (parts.detail_only.empty()) {
-    return NotApplicable("Theorem 4.2", "θ has no R-only conjuncts");
-  }
-  ExprPtr detail_sel = CombineConjuncts(parts.detail_only);
-  ThetaParts rest = parts;
-  rest.detail_only.clear();
+  MDJ_ASSIGN_OR_RETURN(PushdownCertificate cert, CertifyDetailPushdown(plan));
+  ExprPtr detail_sel = CombineConjuncts(cert.detail_only);
   return MdJoinPlan(plan->child(0), FilterPlan(plan->child(1), std::move(detail_sel)),
-                    plan->aggs, CombineTheta(rest));
+                    plan->aggs, CombineTheta(cert.remainder));
 }
 
 Result<PlanPtr> ApplyBaseSelectionTransfer(const PlanPtr& plan) {
-  if (!IsMdJoin(plan)) return NotApplicable("Observation 4.1", "root is not an MD-join");
+  MDJ_ASSIGN_OR_RETURN(TransferCertificate cert, CertifyEquiTransfer(plan));
   const PlanPtr& base = plan->child(0);
-  if (base->kind() != PlanKind::kFilter) {
-    return NotApplicable("Observation 4.1", "base child is not a selection");
-  }
-  // Map every B attribute that θ binds by a *plain column* equi conjunct to
-  // its R-side key expression.
-  ThetaParts parts = AnalyzeTheta(plan->theta);
-  std::vector<std::pair<std::string, ExprPtr>> substitution;
-  for (const EquiPair& pair : parts.equi) {
-    if (pair.base_expr->kind() == ExprKind::kColumnRef) {
-      substitution.emplace_back(pair.base_expr->column_name(), pair.detail_expr);
-    }
-  }
-  // The base selection predicate is a single-table expression over B (kDetail
-  // frame); every column it touches must be substitutable.
   const ExprPtr& sel = base->predicate;
-  for (const std::string& col : sel->ReferencedColumns(Side::kDetail)) {
-    bool covered = false;
-    for (const auto& [name, repl] : substitution) covered = covered || name == col;
-    if (!covered) {
-      return NotApplicable("Observation 4.1", "selection column '" + col +
-                                                  "' is not bound by an equi conjunct");
-    }
-  }
   // Substitute B attributes with R key expressions. The resulting predicate
   // references R via kDetail, exactly the frame a Filter over R expects.
-  ExprPtr detail_sel = Expr::SubstituteColumns(sel, Side::kDetail, substitution);
+  ExprPtr detail_sel = Expr::SubstituteColumns(sel, Side::kDetail, cert.substitution);
   // Idempotence guard: the pattern (base is a Filter) persists after the
   // rewrite, so a rule driver would otherwise stack the same σ on R every
   // round. If the detail child already carries this predicate, we are done.
@@ -142,38 +87,24 @@ Result<PlanPtr> FuseMdJoinSeries(const PlanPtr& plan) {
   // Application order: innermost (applied first) to outermost.
   std::reverse(chain.begin(), chain.end());
 
-  // Dependency analysis: a component's generation is one past the highest
-  // generation whose outputs its θ (or aggregate arguments) reference.
+  // θ-independence analysis: the analyzer assigns each component the
+  // earliest generation whose outputs its θ / aggregate arguments do not
+  // reference. Same-generation components are mutually independent — the
+  // Theorem 4.3 legality condition for fusing them.
+  const ChainDependencyCertificate cert = CertifyChainDependencies(chain);
   const size_t k = chain.size();
-  std::vector<std::set<std::string>> outputs(k);
-  std::vector<int> generation(k, 0);
-  for (size_t i = 0; i < k; ++i) {
-    outputs[i] = AggOutputNames(chain[i]->aggs);
-    std::set<std::string> refs = chain[i]->theta->ReferencedColumns(Side::kBase);
-    for (const AggSpec& a : chain[i]->aggs) {
-      if (a.argument != nullptr) {
-        std::set<std::string> arg_refs = a.argument->ReferencedColumns(Side::kBase);
-        refs.insert(arg_refs.begin(), arg_refs.end());
-      }
-    }
-    int gen = 0;
-    for (size_t j = 0; j < i; ++j) {
-      if (Intersects(refs, outputs[j])) gen = std::max(gen, generation[j] + 1);
-    }
-    generation[i] = gen;
-  }
 
   // Group components by (generation, detail subplan); emit one (generalized)
   // MD-join per group, stacked in generation order. Groups keep first-member
   // order within a generation.
-  int max_gen = *std::max_element(generation.begin(), generation.end());
+  int max_gen = *std::max_element(cert.generation.begin(), cert.generation.end());
   PlanPtr current = innermost_base;
   bool fused_anything = false;
   for (int gen = 0; gen <= max_gen; ++gen) {
     // Partition this generation's members into detail-equality groups.
     std::vector<std::vector<size_t>> groups;
     for (size_t i = 0; i < k; ++i) {
-      if (generation[i] != gen) continue;
+      if (cert.generation[i] != gen) continue;
       bool placed = false;
       for (std::vector<size_t>& g : groups) {
         if (SamePlan(chain[g[0]]->child(1), chain[i]->child(1))) {
@@ -205,45 +136,23 @@ Result<PlanPtr> FuseMdJoinSeries(const PlanPtr& plan) {
 }
 
 Result<PlanPtr> CommuteMdJoins(const PlanPtr& plan, const Catalog& catalog) {
-  if (!IsMdJoin(plan) || !IsMdJoin(plan->child(0))) {
-    return NotApplicable("Theorem 4.3 (commute)", "root is not two nested MD-joins");
-  }
+  MDJ_RETURN_NOT_OK(CertifyOuterIndependence(plan, catalog, "Theorem 4.3 (commute)"));
   const PlanPtr& inner = plan->child(0);
-  MDJ_ASSIGN_OR_RETURN(Schema base_schema, InferSchema(inner->child(0), catalog));
-  // θ2 (and l2's arguments) may reference only B's attributes, not l1's
-  // outputs — otherwise the operators do not commute.
-  std::set<std::string> outer_refs = plan->theta->ReferencedColumns(Side::kBase);
-  for (const AggSpec& a : plan->aggs) {
-    if (a.argument != nullptr) {
-      std::set<std::string> r = a.argument->ReferencedColumns(Side::kBase);
-      outer_refs.insert(r.begin(), r.end());
-    }
-  }
-  for (const std::string& col : outer_refs) {
-    if (!base_schema.FindField(col)) {
-      return NotApplicable("Theorem 4.3 (commute)",
-                           "outer θ references generated column '" + col + "'");
-    }
-  }
   PlanPtr new_inner =
       MdJoinPlan(inner->child(0), plan->child(1), plan->aggs, plan->theta);
   return MdJoinPlan(std::move(new_inner), inner->child(1), inner->aggs, inner->theta);
 }
 
 Result<PlanPtr> SplitToEquiJoin(const PlanPtr& plan, const Catalog& catalog) {
-  if (!IsMdJoin(plan) || !IsMdJoin(plan->child(0))) {
-    return NotApplicable("Theorem 4.4", "root is not two nested MD-joins");
-  }
+  MDJ_RETURN_NOT_OK(CertifyOuterIndependence(plan, catalog, "Theorem 4.4"));
   const PlanPtr& inner = plan->child(0);
   const PlanPtr& b_plan = inner->child(0);
+  // The theorem's standing assumption is that B is duplicate-free (otherwise
+  // the equijoin multiplies rows). The analyzer must produce structural
+  // evidence; without it the rule refuses instead of trusting callers.
+  Result<DistinctnessCertificate> distinct = CertifyBaseDistinct(b_plan);
+  if (!distinct.ok()) return distinct.status();
   MDJ_ASSIGN_OR_RETURN(Schema base_schema, InferSchema(b_plan, catalog));
-  std::set<std::string> outer_refs = plan->theta->ReferencedColumns(Side::kBase);
-  for (const std::string& col : outer_refs) {
-    if (!base_schema.FindField(col)) {
-      return NotApplicable("Theorem 4.4",
-                           "outer θ references generated column '" + col + "'");
-    }
-  }
   std::vector<std::string> keys;
   keys.reserve(static_cast<size_t>(base_schema.num_fields()));
   for (const Field& f : base_schema.fields()) keys.push_back(f.name);
@@ -252,21 +161,11 @@ Result<PlanPtr> SplitToEquiJoin(const PlanPtr& plan, const Catalog& catalog) {
 }
 
 Result<PlanPtr> ApplyRollup(const PlanPtr& plan, CuboidMask finer_mask) {
-  if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.5", "root is not an MD-join");
+  MDJ_ASSIGN_OR_RETURN(RollupCertificate cert, CertifyRollup(plan));
   const PlanPtr& base = plan->child(0);
-  if (base->kind() != PlanKind::kCuboidBase) {
-    return NotApplicable("Theorem 4.5", "base child is not a cuboid base-values table");
-  }
   const CuboidMask coarse = base->cuboid_mask;
   if ((coarse & finer_mask) != coarse || coarse == finer_mask) {
     return NotApplicable("Theorem 4.5", "finer mask is not a strict superset");
-  }
-  MDJ_ASSIGN_OR_RETURN(bool distributive, AllDistributive(plan->aggs));
-  if (!distributive) {
-    return NotApplicable("Theorem 4.5", "aggregate list is not distributive");
-  }
-  if (!IsPureDimEquality(plan->theta, base->cube_dims)) {
-    return NotApplicable("Theorem 4.5", "θ is not the dimension-equality condition");
   }
   std::vector<AggSpec> rollup_specs;
   rollup_specs.reserve(plan->aggs.size());
@@ -274,7 +173,7 @@ Result<PlanPtr> ApplyRollup(const PlanPtr& plan, CuboidMask finer_mask) {
     MDJ_ASSIGN_OR_RETURN(AggSpec r, RollupSpec(a));
     rollup_specs.push_back(std::move(r));
   }
-  PlanPtr finer_base = CuboidBasePlan(base->child(0), base->cube_dims, finer_mask);
+  PlanPtr finer_base = CuboidBasePlan(base->child(0), cert.dims, finer_mask);
   PlanPtr finer_cuboid =
       MdJoinPlan(std::move(finer_base), plan->child(1), plan->aggs, plan->theta);
   return MdJoinPlan(base, std::move(finer_cuboid), std::move(rollup_specs), plan->theta);

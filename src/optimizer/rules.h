@@ -8,8 +8,11 @@ namespace mdjoin {
 /// Algebraic rewrite rules, one per result in the paper's §4. Each rule takes
 /// a plan whose root matches the rule's pattern and returns the rewritten
 /// plan, or an InvalidArgument status explaining why the rule does not apply
-/// (pattern mismatch or violated precondition). Rules never change results —
-/// the property tests execute both sides of every rewrite and compare.
+/// (pattern mismatch or violated precondition). Every precondition is decided
+/// statically by a PlanAnalyzer certificate (analyze/plan_analyzer.h); the
+/// property tests that execute both sides of every rewrite remain as a
+/// dynamic backstop, and verify_plans mode re-runs the analyzer after each
+/// accepted rewrite.
 
 /// Theorem 4.1 — base-values partitioning:
 ///   MD(B, R, l, θ) = ∪_{i<m} MD(B_i, R, l, θ)
@@ -47,10 +50,13 @@ Result<PlanPtr> CommuteMdJoins(const PlanPtr& plan, const Catalog& catalog);
 
 /// Theorem 4.4 — split into an equijoin of independent MD-joins:
 ///   MD(MD(B, R1, l1, θ1), R2, l2, θ2) = MD(B, R1, l1, θ1) ⋈_B MD(B, R2, l2, θ2)
-/// Preconditions: θ2 references only attributes of B, and B's rows are
-/// distinct (the theorem's standing assumption; the rule cannot verify data,
-/// callers ensure it — base tables from the generators are distinct by
-/// construction). Enables moving each MD-join to its relation's site.
+/// Preconditions: θ2 references only attributes of B (provenance-checked by
+/// CertifyOuterIndependence), and B's rows are distinct — the theorem's
+/// standing assumption, for which the rule now demands structural evidence
+/// from CertifyBaseDistinct (a Distinct node, cube base-values generator, or
+/// GroupBy below distinctness-preserving operators). Without evidence the
+/// rule returns InvalidArgument naming the offending node instead of
+/// trusting callers. Enables moving each MD-join to its relation's site.
 Result<PlanPtr> SplitToEquiJoin(const PlanPtr& plan, const Catalog& catalog);
 
 /// Theorem 4.5 — roll-up: for a root of shape

@@ -16,32 +16,36 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     MDJ_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  // The predicate runs with mu_ held (CondVar::Wait re-acquires before each
+  // evaluation), which the static analysis cannot see through the lambda.
+  all_done_.Wait(lock, [this]() MDJ_NO_THREAD_SAFETY_ANALYSIS {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::Cancel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.clear();
-    if (active_ == 0) all_done_.notify_all();
+    if (active_ == 0) all_done_.NotifyAll();
   }
 }
 
@@ -49,8 +53,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      task_available_.Wait(lock, [this]() MDJ_NO_THREAD_SAFETY_ANALYSIS {
+        return shutdown_ || !queue_.empty();
+      });
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -70,9 +76,9 @@ void ThreadPool::WorkerLoop() {
                           "exception";
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+      if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,12 @@
 #ifndef MDJOIN_PARALLEL_THREAD_POOL_H_
 #define MDJOIN_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace mdjoin {
 
@@ -25,28 +25,28 @@ class ThreadPool {
   /// an exception that escapes anyway — e.g. std::bad_alloc from a container
   /// — is trapped in the worker and aborts the process with a logged message
   /// rather than letting std::terminate fire mid-unwind.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) MDJ_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() MDJ_EXCLUDES(mu_);
 
   /// Drops every task still queued without running it; tasks already being
   /// executed finish normally (pair with a QueryGuard cancel to stop those
   /// cooperatively). Wait() then returns once in-flight tasks drain.
-  void Cancel();
+  void Cancel() MDJ_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MDJ_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ MDJ_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ MDJ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MDJ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mdjoin

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analyze/plan_invariants.h"
 #include "common/random.h"
 #include "expr/conjuncts.h"
 #include "optimizer/executor.h"
@@ -59,9 +60,19 @@ class RuleFuzz : public ::testing::TestWithParam<uint64_t> {
         TableRef("sales"), {{Col("cust"), "cust"}, {Col("month"), "month"}}));
   }
 
+  /// The analyzer hook of the fuzz sweep: a rewrite the certificates accepted
+  /// must (a) still satisfy every static plan invariant and (b) produce the
+  /// same table as the original. Execution runs with verify_plans on, so the
+  /// analyzer also re-checks the plans the executor actually receives.
   void ExpectEquivalent(const PlanPtr& a, const PlanPtr& b, const char* what) {
-    Result<Table> ra = ExecutePlanCse(a, catalog_);
-    Result<Table> rb = ExecutePlanCse(b, catalog_);
+    Status verified = VerifyPlan(b, catalog_, what);
+    ASSERT_TRUE(verified.ok())
+        << "analyzer-accepted rewrite failed static verification: "
+        << verified.ToString() << "\nrewritten:\n" << ExplainPlan(b);
+    MdJoinOptions options;
+    options.verify_plans = true;
+    Result<Table> ra = ExecutePlanCse(a, catalog_, options);
+    Result<Table> rb = ExecutePlanCse(b, catalog_, options);
     ASSERT_TRUE(ra.ok()) << what << ": " << ra.status().ToString();
     ASSERT_TRUE(rb.ok()) << what << ": " << rb.status().ToString();
     EXPECT_TRUE(TablesEqualUnordered(*ra, *rb))
@@ -108,9 +119,12 @@ TEST_P(RuleFuzz, EveryFiringRulePreservesResults) {
     if (Result<PlanPtr> r = SplitToEquiJoin(plan, catalog_); r.ok()) {
       ExpectEquivalent(plan, *r, "Theorem 4.4");
     }
-    // The driver composes them; must also be safe.
-    Result<PlanPtr> optimized = OptimizePlan(plan, catalog_);
-    ASSERT_TRUE(optimized.ok());
+    // The driver composes them; must also be safe, with the analyzer
+    // re-checking the plan after every accepted rewrite.
+    OptimizeOptions opt_options;
+    opt_options.verify_plans = true;
+    Result<PlanPtr> optimized = OptimizePlan(plan, catalog_, opt_options);
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
     ExpectEquivalent(plan, *optimized, "OptimizePlan");
   }
 }
