@@ -135,6 +135,8 @@ int main(int argc, char** argv) {
   std::vector<LoadedTable> tables;
   bool use_emf = false, explain = false, optimize = false;
   QueryGuardOptions guard_options;
+  int num_threads = 1;
+  int64_t morsel_size = 0;
   std::string query;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--table") == 0 && i + 1 < argc) {
@@ -165,6 +167,19 @@ int main(int argc, char** argv) {
       // Soft budget (degrade to multi-pass) and hard ceiling in one flag.
       guard_options.memory_budget_bytes = *bytes;
       guard_options.memory_hard_limit_bytes = *bytes;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      num_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (num_threads < 1) {
+        std::fprintf(stderr, "error: --threads wants a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--morsel-size") == 0 && i + 1 < argc) {
+      morsel_size = std::strtoll(argv[++i], nullptr, 10);
+      if (morsel_size < 0) {
+        std::fprintf(stderr, "error: --morsel-size wants a non-negative integer "
+                             "(0 = align to block size)\n");
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -176,6 +191,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --table Name=file.csv:col:type,... [--emf] [--explain] "
                  "[--optimize] [--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
+                 "[--threads N] [--morsel-size ROWS] "
                  "'query'\n",
                  argv[0]);
     return 2;
@@ -211,6 +227,8 @@ int main(int argc, char** argv) {
   QueryGuard guard(guard_options);
   MdJoinOptions md_options;
   if (guarded) md_options.guard = &guard;
+  md_options.num_threads = num_threads;
+  md_options.morsel_size = morsel_size;
   Result<Table> result = ExecutePlanCse(plan, catalog, md_options);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());

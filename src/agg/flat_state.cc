@@ -37,15 +37,22 @@ AggStateColumn AggStateColumn::Make(const AggregateFunction* fn, int64_t groups)
 }
 
 void AggStateColumn::Merge(const AggStateColumn& other) {
+  MergeRange(other, 0, groups_);
+}
+
+void AggStateColumn::MergeRange(const AggStateColumn& other, int64_t lo, int64_t hi) {
   MDJ_CHECK(fn_ == other.fn_ && groups_ == other.groups_)
-      << "AggStateColumn::Merge: mismatched columns";
-  const size_t n = static_cast<size_t>(groups_);
+      << "AggStateColumn::MergeRange: mismatched columns";
+  MDJ_CHECK(lo >= 0 && hi <= groups_ && lo <= hi)
+      << "AggStateColumn::MergeRange: bad range";
+  const size_t a = static_cast<size_t>(lo);
+  const size_t b = static_cast<size_t>(hi);
   switch (kind_) {
     case FlatAggKind::kCount:
-      for (size_t i = 0; i < n; ++i) i64_[i] += other.i64_[i];
+      for (size_t i = a; i < b; ++i) i64_[i] += other.i64_[i];
       break;
     case FlatAggKind::kSum:
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = a; i < b; ++i) {
         i64_[i] += other.i64_[i];
         f64_[i] += other.f64_[i];
         flags_[i] |= other.flags_[i];
@@ -53,18 +60,18 @@ void AggStateColumn::Merge(const AggStateColumn& other) {
       break;
     case FlatAggKind::kMin:
     case FlatAggKind::kMax:
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = a; i < b; ++i) {
         if (other.flags_[i] & kAny) UpdateExtremum(i, other.vals_[i]);
       }
       break;
     case FlatAggKind::kAvg:
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = a; i < b; ++i) {
         f64_[i] += other.f64_[i];
         i64_[i] += other.i64_[i];
       }
       break;
     case FlatAggKind::kNone:
-      for (size_t i = 0; i < n; ++i) fn_->Merge(heap_[i].get(), *other.heap_[i]);
+      for (size_t i = a; i < b; ++i) fn_->Merge(heap_[i].get(), *other.heap_[i]);
       break;
   }
 }

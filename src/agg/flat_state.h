@@ -160,6 +160,12 @@ class AggStateColumn {
   /// same function and group count.
   void Merge(const AggStateColumn& other);
 
+  /// Merge restricted to groups [lo, hi) — the unit the parallel merge tree
+  /// interleaves with guard checks so cancellation lands mid-merge instead of
+  /// after a whole |B|-wide column. Merge(other) == MergeRange(other, 0,
+  /// groups()).
+  void MergeRange(const AggStateColumn& other, int64_t lo, int64_t hi);
+
   /// Reports group `g` (identity Value for untouched groups, matching the
   /// function's Finalize on a fresh state).
   Value Finalize(int64_t g) const;

@@ -1,0 +1,307 @@
+#include "core/detail_scan.h"
+
+#include <algorithm>
+
+#include "expr/compile.h"
+
+namespace mdjoin {
+
+Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_schema,
+                                   const Schema& detail_schema,
+                                   const MdJoinOptions& options, bool vectorized) {
+  CompiledTheta ct;
+  if (!parts.base_only.empty()) {
+    MDJ_ASSIGN_OR_RETURN(ct.base_pred,
+                         CompileExpr(CombineConjuncts(parts.base_only), &base_schema,
+                                     /*detail_schema=*/nullptr));
+  }
+
+  // Detail-side selection (Theorem 4.2). When pushdown is disabled the
+  // conjuncts join the residual so results are identical.
+  std::vector<ExprPtr> residual_conjuncts = parts.residual;
+  if (options.push_detail_selection) {
+    if (!parts.detail_only.empty()) {
+      if (vectorized) {
+        MDJ_ASSIGN_OR_RETURN(ct.kernels,
+                             PredicateKernels::Compile(parts.detail_only, detail_schema));
+        ct.has_kernels = true;
+      } else {
+        MDJ_ASSIGN_OR_RETURN(ct.detail_pred,
+                             CompileExpr(CombineConjuncts(parts.detail_only),
+                                         /*base_schema=*/nullptr, &detail_schema));
+      }
+    }
+  } else {
+    residual_conjuncts.insert(residual_conjuncts.end(), parts.detail_only.begin(),
+                              parts.detail_only.end());
+  }
+
+  // Without the index the equi conjuncts must be re-checked per pair.
+  ct.indexed = options.use_index && !parts.equi.empty();
+  if (!ct.indexed) {
+    for (const EquiPair& pair : parts.equi) {
+      residual_conjuncts.push_back(
+          Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
+    }
+  }
+
+  if (!residual_conjuncts.empty()) {
+    MDJ_ASSIGN_OR_RETURN(ct.residual,
+                         CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
+                                     &base_schema, &detail_schema));
+  }
+  return ct;
+}
+
+DetailScanWorker::DetailScanWorker(const Table& base,
+                                   const std::vector<BoundAgg>& bound_aggs,
+                                   bool vectorized_mode, QueryGuard* guard)
+    : aggs(&bound_aggs), vectorized(vectorized_mode), ticket(guard) {
+  if (vectorized) {
+    cols.reserve(bound_aggs.size());
+    for (const BoundAgg& b : bound_aggs) {
+      cols.push_back(AggStateColumn::Make(b.fn, base.num_rows()));
+    }
+  } else {
+    heap.resize(bound_aggs.size());
+    for (size_t i = 0; i < bound_aggs.size(); ++i) {
+      heap[i].reserve(static_cast<size_t>(base.num_rows()));
+      for (int64_t r = 0; r < base.num_rows(); ++r) {
+        heap[i].push_back(bound_aggs[i].fn->MakeState());
+      }
+    }
+  }
+}
+
+void DetailScanWorker::BeginJob() {
+  // The probe memo caches full-key → candidates for one specific index;
+  // serving those lists against a different job's index would be wrong.
+  scratch = BaseIndex::ProbeScratch{};
+}
+
+Status DetailScanWorker::FinishScan() { return ticket.Finish(); }
+
+Value DetailScanWorker::FinalizeCell(size_t agg, int64_t base_row) const {
+  return vectorized
+             ? cols[agg].Finalize(base_row)
+             : (*aggs)[agg].fn->Finalize(*heap[agg][static_cast<size_t>(base_row)]);
+}
+
+Result<DetailScan> DetailScan::Prepare(const Table& base, const Table& detail,
+                                       const std::vector<BoundAgg>& aggs,
+                                       const ThetaParts& parts,
+                                       const CompiledTheta* theta,
+                                       std::vector<int64_t> pass_rows,
+                                       const MdJoinOptions& options) {
+  DetailScan scan;
+  scan.base_ = &base;
+  scan.detail_ = &detail;
+  scan.aggs_ = &aggs;
+  scan.theta_ = theta;
+  scan.vectorized_ = options.execution_mode != ExecutionMode::kRow;
+
+  // Rows eligible for updates: those satisfying the B-only conjuncts. The
+  // others still appear in the output (with identity aggregates) but can
+  // never match.
+  if (!theta->base_pred.valid()) {
+    scan.active_ = std::move(pass_rows);
+  } else {
+    RowCtx ctx;
+    ctx.base = &base;
+    for (int64_t row : pass_rows) {
+      ctx.base_row = row;
+      if (theta->base_pred.EvalBool(ctx)) scan.active_.push_back(row);
+    }
+  }
+
+  // Index on the equi part (§4.5), or nested loop when disabled/absent. The
+  // per-job index is the memory the guard's soft budget governs; the caller
+  // sized pass_rows so this reservation fits (or degraded to more passes).
+  // The hard limit is still enforced here.
+  if (theta->indexed) {
+    MDJ_RETURN_NOT_OK(scan.index_bytes_.Reserve(
+        options.guard,
+        static_cast<int64_t>(scan.active_.size()) * kGuardBytesPerIndexedBaseRow,
+        "base index"));
+    MDJ_ASSIGN_OR_RETURN(
+        scan.index_, BaseIndex::Build(base, scan.active_, parts.equi, detail.schema()));
+    scan.index_masks_ = scan.index_.num_masks();
+  }
+
+  // The guard promises trip latency within ~one check stride of detail rows;
+  // that promise outranks block shape, so a guarded scan never processes more
+  // than a stride between checks.
+  scan.block_ = options.block_size > 0 ? options.block_size : 1024;
+  if (options.guard != nullptr && options.guard->check_stride() > 0) {
+    scan.block_ = std::min<int64_t>(scan.block_, options.guard->check_stride());
+  }
+
+  // Plain detail-column aggregate arguments read straight from column
+  // storage; one pointer per aggregate, hoisted out of the scan.
+  scan.arg_cols_.assign(aggs.size(), nullptr);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].detail_arg_col >= 0) {
+      scan.arg_cols_[a] = detail.column(aggs[a].detail_arg_col).data();
+    }
+  }
+  return scan;
+}
+
+Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) const {
+  const Table& base = *base_;
+  const Table& detail = *detail_;
+  const std::vector<BoundAgg>& aggs = *aggs_;
+  const CompiledTheta& ct = *theta_;
+
+  RowCtx ctx;
+  ctx.base = &base;
+  ctx.detail = &detail;
+  // Work counters stay in locals and flush into the worker's stats once per
+  // range; per-row stores into shared stat structs were measurable in the
+  // scan loop. A guard trip mid-scan must still flush, so cancelled queries
+  // report how far they got.
+  int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0, blocks = 0;
+  KernelStats kstats;
+  Status status;
+
+  if (vectorized_) {
+    std::vector<AggStateColumn>& cols = worker->cols;
+    if (static_cast<int64_t>(worker->sel.size()) < block_) {
+      worker->sel.resize(static_cast<size_t>(block_));
+    }
+    uint32_t* sel = worker->sel.data();
+    for (int64_t start = lo; start < hi && status.ok(); start += block_) {
+      const int n = static_cast<int>(std::min<int64_t>(block_, hi - start));
+      for (int i = 0; i < n; ++i) sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+      int count = n;
+      if (ct.has_kernels) {
+        count = ct.kernels.FilterBlock(detail, start, sel, count, &kstats);
+      }
+      ++blocks;
+      scanned += n;
+      qualified += count;
+
+      int64_t pairs_this_block = 0;
+      for (int i = 0; i < count; ++i) {
+        const int64_t t = start + sel[static_cast<size_t>(i)];
+
+        const std::vector<int64_t>* probe_rows;
+        if (ct.indexed) {
+          worker->candidates.clear();
+          index_.Probe(detail, t, &worker->scratch, &worker->candidates);
+          probe_rows = &worker->candidates;
+        } else {
+          probe_rows = &active_;
+        }
+        pairs_this_block += static_cast<int64_t>(probe_rows->size());
+        if (probe_rows->empty()) continue;
+
+        ctx.detail_row = t;
+        // Resolve the residual once into a match list, then fold the row into
+        // every aggregate column-at-a-time: kind dispatch and argument
+        // decoding happen once per (row, aggregate), not once per pair.
+        const int64_t* match_rows = probe_rows->data();
+        int64_t nmatch = static_cast<int64_t>(probe_rows->size());
+        if (ct.residual.valid()) {
+          worker->matched_buf.clear();
+          for (int64_t b : *probe_rows) {
+            ctx.base_row = b;
+            if (ct.residual.EvalBool(ctx)) worker->matched_buf.push_back(b);
+          }
+          match_rows = worker->matched_buf.data();
+          nmatch = static_cast<int64_t>(worker->matched_buf.size());
+        }
+        if (nmatch == 0) continue;
+        matched += nmatch;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          const BoundAgg& agg = aggs[a];
+          if (arg_cols_[a] != nullptr) {
+            cols[a].UpdateMany(match_rows, nmatch, arg_cols_[a][t]);
+          } else if (!agg.has_arg) {
+            cols[a].UpdateCountStarMany(match_rows, nmatch);
+          } else {
+            // Computed argument: may reference the base row, so per pair.
+            for (int64_t k = 0; k < nmatch; ++k) {
+              ctx.base_row = match_rows[k];
+              agg.UpdateColumnFromRow(&cols[a], match_rows[k], ctx);
+            }
+          }
+        }
+      }
+      cand_pairs += pairs_this_block;
+      status = worker->ticket.TickBlock(n, pairs_this_block);
+    }
+  } else {
+    auto& states = worker->heap;
+    for (int64_t t = lo; t < hi && status.ok(); ++t) {
+      ctx.detail_row = t;
+      ++scanned;
+      int64_t pairs_this_row = 0;
+      if (!ct.detail_pred.valid() || ct.detail_pred.EvalBool(ctx)) {
+        ++qualified;
+
+        const std::vector<int64_t>* probe_rows;
+        if (ct.indexed) {
+          worker->candidates.clear();
+          index_.Probe(detail, t, &worker->scratch, &worker->candidates);
+          probe_rows = &worker->candidates;
+        } else {
+          probe_rows = &active_;
+        }
+        pairs_this_row = static_cast<int64_t>(probe_rows->size());
+        cand_pairs += pairs_this_row;
+
+        for (int64_t b : *probe_rows) {
+          ctx.base_row = b;
+          if (ct.residual.valid() && !ct.residual.EvalBool(ctx)) continue;
+          ++matched;
+          for (size_t i = 0; i < aggs.size(); ++i) {
+            aggs[i].UpdateFromRow(states[i][static_cast<size_t>(b)].get(), ctx);
+          }
+        }
+      }
+      status = worker->ticket.Tick(pairs_this_row);
+    }
+  }
+
+  worker->stats.detail_rows_scanned += scanned;
+  worker->stats.detail_rows_qualified += qualified;
+  worker->stats.candidate_pairs += cand_pairs;
+  worker->stats.matched_pairs += matched;
+  worker->stats.blocks += blocks;
+  worker->stats.kernel_invocations += kstats.kernel_invocations;
+  worker->stats.kernel_fallback_rows += kstats.fallback_rows;
+  return status;
+}
+
+Status MergeWorkerPartials(DetailScanWorker* into, const DetailScanWorker& from,
+                           QueryGuard* guard) {
+  const std::vector<BoundAgg>& aggs = *into->aggs;
+  // A liveness-only ticket: merged cells are not detail rows, so nothing is
+  // charged against the row budget, but a cancel/deadline still lands within
+  // one stride of cells — even inside a single wide column.
+  GuardTicket ticket(guard, /*count_rows=*/false);
+  const int64_t chunk =
+      std::max<int64_t>(1, guard != nullptr ? guard->check_stride() : 1 << 16);
+  if (into->vectorized) {
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const int64_t groups = into->cols[i].groups();
+      for (int64_t lo = 0; lo < groups; lo += chunk) {
+        const int64_t hi = std::min<int64_t>(lo + chunk, groups);
+        into->cols[i].MergeRange(from.cols[i], lo, hi);
+        MDJ_RETURN_NOT_OK(ticket.TickBlock(hi - lo, 0));
+      }
+    }
+  } else {
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const size_t nrows = into->heap[i].size();
+      for (size_t r = 0; r < nrows; ++r) {
+        aggs[i].fn->Merge(into->heap[i][r].get(), *from.heap[i][r]);
+        MDJ_RETURN_NOT_OK(ticket.Tick());
+      }
+    }
+  }
+  return ticket.Finish();
+}
+
+}  // namespace mdjoin

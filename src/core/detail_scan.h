@@ -1,0 +1,153 @@
+#ifndef MDJOIN_CORE_DETAIL_SCAN_H_
+#define MDJOIN_CORE_DETAIL_SCAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "agg/flat_state.h"
+#include "common/query_guard.h"
+#include "core/base_index.h"
+#include "core/mdjoin.h"
+#include "expr/compile.h"
+#include "expr/conjuncts.h"
+#include "expr/kernels.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+/// θ compiled once per query and shared by every pass, fragment, and worker
+/// (compilation used to be repeated per pass, which dominated multi-pass runs
+/// on small partitions). Read-only after CompileTheta, so one instance can be
+/// probed from many threads.
+struct CompiledTheta {
+  CompiledExpr base_pred;    // B-only conjuncts; invalid when there are none
+  CompiledExpr detail_pred;  // pushed-down R-only conjuncts (row path)
+  PredicateKernels kernels;  // pushed-down R-only kernels (vectorized path)
+  bool has_kernels = false;
+  CompiledExpr residual;     // conjuncts evaluated per candidate pair
+  bool indexed = false;      // equi part served by a BaseIndex
+};
+
+/// Compiles the classified θ-conjuncts for one (base, detail) pair under the
+/// given options. Disabled optimizations (pushdown, index) fold their
+/// conjuncts back into the residual so results are identical either way.
+Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_schema,
+                                   const Schema& detail_schema,
+                                   const MdJoinOptions& options, bool vectorized);
+
+/// Thread-local mutable side of a detail scan: partial aggregate accumulators
+/// over *all* base rows (global row ids), reusable probe/selection buffers,
+/// and a GuardTicket that batches guard accounting so concurrent workers
+/// never contend on a shared hot atomic between stride checks.
+///
+/// The sequential evaluator uses exactly one worker whose partials are the
+/// final states; the morsel-driven parallel engine gives each thread its own
+/// worker and merges them with MergeWorkerPartials when the cursor drains.
+struct DetailScanWorker {
+  DetailScanWorker(const Table& base, const std::vector<BoundAgg>& bound_aggs,
+                   bool vectorized_mode, QueryGuard* guard);
+
+  DetailScanWorker(const DetailScanWorker&) = delete;
+  DetailScanWorker& operator=(const DetailScanWorker&) = delete;
+
+  /// Resets per-index state (the probe memo caches one index's candidate
+  /// lists). Must be called whenever the worker switches to a different
+  /// DetailScan job; cheap enough to call unconditionally before the first.
+  void BeginJob();
+
+  /// Flushes the ticket's pending row/pair counts into the guard and performs
+  /// a final check, keeping budgets exact. Call once per pass (sequential) or
+  /// once per worker when the morsel cursor drains (parallel).
+  Status FinishScan();
+
+  /// Finalized value of aggregate `agg` for base row `base_row`.
+  Value FinalizeCell(size_t agg, int64_t base_row) const;
+
+  const std::vector<BoundAgg>* aggs = nullptr;
+  bool vectorized = true;
+
+  // Partial accumulators, indexed by global base-row id: flat columns on the
+  // vectorized path, one heap AggregateState per (agg, row) on the row path.
+  std::vector<AggStateColumn> cols;
+  std::vector<std::vector<std::unique_ptr<AggregateState>>> heap;
+
+  // Reusable scan buffers (owned per worker: Probe and the selection loop do
+  // zero steady-state allocation, and nothing here is shared across threads).
+  BaseIndex::ProbeScratch scratch;
+  std::vector<uint32_t> sel;
+  std::vector<int64_t> candidates;
+  std::vector<int64_t> matched_buf;
+
+  GuardTicket ticket;
+  MdJoinStats stats;  // local work counters; fold with AccumulateScanStats
+};
+
+/// One prepared scan job: the read-only machinery for aggregating a set of
+/// base rows (`pass_rows`) against ranges of the detail relation — active-row
+/// filter, base index (with its memory reservation held for the job's
+/// lifetime), and hoisted aggregate-argument column pointers. Safe to call
+/// ScanRange concurrently from many workers; all mutation happens through the
+/// caller's DetailScanWorker.
+class DetailScan {
+ public:
+  DetailScan() = default;
+  DetailScan(DetailScan&&) = default;
+  DetailScan& operator=(DetailScan&&) = default;
+
+  /// `theta` is borrowed and must outlive the scan; `pass_rows` are the base
+  /// rows this job aggregates (Theorem 4.1 fragment or multi-pass partition).
+  static Result<DetailScan> Prepare(const Table& base, const Table& detail,
+                                    const std::vector<BoundAgg>& aggs,
+                                    const ThetaParts& parts, const CompiledTheta* theta,
+                                    std::vector<int64_t> pass_rows,
+                                    const MdJoinOptions& options);
+
+  /// Scans detail rows [lo, hi), folding matches into `worker`'s partials.
+  /// Vectorized mode consumes the range block-at-a-time (blocks clamped to
+  /// the guard's check stride); row mode is the tuple-at-a-time baseline.
+  /// Work counters flush into worker->stats before returning — including on
+  /// a guard trip, so cancelled queries report how far they got.
+  Status ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) const;
+
+  int64_t index_masks() const { return index_masks_; }
+  int64_t active_rows() const { return static_cast<int64_t>(active_.size()); }
+
+ private:
+  const Table* base_ = nullptr;
+  const Table* detail_ = nullptr;
+  const std::vector<BoundAgg>* aggs_ = nullptr;
+  const CompiledTheta* theta_ = nullptr;
+  std::vector<int64_t> active_;
+  BaseIndex index_;
+  ScopedReservation index_bytes_;
+  int64_t index_masks_ = 0;
+  int64_t block_ = 1024;
+  std::vector<const Value*> arg_cols_;  // plain detail-column agg arguments
+  bool vectorized_ = true;
+};
+
+/// Combines `from`'s partial accumulators group-wise into `into` (Theorem 4.1
+/// union / detail-split parallelism). Checks the guard every stride of merged
+/// cells — even inside one wide column — so cancellation is honored during
+/// the merge tail, not only during scans.
+Status MergeWorkerPartials(DetailScanWorker* into, const DetailScanWorker& from,
+                           QueryGuard* guard);
+
+/// Adds `from`'s scan-loop counters (rows, pairs, blocks, kernels) into `to`,
+/// leaving the pass/index/degradation fields — which belong to the driver —
+/// untouched.
+inline void AccumulateScanStats(const MdJoinStats& from, MdJoinStats* to) {
+  to->detail_rows_scanned += from.detail_rows_scanned;
+  to->detail_rows_qualified += from.detail_rows_qualified;
+  to->candidate_pairs += from.candidate_pairs;
+  to->matched_pairs += from.matched_pairs;
+  to->blocks += from.blocks;
+  to->kernel_invocations += from.kernel_invocations;
+  to->kernel_fallback_rows += from.kernel_fallback_rows;
+}
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_CORE_DETAIL_SCAN_H_

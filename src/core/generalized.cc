@@ -6,6 +6,7 @@
 
 #include "agg/flat_state.h"
 #include "core/base_index.h"
+#include "core/detail_scan.h"
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
 #include "expr/kernels.h"
@@ -14,17 +15,16 @@ namespace mdjoin {
 
 namespace {
 
-/// Per-component compiled machinery for the shared scan.
+/// Per-component compiled machinery for the shared scan. θ compilation is
+/// the same CompileTheta the single-component evaluator and the morsel
+/// engine use (core/detail_scan.h); only the interleaved multi-component
+/// tuple loop is specific to this operator.
 struct CompiledComponent {
   std::vector<BoundAgg> aggs;
   ThetaParts parts;
+  CompiledTheta theta;
   std::vector<int64_t> active;  // base rows passing the B-only conjuncts
-  bool indexed = false;
   BaseIndex index;
-  CompiledExpr detail_pred;   // R-only conjuncts (row path pushdown)
-  PredicateKernels kernels;   // R-only conjuncts (vectorized path pushdown)
-  bool has_kernels = false;
-  CompiledExpr residual;
   // Per-component: the scratch memoizes THIS index's candidate lists, so it
   // must never be shared across components.
   BaseIndex::ProbeScratch scratch;
@@ -72,41 +72,21 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       }
     }
     cc.parts = AnalyzeTheta(comp.theta);
+    MDJ_ASSIGN_OR_RETURN(cc.theta, CompileTheta(cc.parts, base.schema(),
+                                                detail.schema(), options, vectorized));
 
-    if (cc.parts.base_only.empty()) {
+    if (!cc.theta.base_pred.valid()) {
       cc.active = all_rows;
     } else {
-      MDJ_ASSIGN_OR_RETURN(CompiledExpr base_pred,
-                           CompileExpr(CombineConjuncts(cc.parts.base_only),
-                                       &base.schema(), nullptr));
       RowCtx bctx;
       bctx.base = &base;
       for (int64_t row : all_rows) {
         bctx.base_row = row;
-        if (base_pred.EvalBool(bctx)) cc.active.push_back(row);
+        if (cc.theta.base_pred.EvalBool(bctx)) cc.active.push_back(row);
       }
     }
 
-    std::vector<ExprPtr> residual_conjuncts = cc.parts.residual;
-    if (options.push_detail_selection) {
-      if (!cc.parts.detail_only.empty()) {
-        if (vectorized) {
-          MDJ_ASSIGN_OR_RETURN(cc.kernels, PredicateKernels::Compile(
-                                               cc.parts.detail_only, detail.schema()));
-          cc.has_kernels = true;
-        } else {
-          MDJ_ASSIGN_OR_RETURN(cc.detail_pred,
-                               CompileExpr(CombineConjuncts(cc.parts.detail_only),
-                                           nullptr, &detail.schema()));
-        }
-      }
-    } else {
-      residual_conjuncts.insert(residual_conjuncts.end(), cc.parts.detail_only.begin(),
-                                cc.parts.detail_only.end());
-    }
-
-    cc.indexed = options.use_index && !cc.parts.equi.empty();
-    if (cc.indexed) {
+    if (cc.theta.indexed) {
       ScopedReservation res;
       MDJ_RETURN_NOT_OK(res.Reserve(
           guard, static_cast<int64_t>(cc.active.size()) * kGuardBytesPerIndexedBaseRow,
@@ -115,16 +95,6 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       MDJ_ASSIGN_OR_RETURN(
           cc.index, BaseIndex::Build(base, cc.active, cc.parts.equi, detail.schema()));
       stats->index_masks += cc.index.num_masks();
-    } else {
-      for (const EquiPair& pair : cc.parts.equi) {
-        residual_conjuncts.push_back(
-            Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
-      }
-    }
-    if (!residual_conjuncts.empty()) {
-      MDJ_ASSIGN_OR_RETURN(cc.residual,
-                           CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
-                                       &base.schema(), &detail.schema()));
     }
 
     ScopedReservation state_res;
@@ -185,15 +155,15 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
           sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
         }
         int count = n;
-        if (cc.has_kernels) {
-          count = cc.kernels.FilterBlock(detail, start, sel.data(), count, &kstats);
+        if (cc.theta.has_kernels) {
+          count = cc.theta.kernels.FilterBlock(detail, start, sel.data(), count, &kstats);
         }
         for (int i = 0; i < count; ++i) {
           const uint32_t off = sel[static_cast<size_t>(i)];
           qual[off] = 1;
           const int64_t t = start + off;
           const std::vector<int64_t>* probe_rows;
-          if (cc.indexed) {
+          if (cc.theta.indexed) {
             candidates.clear();
             cc.index.Probe(detail, t, &cc.scratch, &candidates);
             probe_rows = &candidates;
@@ -207,11 +177,11 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
           // row column-at-a-time (one dispatch per (row, aggregate)).
           const int64_t* match_rows = probe_rows->data();
           int64_t nmatch = static_cast<int64_t>(probe_rows->size());
-          if (cc.residual.valid()) {
+          if (cc.theta.residual.valid()) {
             matched_buf.clear();
             for (int64_t b : *probe_rows) {
               ctx.base_row = b;
-              if (cc.residual.EvalBool(ctx)) matched_buf.push_back(b);
+              if (cc.theta.residual.EvalBool(ctx)) matched_buf.push_back(b);
             }
             match_rows = matched_buf.data();
             nmatch = static_cast<int64_t>(matched_buf.size());
@@ -245,10 +215,10 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       bool any_qualified = false;
       int64_t pairs_this_row = 0;
       for (CompiledComponent& cc : compiled) {
-        if (cc.detail_pred.valid() && !cc.detail_pred.EvalBool(ctx)) continue;
+        if (cc.theta.detail_pred.valid() && !cc.theta.detail_pred.EvalBool(ctx)) continue;
         any_qualified = true;
         const std::vector<int64_t>* probe_rows;
-        if (cc.indexed) {
+        if (cc.theta.indexed) {
           candidates.clear();
           cc.index.Probe(ctx, &candidates);
           probe_rows = &candidates;
@@ -258,7 +228,7 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
         pairs_this_row += static_cast<int64_t>(probe_rows->size());
         for (int64_t b : *probe_rows) {
           ctx.base_row = b;
-          if (cc.residual.valid() && !cc.residual.EvalBool(ctx)) continue;
+          if (cc.theta.residual.valid() && !cc.theta.residual.EvalBool(ctx)) continue;
           ++matched;
           for (size_t i = 0; i < cc.aggs.size(); ++i) {
             cc.aggs[i].UpdateFromRow(cc.states[i][static_cast<size_t>(b)].get(), ctx);

@@ -3,10 +3,8 @@
 #include <numeric>
 
 #include "agg/flat_state.h"
-#include "core/base_index.h"
-#include "expr/compile.h"
+#include "core/detail_scan.h"
 #include "expr/conjuncts.h"
-#include "expr/kernels.h"
 
 namespace mdjoin {
 
@@ -29,319 +27,6 @@ std::string MdJoinStats::ToString() const {
   }
   return out;
 }
-
-namespace {
-
-/// θ compiled once per query and shared by every pass (compilation used to be
-/// repeated per pass, which dominated multi-pass runs on small partitions).
-struct CompiledTheta {
-  CompiledExpr base_pred;    // B-only conjuncts; invalid when there are none
-  CompiledExpr detail_pred;  // pushed-down R-only conjuncts (row path)
-  PredicateKernels kernels;  // pushed-down R-only kernels (vectorized path)
-  bool has_kernels = false;
-  CompiledExpr residual;     // conjuncts evaluated per candidate pair
-  bool indexed = false;      // equi part served by a BaseIndex
-};
-
-Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_schema,
-                                   const Schema& detail_schema,
-                                   const MdJoinOptions& options, bool vectorized) {
-  CompiledTheta ct;
-  if (!parts.base_only.empty()) {
-    MDJ_ASSIGN_OR_RETURN(ct.base_pred,
-                         CompileExpr(CombineConjuncts(parts.base_only), &base_schema,
-                                     /*detail_schema=*/nullptr));
-  }
-
-  // Detail-side selection (Theorem 4.2). When pushdown is disabled the
-  // conjuncts join the residual so results are identical.
-  std::vector<ExprPtr> residual_conjuncts = parts.residual;
-  if (options.push_detail_selection) {
-    if (!parts.detail_only.empty()) {
-      if (vectorized) {
-        MDJ_ASSIGN_OR_RETURN(ct.kernels,
-                             PredicateKernels::Compile(parts.detail_only, detail_schema));
-        ct.has_kernels = true;
-      } else {
-        MDJ_ASSIGN_OR_RETURN(ct.detail_pred,
-                             CompileExpr(CombineConjuncts(parts.detail_only),
-                                         /*base_schema=*/nullptr, &detail_schema));
-      }
-    }
-  } else {
-    residual_conjuncts.insert(residual_conjuncts.end(), parts.detail_only.begin(),
-                              parts.detail_only.end());
-  }
-
-  // Without the index the equi conjuncts must be re-checked per pair.
-  ct.indexed = options.use_index && !parts.equi.empty();
-  if (!ct.indexed) {
-    for (const EquiPair& pair : parts.equi) {
-      residual_conjuncts.push_back(
-          Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
-    }
-  }
-
-  if (!residual_conjuncts.empty()) {
-    MDJ_ASSIGN_OR_RETURN(ct.residual,
-                         CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
-                                     &base_schema, &detail_schema));
-  }
-  return ct;
-}
-
-/// One pass of Algorithm 3.1 over `detail`, updating aggregate states for the
-/// base rows listed in `pass_rows`. Exactly one of `heap_states` (row path,
-/// `[agg][base_row]`) and `cols` (vectorized path, one column per agg) is
-/// non-null.
-struct PassContext {
-  const Table* base;
-  const Table* detail;
-  const std::vector<BoundAgg>* aggs;
-  std::vector<std::vector<std::unique_ptr<AggregateState>>>* heap_states;
-  std::vector<AggStateColumn>* cols;
-  MdJoinStats* stats;
-};
-
-/// Rows eligible for updates: those satisfying the B-only conjuncts. The
-/// others still appear in the output (with identity aggregates) but can
-/// never match.
-std::vector<int64_t> ComputeActive(const Table& base,
-                                   const std::vector<int64_t>& pass_rows,
-                                   const CompiledExpr& base_pred) {
-  if (!base_pred.valid()) return pass_rows;
-  std::vector<int64_t> active;
-  RowCtx ctx;
-  ctx.base = &base;
-  for (int64_t row : pass_rows) {
-    ctx.base_row = row;
-    if (base_pred.EvalBool(ctx)) active.push_back(row);
-  }
-  return active;
-}
-
-/// Tuple-at-a-time pass: compiled-closure predicate evaluation and heap
-/// aggregate-state updates per row. The ablation baseline for the
-/// vectorization experiments.
-Status RunPassRow(const PassContext& pc, const std::vector<int64_t>& pass_rows,
-                  const ThetaParts& parts, const CompiledTheta& ct,
-                  const MdJoinOptions& options) {
-  const Table& base = *pc.base;
-  const Table& detail = *pc.detail;
-
-  std::vector<int64_t> active = ComputeActive(base, pass_rows, ct.base_pred);
-
-  // Index on the equi part (§4.5), or nested loop when disabled/absent.
-  BaseIndex index;
-  if (ct.indexed) {
-    MDJ_ASSIGN_OR_RETURN(index,
-                         BaseIndex::Build(base, active, parts.equi, detail.schema()));
-    pc.stats->index_masks += index.num_masks();
-  }
-
-  const std::vector<BoundAgg>& aggs = *pc.aggs;
-  auto& states = *pc.heap_states;
-
-  // The per-pass index is the memory the guard's soft budget governs; the
-  // caller sized pass_rows so this reservation fits (or degraded to more
-  // passes). The hard limit is still enforced here.
-  ScopedReservation index_bytes;
-  if (ct.indexed) {
-    MDJ_RETURN_NOT_OK(index_bytes.Reserve(
-        options.guard,
-        static_cast<int64_t>(active.size()) * kGuardBytesPerIndexedBaseRow,
-        "base index"));
-  }
-
-  RowCtx ctx;
-  ctx.base = &base;
-  ctx.detail = &detail;
-  std::vector<int64_t> candidates;
-  GuardTicket ticket(options.guard);
-  // Work counters stay in locals and flush into the shared stats once per
-  // pass; per-row stores into *pc.stats were measurable in the scan loop.
-  // A guard trip mid-scan must still flush, so cancelled queries report how
-  // far they got.
-  int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0;
-  auto flush = [&] {
-    pc.stats->detail_rows_scanned += scanned;
-    pc.stats->detail_rows_qualified += qualified;
-    pc.stats->candidate_pairs += cand_pairs;
-    pc.stats->matched_pairs += matched;
-  };
-  for (int64_t t = 0; t < detail.num_rows(); ++t) {
-    ctx.detail_row = t;
-    ++scanned;
-    int64_t pairs_this_row = 0;
-    if (!ct.detail_pred.valid() || ct.detail_pred.EvalBool(ctx)) {
-      ++qualified;
-
-      const std::vector<int64_t>* probe_rows;
-      if (ct.indexed) {
-        candidates.clear();
-        index.Probe(ctx, &candidates);
-        probe_rows = &candidates;
-      } else {
-        probe_rows = &active;
-      }
-      pairs_this_row = static_cast<int64_t>(probe_rows->size());
-      cand_pairs += pairs_this_row;
-
-      for (int64_t b : *probe_rows) {
-        ctx.base_row = b;
-        if (ct.residual.valid() && !ct.residual.EvalBool(ctx)) continue;
-        ++matched;
-        for (size_t i = 0; i < aggs.size(); ++i) {
-          aggs[i].UpdateFromRow(states[i][static_cast<size_t>(b)].get(), ctx);
-        }
-      }
-    }
-    Status tick = ticket.Tick(pairs_this_row);
-    if (!tick.ok()) {
-      flush();
-      return tick;
-    }
-  }
-  flush();
-  return ticket.Finish();
-}
-
-/// Block-at-a-time pass: detail-only conjuncts run as columnar kernels over a
-/// selection vector, surviving rows probe the index through reusable scratch,
-/// and matches fold into flat typed aggregate state. Residual conjuncts and
-/// non-flat aggregates fall back per row inside the block, so results are
-/// identical to the row path.
-Status RunPassVectorized(const PassContext& pc, const std::vector<int64_t>& pass_rows,
-                         const ThetaParts& parts, const CompiledTheta& ct,
-                         const MdJoinOptions& options) {
-  const Table& base = *pc.base;
-  const Table& detail = *pc.detail;
-
-  std::vector<int64_t> active = ComputeActive(base, pass_rows, ct.base_pred);
-
-  BaseIndex index;
-  if (ct.indexed) {
-    MDJ_ASSIGN_OR_RETURN(index,
-                         BaseIndex::Build(base, active, parts.equi, detail.schema()));
-    pc.stats->index_masks += index.num_masks();
-  }
-
-  const std::vector<BoundAgg>& aggs = *pc.aggs;
-  std::vector<AggStateColumn>& cols = *pc.cols;
-
-  ScopedReservation index_bytes;
-  if (ct.indexed) {
-    MDJ_RETURN_NOT_OK(index_bytes.Reserve(
-        options.guard,
-        static_cast<int64_t>(active.size()) * kGuardBytesPerIndexedBaseRow,
-        "base index"));
-  }
-
-  // The guard promises trip latency within ~one check stride of detail rows;
-  // that promise outranks block shape, so a guarded scan never processes more
-  // than a stride between checks.
-  int64_t block = options.block_size > 0 ? options.block_size : 1024;
-  if (options.guard != nullptr) {
-    block = std::min<int64_t>(block, options.guard->check_stride());
-  }
-  std::vector<uint32_t> sel(static_cast<size_t>(block));
-  BaseIndex::ProbeScratch scratch;
-  std::vector<int64_t> candidates;
-  std::vector<int64_t> matched_buf;
-  KernelStats kstats;
-  RowCtx ctx;
-  ctx.base = &base;
-  ctx.detail = &detail;
-  // Plain detail-column aggregate arguments read straight from column
-  // storage; one pointer per aggregate, hoisted out of the scan.
-  std::vector<const Value*> arg_cols(aggs.size(), nullptr);
-  for (size_t a = 0; a < aggs.size(); ++a) {
-    if (aggs[a].detail_arg_col >= 0) {
-      arg_cols[a] = detail.column(aggs[a].detail_arg_col).data();
-    }
-  }
-  GuardTicket ticket(options.guard);
-  int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0, blocks = 0;
-  auto flush = [&] {
-    pc.stats->detail_rows_scanned += scanned;
-    pc.stats->detail_rows_qualified += qualified;
-    pc.stats->candidate_pairs += cand_pairs;
-    pc.stats->matched_pairs += matched;
-    pc.stats->blocks += blocks;
-    pc.stats->kernel_invocations += kstats.kernel_invocations;
-    pc.stats->kernel_fallback_rows += kstats.fallback_rows;
-  };
-  const int64_t num_rows = detail.num_rows();
-  for (int64_t start = 0; start < num_rows; start += block) {
-    const int n = static_cast<int>(std::min<int64_t>(block, num_rows - start));
-    for (int i = 0; i < n; ++i) sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
-    int count = n;
-    if (ct.has_kernels) {
-      count = ct.kernels.FilterBlock(detail, start, sel.data(), count, &kstats);
-    }
-    ++blocks;
-    scanned += n;
-    qualified += count;
-
-    int64_t pairs_this_block = 0;
-    for (int i = 0; i < count; ++i) {
-      const int64_t t = start + sel[static_cast<size_t>(i)];
-
-      const std::vector<int64_t>* probe_rows;
-      if (ct.indexed) {
-        candidates.clear();
-        index.Probe(detail, t, &scratch, &candidates);
-        probe_rows = &candidates;
-      } else {
-        probe_rows = &active;
-      }
-      pairs_this_block += static_cast<int64_t>(probe_rows->size());
-      if (probe_rows->empty()) continue;
-
-      ctx.detail_row = t;
-      // Resolve the residual once into a match list, then fold the row into
-      // every aggregate column-at-a-time: kind dispatch and argument decoding
-      // happen once per (row, aggregate), not once per matched pair.
-      const int64_t* match_rows = probe_rows->data();
-      int64_t nmatch = static_cast<int64_t>(probe_rows->size());
-      if (ct.residual.valid()) {
-        matched_buf.clear();
-        for (int64_t b : *probe_rows) {
-          ctx.base_row = b;
-          if (ct.residual.EvalBool(ctx)) matched_buf.push_back(b);
-        }
-        match_rows = matched_buf.data();
-        nmatch = static_cast<int64_t>(matched_buf.size());
-      }
-      if (nmatch == 0) continue;
-      matched += nmatch;
-      for (size_t a = 0; a < aggs.size(); ++a) {
-        const BoundAgg& agg = aggs[a];
-        if (arg_cols[a] != nullptr) {
-          cols[a].UpdateMany(match_rows, nmatch, arg_cols[a][t]);
-        } else if (!agg.has_arg) {
-          cols[a].UpdateCountStarMany(match_rows, nmatch);
-        } else {
-          // Computed argument: may reference the base row, so per pair.
-          for (int64_t k = 0; k < nmatch; ++k) {
-            ctx.base_row = match_rows[k];
-            agg.UpdateColumnFromRow(&cols[a], match_rows[k], ctx);
-          }
-        }
-      }
-    }
-    cand_pairs += pairs_this_block;
-    Status tick = ticket.TickBlock(n, pairs_this_block);
-    if (!tick.ok()) {
-      flush();
-      return tick;
-    }
-  }
-  flush();
-  return ticket.Finish();
-}
-
-}  // namespace
 
 Result<Table> MdJoin(const Table& base, const Table& detail,
                      const std::vector<AggSpec>& aggs, const ExprPtr& theta,
@@ -378,24 +63,10 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
       static_cast<int64_t>(bound.size()) * base.num_rows() * kGuardBytesPerAggState,
       "aggregate states"));
 
-  std::vector<std::vector<std::unique_ptr<AggregateState>>> heap_states;
-  std::vector<AggStateColumn> cols;
-  if (vectorized) {
-    cols.reserve(bound.size());
-    for (const BoundAgg& b : bound) {
-      cols.push_back(AggStateColumn::Make(b.fn, base.num_rows()));
-    }
-  } else {
-    heap_states.resize(bound.size());
-    for (size_t i = 0; i < bound.size(); ++i) {
-      heap_states[i].reserve(static_cast<size_t>(base.num_rows()));
-      for (int64_t r = 0; r < base.num_rows(); ++r) {
-        heap_states[i].push_back(bound[i].fn->MakeState());
-      }
-    }
-  }
-
-  PassContext pc{&base, &detail, &bound, &heap_states, &cols, stats};
+  // One worker whose partials are the final states: the sequential evaluator
+  // is the single-threaded instance of the same scan machinery the morsel
+  // engine schedules (core/detail_scan.h).
+  DetailScanWorker worker(base, bound, vectorized, guard);
 
   // Theorem 4.1 memory staging: ceil(|B| / budget) passes over R. Under a
   // guard soft memory budget the per-pass base partition is additionally
@@ -415,18 +86,28 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
     }
   }
   stats->base_rows_per_pass_effective = budget;
-  if (base.num_rows() == 0) {
-    stats->passes_over_detail = 0;
-  } else {
+
+  // Scan counters accumulate in the worker and fold into *stats at the single
+  // exit below — including when a guard trip or reservation failure ends a
+  // later pass early, so cancelled queries report how far they got.
+  Status run = [&]() -> Status {
     for (int64_t start = 0; start < base.num_rows(); start += budget) {
       int64_t end = std::min(start + budget, base.num_rows());
       std::vector<int64_t> pass_rows(all_rows.begin() + start, all_rows.begin() + end);
       ++stats->passes_over_detail;
-      MDJ_RETURN_NOT_OK(vectorized
-                            ? RunPassVectorized(pc, pass_rows, parts, ct, options)
-                            : RunPassRow(pc, pass_rows, parts, ct, options));
+      MDJ_ASSIGN_OR_RETURN(
+          DetailScan scan,
+          DetailScan::Prepare(base, detail, bound, parts, &ct, std::move(pass_rows),
+                              options));
+      stats->index_masks += scan.index_masks();
+      worker.BeginJob();
+      MDJ_RETURN_NOT_OK(scan.ScanRange(0, detail.num_rows(), &worker));
+      MDJ_RETURN_NOT_OK(worker.FinishScan());
     }
-  }
+    return Status::OK();
+  }();
+  AccumulateScanStats(worker.stats, stats);
+  MDJ_RETURN_NOT_OK(run);
 
   // Assemble output: base columns then one column per aggregate.
   std::vector<Field> fields = base.schema().fields();
@@ -441,9 +122,7 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
   for (int64_t r = 0; r < base.num_rows(); ++r) {
     std::vector<Value> row = base.GetRow(r);
     for (size_t i = 0; i < bound.size(); ++i) {
-      row.push_back(vectorized
-                        ? cols[i].Finalize(r)
-                        : bound[i].fn->Finalize(*heap_states[i][static_cast<size_t>(r)]));
+      row.push_back(worker.FinalizeCell(i, r));
     }
     out.AppendRowUnchecked(std::move(row));
   }

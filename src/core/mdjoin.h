@@ -62,6 +62,21 @@ struct MdJoinOptions {
   /// the conventional 1K-row vector size. Values < 1 fall back to 1024.
   int block_size = 1024;
 
+  /// Detail rows per morsel in the morsel-driven parallel engine
+  /// (parallel/parallel_mdjoin.cc): the unit of work a thread claims from the
+  /// shared cursor. 0 (default) aligns morsels to `block_size` so every
+  /// morsel runs whole vectorized blocks. Setting it to detail.num_rows()
+  /// degenerates to the legacy static fragment split (one unit per job) —
+  /// the ablation baseline in bench E10.
+  int64_t morsel_size = 0;
+
+  /// Worker threads for plan execution (optimizer/executor.cc): 1 (default)
+  /// evaluates MD-join nodes sequentially; > 1 routes them through the
+  /// morsel-driven parallel engine with this many threads. The low-level
+  /// MdJoin() entry point ignores this knob — callers pick parallelism
+  /// explicitly via ParallelMdJoin*.
+  int num_threads = 1;
+
   /// Optional per-query resource governor (cancellation, deadline, memory
   /// accounting, work budgets), shared by every operator/pass/fragment of
   /// one query. Not owned; must outlive the call. When the guard carries a

@@ -1,40 +1,287 @@
 #include "parallel/parallel_mdjoin.h"
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <numeric>
+#include <utility>
+#include <vector>
 
-#include "agg/flat_state.h"
 #include "common/failpoint.h"
-#include "core/base_index.h"
-#include "expr/compile.h"
+#include "core/detail_scan.h"
 #include "expr/conjuncts.h"
-#include "expr/kernels.h"
+#include "parallel/morsel_scheduler.h"
 #include "parallel/thread_pool.h"
-#include "table/table_ops.h"
 
 namespace mdjoin {
 
 namespace {
 
-/// Folds per-fragment MdJoinStats into the parallel roll-up, including the
-/// min/max scan extremes used to spot fragment skew.
-void AccumulateFragmentStats(const std::vector<MdJoinStats>& md_stats,
-                             ParallelMdJoinStats* stats) {
+/// Per-thread slot: the worker (partial accumulators + scan buffers) is
+/// allocated inside the task so its memory is first-touched on the thread
+/// that will pound on it — on NUMA machines that places each thread's
+/// partial-state columns in its local domain.
+struct WorkerSlot {
+  std::unique_ptr<DetailScanWorker> worker;
+  Status status;
+};
+
+/// The shared morsel-driven engine behind both public entry points.
+///
+/// Phases:
+///   1. Compile θ once; prepare one DetailScan job per Theorem 4.1 base
+///      fragment (base split) or a single job over all of B (detail split).
+///   2. Scan: `workers` threads pull (job, detail-range) morsels from one
+///      atomic cursor, folding matches into thread-local partials. Fragment
+///      skew melts away because an idle thread simply claims the next morsel
+///      of whatever job is still unfinished.
+///   3. Merge: per-worker partials combine pairwise in a log₂(workers)-level
+///      tree, each level's disjoint merges running in parallel.
+///   4. Finalize: output aggregate columns are themselves morselized over B
+///      and materialized column-wise.
+///
+/// Errors anywhere trip the shared guard, so siblings stop at their next
+/// stride check and the first failure wins.
+Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base,
+                              const Table& detail, const std::vector<AggSpec>& aggs,
+                              const ExprPtr& theta, int num_partitions,
+                              int num_threads, const MdJoinOptions& options,
+                              ParallelMdJoinStats* stats) {
+  if (num_partitions < 1 || num_threads < 1) {
+    return Status::InvalidArgument(op, ": partitions and threads must be >= 1");
+  }
+  if (theta == nullptr) {
+    return Status::InvalidArgument(op, ": θ must not be null");
+  }
+  stats->num_partitions = num_partitions;
+  stats->num_threads = num_threads;
+
+  // Every worker shares one guard so the first failure (or an external
+  // cancel/deadline) short-circuits the siblings at their next stride check.
+  // With no caller guard a limit-free local one provides the short-circuit.
+  QueryGuard fallback_guard;
+  MdJoinOptions eff = options;
+  if (eff.guard == nullptr) eff.guard = &fallback_guard;
+  QueryGuard* guard = eff.guard;
+  MDJ_RETURN_NOT_OK(guard->Check());
+
+  const bool vectorized = eff.execution_mode != ExecutionMode::kRow;
+  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
+                       BindAggs(aggs, &base.schema(), &detail.schema()));
+  ThetaParts parts = AnalyzeTheta(theta);
+  MDJ_ASSIGN_OR_RETURN(
+      CompiledTheta compiled_theta,
+      CompileTheta(parts, base.schema(), detail.schema(), eff, vectorized));
+
+  // Job list. Base split: one job per non-empty fragment (subdivided further
+  // when base_rows_per_pass caps the rows a single scan may serve, matching
+  // the sequential evaluator's multi-pass behavior); every job scans all of
+  // R, so total scan work stays num_partitions × |R| exactly as Theorem 4.1
+  // prices it. Detail split: a single job over all of B — one logical scan
+  // of R, partitioned dynamically by the cursor instead of statically.
+  std::vector<DetailScan> jobs;
+  if (base_split) {
+    const int64_t rows = base.num_rows();
+    const int64_t frag_len = rows / num_partitions;
+    const int64_t extra = rows % num_partitions;
+    int64_t start = 0;
+    for (int f = 0; f < num_partitions; ++f) {
+      const int64_t len = frag_len + (f < extra ? 1 : 0);
+      const int64_t budget = eff.base_rows_per_pass > 0 ? eff.base_rows_per_pass : len;
+      for (int64_t lo = start; lo < start + len; lo += budget) {
+        const int64_t hi = std::min<int64_t>(lo + budget, start + len);
+        std::vector<int64_t> pass_rows(static_cast<size_t>(hi - lo));
+        std::iota(pass_rows.begin(), pass_rows.end(), lo);
+        MDJ_ASSIGN_OR_RETURN(DetailScan job,
+                             DetailScan::Prepare(base, detail, bound, parts,
+                                                 &compiled_theta, std::move(pass_rows),
+                                                 eff));
+        jobs.push_back(std::move(job));
+      }
+      start += len;
+    }
+  } else {
+    std::vector<int64_t> all_rows(static_cast<size_t>(base.num_rows()));
+    std::iota(all_rows.begin(), all_rows.end(), 0);
+    MDJ_ASSIGN_OR_RETURN(DetailScan job,
+                         DetailScan::Prepare(base, detail, bound, parts,
+                                             &compiled_theta, std::move(all_rows), eff));
+    jobs.push_back(std::move(job));
+  }
+
+  const int64_t morsel =
+      eff.morsel_size > 0
+          ? eff.morsel_size
+          : (eff.block_size > 0 ? static_cast<int64_t>(eff.block_size) : 1024);
+  MorselScheduler scheduler(static_cast<int64_t>(jobs.size()), detail.num_rows(),
+                            morsel);
+
+  // More workers than schedulable morsels would only burn partial-state
+  // memory; the detail split additionally honors num_partitions as a cap so
+  // its historical "num_partitions partial arrays" memory contract holds.
+  int64_t max_workers = std::min<int64_t>(num_threads, scheduler.total_morsels());
+  if (!base_split) max_workers = std::min<int64_t>(max_workers, num_partitions);
+  const int workers = static_cast<int>(std::max<int64_t>(1, max_workers));
+
+  // Partial-state memory is workers × |B| × aggs: the price of thread-local
+  // accumulation. Reserved up front so a budgeted guard rejects the plan
+  // before any allocation instead of mid-scan.
+  ScopedReservation partials_bytes;
+  MDJ_RETURN_NOT_OK(partials_bytes.Reserve(
+      guard,
+      static_cast<int64_t>(workers) * static_cast<int64_t>(bound.size()) *
+          base.num_rows() * kGuardBytesPerAggState,
+      "parallel worker partials"));
+
+  std::vector<WorkerSlot> slots(static_cast<size_t>(workers));
+  ThreadPool pool(workers);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(slots.size());
+    for (size_t w = 0; w < slots.size(); ++w) {
+      tasks.push_back([&, w] {
+        WorkerSlot& slot = slots[w];
+        if (MDJ_FAILPOINT("parallel:fragment_error")) {
+          slot.status = Status::Internal(
+              "worker ", w, " failed (failpoint parallel:fragment_error)");
+          guard->Trip(slot.status);
+          return;
+        }
+        slot.worker =
+            std::make_unique<DetailScanWorker>(base, bound, vectorized, guard);
+        Status st;
+        int64_t last_job = -1;
+        MorselScheduler::Morsel m;
+        while (st.ok() && scheduler.Next(&m)) {
+          if (m.job != last_job) {
+            // Job switch: the probe memo caches the previous job's index.
+            slot.worker->BeginJob();
+            last_job = m.job;
+          }
+          st = jobs[static_cast<size_t>(m.job)].ScanRange(m.lo, m.hi,
+                                                          slot.worker.get());
+        }
+        if (st.ok()) st = slot.worker->FinishScan();
+        slot.status = st;
+        if (!st.ok()) guard->Trip(st);
+      });
+    }
+    pool.SubmitBatch(std::move(tasks));
+    pool.Wait();
+  }
+
+  // Roll up worker-local counters; the per-worker extremes replace the old
+  // per-fragment ones (a wide spread now means early guard short-circuiting
+  // rather than partition skew, which the cursor absorbs by construction).
+  stats->morsels_executed = scheduler.dispatched();
+  stats->steal_waits = scheduler.steal_waits();
   bool first = true;
-  for (const MdJoinStats& s : md_stats) {
+  for (const WorkerSlot& slot : slots) {
+    if (slot.worker == nullptr) continue;
+    const MdJoinStats& s = slot.worker->stats;
     stats->total_detail_rows_scanned += s.detail_rows_scanned;
     stats->detail_rows_qualified += s.detail_rows_qualified;
     stats->candidate_pairs += s.candidate_pairs;
     stats->matched_pairs += s.matched_pairs;
     stats->blocks += s.blocks;
     stats->kernel_invocations += s.kernel_invocations;
-    if (first || s.detail_rows_scanned < stats->min_fragment_detail_rows) {
-      stats->min_fragment_detail_rows = s.detail_rows_scanned;
+    if (first || s.detail_rows_scanned < stats->min_worker_detail_rows) {
+      stats->min_worker_detail_rows = s.detail_rows_scanned;
     }
-    if (first || s.detail_rows_scanned > stats->max_fragment_detail_rows) {
-      stats->max_fragment_detail_rows = s.detail_rows_scanned;
+    if (first || s.detail_rows_scanned > stats->max_worker_detail_rows) {
+      stats->max_worker_detail_rows = s.detail_rows_scanned;
     }
     first = false;
   }
+
+  // First error wins: the guard latched whichever worker tripped first.
+  if (guard->tripped()) return guard->TripStatus();
+  for (const WorkerSlot& slot : slots) {
+    MDJ_RETURN_NOT_OK(slot.status);
+  }
+
+  // Pairwise tree merge: level k combines slots i and i + 2^k, so each
+  // level's merges touch disjoint slots and run concurrently; slots[0] ends
+  // up holding the grand total after ⌈log₂ workers⌉ levels.
+  for (int step = 1; step < workers; step *= 2) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i + step < workers; i += 2 * step) {
+      tasks.push_back([&, i, step] {
+        Status st = MergeWorkerPartials(slots[static_cast<size_t>(i)].worker.get(),
+                                        *slots[static_cast<size_t>(i + step)].worker,
+                                        guard);
+        if (!st.ok()) {
+          slots[static_cast<size_t>(i)].status = st;
+          guard->Trip(st);
+        }
+      });
+    }
+    pool.SubmitBatch(std::move(tasks));
+    pool.Wait();
+    if (guard->tripped()) return guard->TripStatus();
+  }
+
+  const DetailScanWorker& merged = *slots[0].worker;
+  const int64_t out_rows = base.num_rows();
+  ScopedReservation output_bytes;
+  MDJ_RETURN_NOT_OK(output_bytes.Reserve(
+      guard,
+      out_rows *
+          static_cast<int64_t>(base.num_columns() + static_cast<int>(bound.size())) *
+          kGuardBytesPerOutputCell,
+      "parallel output"));
+
+  // Finalize, morselized over B: workers pull base-row ranges from a fresh
+  // cursor and fill the aggregate output columns in place (disjoint ranges,
+  // read-only state — no synchronization beyond the cursor).
+  std::vector<std::vector<Value>> agg_vals(
+      bound.size(), std::vector<Value>(static_cast<size_t>(out_rows)));
+  MorselScheduler finalize_scheduler(1, out_rows, morsel);
+  std::vector<Status> finalize_status(static_cast<size_t>(workers));
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      tasks.push_back([&, w] {
+        GuardTicket ticket(guard, /*count_rows=*/false);
+        Status st;
+        MorselScheduler::Morsel m;
+        while (st.ok() && finalize_scheduler.Next(&m)) {
+          for (int64_t r = m.lo; r < m.hi; ++r) {
+            st = ticket.Tick();
+            if (!st.ok()) break;
+            for (size_t i = 0; i < bound.size(); ++i) {
+              agg_vals[i][static_cast<size_t>(r)] = merged.FinalizeCell(i, r);
+            }
+          }
+        }
+        finalize_status[static_cast<size_t>(w)] = st;
+        if (!st.ok()) guard->Trip(st);
+      });
+    }
+    pool.SubmitBatch(std::move(tasks));
+    pool.Wait();
+  }
+  if (guard->tripped()) return guard->TripStatus();
+  for (const Status& st : finalize_status) {
+    MDJ_RETURN_NOT_OK(st);
+  }
+
+  // Column-wise assembly: base columns copied wholesale, aggregate columns
+  // moved in. Row order is base order — for the base split that equals the
+  // legacy fragment concatenation because fragments were contiguous and
+  // in-order.
+  Table out;
+  const std::vector<Field>& base_fields = base.schema().fields();
+  for (int c = 0; c < base.num_columns(); ++c) {
+    std::vector<Value> col = base.column(c);
+    MDJ_RETURN_NOT_OK(out.AddColumn(base_fields[static_cast<size_t>(c)],
+                                    std::move(col)));
+  }
+  for (size_t i = 0; i < bound.size(); ++i) {
+    MDJ_RETURN_NOT_OK(out.AddColumn(bound[i].output_field, std::move(agg_vals[i])));
+  }
+  return out;
 }
 
 }  // namespace
@@ -46,60 +293,8 @@ Result<Table> ParallelMdJoin(const Table& base, const Table& detail,
   ParallelMdJoinStats local;
   if (stats == nullptr) stats = &local;
   *stats = ParallelMdJoinStats{};
-  if (num_partitions < 1 || num_threads < 1) {
-    return Status::InvalidArgument("ParallelMdJoin: partitions and threads must be >= 1");
-  }
-  if (theta == nullptr) {
-    return Status::InvalidArgument("ParallelMdJoin: θ must not be null");
-  }
-  stats->num_partitions = num_partitions;
-  stats->num_threads = num_threads;
-
-  // All fragments share one guard so the first failure (or an external
-  // cancel/deadline) short-circuits the siblings at their next stride check.
-  // With no caller guard a limit-free local one provides the short-circuit.
-  QueryGuard fallback_guard;
-  MdJoinOptions frag_options = options;
-  if (frag_options.guard == nullptr) frag_options.guard = &fallback_guard;
-  QueryGuard* guard = frag_options.guard;
-  MDJ_RETURN_NOT_OK(guard->Check());
-
-  std::vector<Table> fragments = PartitionIntoN(base, num_partitions);
-  std::vector<Result<Table>> results;
-  std::vector<MdJoinStats> md_stats(static_cast<size_t>(num_partitions));
-  results.reserve(fragments.size());
-  for (size_t i = 0; i < fragments.size(); ++i) {
-    results.emplace_back(Status::Internal("fragment not evaluated"));
-  }
-
-  {
-    ThreadPool pool(num_threads);
-    for (size_t i = 0; i < fragments.size(); ++i) {
-      pool.Submit([&, i] {
-        if (MDJ_FAILPOINT("parallel:fragment_error")) {
-          results[i] = Status::Internal("fragment ", i,
-                                        " failed (failpoint parallel:fragment_error)");
-        } else {
-          results[i] = MdJoin(fragments[i], detail, aggs, theta, frag_options,
-                              &md_stats[i]);
-        }
-        if (!results[i].ok()) guard->Trip(results[i].status());
-      });
-    }
-    pool.Wait();
-  }
-
-  AccumulateFragmentStats(md_stats, stats);
-
-  // First error wins: the guard latched whichever fragment tripped first.
-  if (guard->tripped()) return guard->TripStatus();
-  std::vector<Table> pieces;
-  pieces.reserve(results.size());
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (!results[i].ok()) return results[i].status();
-    pieces.push_back(std::move(results[i]).value());
-  }
-  return ConcatAll(pieces);
+  return RunMorselMdJoin("ParallelMdJoin", /*base_split=*/true, base, detail, aggs,
+                         theta, num_partitions, num_threads, options, stats);
 }
 
 Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
@@ -110,319 +305,9 @@ Result<Table> ParallelMdJoinDetailSplit(const Table& base, const Table& detail,
   ParallelMdJoinStats local;
   if (stats == nullptr) stats = &local;
   *stats = ParallelMdJoinStats{};
-  if (num_partitions < 1 || num_threads < 1) {
-    return Status::InvalidArgument(
-        "ParallelMdJoinDetailSplit: partitions and threads must be >= 1");
-  }
-  if (theta == nullptr) {
-    return Status::InvalidArgument("ParallelMdJoinDetailSplit: θ must not be null");
-  }
-  stats->num_partitions = num_partitions;
-  stats->num_threads = num_threads;
-
-  QueryGuard fallback_guard;
-  QueryGuard* guard = options.guard != nullptr ? options.guard : &fallback_guard;
-  MDJ_RETURN_NOT_OK(guard->Check());
-
-  MDJ_ASSIGN_OR_RETURN(std::vector<BoundAgg> bound,
-                       BindAggs(aggs, &base.schema(), &detail.schema()));
-  ThetaParts parts = AnalyzeTheta(theta);
-
-  // Base rows eligible for updates (B-only conjuncts).
-  std::vector<int64_t> active(static_cast<size_t>(base.num_rows()));
-  std::iota(active.begin(), active.end(), 0);
-  if (!parts.base_only.empty()) {
-    MDJ_ASSIGN_OR_RETURN(CompiledExpr base_pred,
-                         CompileExpr(CombineConjuncts(parts.base_only), &base.schema(),
-                                     nullptr));
-    std::vector<int64_t> filtered;
-    RowCtx bctx;
-    bctx.base = &base;
-    for (int64_t row : active) {
-      bctx.base_row = row;
-      if (base_pred.EvalBool(bctx)) filtered.push_back(row);
-    }
-    active = std::move(filtered);
-  }
-
-  // Shared read-only machinery: index over B, compiled predicates.
-  const bool indexed = options.use_index && !parts.equi.empty();
-  BaseIndex index;
-  ScopedReservation index_bytes;
-  if (indexed) {
-    MDJ_RETURN_NOT_OK(index_bytes.Reserve(
-        options.guard,
-        static_cast<int64_t>(active.size()) * kGuardBytesPerIndexedBaseRow,
-        "detail-split base index"));
-    MDJ_ASSIGN_OR_RETURN(index,
-                         BaseIndex::Build(base, active, parts.equi, detail.schema()));
-  }
-  std::vector<ExprPtr> residual_conjuncts = parts.residual;
-  if (!indexed) {
-    for (const EquiPair& pair : parts.equi) {
-      residual_conjuncts.push_back(
-          Expr::Binary(BinaryOp::kEq, pair.base_expr, pair.detail_expr));
-    }
-  }
-  const bool vectorized = options.execution_mode != ExecutionMode::kRow;
-  CompiledExpr detail_pred;
-  PredicateKernels kernels;
-  bool has_kernels = false;
-  if (options.push_detail_selection) {
-    if (!parts.detail_only.empty()) {
-      if (vectorized) {
-        MDJ_ASSIGN_OR_RETURN(
-            kernels, PredicateKernels::Compile(parts.detail_only, detail.schema()));
-        has_kernels = true;
-      } else {
-        MDJ_ASSIGN_OR_RETURN(detail_pred,
-                             CompileExpr(CombineConjuncts(parts.detail_only), nullptr,
-                                         &detail.schema()));
-      }
-    }
-  } else {
-    residual_conjuncts.insert(residual_conjuncts.end(), parts.detail_only.begin(),
-                              parts.detail_only.end());
-  }
-  CompiledExpr residual;
-  if (!residual_conjuncts.empty()) {
-    MDJ_ASSIGN_OR_RETURN(residual,
-                         CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
-                                     &base.schema(), &detail.schema()));
-  }
-
-  // One partial-state array per fragment.
-  ScopedReservation state_bytes;
-  MDJ_RETURN_NOT_OK(state_bytes.Reserve(
-      options.guard,
-      static_cast<int64_t>(num_partitions) * static_cast<int64_t>(bound.size()) *
-          base.num_rows() * kGuardBytesPerAggState,
-      "detail-split partial states"));
-
-  // Per-fragment partial states: heap `states[fragment][agg][base_row]` on
-  // the row path, flat `cols[fragment][agg]` columns on the vectorized path.
-  const size_t nrows = static_cast<size_t>(base.num_rows());
-  std::vector<std::vector<std::vector<std::unique_ptr<AggregateState>>>> states;
-  std::vector<std::vector<AggStateColumn>> cols;
-  if (vectorized) {
-    cols.resize(static_cast<size_t>(num_partitions));
-    for (auto& frag : cols) {
-      frag.reserve(bound.size());
-      for (const BoundAgg& b : bound) {
-        frag.push_back(AggStateColumn::Make(b.fn, base.num_rows()));
-      }
-    }
-  } else {
-    states.resize(static_cast<size_t>(num_partitions));
-    for (auto& frag : states) {
-      frag.resize(bound.size());
-      for (size_t i = 0; i < bound.size(); ++i) {
-        frag[i].reserve(nrows);
-        for (size_t r = 0; r < nrows; ++r) frag[i].push_back(bound[i].fn->MakeState());
-      }
-    }
-  }
-
-  // Fragment bounds over detail rows.
-  std::vector<std::pair<int64_t, int64_t>> ranges;
-  {
-    int64_t rows = detail.num_rows();
-    int64_t base_len = rows / num_partitions, extra = rows % num_partitions;
-    int64_t start = 0;
-    for (int i = 0; i < num_partitions; ++i) {
-      int64_t len = base_len + (i < extra ? 1 : 0);
-      ranges.emplace_back(start, start + len);
-      start += len;
-    }
-  }
-
-  std::vector<MdJoinStats> md_stats(static_cast<size_t>(num_partitions));
-  std::vector<Status> frag_status(static_cast<size_t>(num_partitions));
-  {
-    ThreadPool pool(num_threads);
-    for (int f = 0; f < num_partitions; ++f) {
-      pool.Submit([&, f] {
-        if (MDJ_FAILPOINT("parallel:fragment_error")) {
-          frag_status[static_cast<size_t>(f)] = Status::Internal(
-              "fragment ", f, " failed (failpoint parallel:fragment_error)");
-          guard->Trip(frag_status[static_cast<size_t>(f)]);
-          return;
-        }
-        MdJoinStats& fs = md_stats[static_cast<size_t>(f)];
-        const int64_t lo = ranges[static_cast<size_t>(f)].first;
-        const int64_t hi = ranges[static_cast<size_t>(f)].second;
-        RowCtx ctx;
-        ctx.base = &base;
-        ctx.detail = &detail;
-        std::vector<int64_t> candidates;
-        GuardTicket ticket(guard);
-        Status scan_status;
-        // Work counters stay in fragment-locals and flush into fs once at
-        // scan end (satellites of the vectorization work: no per-row stores
-        // into shared stat structs in hot loops).
-        int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0;
-        if (vectorized) {
-          std::vector<AggStateColumn>& frag_cols = cols[static_cast<size_t>(f)];
-          // Guarded scans clamp the block to the check stride so per-worker
-          // trip latency keeps the guard's promise regardless of block shape.
-          int64_t block = options.block_size > 0 ? options.block_size : 1024;
-          if (guard != nullptr) {
-            block = std::min<int64_t>(block, guard->check_stride());
-          }
-          std::vector<uint32_t> sel(static_cast<size_t>(block));
-          std::vector<int64_t> matched_buf;
-          BaseIndex::ProbeScratch scratch;
-          KernelStats kstats;
-          int64_t blocks = 0;
-          for (int64_t bstart = lo; bstart < hi; bstart += block) {
-            const int n = static_cast<int>(std::min<int64_t>(block, hi - bstart));
-            for (int i = 0; i < n; ++i) {
-              sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
-            }
-            int count = n;
-            if (has_kernels) {
-              count = kernels.FilterBlock(detail, bstart, sel.data(), count, &kstats);
-            }
-            ++blocks;
-            scanned += n;
-            qualified += count;
-            int64_t pairs_this_block = 0;
-            for (int i = 0; i < count; ++i) {
-              const int64_t t = bstart + sel[static_cast<size_t>(i)];
-              const std::vector<int64_t>* probe_rows;
-              if (indexed) {
-                candidates.clear();
-                index.Probe(detail, t, &scratch, &candidates);
-                probe_rows = &candidates;
-              } else {
-                probe_rows = &active;
-              }
-              pairs_this_block += static_cast<int64_t>(probe_rows->size());
-              if (probe_rows->empty()) continue;
-              ctx.detail_row = t;
-              // Residual resolves to a match list first; aggregates then fold
-              // the row column-at-a-time (one dispatch per (row, aggregate)).
-              const int64_t* match_rows = probe_rows->data();
-              int64_t nmatch = static_cast<int64_t>(probe_rows->size());
-              if (residual.valid()) {
-                matched_buf.clear();
-                for (int64_t b : *probe_rows) {
-                  ctx.base_row = b;
-                  if (residual.EvalBool(ctx)) matched_buf.push_back(b);
-                }
-                match_rows = matched_buf.data();
-                nmatch = static_cast<int64_t>(matched_buf.size());
-              }
-              if (nmatch == 0) continue;
-              matched += nmatch;
-              for (size_t i2 = 0; i2 < bound.size(); ++i2) {
-                const BoundAgg& agg = bound[i2];
-                if (agg.detail_arg_col >= 0) {
-                  frag_cols[i2].UpdateMany(match_rows, nmatch,
-                                           detail.column(agg.detail_arg_col)[t]);
-                } else if (!agg.has_arg) {
-                  frag_cols[i2].UpdateCountStarMany(match_rows, nmatch);
-                } else {
-                  for (int64_t k = 0; k < nmatch; ++k) {
-                    ctx.base_row = match_rows[k];
-                    agg.UpdateColumnFromRow(&frag_cols[i2], match_rows[k], ctx);
-                  }
-                }
-              }
-            }
-            cand_pairs += pairs_this_block;
-            scan_status = ticket.TickBlock(n, pairs_this_block);
-            if (!scan_status.ok()) break;
-          }
-          fs.blocks = blocks;
-          fs.kernel_invocations = kstats.kernel_invocations;
-          fs.kernel_fallback_rows = kstats.fallback_rows;
-        } else {
-          auto& frag_states = states[static_cast<size_t>(f)];
-          for (int64_t t = lo; t < hi; ++t) {
-            ctx.detail_row = t;
-            ++scanned;
-            int64_t pairs_this_row = 0;
-            if (!detail_pred.valid() || detail_pred.EvalBool(ctx)) {
-              ++qualified;
-              const std::vector<int64_t>* probe_rows;
-              if (indexed) {
-                candidates.clear();
-                index.Probe(ctx, &candidates);
-                probe_rows = &candidates;
-              } else {
-                probe_rows = &active;
-              }
-              pairs_this_row = static_cast<int64_t>(probe_rows->size());
-              cand_pairs += pairs_this_row;
-              for (int64_t b : *probe_rows) {
-                ctx.base_row = b;
-                if (residual.valid() && !residual.EvalBool(ctx)) continue;
-                ++matched;
-                for (size_t i = 0; i < bound.size(); ++i) {
-                  bound[i].UpdateFromRow(frag_states[i][static_cast<size_t>(b)].get(),
-                                         ctx);
-                }
-              }
-            }
-            scan_status = ticket.Tick(pairs_this_row);
-            if (!scan_status.ok()) break;
-          }
-        }
-        fs.detail_rows_scanned = scanned;
-        fs.detail_rows_qualified = qualified;
-        fs.candidate_pairs = cand_pairs;
-        fs.matched_pairs = matched;
-        if (scan_status.ok()) scan_status = ticket.Finish();
-        frag_status[static_cast<size_t>(f)] = scan_status;
-        if (!scan_status.ok()) guard->Trip(scan_status);
-      });
-    }
-    pool.Wait();
-  }
-  AccumulateFragmentStats(md_stats, stats);
-  if (guard->tripped()) return guard->TripStatus();
-  for (const Status& s : frag_status) {
-    if (!s.ok()) return s;
-  }
-
-  // Merge fragment partials into fragment 0 and finalize. Flat columns merge
-  // with one group-wise sweep per aggregate; heap states go through the
-  // function's virtual Merge per cell.
-  for (int f = 1; f < num_partitions; ++f) {
-    for (size_t i = 0; i < bound.size(); ++i) {
-      if (vectorized) {
-        cols[0][i].Merge(cols[static_cast<size_t>(f)][i]);
-      } else {
-        for (size_t r = 0; r < nrows; ++r) {
-          bound[i].fn->Merge(states[0][i][r].get(),
-                             *states[static_cast<size_t>(f)][i][r]);
-        }
-      }
-    }
-  }
-
-  std::vector<Field> fields = base.schema().fields();
-  for (const BoundAgg& b : bound) fields.push_back(b.output_field);
-  ScopedReservation output_bytes;
-  MDJ_RETURN_NOT_OK(output_bytes.Reserve(
-      options.guard,
-      base.num_rows() * static_cast<int64_t>(fields.size()) * kGuardBytesPerOutputCell,
-      "detail-split output"));
-  GuardTicket finalize_ticket(guard, /*count_rows=*/false);
-  Table out{Schema(std::move(fields))};
-  out.Reserve(base.num_rows());
-  for (int64_t r = 0; r < base.num_rows(); ++r) {
-    MDJ_RETURN_NOT_OK(finalize_ticket.Tick());
-    std::vector<Value> row = base.GetRow(r);
-    for (size_t i = 0; i < bound.size(); ++i) {
-      row.push_back(vectorized
-                        ? cols[0][i].Finalize(r)
-                        : bound[i].fn->Finalize(*states[0][i][static_cast<size_t>(r)]));
-    }
-    out.AppendRowUnchecked(std::move(row));
-  }
-  return out;
+  return RunMorselMdJoin("ParallelMdJoinDetailSplit", /*base_split=*/false, base,
+                         detail, aggs, theta, num_partitions, num_threads, options,
+                         stats);
 }
 
 }  // namespace mdjoin

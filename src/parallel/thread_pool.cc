@@ -24,12 +24,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  std::vector<std::function<void()>> batch;
+  batch.push_back(std::move(task));
+  SubmitBatch(std::move(batch));
+}
+
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const bool single = tasks.size() == 1;
   {
     MutexLock lock(mu_);
     MDJ_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
   }
-  task_available_.NotifyOne();
+  if (single) {
+    task_available_.NotifyOne();
+  } else {
+    task_available_.NotifyAll();
+  }
 }
 
 void ThreadPool::Wait() {

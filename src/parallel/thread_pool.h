@@ -25,7 +25,15 @@ class ThreadPool {
   /// an exception that escapes anyway — e.g. std::bad_alloc from a container
   /// — is trapped in the worker and aborts the process with a logged message
   /// rather than letting std::terminate fire mid-unwind.
+  /// Delegates to SubmitBatch; prefer the batch form when enqueueing a fleet
+  /// of tasks at once.
   void Submit(std::function<void()> task) MDJ_EXCLUDES(mu_);
+
+  /// Enqueues every task in `tasks`, taking the queue mutex once for the
+  /// whole batch instead of once per task, then wakes all workers. The morsel
+  /// engine submits one task per worker (and per merge pair) this way so
+  /// startup is one lock hand-off, not num_threads of them.
+  void SubmitBatch(std::vector<std::function<void()>> tasks) MDJ_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
   void Wait() MDJ_EXCLUDES(mu_);

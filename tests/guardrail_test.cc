@@ -294,23 +294,32 @@ TEST_F(GuardrailTest, ParallelStatsAggregateAcrossFragments) {
   EXPECT_EQ(base_split.detail_rows_qualified, partitions * seq.detail_rows_qualified);
   EXPECT_EQ(base_split.candidate_pairs, seq.candidate_pairs);
   EXPECT_EQ(base_split.matched_pairs, seq.matched_pairs);
-  EXPECT_EQ(base_split.min_fragment_detail_rows, sales.num_rows());
-  EXPECT_EQ(base_split.max_fragment_detail_rows, sales.num_rows());
+  // Morsel scheduling: with the default morsel size (1024 ≥ 400 rows) each
+  // fragment is one morsel, all four dispatched. How the two workers split
+  // them is a race, so the per-worker extremes only admit loose bounds —
+  // pigeonhole guarantees the busiest worker at least half the total.
+  EXPECT_EQ(base_split.morsels_executed, partitions);
+  EXPECT_GE(base_split.steal_waits, 2);  // each worker's drain probe
+  EXPECT_LE(base_split.min_worker_detail_rows, base_split.max_worker_detail_rows);
+  EXPECT_GE(base_split.max_worker_detail_rows,
+            (base_split.total_detail_rows_scanned + 1) / 2);
+  EXPECT_LE(base_split.max_worker_detail_rows, base_split.total_detail_rows_scanned);
 
   ParallelMdJoinStats detail_split;
   ASSERT_TRUE(ParallelMdJoinDetailSplit(base, sales, aggs, CustTheta(), partitions, 2,
                                         {}, &detail_split)
                   .ok());
   // Detail split: R is scanned exactly once in total; every pair is tested
-  // exactly once across fragments.
+  // exactly once across workers.
   EXPECT_EQ(detail_split.total_detail_rows_scanned, sales.num_rows());
   EXPECT_EQ(detail_split.detail_rows_qualified, seq.detail_rows_qualified);
   EXPECT_EQ(detail_split.candidate_pairs, seq.candidate_pairs);
   EXPECT_EQ(detail_split.matched_pairs, seq.matched_pairs);
-  EXPECT_LE(detail_split.min_fragment_detail_rows,
-            detail_split.max_fragment_detail_rows);
-  EXPECT_EQ(detail_split.max_fragment_detail_rows,
-            (sales.num_rows() + partitions - 1) / partitions);
+  // 400 detail rows fit in one default-size morsel, so exactly one worker
+  // runs and scans everything.
+  EXPECT_EQ(detail_split.morsels_executed, 1);
+  EXPECT_EQ(detail_split.min_worker_detail_rows, sales.num_rows());
+  EXPECT_EQ(detail_split.max_worker_detail_rows, sales.num_rows());
 }
 
 TEST_F(GuardrailTest, ExecutorObservesGuard) {
