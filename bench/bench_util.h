@@ -93,9 +93,18 @@ class JsonCollectingReporter : public ::benchmark::ConsoleReporter {
   std::vector<Record> records_;
 };
 
-/// Writes the collected records as a JSON array of flat objects.
+/// The git revision the bench binary was built from, injected by
+/// bench/CMakeLists.txt at configure time ("unknown" outside a git tree).
+#ifndef MDJOIN_GIT_SHA
+#define MDJOIN_GIT_SHA "unknown"
+#endif
+
+/// Writes the collected records as a JSON array of flat objects. Every record
+/// carries the build's git SHA and the harness-supplied wall-clock timestamp
+/// so checked-in BENCH_*.json files stay attributable to a revision and run.
 inline bool WriteBenchJson(const std::string& path,
-                           const std::vector<JsonCollectingReporter::Record>& records) {
+                           const std::vector<JsonCollectingReporter::Record>& records,
+                           const std::string& timestamp) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "[\n");
@@ -103,9 +112,10 @@ inline bool WriteBenchJson(const std::string& path,
     const auto& r = records[i];
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"rows\": %.0f, \"ns_per_op\": %.1f, "
-                 "\"rows_per_sec\": %.1f}%s\n",
-                 r.name.c_str(), r.rows, r.ns_per_op, r.rows_per_sec,
-                 i + 1 < records.size() ? "," : "");
+                 "\"rows_per_sec\": %.1f, \"git_sha\": \"%s\", "
+                 "\"timestamp\": \"%s\"}%s\n",
+                 r.name.c_str(), r.rows, r.ns_per_op, r.rows_per_sec, MDJOIN_GIT_SHA,
+                 timestamp.c_str(), i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -114,10 +124,13 @@ inline bool WriteBenchJson(const std::string& path,
 
 /// Shared main body for every bench target. Handles `--json_out` /
 /// `--json_out=<path>` (default path BENCH_<experiment>.json in the working
-/// directory), which google-benchmark would otherwise reject as an unknown
-/// flag — so it is parsed and stripped from argv before Initialize().
+/// directory) and `--timestamp=<string>` (wall-clock run timestamp recorded
+/// verbatim in every JSON record; the harness passes `date -u +%FT%TZ`),
+/// which google-benchmark would otherwise reject as unknown flags — so they
+/// are parsed and stripped from argv before Initialize().
 inline int RunBenchMain(int argc, char** argv, const std::string& experiment) {
   std::string json_path;
+  std::string timestamp;
   bool json = false;
   std::vector<char*> kept;
   kept.reserve(static_cast<size_t>(argc));
@@ -127,6 +140,8 @@ inline int RunBenchMain(int argc, char** argv, const std::string& experiment) {
     } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
       json = true;
       json_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--timestamp=", 12) == 0) {
+      timestamp = argv[i] + 12;
     } else {
       kept.push_back(argv[i]);
     }
@@ -140,7 +155,7 @@ inline int RunBenchMain(int argc, char** argv, const std::string& experiment) {
   }
   JsonCollectingReporter reporter;
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
-  if (!WriteBenchJson(json_path, reporter.records())) {
+  if (!WriteBenchJson(json_path, reporter.records(), timestamp)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }

@@ -2,7 +2,8 @@
 /// command line. The library as a usable tool:
 ///
 ///   example_mdjoin_cli --table Sales=sales.csv:'cust:int64,state:string,...'
-///                      [--emf] [--explain] [--optimize]
+///                      [--emf] [--explain] [--optimize] [--explain-analyze]
+///                      [--trace-out=FILE] [--metrics-out=FILE]
 ///                      [--timeout-ms N] [--memory-limit BYTES[k|m|g]]
 ///                      'select ... analyze by ...'
 ///
@@ -10,6 +11,17 @@
 /// is cancelled with "Deadline exceeded" past the timeout, and "Resource
 /// exhausted" if the engine's accounted memory crosses the limit (exit 3 for
 /// either). With no arguments, runs a self-contained demo on generated data.
+///
+/// Observability (docs/OPERATOR.md §10):
+///   --explain-analyze   execute recording a per-operator profile and print
+///                       the annotated plan (rows, selectivity, timings, the
+///                       optimizer's rewrite log, terminal status) instead of
+///                       the result rows. No CSE: the plan runs as written.
+///   --trace-out=FILE    collect a Chrome trace (chrome://tracing / Perfetto)
+///                       of the execution — per-worker tracks with morsel
+///                       spans, steal waits, merge tree, guard trips.
+///   --metrics-out=FILE  dump the process metrics registry after the run
+///                       (Prometheus text, or JSON when FILE ends in .json).
 
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +104,18 @@ Result<LoadedTable> LoadTableSpec(const std::string& spec) {
   return LoadedTable{std::move(name), std::move(table)};
 }
 
+/// Writes `contents` to `path` ("-" for stdout). Returns false on I/O error.
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  if (path == "-") {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  return std::fclose(f) == 0 && written == contents.size();
+}
+
 int RunDemo() {
   std::printf("no arguments: running the built-in demo on generated data\n\n");
   SalesConfig config;
@@ -112,18 +136,20 @@ int RunDemo() {
     std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
     return 1;
   }
-  Result<PlanPtr> optimized = OptimizePlan(bound->plan, catalog);
+  QueryProfile profile;
+  Result<PlanPtr> optimized =
+      OptimizePlan(bound->plan, catalog, {}, nullptr, &profile.rewrites);
   if (!optimized.ok()) {
     std::fprintf(stderr, "%s\n", optimized.status().ToString().c_str());
     return 1;
   }
-  Result<ProfiledResult> result = ExecutePlanProfiled(*optimized, catalog);
+  Result<Table> result = ExplainAnalyze(*optimized, catalog, {}, &profile);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\nprofile:\n%s", result->table.ToString(15).c_str(),
-              result->ToString().c_str());
+  std::printf("%s\nexplain analyze:\n%s", result->ToString(15).c_str(),
+              profile.ToText().c_str());
   return 0;
 }
 
@@ -133,11 +159,18 @@ int main(int argc, char** argv) {
   if (argc == 1) return RunDemo();
 
   std::vector<LoadedTable> tables;
-  bool use_emf = false, explain = false, optimize = false;
+  bool use_emf = false, explain = false, optimize = false, explain_analyze = false;
   QueryGuardOptions guard_options;
   int num_threads = 1;
   int64_t morsel_size = 0;
-  std::string query;
+  std::string query, trace_out, metrics_out;
+  // `--flag=value` spelling for the output-path flags.
+  auto eq_value = [](const char* arg, const char* flag, std::string* out) {
+    const size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+    *out = arg + len + 1;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--table") == 0 && i + 1 < argc) {
       Result<LoadedTable> loaded = LoadTableSpec(argv[++i]);
@@ -152,6 +185,14 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(argv[i], "--optimize") == 0) {
       optimize = true;
+    } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
+      explain_analyze = true;
+    } else if (eq_value(argv[i], "--trace-out", &trace_out)) {
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (eq_value(argv[i], "--metrics-out", &metrics_out)) {
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
       guard_options.timeout_ms = std::strtoll(argv[++i], nullptr, 10);
       if (guard_options.timeout_ms <= 0) {
@@ -190,7 +231,9 @@ int main(int argc, char** argv) {
   if (query.empty() || tables.empty()) {
     std::fprintf(stderr,
                  "usage: %s --table Name=file.csv:col:type,... [--emf] [--explain] "
-                 "[--optimize] [--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
+                 "[--optimize] [--explain-analyze] [--trace-out=FILE] "
+                 "[--metrics-out=FILE] "
+                 "[--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
                  "[--threads N] [--morsel-size ROWS] "
                  "'query'\n",
                  argv[0]);
@@ -213,8 +256,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   PlanPtr plan = bound->plan;
+  QueryProfile profile;
   if (optimize) {
-    Result<PlanPtr> optimized = OptimizePlan(plan, catalog);
+    Result<PlanPtr> optimized =
+        OptimizePlan(plan, catalog, {}, nullptr, &profile.rewrites);
     if (!optimized.ok()) {
       std::fprintf(stderr, "error: %s\n", optimized.status().ToString().c_str());
       return 1;
@@ -229,7 +274,32 @@ int main(int argc, char** argv) {
   if (guarded) md_options.guard = &guard;
   md_options.num_threads = num_threads;
   md_options.morsel_size = morsel_size;
-  Result<Table> result = ExecutePlanCse(plan, catalog, md_options);
+
+  if (!trace_out.empty()) Tracing::Start();
+  Result<Table> result =
+      explain_analyze ? ExplainAnalyze(plan, catalog, md_options, &profile)
+                      : ExecutePlanCse(plan, catalog, md_options);
+  if (!trace_out.empty()) {
+    Tracing::Stop();
+    if (!ChromeTraceWriter::WriteFile(trace_out)) {
+      std::fprintf(stderr, "error: could not write trace to %s\n", trace_out.c_str());
+      return 2;
+    }
+  }
+  if (!metrics_out.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    const bool json = metrics_out.size() >= 5 &&
+                      metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+    if (!WriteTextFile(metrics_out, json ? registry.RenderJson()
+                                         : registry.RenderText())) {
+      std::fprintf(stderr, "error: could not write metrics to %s\n",
+                   metrics_out.c_str());
+      return 2;
+    }
+  }
+  // The profile of a failed/cancelled run is still well-formed (partial
+  // counts + terminal status), so print it before the exit-code logic.
+  if (explain_analyze) std::printf("%s", profile.ToText().c_str());
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     StatusCode code = result.status().code();
@@ -238,6 +308,6 @@ int main(int argc, char** argv) {
                ? 3
                : 1;
   }
-  std::printf("%s", TableToCsv(*result).c_str());
+  if (!explain_analyze) std::printf("%s", TableToCsv(*result).c_str());
   return 0;
 }

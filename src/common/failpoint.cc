@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdjoin {
 
@@ -46,18 +48,27 @@ void FailpointRegistry::Reset() {
 }
 
 bool FailpointRegistry::Evaluate(const char* name) {
-  MutexLock lock(mu_);
-  auto it = points_.find(name);
-  if (it == points_.end()) return false;
-  Entry& e = it->second;
-  if (e.remaining == 0) return false;
-  if (e.skip > 0) {
-    --e.skip;
-    return false;
+  {
+    MutexLock lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    Entry& e = it->second;
+    if (e.remaining == 0) return false;
+    if (e.skip > 0) {
+      --e.skip;
+      return false;
+    }
+    if (e.remaining > 0) --e.remaining;
+    ++e.fired;
+    if (e.remaining == 0) RecountArmedLocked();
   }
-  if (e.remaining > 0) --e.remaining;
-  ++e.fired;
-  if (e.remaining == 0) RecountArmedLocked();
+  // A fire is an injected fault: surface it on the trace timeline (the event
+  // carries the failpoint's own name, which is a call-site string literal)
+  // and in the fleet-wide fire counter.
+  static Counter* fires = MetricsRegistry::Global().GetCounter(
+      "mdjoin_failpoint_fires_total", "failpoint firings (injected faults)");
+  fires->Increment();
+  TraceInstant(name, "failpoint");
   return true;
 }
 

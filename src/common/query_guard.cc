@@ -1,8 +1,52 @@
 #include "common/query_guard.h"
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdjoin {
+
+namespace {
+
+/// Registry-backed trip accounting: one counter per trip kind plus a total,
+/// and an instant trace event so the trip is visible on the worker track
+/// that observed it first. Called once per guard (first error wins), so
+/// nothing here is hot.
+void RecordTrip(const Status& status) {
+  static Counter* total = MetricsRegistry::Global().GetCounter(
+      "mdjoin_guard_trips_total", "query-guard trips, all causes");
+  static Counter* cancelled = MetricsRegistry::Global().GetCounter(
+      "mdjoin_guard_trips_cancelled_total", "guard trips: cooperative cancellation");
+  static Counter* deadline = MetricsRegistry::Global().GetCounter(
+      "mdjoin_guard_trips_deadline_total", "guard trips: wall-clock deadline");
+  static Counter* exhausted = MetricsRegistry::Global().GetCounter(
+      "mdjoin_guard_trips_resource_exhausted_total",
+      "guard trips: memory/row/pair budget exhausted");
+  static Counter* other = MetricsRegistry::Global().GetCounter(
+      "mdjoin_guard_trips_other_total", "guard trips: propagated failures");
+  total->Increment();
+  const char* kind = "error";
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      cancelled->Increment();
+      kind = "cancelled";
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline->Increment();
+      kind = "deadline";
+      break;
+    case StatusCode::kResourceExhausted:
+      exhausted->Increment();
+      kind = "resource_exhausted";
+      break;
+    default:
+      other->Increment();
+      break;
+  }
+  TraceInstant("guard_trip", kind);
+}
+
+}  // namespace
 
 QueryGuard::QueryGuard(const QueryGuardOptions& options)
     : options_(options), start_(std::chrono::steady_clock::now()) {}
@@ -13,10 +57,13 @@ void QueryGuard::Cancel() {
 
 void QueryGuard::Trip(Status status) {
   if (status.ok()) return;
-  MutexLock lock(mu_);
-  if (tripped_.load(std::memory_order_relaxed)) return;  // first error wins
-  status_ = std::move(status);
-  tripped_.store(true, std::memory_order_release);
+  {
+    MutexLock lock(mu_);
+    if (tripped_.load(std::memory_order_relaxed)) return;  // first error wins
+    status_ = status;
+    tripped_.store(true, std::memory_order_release);
+  }
+  RecordTrip(status);
 }
 
 Status QueryGuard::TripStatus() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "expr/compile.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdjoin {
 
@@ -76,10 +78,20 @@ DetailScanWorker::DetailScanWorker(const Table& base,
 void DetailScanWorker::BeginJob() {
   // The probe memo caches full-key → candidates for one specific index;
   // serving those lists against a different job's index would be wrong.
+  // Its hit counters are fleet-wide, though: fold them into the worker's
+  // stats before the reset discards them.
+  stats.index_probe_lookups += scratch.memo_lookups;
+  stats.index_probe_memo_hits += scratch.memo_hits;
   scratch = BaseIndex::ProbeScratch{};
 }
 
-Status DetailScanWorker::FinishScan() { return ticket.Finish(); }
+Status DetailScanWorker::FinishScan() {
+  stats.index_probe_lookups += scratch.memo_lookups;
+  stats.index_probe_memo_hits += scratch.memo_hits;
+  scratch.memo_lookups = 0;  // folded; next BeginJob must not double-count
+  scratch.memo_hits = 0;
+  return ticket.Finish();
+}
 
 Value DetailScanWorker::FinalizeCell(size_t agg, int64_t base_row) const {
   return vectorized
@@ -148,6 +160,7 @@ Result<DetailScan> DetailScan::Prepare(const Table& base, const Table& detail,
 }
 
 Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) const {
+  Span span("scan_range", "scan");
   const Table& base = *base_;
   const Table& detail = *detail_;
   const std::vector<BoundAgg>& aggs = *aggs_;
@@ -271,6 +284,31 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
   worker->stats.blocks += blocks;
   worker->stats.kernel_invocations += kstats.kernel_invocations;
   worker->stats.kernel_fallback_rows += kstats.fallback_rows;
+
+  // One registry flush per range keeps the scan loop free of shared atomics
+  // while the fleet-wide counters stay ~a-morsel fresh.
+  static Counter* c_scanned = MetricsRegistry::Global().GetCounter(
+      "mdjoin_detail_rows_scanned_total", "detail tuples read by MD-join scans");
+  static Counter* c_qualified = MetricsRegistry::Global().GetCounter(
+      "mdjoin_detail_rows_qualified_total",
+      "detail tuples surviving pushed-down selection");
+  static Counter* c_pairs = MetricsRegistry::Global().GetCounter(
+      "mdjoin_candidate_pairs_total", "(base, detail) pairs tested after index pruning");
+  static Counter* c_matched = MetricsRegistry::Global().GetCounter(
+      "mdjoin_matched_pairs_total", "pairs satisfying the full theta condition");
+  static Counter* c_blocks = MetricsRegistry::Global().GetCounter(
+      "mdjoin_scan_blocks_total", "vectorized detail blocks processed");
+  static Counter* c_kernels = MetricsRegistry::Global().GetCounter(
+      "mdjoin_kernel_invocations_total", "columnar predicate kernel runs");
+  c_scanned->Increment(scanned);
+  c_qualified->Increment(qualified);
+  c_pairs->Increment(cand_pairs);
+  c_matched->Increment(matched);
+  c_blocks->Increment(blocks);
+  c_kernels->Increment(kstats.kernel_invocations);
+
+  span.SetArg("rows", hi - lo);
+  span.SetArg("matched", matched);
   return status;
 }
 

@@ -146,6 +146,8 @@ inline void AccumulateScanStats(const MdJoinStats& from, MdJoinStats* to) {
   to->blocks += from.blocks;
   to->kernel_invocations += from.kernel_invocations;
   to->kernel_fallback_rows += from.kernel_fallback_rows;
+  to->index_probe_lookups += from.index_probe_lookups;
+  to->index_probe_memo_hits += from.index_probe_memo_hits;
 }
 
 }  // namespace mdjoin

@@ -10,6 +10,7 @@
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
 #include "expr/kernels.h"
+#include "obs/trace.h"
 
 namespace mdjoin {
 
@@ -132,6 +133,9 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   int64_t blocks = 0;
   KernelStats kstats;
   Status scan_status = [&]() -> Status {
+  Span scan_span("generalized.shared_scan", "mdjoin");
+  scan_span.SetArg("components", static_cast<int64_t>(compiled.size()));
+  scan_span.SetArg("detail_rows", detail.num_rows());
   if (vectorized) {
     // Block-at-a-time: each component filters the block with its own kernels
     // over a fresh selection vector; a row counts as qualified when it
@@ -249,6 +253,10 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   stats->blocks = blocks;
   stats->kernel_invocations = kstats.kernel_invocations;
   stats->kernel_fallback_rows = kstats.fallback_rows;
+  for (const CompiledComponent& cc : compiled) {
+    stats->index_probe_lookups += cc.scratch.memo_lookups;
+    stats->index_probe_memo_hits += cc.scratch.memo_hits;
+  }
   MDJ_RETURN_NOT_OK(scan_status);
 
   // Output: base columns then every component's aggregates in order.

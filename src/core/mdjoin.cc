@@ -5,6 +5,7 @@
 #include "agg/flat_state.h"
 #include "core/detail_scan.h"
 #include "expr/conjuncts.h"
+#include "obs/trace.h"
 
 namespace mdjoin {
 
@@ -21,6 +22,10 @@ std::string MdJoinStats::ToString() const {
     out += " blocks=" + std::to_string(blocks);
     out += " kernel_invocations=" + std::to_string(kernel_invocations);
     out += " kernel_fallback_rows=" + std::to_string(kernel_fallback_rows);
+  }
+  if (index_probe_lookups > 0) {
+    out += " probe_lookups=" + std::to_string(index_probe_lookups);
+    out += " probe_memo_hits=" + std::to_string(index_probe_memo_hits);
   }
   if (memory_degraded) {
     out += " degraded_rows_per_pass=" + std::to_string(base_rows_per_pass_effective);
@@ -92,6 +97,8 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
   // later pass early, so cancelled queries report how far they got.
   Status run = [&]() -> Status {
     for (int64_t start = 0; start < base.num_rows(); start += budget) {
+      Span pass_span("mdjoin.pass", "mdjoin");
+      pass_span.SetArg("pass", stats->passes_over_detail);
       int64_t end = std::min(start + budget, base.num_rows());
       std::vector<int64_t> pass_rows(all_rows.begin() + start, all_rows.begin() + end);
       ++stats->passes_over_detail;
@@ -100,6 +107,7 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
           DetailScan::Prepare(base, detail, bound, parts, &ct, std::move(pass_rows),
                               options));
       stats->index_masks += scan.index_masks();
+      pass_span.SetArg("base_rows", end - start);
       worker.BeginJob();
       MDJ_RETURN_NOT_OK(scan.ScanRange(0, detail.num_rows(), &worker));
       MDJ_RETURN_NOT_OK(worker.FinishScan());

@@ -119,6 +119,12 @@ struct MdJoinStats {
   int64_t kernel_invocations = 0;    // columnar predicate kernel runs
   int64_t kernel_fallback_rows = 0;  // rows filtered per-row inside blocks
 
+  // Cube-index probe-memo counters (BaseIndex::ProbeScratch): lookups into
+  // the full-key → candidate-list cache and the hits among them. Zero when
+  // the memo never engaged (non-cube θ or a disabled index).
+  int64_t index_probe_lookups = 0;
+  int64_t index_probe_memo_hits = 0;
+
   std::string ToString() const;
 };
 

@@ -15,6 +15,7 @@
 ///  - optimizer plan IR + the §4 theorem rewrites + executor + cost model
 ///  - parallel/ Theorem 4.1 intra-operator parallelism
 ///  - analyze/  the §5 ANALYZE BY query language
+///  - obs/      tracing, metrics, and EXPLAIN ANALYZE query profiles
 ///  - workload/ synthetic Sales/Payments generators
 
 #include "agg/agg_spec.h"
@@ -40,11 +41,13 @@
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
 #include "expr/expr.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/trace.h"
 #include "optimizer/cost.h"
 #include "optimizer/executor.h"
 #include "optimizer/optimize.h"
 #include "optimizer/plan.h"
-#include "optimizer/profile.h"
 #include "optimizer/rules.h"
 #include "parallel/parallel_mdjoin.h"
 #include "parallel/thread_pool.h"

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace mdjoin {
+
+Histogram::Histogram(std::vector<int64_t> boundaries)
+    : boundaries_(std::move(boundaries)),
+      buckets_(new std::atomic<int64_t>[boundaries_.size() + 1]) {
+  for (size_t i = 0; i <= boundaries_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t Histogram::total_count() const {
+  int64_t n = 0;
+  for (size_t i = 0; i <= boundaries_.size(); ++i) {
+    n += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= boundaries_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricSample::Kind::kCounter;
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricSample::Kind::kGauge;
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> boundaries,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricSample::Kind::kHistogram;
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>(std::move(boundaries));
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  return it->second.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = entry.help;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.value = entry.counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.value = entry.gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        sample.value = h.total_count();
+        sample.sum = h.sum();
+        const std::vector<int64_t>& edges = h.boundaries();
+        for (size_t i = 0; i < edges.size(); ++i) {
+          sample.buckets.emplace_back(edges[i], h.bucket_count(i));
+        }
+        sample.buckets.emplace_back(std::numeric_limits<int64_t>::max(),
+                                    h.bucket_count(edges.size()));
+        break;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  char buf[96];
+  for (const MetricSample& s : Snapshot()) {
+    if (!s.help.empty()) out += "# HELP " + s.name + " " + s.help + "\n";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "# TYPE " + s.name + " counter\n";
+        std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(s.value));
+        out += s.name + buf;
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "# TYPE " + s.name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(s.value));
+        out += s.name + buf;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + s.name + " histogram\n";
+        int64_t cumulative = 0;
+        for (const auto& [le, count] : s.buckets) {
+          cumulative += count;
+          if (le == std::numeric_limits<int64_t>::max()) {
+            std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %lld\n",
+                          static_cast<long long>(cumulative));
+          } else {
+            std::snprintf(buf, sizeof(buf), "_bucket{le=\"%lld\"} %lld\n",
+                          static_cast<long long>(le),
+                          static_cast<long long>(cumulative));
+          }
+          out += s.name + buf;
+        }
+        std::snprintf(buf, sizeof(buf), "_sum %lld\n", static_cast<long long>(s.sum));
+        out += s.name + buf;
+        std::snprintf(buf, sizeof(buf), "_count %lld\n", static_cast<long long>(s.value));
+        out += s.name + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::string out = "{\n";
+  char buf[96];
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (!first) out += ",\n";
+    first = false;
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "\": %lld", static_cast<long long>(s.value));
+        out += "  \"" + s.name + buf;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::snprintf(buf, sizeof(buf), "\": {\"count\": %lld, \"sum\": %lld, ",
+                      static_cast<long long>(s.value), static_cast<long long>(s.sum));
+        out += "  \"" + s.name + buf + "\"buckets\": [";
+        bool first_bucket = true;
+        for (const auto& [le, count] : s.buckets) {
+          if (!first_bucket) out += ", ";
+          first_bucket = false;
+          if (le == std::numeric_limits<int64_t>::max()) {
+            std::snprintf(buf, sizeof(buf), "{\"le\": \"+Inf\", \"count\": %lld}",
+                          static_cast<long long>(count));
+          } else {
+            std::snprintf(buf, sizeof(buf), "{\"le\": %lld, \"count\": %lld}",
+                          static_cast<long long>(le), static_cast<long long>(count));
+          }
+          out += buf;
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricSample::Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricSample::Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace mdjoin

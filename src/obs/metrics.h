@@ -1,0 +1,144 @@
+#ifndef MDJOIN_OBS_METRICS_H_
+#define MDJOIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mdjoin {
+
+/// Process-wide metrics for the engine: monotonically increasing counters,
+/// set/peak gauges, and fixed-boundary histograms, all registered by name in
+/// one global registry with text and JSON exposition.
+///
+/// Hot-path contract: every instrument operation (Increment, Observe, Set,
+/// UpdateMax) is one or two relaxed atomic RMWs — no locks, no allocation.
+/// The registry's mutex is touched only at registration (call sites cache
+/// the instrument pointer in a function-local static, so each site pays the
+/// lookup once per process) and during exposition. Instrument pointers are
+/// stable for the life of the process.
+///
+/// The canonical metric name catalog lives in docs/OPERATOR.md §10; names
+/// follow the Prometheus convention (`mdjoin_<what>_total` for counters).
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge with a lock-free peak tracker.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+
+  /// Racy-CAS max update, the standard idiom for peak tracking.
+  void UpdateMax(int64_t v) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram: `boundaries` are the inclusive upper edges of
+/// the finite buckets; one implicit overflow bucket catches the rest.
+/// Observe() is two relaxed RMWs (bucket + sum); bucket search is a linear
+/// walk over a handful of boundaries, branch-predictable for latency-shaped
+/// distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> boundaries);
+
+  void Observe(int64_t value) {
+    size_t i = 0;
+    while (i < boundaries_.size() && value > boundaries_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  const std::vector<int64_t>& boundaries() const { return boundaries_; }
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  int64_t total_count() const;
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  const std::vector<int64_t> boundaries_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // boundaries_.size() + 1
+  std::atomic<int64_t> sum_{0};
+};
+
+/// A point-in-time copy of one instrument, for programmatic inspection.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;  // counter/gauge value; histogram total count
+  int64_t sum = 0;    // histogram only
+  std::vector<std::pair<int64_t, int64_t>> buckets;  // histogram: (le, count)
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. The returned pointer is stable for the life of the process. A name
+  /// registered as one kind must not be re-requested as another (returns the
+  /// existing instrument's slot; the mismatched accessor returns nullptr).
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, std::vector<int64_t> boundaries,
+                          const std::string& help = "");
+
+  /// Point-in-time copy of every instrument, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus-style text exposition (one `# HELP` / `# TYPE` pair plus the
+  /// sample lines per instrument).
+  std::string RenderText() const;
+
+  /// Flat JSON object: counters/gauges as numbers, histograms as objects
+  /// with count/sum/buckets.
+  std::string RenderJson() const;
+
+  /// Zeroes every instrument, keeping registrations (and therefore every
+  /// cached pointer) valid. For tests and for the CLI's per-query output.
+  void ResetAllForTest();
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // ordered so exposition is stable
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OBS_METRICS_H_

@@ -1,0 +1,240 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mdjoin {
+
+namespace {
+
+/// One thread's event buffer. The mutex is per-buffer and therefore
+/// uncontended on the append path; it exists so Snapshot()/Start() can read
+/// or clear buffers belonging to live threads without a data race.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int32_t id) : tid(id) {}
+  const int32_t tid;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  const char* thread_name = nullptr;  // static storage, set via SetThreadName
+};
+
+/// Owns every thread buffer ever registered. Buffers are never freed (a few
+/// hundred bytes per engine thread for the life of the process), so a raw
+/// thread_local pointer into the registry stays valid even after the owning
+/// thread exits — Snapshot() can always walk the full list.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  int32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadBuffer* CurrentBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffer = new ThreadBuffer(reg.next_tid++);
+    reg.buffers.push_back(buffer);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracing::enabled_{false};
+
+void Tracing::Start() {
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadBuffer* buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  reg.epoch = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracing::Stop() { enabled_.store(false, std::memory_order_release); }
+
+int64_t Tracing::NowNs() {
+  BufferRegistry& reg = Registry();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - reg.epoch)
+      .count();
+}
+
+void Tracing::Append(const TraceEvent& event) {
+  ThreadBuffer* buffer = CurrentBuffer();
+  TraceEvent copy = event;
+  copy.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(copy);
+}
+
+void Tracing::SetThreadName(const char* name) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = CurrentBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->thread_name = name;
+}
+
+int32_t Tracing::CurrentThreadId() { return CurrentBuffer()->tid; }
+
+std::vector<TraceEvent> Tracing::Snapshot() {
+  std::vector<TraceEvent> out;
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadBuffer* buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+int64_t Tracing::event_count() {
+  int64_t n = 0;
+  BufferRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadBuffer* buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += static_cast<int64_t>(buffer->events.size());
+  }
+  return n;
+}
+
+namespace {
+
+void AppendEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(*s) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", *s);
+          *out += buf;
+        } else {
+          *out += *s;
+        }
+    }
+  }
+}
+
+void AppendEvent(const TraceEvent& e, bool* first, std::string* out) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  char buf[160];
+  const double ts_us = static_cast<double>(e.ts_ns) / 1e3;
+  *out += "    {\"name\": \"";
+  AppendEscaped(e.name, out);
+  *out += "\", \"cat\": \"";
+  AppendEscaped(e.category != nullptr ? e.category : "exec", out);
+  if (e.dur_ns >= 0) {
+    const double dur_us = static_cast<double>(e.dur_ns) / 1e3;
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                  "\"tid\": %d",
+                  ts_us, dur_us, e.tid);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"ph\": \"i\", \"ts\": %.3f, \"s\": \"t\", \"pid\": 1, "
+                  "\"tid\": %d",
+                  ts_us, e.tid);
+  }
+  *out += buf;
+  if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+    *out += ", \"args\": {";
+    bool first_arg = true;
+    if (e.arg1_name != nullptr) {
+      *out += "\"";
+      AppendEscaped(e.arg1_name, out);
+      std::snprintf(buf, sizeof(buf), "\": %lld", static_cast<long long>(e.arg1));
+      *out += buf;
+      first_arg = false;
+    }
+    if (e.arg2_name != nullptr) {
+      if (!first_arg) *out += ", ";
+      *out += "\"";
+      AppendEscaped(e.arg2_name, out);
+      std::snprintf(buf, sizeof(buf), "\": %lld", static_cast<long long>(e.arg2));
+      *out += buf;
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string ChromeTraceWriter::ToJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  // One thread_name metadata record per distinct track, so the trace viewer
+  // labels engine threads. Named buffers get their name; the rest a generic
+  // "thread <tid>".
+  std::vector<std::pair<int32_t, const char*>> names;
+  {
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (ThreadBuffer* buffer : reg.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      names.emplace_back(buffer->tid, buffer->thread_name);
+    }
+  }
+  for (const auto& [tid, name] : names) {
+    bool has_events = false;
+    for (const TraceEvent& e : events) {
+      if (e.tid == tid) {
+        has_events = true;
+        break;
+      }
+    }
+    if (!has_events) continue;
+    if (!first) out += ",\n";
+    first = false;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %d, \"args\": {\"name\": \"",
+                  tid);
+    out += buf;
+    if (name != nullptr) {
+      AppendEscaped(name, &out);
+      std::snprintf(buf, sizeof(buf), " %d\"}}", tid);
+    } else {
+      out += "thread";
+      std::snprintf(buf, sizeof(buf), " %d\"}}", tid);
+    }
+    out += buf;
+  }
+  for (const TraceEvent& e : events) {
+    AppendEvent(e, &first, &out);
+  }
+  out += "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+bool ChromeTraceWriter::WriteFile(const std::string& path) {
+  std::string json = ToJson(Tracing::Snapshot());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mdjoin

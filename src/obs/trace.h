@@ -1,0 +1,157 @@
+#ifndef MDJOIN_OBS_TRACE_H_
+#define MDJOIN_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdjoin {
+
+/// Lightweight in-process tracing for the execution engine.
+///
+/// Design constraints, in priority order:
+///  1. Near-zero cost when disabled: a Span is one relaxed atomic load and a
+///     null-check in its destructor; no allocation, no lock, no clock read.
+///     The overhead tests in tests/obs_test.cc enforce the no-allocation part
+///     with a global operator-new hook.
+///  2. No contention when enabled: every thread appends to its own buffer
+///     (registered once with the global registry); the only synchronization
+///     on the hot path is that buffer's uncontended mutex, taken so Snapshot()
+///     can read buffers of live threads safely (TSan-clean by construction).
+///  3. Events are POD: names/categories are `const char*` to static storage
+///     (string literals at the call sites); dynamic payload travels in up to
+///     two named int64 args. Nothing in an event is owned.
+///
+/// The output format is the Chrome trace-event JSON (`chrome://tracing` /
+/// Perfetto): one track per engine thread, "X" complete events for spans,
+/// "i" instant events for point occurrences (guard trips, steal waits,
+/// failpoint fires).
+struct TraceEvent {
+  const char* name = nullptr;      // static-storage string; never owned
+  const char* category = nullptr;  // static-storage string
+  int64_t ts_ns = 0;               // steady-clock ns since Tracing::Start()
+  int64_t dur_ns = -1;             // span duration; < 0 marks an instant event
+  int32_t tid = 0;                 // registry-assigned per-thread track id
+  const char* arg1_name = nullptr;
+  int64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  int64_t arg2 = 0;
+};
+
+/// Process-wide trace control. All methods are thread-safe.
+class Tracing {
+ public:
+  /// True while a trace is being collected. One relaxed load; this is the
+  /// whole cost of every disabled Span / TraceInstant call site.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Clears all per-thread buffers, resets the trace epoch to now, and starts
+  /// collecting. Idempotent (a second Start() restarts the trace).
+  static void Start();
+
+  /// Stops collecting. Events already buffered stay available to Snapshot().
+  static void Stop();
+
+  /// Copies every buffered event out of all thread buffers, sorted by
+  /// timestamp. Safe to call while tracing is active.
+  static std::vector<TraceEvent> Snapshot();
+
+  /// Total events currently buffered across all threads.
+  static int64_t event_count();
+
+  /// Steady-clock ns since the trace epoch.
+  static int64_t NowNs();
+
+  /// Appends one event to the calling thread's buffer (registering the
+  /// thread on first use). Called by Span / TraceInstant, not directly.
+  static void Append(const TraceEvent& event);
+
+  /// Names the calling thread's track in the trace output (e.g. "worker").
+  /// No-op when tracing is disabled and the thread has no buffer yet.
+  static void SetThreadName(const char* name);
+
+  /// The registry-assigned track id of the calling thread's buffer, or 0 if
+  /// the thread has never appended. Exposed for tests.
+  static int32_t CurrentThreadId();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: records a complete ("X") event covering its lifetime. When
+/// tracing is disabled at construction the span is inert — the destructor
+/// sees a null name and does nothing. Not copyable or movable; spans are
+/// strictly scoped.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "exec") {
+    if (Tracing::enabled()) {
+      event_.name = name;
+      event_.category = category;
+      event_.ts_ns = Tracing::NowNs();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (event_.name != nullptr) Finish();
+  }
+
+  /// Attaches a named numeric payload (first two calls win; later calls are
+  /// dropped). `name` must point to static storage. No-op when inert.
+  void SetArg(const char* name, int64_t value) {
+    if (event_.name == nullptr) return;
+    if (event_.arg1_name == nullptr) {
+      event_.arg1_name = name;
+      event_.arg1 = value;
+    } else if (event_.arg2_name == nullptr) {
+      event_.arg2_name = name;
+      event_.arg2 = value;
+    }
+  }
+
+ private:
+  void Finish() {
+    event_.dur_ns = Tracing::NowNs() - event_.ts_ns;
+    if (event_.dur_ns < 0) event_.dur_ns = 0;
+    Tracing::Append(event_);
+    event_.name = nullptr;
+  }
+
+  TraceEvent event_;  // name == nullptr means inert / already finished
+};
+
+/// Records an instant ("i") event. Near-zero cost when tracing is disabled.
+inline void TraceInstant(const char* name, const char* category = "exec",
+                         const char* arg1_name = nullptr, int64_t arg1 = 0,
+                         const char* arg2_name = nullptr, int64_t arg2 = 0) {
+  if (!Tracing::enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.ts_ns = Tracing::NowNs();
+  e.dur_ns = -1;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Tracing::Append(e);
+}
+
+/// Renders buffered events as `chrome://tracing`-compatible JSON: an object
+/// with a "traceEvents" array of "X"/"i" events (timestamps in microseconds)
+/// plus one "thread_name" metadata event per track.
+class ChromeTraceWriter {
+ public:
+  static std::string ToJson(const std::vector<TraceEvent>& events);
+
+  /// Snapshot() + ToJson() + write to `path`. Returns false on I/O failure.
+  static bool WriteFile(const std::string& path);
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_OBS_TRACE_H_

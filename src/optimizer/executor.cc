@@ -1,10 +1,11 @@
 #include "optimizer/executor.h"
 
 #include <chrono>
+#include <ctime>
 
 #include "analyze/plan_invariants.h"
 #include "common/failpoint.h"
-#include "optimizer/profile.h"
+#include "obs/trace.h"
 
 #include "core/generalized.h"
 #include "cube/base_tables.h"
@@ -24,17 +25,27 @@ using CseCache = std::unordered_map<std::string, Table>;
 
 Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
                    const MdJoinOptions& md_options, ExecStats* stats,
-                   CseCache* cse = nullptr, ProfileNode* parent_profile = nullptr);
+                   CseCache* cse = nullptr, OperatorProfile* parent_profile = nullptr);
 
 Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
                        const MdJoinOptions& md_options, ExecStats* stats,
-                       CseCache* cse, ProfileNode* profile = nullptr);
+                       CseCache* cse, OperatorProfile* profile = nullptr);
 
 Status AccountMaterialization(const MdJoinOptions& md_options, const Table& t);
 
+/// CPU time of the calling thread, for OperatorProfile::cpu_ms. The executor
+/// recurses on one thread, so this is inclusive of children (like elapsed_ms)
+/// but excludes the parallel engine's worker threads — a node whose wall time
+/// far exceeds its cpu_ms is either parallel or blocked.
+double ThreadCpuMs() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
 Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
                    const MdJoinOptions& md_options, ExecStats* stats, CseCache* cse,
-                   ProfileNode* parent_profile) {
+                   OperatorProfile* parent_profile) {
   // Guard gate per plan node: a cancel/deadline issued between operators is
   // observed here even when no MD-join scan is running; inside scans the
   // stride checks take over.
@@ -45,22 +56,26 @@ Result<Table> Exec(const PlanPtr& plan, const Catalog& catalog,
     return Status::Internal("plan node '", plan->Label(),
                             "' failed (failpoint executor:node_error)");
   }
+  Span node_span(PlanKindToString(plan->kind()), "plan");
   if (parent_profile != nullptr) {
-    auto node = std::make_unique<ProfileNode>();
-    ProfileNode* raw = node.get();
+    auto node = std::make_unique<OperatorProfile>();
+    OperatorProfile* raw = node.get();
     raw->label = plan->Label();
     parent_profile->children.push_back(std::move(node));
-    auto start = std::chrono::steady_clock::now();
+    const auto start = std::chrono::steady_clock::now();
+    const double cpu_start = ThreadCpuMs();
     Result<Table> result = ExecNode(plan, catalog, md_options, stats, cse, raw);
     raw->elapsed_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                   start)
             .count();
+    raw->cpu_ms = ThreadCpuMs() - cpu_start;
     double child_ms = 0;
     for (const auto& c : raw->children) child_ms += c->elapsed_ms;
     raw->self_ms = raw->elapsed_ms - child_ms;
     if (result.ok()) {
       raw->output_rows = result->num_rows();
+      node_span.SetArg("rows", raw->output_rows);
       MDJ_RETURN_NOT_OK(AccountMaterialization(md_options, *result));
     }
     return result;
@@ -97,7 +112,7 @@ Status AccountMaterialization(const MdJoinOptions& md_options, const Table& t) {
 
 Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
                        const MdJoinOptions& md_options, ExecStats* stats,
-                       CseCache* cse, ProfileNode* profile) {
+                       CseCache* cse, OperatorProfile* profile) {
   ++stats->nodes_executed;
   switch (plan->kind()) {
     case PlanKind::kTableRef: {
@@ -165,37 +180,88 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
       // The sequential evaluator stays the default and the ablation baseline.
       if (md_options.num_threads > 1) {
         ParallelMdJoinStats pstats;
-        MDJ_ASSIGN_OR_RETURN(
-            Table out, ParallelMdJoinDetailSplit(base, detail, plan->aggs, plan->theta,
-                                                 md_options.num_threads,
-                                                 md_options.num_threads, md_options,
-                                                 &pstats));
+        // On failure the stats still hold partial counts; copy them into the
+        // profile either way so a cancelled query's profile stays truthful.
+        Result<Table> out = ParallelMdJoinDetailSplit(
+            base, detail, plan->aggs, plan->theta, md_options.num_threads,
+            md_options.num_threads, md_options, &pstats);
         stats->detail_rows_scanned += pstats.total_detail_rows_scanned;
         stats->candidate_pairs += pstats.candidate_pairs;
         stats->matched_pairs += pstats.matched_pairs;
-        stats->rows_materialized += out.num_rows();
+        if (profile != nullptr) {
+          profile->is_mdjoin = true;
+          profile->detail_rows_scanned = pstats.total_detail_rows_scanned;
+          profile->detail_rows_qualified = pstats.detail_rows_qualified;
+          profile->candidate_pairs = pstats.candidate_pairs;
+          profile->matched_pairs = pstats.matched_pairs;
+          profile->agg_updates =
+              pstats.matched_pairs * static_cast<int64_t>(plan->aggs.size());
+          profile->passes = 1;
+          profile->blocks = pstats.blocks;
+          profile->kernel_invocations = pstats.kernel_invocations;
+          profile->index_probe_lookups = pstats.index_probe_lookups;
+          profile->index_probe_memo_hits = pstats.index_probe_memo_hits;
+          profile->morsels = pstats.morsels_executed;
+          profile->steal_waits = pstats.steal_waits;
+          profile->num_threads = pstats.num_threads;
+        }
+        MDJ_RETURN_NOT_OK(out.status());
+        stats->rows_materialized += out->num_rows();
         return out;
       }
       MdJoinStats md_stats;
-      MDJ_ASSIGN_OR_RETURN(
-          Table out, MdJoin(base, detail, plan->aggs, plan->theta, md_options, &md_stats));
+      Result<Table> out =
+          MdJoin(base, detail, plan->aggs, plan->theta, md_options, &md_stats);
       stats->detail_rows_scanned += md_stats.detail_rows_scanned;
       stats->candidate_pairs += md_stats.candidate_pairs;
       stats->matched_pairs += md_stats.matched_pairs;
-      stats->rows_materialized += out.num_rows();
+      if (profile != nullptr) {
+        profile->is_mdjoin = true;
+        profile->detail_rows_scanned = md_stats.detail_rows_scanned;
+        profile->detail_rows_qualified = md_stats.detail_rows_qualified;
+        profile->candidate_pairs = md_stats.candidate_pairs;
+        profile->matched_pairs = md_stats.matched_pairs;
+        profile->agg_updates =
+            md_stats.matched_pairs * static_cast<int64_t>(plan->aggs.size());
+        profile->passes = md_stats.passes_over_detail;
+        profile->blocks = md_stats.blocks;
+        profile->kernel_invocations = md_stats.kernel_invocations;
+        profile->index_probe_lookups = md_stats.index_probe_lookups;
+        profile->index_probe_memo_hits = md_stats.index_probe_memo_hits;
+      }
+      MDJ_RETURN_NOT_OK(out.status());
+      stats->rows_materialized += out->num_rows();
       return out;
     }
     case PlanKind::kGeneralizedMdJoin: {
       MDJ_ASSIGN_OR_RETURN(Table base, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
       MDJ_ASSIGN_OR_RETURN(Table detail, Exec(plan->child(1), catalog, md_options, stats, cse, profile));
       MdJoinStats md_stats;
-      MDJ_ASSIGN_OR_RETURN(Table out, GeneralizedMdJoin(base, detail, plan->components,
-                                                        md_options, &md_stats));
+      Result<Table> out =
+          GeneralizedMdJoin(base, detail, plan->components, md_options, &md_stats);
       ++stats->mdjoin_operators;
       stats->detail_rows_scanned += md_stats.detail_rows_scanned;
       stats->candidate_pairs += md_stats.candidate_pairs;
       stats->matched_pairs += md_stats.matched_pairs;
-      stats->rows_materialized += out.num_rows();
+      if (profile != nullptr) {
+        int64_t num_aggs = 0;
+        for (const MdJoinComponent& comp : plan->components) {
+          num_aggs += static_cast<int64_t>(comp.aggs.size());
+        }
+        profile->is_mdjoin = true;
+        profile->detail_rows_scanned = md_stats.detail_rows_scanned;
+        profile->detail_rows_qualified = md_stats.detail_rows_qualified;
+        profile->candidate_pairs = md_stats.candidate_pairs;
+        profile->matched_pairs = md_stats.matched_pairs;
+        profile->agg_updates = md_stats.matched_pairs * num_aggs;
+        profile->passes = md_stats.passes_over_detail;
+        profile->blocks = md_stats.blocks;
+        profile->kernel_invocations = md_stats.kernel_invocations;
+        profile->index_probe_lookups = md_stats.index_probe_lookups;
+        profile->index_probe_memo_hits = md_stats.index_probe_memo_hits;
+      }
+      MDJ_RETURN_NOT_OK(out.status());
+      stats->rows_materialized += out->num_rows();
       return out;
     }
     case PlanKind::kCubeBase: {
@@ -261,38 +327,57 @@ Result<Table> ExecutePlanCse(const PlanPtr& plan, const Catalog& catalog,
   return Exec(plan, catalog, md_options, stats, &cache);
 }
 
-namespace {
-
-void ProfileToString(const ProfileNode& node, int depth, std::string* out) {
-  out->append(static_cast<size_t>(depth) * 2, ' ');
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "  rows=%lld total=%.3fms self=%.3fms",
-                static_cast<long long>(node.output_rows), node.elapsed_ms,
-                node.self_ms);
-  *out += node.label + buf + "\n";
-  for (const auto& child : node.children) ProfileToString(*child, depth + 1, out);
-}
-
-}  // namespace
-
-std::string ProfiledResult::ToString() const {
-  std::string out;
-  if (profile != nullptr && !profile->children.empty()) {
-    ProfileToString(*profile->children[0], 0, &out);
+Result<Table> ExplainAnalyze(const PlanPtr& plan, const Catalog& catalog,
+                             const MdJoinOptions& md_options, QueryProfile* profile) {
+  if (profile == nullptr) {
+    return Status::InvalidArgument("ExplainAnalyze: null profile");
   }
-  return out;
+  // The rewrite log is the optimizer's contribution (filled before this
+  // call); everything execution-owned starts fresh.
+  profile->root.reset();
+  profile->complete = false;
+  profile->terminal.clear();
+  profile->total_ms = 0;
+
+  Status setup = [&]() -> Status {
+    if (plan == nullptr) return Status::InvalidArgument("ExplainAnalyze: null plan");
+    return MaybeVerify(plan, catalog, md_options, "ExplainAnalyze");
+  }();
+  if (!setup.ok()) {
+    profile->terminal = setup.ToString();
+    return setup;
+  }
+
+  ExecStats stats;
+  OperatorProfile holder;  // transient parent; its first child is the real root
+  holder.label = "(root)";
+  const auto start = std::chrono::steady_clock::now();
+  Result<Table> result =
+      Exec(plan, catalog, md_options, &stats, /*cse=*/nullptr, &holder);
+  profile->total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  if (!holder.children.empty()) {
+    profile->root = std::move(holder.children[0]);
+  } else {
+    // The root node failed before its profile was created (pre-issued cancel
+    // observed at the guard gate); a stub keeps the profile well-formed.
+    profile->root = std::make_unique<OperatorProfile>();
+    profile->root->label = plan->Label();
+  }
+  profile->complete = result.ok();
+  profile->terminal = result.ok() ? "ok" : result.status().ToString();
+  return result;
 }
+
+std::string ProfiledResult::ToString() const { return profile.ToText(); }
 
 Result<ProfiledResult> ExecutePlanProfiled(const PlanPtr& plan, const Catalog& catalog,
                                            const MdJoinOptions& md_options) {
-  if (plan == nullptr) return Status::InvalidArgument("ExecutePlanProfiled: null plan");
-  MDJ_RETURN_NOT_OK(MaybeVerify(plan, catalog, md_options, "ExecutePlanProfiled"));
-  ExecStats stats;
-  auto root = std::make_unique<ProfileNode>();
-  root->label = "(root)";
-  MDJ_ASSIGN_OR_RETURN(Table table, Exec(plan, catalog, md_options, &stats,
-                                         /*cse=*/nullptr, root.get()));
-  ProfiledResult result{std::move(table), std::move(root)};
+  ProfiledResult result;
+  MDJ_ASSIGN_OR_RETURN(result.table,
+                       ExplainAnalyze(plan, catalog, md_options, &result.profile));
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define MDJOIN_OPTIMIZER_EXECUTOR_H_
 
 #include "core/mdjoin.h"
+#include "obs/query_profile.h"
 #include "optimizer/plan.h"
 
 namespace mdjoin {
@@ -34,6 +35,32 @@ Result<Table> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
 Result<Table> ExecutePlanCse(const PlanPtr& plan, const Catalog& catalog,
                              const MdJoinOptions& md_options = {},
                              ExecStats* stats = nullptr);
+
+/// EXPLAIN ANALYZE: executes `plan` while recording a per-operator
+/// QueryProfile (rows, wall/CPU timings, MD-join scan counters). `profile`
+/// must be non-null; its `rewrites` log is preserved (populate it via
+/// OptimizePlan's rewrite_log before calling), everything else is reset.
+///
+/// The profile is always well-formed on return — on a guard trip or operator
+/// failure the tree holds partial counts for whatever executed, `complete` is
+/// false, and `terminal` carries the error status (the terminal event). The
+/// returned Result mirrors that status. No CSE: every node runs, so the
+/// numbers reflect the plan as written.
+Result<Table> ExplainAnalyze(const PlanPtr& plan, const Catalog& catalog,
+                             const MdJoinOptions& md_options, QueryProfile* profile);
+
+/// Convenience wrapper around ExplainAnalyze for callers that only care
+/// about the success path.
+struct ProfiledResult {
+  Table table;
+  QueryProfile profile;
+
+  /// QueryProfile::ToText(): indented operator tree + rewrite log + terminal.
+  std::string ToString() const;
+};
+
+Result<ProfiledResult> ExecutePlanProfiled(const PlanPtr& plan, const Catalog& catalog,
+                                           const MdJoinOptions& md_options = {});
 
 }  // namespace mdjoin
 

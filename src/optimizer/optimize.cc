@@ -1,6 +1,7 @@
 #include "optimizer/optimize.h"
 
 #include "analyze/plan_invariants.h"
+#include "obs/query_profile.h"
 #include "optimizer/cost.h"
 #include "optimizer/rules.h"
 
@@ -22,16 +23,36 @@ namespace {
 /// verify_plans mode, when the accepted rewrite fails static verification.
 Result<bool> Accept(const Result<PlanPtr>& candidate, const Catalog& catalog,
                     const OptimizeOptions& options, const char* rule_name,
-                    PlanPtr* plan, OptimizeReport* report) {
+                    PlanPtr* plan, OptimizeReport* report,
+                    std::vector<RewriteRecord>* rewrite_log) {
   if (!candidate.ok()) return false;
   Result<PlanCost> before = EstimateCost(*plan, catalog);
   Result<PlanCost> after = EstimateCost(*candidate, catalog);
   if (!before.ok() || !after.ok()) return false;
-  if (after->work > before->work) return false;
+
+  // The rule produced a candidate, so the decision (either way) is worth a
+  // rewrite record: rule, target node, and the cost certificate.
+  RewriteRecord record;
+  record.rule = rule_name;
+  record.node = (*plan)->Label();
+  record.cost_before = before->work;
+  record.cost_after = after->work;
+
+  if (after->work > before->work) {
+    record.accepted = false;
+    record.detail = "rejected: estimated work would increase";
+    if (rewrite_log != nullptr) rewrite_log->push_back(std::move(record));
+    return false;
+  }
   if (options.verify_plans || VerifyPlansEnabledByEnv()) {
     MDJ_RETURN_NOT_OK(VerifyPlan(*candidate, catalog, rule_name));
   }
   *plan = *candidate;
+  record.accepted = true;
+  record.detail = "accepted: estimated work " +
+                  std::to_string(static_cast<long long>(before->work)) + " -> " +
+                  std::to_string(static_cast<long long>(after->work));
+  if (rewrite_log != nullptr) rewrite_log->push_back(std::move(record));
   if (report != nullptr) {
     report->applied.push_back(std::string(rule_name) + " (work " +
                               std::to_string(static_cast<long long>(before->work)) +
@@ -42,7 +63,8 @@ Result<bool> Accept(const Result<PlanPtr>& candidate, const Catalog& catalog,
 }
 
 Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
-                            const OptimizeOptions& options, OptimizeReport* report);
+                            const OptimizeOptions& options, OptimizeReport* report,
+                            std::vector<RewriteRecord>* rewrite_log);
 
 /// Fusion must fire on the *raw* chain: optimizing the inner MD-joins first
 /// would push their detail-only conjuncts into per-component Filter nodes,
@@ -51,7 +73,9 @@ Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
 /// regular bottom-up pass.
 Result<PlanPtr> TryFuseChainFirst(const PlanPtr& plan, const Catalog& catalog,
                                   const OptimizeOptions& options,
-                                  OptimizeReport* report, bool* fused) {
+                                  OptimizeReport* report,
+                                  std::vector<RewriteRecord>* rewrite_log,
+                                  bool* fused) {
   *fused = false;
   if (!options.enable_fusion || plan->kind() != PlanKind::kMdJoin ||
       plan->child(0)->kind() != PlanKind::kMdJoin) {
@@ -60,25 +84,28 @@ Result<PlanPtr> TryFuseChainFirst(const PlanPtr& plan, const Catalog& catalog,
   PlanPtr current = plan;
   MDJ_ASSIGN_OR_RETURN(bool accepted,
                        Accept(FuseMdJoinSeries(current), catalog, options,
-                              "Theorem 4.3 fusion", &current, report));
+                              "Theorem 4.3 fusion", &current, report, rewrite_log));
   *fused = accepted;
   return current;
 }
 
 Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
-                            const OptimizeOptions& options, OptimizeReport* report) {
+                            const OptimizeOptions& options, OptimizeReport* report,
+                            std::vector<RewriteRecord>* rewrite_log) {
   {
     bool fused = false;
-    MDJ_ASSIGN_OR_RETURN(PlanPtr maybe_fused,
-                         TryFuseChainFirst(plan, catalog, options, report, &fused));
-    if (fused) return OptimizeRec(maybe_fused, catalog, options, report);
+    MDJ_ASSIGN_OR_RETURN(
+        PlanPtr maybe_fused,
+        TryFuseChainFirst(plan, catalog, options, report, rewrite_log, &fused));
+    if (fused) return OptimizeRec(maybe_fused, catalog, options, report, rewrite_log);
   }
   // Children first.
   std::vector<PlanPtr> new_children;
   bool changed = false;
   new_children.reserve(plan->children().size());
   for (const PlanPtr& child : plan->children()) {
-    MDJ_ASSIGN_OR_RETURN(PlanPtr rewritten, OptimizeRec(child, catalog, options, report));
+    MDJ_ASSIGN_OR_RETURN(PlanPtr rewritten,
+                         OptimizeRec(child, catalog, options, report, rewrite_log));
     changed = changed || rewritten != child;
     new_children.push_back(std::move(rewritten));
   }
@@ -90,27 +117,28 @@ Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
     if (options.enable_fusion && current->kind() == PlanKind::kMdJoin) {
       MDJ_ASSIGN_OR_RETURN(accepted,
                            Accept(FuseMdJoinSeries(current), catalog, options,
-                                  "Theorem 4.3 fusion", &current, report));
+                                  "Theorem 4.3 fusion", &current, report, rewrite_log));
       fired |= accepted;
     }
     if (options.enable_cube_rollup && current->kind() == PlanKind::kMdJoin) {
       MDJ_ASSIGN_OR_RETURN(accepted,
                            Accept(ExpandCubeBaseWithRollups(current), catalog, options,
                                   "Theorem 4.5 cube roll-up expansion", &current,
-                                  report));
+                                  report, rewrite_log));
       fired |= accepted;
     }
     if (options.enable_pushdown && current->kind() == PlanKind::kMdJoin) {
       MDJ_ASSIGN_OR_RETURN(accepted,
                            Accept(ApplySelectionPushdown(current), catalog, options,
-                                  "Theorem 4.2 selection pushdown", &current, report));
+                                  "Theorem 4.2 selection pushdown", &current, report,
+                                  rewrite_log));
       fired |= accepted;
     }
     if (options.enable_transfer && current->kind() == PlanKind::kMdJoin) {
       MDJ_ASSIGN_OR_RETURN(accepted,
                            Accept(ApplyBaseSelectionTransfer(current), catalog, options,
                                   "Observation 4.1 selection transfer", &current,
-                                  report));
+                                  report, rewrite_log));
       fired |= accepted;
     }
     if (!fired) break;
@@ -121,9 +149,10 @@ Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
 }  // namespace
 
 Result<PlanPtr> OptimizePlan(const PlanPtr& plan, const Catalog& catalog,
-                             const OptimizeOptions& options, OptimizeReport* report) {
+                             const OptimizeOptions& options, OptimizeReport* report,
+                             std::vector<RewriteRecord>* rewrite_log) {
   if (plan == nullptr) return Status::InvalidArgument("OptimizePlan: null plan");
-  return OptimizeRec(plan, catalog, options, report);
+  return OptimizeRec(plan, catalog, options, report, rewrite_log);
 }
 
 }  // namespace mdjoin

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/query_profile.h"
 #include "optimizer/plan.h"
 
 namespace mdjoin {
@@ -40,9 +41,14 @@ struct OptimizeReport {
 /// "immediately incorporable into present cost- and algebraic-based query
 /// optimizers"). Result equivalence is guaranteed by the rules' theorems and
 /// enforced by the property-test suite.
+/// `rewrite_log`, when non-null, receives one RewriteRecord per rule firing
+/// that produced a candidate plan — accepted or rejected — carrying the
+/// cost-model certificate (estimated work before/after). EXPLAIN ANALYZE
+/// surfaces this log through QueryProfile::rewrites.
 Result<PlanPtr> OptimizePlan(const PlanPtr& plan, const Catalog& catalog,
                              const OptimizeOptions& options = {},
-                             OptimizeReport* report = nullptr);
+                             OptimizeReport* report = nullptr,
+                             std::vector<RewriteRecord>* rewrite_log = nullptr);
 
 }  // namespace mdjoin
 

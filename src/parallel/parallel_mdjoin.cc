@@ -10,6 +10,8 @@
 #include "common/failpoint.h"
 #include "core/detail_scan.h"
 #include "expr/conjuncts.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/morsel_scheduler.h"
 #include "parallel/thread_pool.h"
 
@@ -141,6 +143,9 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
     for (size_t w = 0; w < slots.size(); ++w) {
       tasks.push_back([&, w] {
         WorkerSlot& slot = slots[w];
+        Tracing::SetThreadName("mdjoin worker");
+        Span worker_span("worker.scan", "parallel");
+        worker_span.SetArg("worker", static_cast<int64_t>(w));
         if (MDJ_FAILPOINT("parallel:fragment_error")) {
           slot.status = Status::Internal(
               "worker ", w, " failed (failpoint parallel:fragment_error)");
@@ -151,6 +156,7 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
             std::make_unique<DetailScanWorker>(base, bound, vectorized, guard);
         Status st;
         int64_t last_job = -1;
+        int64_t morsels = 0;
         MorselScheduler::Morsel m;
         while (st.ok() && scheduler.Next(&m)) {
           if (m.job != last_job) {
@@ -158,10 +164,19 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
             slot.worker->BeginJob();
             last_job = m.job;
           }
+          Span morsel_span("morsel", "parallel");
+          morsel_span.SetArg("job", m.job);
+          morsel_span.SetArg("rows", m.hi - m.lo);
+          ++morsels;
           st = jobs[static_cast<size_t>(m.job)].ScanRange(m.lo, m.hi,
                                                           slot.worker.get());
         }
+        if (st.ok()) {
+          // The pull loop ends on a drained poll — the cursor's steal_wait.
+          TraceInstant("steal_wait", "parallel", "worker", static_cast<int64_t>(w));
+        }
         if (st.ok()) st = slot.worker->FinishScan();
+        worker_span.SetArg("morsels", morsels);
         slot.status = st;
         if (!st.ok()) guard->Trip(st);
       });
@@ -175,6 +190,14 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
   // rather than partition skew, which the cursor absorbs by construction).
   stats->morsels_executed = scheduler.dispatched();
   stats->steal_waits = scheduler.steal_waits();
+  {
+    static Counter* c_morsels = MetricsRegistry::Global().GetCounter(
+        "mdjoin_morsels_dispatched_total", "morsels claimed from scan cursors");
+    static Counter* c_steals = MetricsRegistry::Global().GetCounter(
+        "mdjoin_steal_waits_total", "drained cursor polls (workers finding no work)");
+    c_morsels->Increment(stats->morsels_executed);
+    c_steals->Increment(stats->steal_waits);
+  }
   bool first = true;
   for (const WorkerSlot& slot : slots) {
     if (slot.worker == nullptr) continue;
@@ -185,6 +208,8 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
     stats->matched_pairs += s.matched_pairs;
     stats->blocks += s.blocks;
     stats->kernel_invocations += s.kernel_invocations;
+    stats->index_probe_lookups += s.index_probe_lookups;
+    stats->index_probe_memo_hits += s.index_probe_memo_hits;
     if (first || s.detail_rows_scanned < stats->min_worker_detail_rows) {
       stats->min_worker_detail_rows = s.detail_rows_scanned;
     }
@@ -207,6 +232,9 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
     std::vector<std::function<void()>> tasks;
     for (int i = 0; i + step < workers; i += 2 * step) {
       tasks.push_back([&, i, step] {
+        Span merge_span("merge_partials", "parallel");
+        merge_span.SetArg("into", static_cast<int64_t>(i));
+        merge_span.SetArg("from", static_cast<int64_t>(i + step));
         Status st = MergeWorkerPartials(slots[static_cast<size_t>(i)].worker.get(),
                                         *slots[static_cast<size_t>(i + step)].worker,
                                         guard);
@@ -243,6 +271,8 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
     tasks.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       tasks.push_back([&, w] {
+        Span finalize_span("worker.finalize", "parallel");
+        finalize_span.SetArg("worker", static_cast<int64_t>(w));
         GuardTicket ticket(guard, /*count_rows=*/false);
         Status st;
         MorselScheduler::Morsel m;

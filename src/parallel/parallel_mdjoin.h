@@ -18,6 +18,9 @@ struct ParallelMdJoinStats {
   // Vectorized-path counters (zero when workers ran the row path).
   int64_t blocks = 0;
   int64_t kernel_invocations = 0;
+  // Cube-index probe-memo counters summed over workers (see MdJoinStats).
+  int64_t index_probe_lookups = 0;
+  int64_t index_probe_memo_hits = 0;
   // Morsel-scheduler counters. `morsels_executed` is the number of work units
   // actually dispatched (== the schedulable total unless a trip drained the
   // cursor early); `steal_waits` counts cursor polls that found no work —

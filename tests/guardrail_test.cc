@@ -14,6 +14,9 @@
 
 #include "common/failpoint.h"
 #include "common/query_guard.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/trace.h"
 #include "core/generalized.h"
 #include "core/incremental.h"
 #include "core/mdjoin.h"
@@ -119,6 +122,72 @@ TEST_F(GuardrailTest, CancelMidScanParallelPaths) {
     ASSERT_FALSE(result.ok()) << "variant=" << variant;
     EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << "variant=" << variant;
   }
+}
+
+TEST_F(GuardrailTest, CancelledQueryProfileStillWellFormed) {
+  // A query tripped mid-scan must still leave a coherent observability
+  // record: a profile tree with partial counts, a non-ok terminal event, a
+  // guard-trip instant in the trace, and a guard-trip counter increment.
+  Table sales = testutil::RandomSales(49, 2000);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("Sales", &sales).ok());
+  PlanPtr base =
+      DistinctPlan(ProjectPlan(TableRef("Sales"), {{Col("cust"), "cust"}}));
+  PlanPtr plan = MdJoinPlan(base, TableRef("Sales"), {Count("n")}, CustTheta());
+
+  QueryGuardOptions guard_options;
+  guard_options.check_stride = 64;
+  QueryGuard guard(guard_options);
+  MdJoinOptions options;
+  options.guard = &guard;
+  // Every executor node gate evaluates the failpoint too (five plan nodes),
+  // then the scan's entry check: skipping ten lands the cancel a few strides
+  // into the detail scan, with partial counts already accumulated.
+  FailpointRegistry::Global()->Enable("query_guard:cancel", /*count=*/1,
+                                      /*skip=*/10);
+
+  Counter* trips = MetricsRegistry::Global().GetCounter("mdjoin_guard_trips_total");
+  Counter* cancelled =
+      MetricsRegistry::Global().GetCounter("mdjoin_guard_trips_cancelled_total");
+  const int64_t trips_before = trips->value();
+  const int64_t cancelled_before = cancelled->value();
+
+  Tracing::Start();
+  QueryProfile profile;
+  Result<Table> result = ExplainAnalyze(plan, catalog, options, &profile);
+  Tracing::Stop();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  // The profile is well-formed despite the failure.
+  ASSERT_NE(profile.root, nullptr);
+  EXPECT_FALSE(profile.complete);
+  EXPECT_NE(profile.terminal, "ok");
+  EXPECT_NE(profile.terminal.find("Cancelled"), std::string::npos);
+  EXPECT_GE(profile.total_ms, 0);
+  // Partial scan counts from the strides that ran before the trip.
+  EXPECT_TRUE(profile.root->is_mdjoin);
+  EXPECT_GT(profile.root->detail_rows_scanned, 0);
+  EXPECT_LT(profile.root->detail_rows_scanned, sales.num_rows());
+  // The base subtree completed before the join started scanning.
+  ASSERT_EQ(profile.root->children.size(), 2u);
+  EXPECT_GT(profile.root->children[0]->output_rows, 0);
+  // Rendering still works and carries the terminal event.
+  std::string text = profile.ToText();
+  EXPECT_NE(text.find("terminal: "), std::string::npos);
+  EXPECT_NE(text.find("Cancelled"), std::string::npos);
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"complete\": false"), std::string::npos);
+  EXPECT_NE(json.find("Cancelled"), std::string::npos);
+
+  // The trip surfaced as a trace instant and a counter increment.
+  EXPECT_EQ(trips->value(), trips_before + 1);
+  EXPECT_EQ(cancelled->value(), cancelled_before + 1);
+  bool saw_trip = false;
+  for (const TraceEvent& e : Tracing::Snapshot()) {
+    if (std::string(e.name) == "guard_trip") saw_trip = true;
+  }
+  EXPECT_TRUE(saw_trip);
 }
 
 TEST_F(GuardrailTest, DeadlineExpires) {

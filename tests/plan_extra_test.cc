@@ -8,7 +8,6 @@
 #include "optimizer/cost.h"
 #include "optimizer/executor.h"
 #include "optimizer/plan.h"
-#include "optimizer/profile.h"
 #include "table/table_ops.h"
 #include "tests/test_util.h"
 
@@ -120,8 +119,8 @@ TEST_F(PlanExtraTest, ProfiledExecutionMatchesPlainAndRecordsTree) {
   ASSERT_TRUE(plain.ok());
   EXPECT_TRUE(TablesEqualOrdered(profiled->table, *plain));
   // The profile tree mirrors the plan tree.
-  ASSERT_EQ(profiled->profile->children.size(), 1u);
-  const ProfileNode& root = *profiled->profile->children[0];
+  ASSERT_NE(profiled->profile.root, nullptr);
+  const OperatorProfile& root = *profiled->profile.root;
   EXPECT_NE(root.label.find("MdJoin"), std::string::npos);
   EXPECT_EQ(root.output_rows, plain->num_rows());
   ASSERT_EQ(root.children.size(), 2u);  // base subtree + detail TableRef
@@ -129,11 +128,18 @@ TEST_F(PlanExtraTest, ProfiledExecutionMatchesPlainAndRecordsTree) {
   EXPECT_GE(root.self_ms, 0);
   double child_ms = root.children[0]->elapsed_ms + root.children[1]->elapsed_ms;
   EXPECT_NEAR(root.self_ms, root.elapsed_ms - child_ms, 1e-9);
+  // The MD-join node carries its scan counters.
+  EXPECT_TRUE(root.is_mdjoin);
+  EXPECT_GT(root.detail_rows_scanned, 0);
+  EXPECT_GT(root.matched_pairs, 0);
+  EXPECT_TRUE(profiled->profile.complete);
+  EXPECT_EQ(profiled->profile.terminal, "ok");
   // Rendering contains every operator.
   std::string text = profiled->ToString();
   EXPECT_NE(text.find("MdJoin"), std::string::npos);
   EXPECT_NE(text.find("Distinct"), std::string::npos);
   EXPECT_NE(text.find("rows="), std::string::npos);
+  EXPECT_NE(text.find("terminal: ok"), std::string::npos);
 }
 
 TEST_F(PlanExtraTest, ExplainLabelsCarryPayload) {

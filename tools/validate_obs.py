@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts of one instrumented CLI run.
+
+Usage:
+    validate_obs.py --trace TRACE.json [--metrics METRICS.json]
+                    [--explain EXPLAIN.txt] [--schema obs_schema.json]
+                    [--min-tracks N] [--expect-parallel]
+
+Checks, in order:
+  1. The trace file parses and conforms to tools/obs_schema.json (full
+     jsonschema validation when the module is available, a structural
+     fallback otherwise).
+  2. The trace's content is a real engine run: per-thread tracks with
+     thread_name metadata, morsel spans inside worker.scan spans, and (with
+     --expect-parallel) steal_wait instants plus at least --min-tracks
+     distinct event tracks.
+  3. The metrics dump (--metrics, JSON form) carries the MD-join scan
+     counters with coherent values (scanned >= qualified,
+     candidates >= matched).
+  4. The EXPLAIN ANALYZE output (--explain) shows an annotated per-operator
+     plan that reached a terminal event.
+
+Exit code 0 when everything holds; 1 with a list of failures otherwise.
+Used by the CI observability job; handy locally after any change to the
+trace/metrics emitters.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ERRORS = []
+
+
+def fail(msg):
+    ERRORS.append(msg)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+    return cond
+
+
+def validate_schema(trace, schema_path):
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except OSError as e:
+        fail(f"cannot read schema {schema_path}: {e}")
+        return
+    try:
+        import jsonschema
+    except ImportError:
+        # Structural fallback mirroring the schema's hard requirements.
+        if not check(isinstance(trace, dict) and "traceEvents" in trace,
+                     "trace: missing top-level traceEvents"):
+            return
+        for i, e in enumerate(trace["traceEvents"]):
+            ctx = f"trace: event {i}"
+            check(isinstance(e, dict), f"{ctx}: not an object")
+            for key in ("name", "ph", "pid", "tid"):
+                check(key in e, f"{ctx}: missing '{key}'")
+            ph = e.get("ph")
+            check(ph in ("X", "i", "M"), f"{ctx}: bad ph {ph!r}")
+            if ph == "X":
+                check("ts" in e and "dur" in e, f"{ctx}: X event without ts/dur")
+                check(e.get("dur", 0) >= 0, f"{ctx}: negative duration")
+            elif ph == "i":
+                check("ts" in e, f"{ctx}: instant without ts")
+            elif ph == "M":
+                check(e.get("name") == "thread_name",
+                      f"{ctx}: unexpected metadata {e.get('name')!r}")
+                check("name" in e.get("args", {}),
+                      f"{ctx}: thread_name without args.name")
+        return
+    try:
+        jsonschema.validate(trace, schema)
+    except jsonschema.ValidationError as e:
+        fail(f"trace: schema violation at {list(e.absolute_path)}: {e.message}")
+
+
+def validate_trace_content(trace, min_tracks, expect_parallel):
+    events = trace.get("traceEvents", [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    meta = [e for e in events if e.get("ph") == "M"]
+
+    check(spans, "trace: no spans at all")
+    names = {e["name"] for e in spans}
+    check("scan_range" in names, "trace: no scan_range span (detail scan untraced)")
+
+    named_tracks = {e["tid"] for e in meta}
+    event_tracks = {e["tid"] for e in spans + instants}
+    check(event_tracks <= named_tracks or not meta,
+          f"trace: events on unnamed tracks {sorted(event_tracks - named_tracks)}")
+
+    if expect_parallel:
+        check("morsel" in names, "trace: no morsel spans (parallel scan untraced)")
+        check("worker.scan" in names, "trace: no worker.scan spans")
+        check(any(e["name"] == "steal_wait" for e in instants),
+              "trace: no steal_wait instants")
+        check(len(event_tracks) >= min_tracks,
+              f"trace: {len(event_tracks)} event track(s), want >= {min_tracks}")
+        # Morsel spans nest inside their worker's scan span on the same track.
+        worker_tids = {e["tid"] for e in spans if e["name"] == "worker.scan"}
+        morsel_tids = {e["tid"] for e in spans if e["name"] == "morsel"}
+        check(morsel_tids <= worker_tids,
+              "trace: morsel spans on tracks without a worker.scan span")
+
+
+REQUIRED_COUNTERS = [
+    "mdjoin_detail_rows_scanned_total",
+    "mdjoin_detail_rows_qualified_total",
+    "mdjoin_candidate_pairs_total",
+    "mdjoin_matched_pairs_total",
+]
+
+
+def validate_metrics(path, expect_parallel):
+    try:
+        with open(path) as f:
+            metrics = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"metrics: cannot load {path}: {e}")
+        return
+    for name in REQUIRED_COUNTERS:
+        check(name in metrics, f"metrics: missing {name}")
+        if isinstance(metrics.get(name), (int, float)):
+            check(metrics[name] >= 0, f"metrics: negative {name}")
+    scanned = metrics.get("mdjoin_detail_rows_scanned_total", 0)
+    qualified = metrics.get("mdjoin_detail_rows_qualified_total", 0)
+    cand = metrics.get("mdjoin_candidate_pairs_total", 0)
+    matched = metrics.get("mdjoin_matched_pairs_total", 0)
+    check(scanned > 0, "metrics: no detail rows scanned — did the query run?")
+    check(scanned >= qualified, "metrics: qualified > scanned")
+    check(cand >= matched, "metrics: matched > candidate pairs")
+    if expect_parallel:
+        check(metrics.get("mdjoin_morsels_dispatched_total", 0) > 0,
+              "metrics: no morsels dispatched in a parallel run")
+
+
+def validate_explain(path):
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"explain: cannot read {path}: {e}")
+        return
+    check("MdJoin" in text, "explain: no MdJoin operator in the annotated plan")
+    check("rows=" in text, "explain: no row annotations")
+    check("terminal: " in text, "explain: no terminal event line")
+    check("terminal: ok" in text, "explain: query did not finish ok")
+    check("scanned=" in text, "explain: MD-join node missing scan counters")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", required=True)
+    parser.add_argument("--metrics")
+    parser.add_argument("--explain")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "obs_schema.json"))
+    parser.add_argument("--min-tracks", type=int, default=2)
+    parser.add_argument("--expect-parallel", action="store_true")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: trace: cannot load {args.trace}: {e}")
+        return 1
+
+    validate_schema(trace, args.schema)
+    validate_trace_content(trace, args.min_tracks, args.expect_parallel)
+    if args.metrics:
+        validate_metrics(args.metrics, args.expect_parallel)
+    if args.explain:
+        validate_explain(args.explain)
+
+    if ERRORS:
+        for e in ERRORS:
+            print(f"FAIL: {e}")
+        return 1
+    n = len(trace.get("traceEvents", []))
+    print(f"OK: {n} trace events validated"
+          + (", metrics coherent" if args.metrics else "")
+          + (", explain-analyze well-formed" if args.explain else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
