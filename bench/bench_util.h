@@ -62,7 +62,10 @@ inline ExprPtr DimsTheta(const std::vector<std::string>& dims) {
 
 /// Console reporter that additionally collects one machine-readable record
 /// per benchmark run for the harness: name, rows (the "detail_rows" counter
-/// when the bench sets it), ns/op, and detail-row throughput.
+/// when the bench sets it), ns/op, detail-row throughput — plus every
+/// user counter the bench set (latency percentiles, shed fractions, QPS,
+/// cache hit counts, ...), so bench drivers can publish arbitrary
+/// experiment-specific measurements through the same BENCH_*.json pipeline.
 class JsonCollectingReporter : public ::benchmark::ConsoleReporter {
  public:
   struct Record {
@@ -70,6 +73,8 @@ class JsonCollectingReporter : public ::benchmark::ConsoleReporter {
     double rows = 0;
     double ns_per_op = 0;
     double rows_per_sec = 0;
+    /// All user counters of the run, verbatim (includes "detail_rows").
+    std::map<std::string, double> counters;
   };
 
   void ReportRuns(const std::vector<Run>& reports) override {
@@ -83,6 +88,9 @@ class JsonCollectingReporter : public ::benchmark::ConsoleReporter {
       const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1;
       rec.ns_per_op = run.real_accumulated_time / iters * 1e9;
       rec.rows_per_sec = rec.ns_per_op > 0 ? rec.rows * 1e9 / rec.ns_per_op : 0;
+      for (const auto& [name, counter] : run.counters) {
+        rec.counters[name] = counter.value;
+      }
       records_.push_back(std::move(rec));
     }
   }
@@ -112,9 +120,13 @@ inline bool WriteBenchJson(const std::string& path,
     const auto& r = records[i];
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"rows\": %.0f, \"ns_per_op\": %.1f, "
-                 "\"rows_per_sec\": %.1f, \"git_sha\": \"%s\", "
-                 "\"timestamp\": \"%s\"}%s\n",
-                 r.name.c_str(), r.rows, r.ns_per_op, r.rows_per_sec, MDJOIN_GIT_SHA,
+                 "\"rows_per_sec\": %.1f",
+                 r.name.c_str(), r.rows, r.ns_per_op, r.rows_per_sec);
+    for (const auto& [name, value] : r.counters) {
+      if (name == "detail_rows") continue;  // already published as "rows"
+      std::fprintf(f, ", \"%s\": %.3f", name.c_str(), value);
+    }
+    std::fprintf(f, ", \"git_sha\": \"%s\", \"timestamp\": \"%s\"}%s\n", MDJOIN_GIT_SHA,
                  timestamp.c_str(), i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

@@ -5,6 +5,7 @@
 ///                      [--emf] [--explain] [--optimize] [--explain-analyze]
 ///                      [--trace-out=FILE] [--metrics-out=FILE]
 ///                      [--timeout-ms N] [--memory-limit BYTES[k|m|g]]
+///                      [--server-sim N] [--sim-queries M]
 ///                      'select ... analyze by ...'
 ///
 /// --timeout-ms and --memory-limit attach a QueryGuard to the run: the query
@@ -22,11 +23,27 @@
 ///                       spans, steal waits, merge tree, guard trips.
 ///   --metrics-out=FILE  dump the process metrics registry after the run
 ///                       (Prometheus text, or JSON when FILE ends in .json).
+///
+/// Query service simulation (docs/OPERATOR.md §11):
+///   --server-sim N      instead of executing the query once, open N
+///                       concurrent sessions on a QueryService and run the
+///                       query --sim-queries times from each, through
+///                       admission control and the result cache. Prints an
+///                       admission/cache summary (ok / shed / failed counts,
+///                       cache hit mix, latency percentiles). --timeout-ms,
+///                       --memory-limit and --threads become the per-query
+///                       session overrides. Combine with --metrics-out to
+///                       dump the server metric catalog after the run.
+///   --sim-queries M     queries per simulated session (default 4).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -116,6 +133,89 @@ bool WriteTextFile(const std::string& path, const std::string& contents) {
   return std::fclose(f) == 0 && written == contents.size();
 }
 
+/// --server-sim: drives the bound query plan through a QueryService from
+/// `sessions` concurrent sessions (`queries_per_session` queries each) and
+/// prints an admission/cache summary instead of result rows. Per-query
+/// overrides come from the --timeout-ms / --memory-limit / --threads flags.
+int RunServerSim(const Catalog& catalog, const PlanPtr& plan, int sessions,
+                 int queries_per_session, const QueryGuardOptions& guard_options,
+                 int num_threads) {
+  QueryServiceOptions service_options;
+  SessionQueryOptions query_options;
+  if (guard_options.timeout_ms > 0) query_options.timeout_ms = guard_options.timeout_ms;
+  if (guard_options.memory_hard_limit_bytes > 0) {
+    query_options.memory_bytes = guard_options.memory_hard_limit_bytes;
+  }
+  query_options.threads = num_threads;
+
+  QueryService service(catalog, service_options);
+  std::vector<std::unique_ptr<Session>> handles;
+  for (int i = 0; i < sessions; ++i) {
+    handles.push_back(service.OpenSession("sim" + std::to_string(i)));
+  }
+
+  Mutex mu;
+  int64_t ok = 0, shed = 0, failed = 0;
+  int64_t hits = 0, rollup_hits = 0, misses = 0;
+  std::vector<int64_t> latency_us, queue_wait_ms;
+  std::string first_error;
+  std::vector<std::thread> clients;
+  for (int i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      for (int q = 0; q < queries_per_session; ++q) {
+        const auto start = std::chrono::steady_clock::now();
+        Result<QueryResult> result = handles[i]->Execute(plan, query_options);
+        const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        MutexLock lock(mu);
+        if (result.ok()) {
+          ++ok;
+          latency_us.push_back(us);
+          queue_wait_ms.push_back(result->stats.queue_wait_ms);
+          switch (result->stats.cache) {
+            case CacheOutcome::kHit: ++hits; break;
+            case CacheOutcome::kRollupHit: ++rollup_hits; break;
+            case CacheOutcome::kMiss: ++misses; break;
+            case CacheOutcome::kDisabled: break;
+          }
+        } else if (result.status().IsResourceExhausted()) {
+          ++shed;
+        } else {
+          ++failed;
+          if (first_error.empty()) first_error = result.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  handles.clear();
+
+  auto percentile = [](std::vector<int64_t>& v, double p) -> int64_t {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    const size_t idx = std::min(v.size() - 1,
+                                static_cast<size_t>(p * static_cast<double>(v.size())));
+    return v[idx];
+  };
+  std::printf("server-sim: %d sessions x %d queries\n", sessions, queries_per_session);
+  std::printf("  ok=%lld shed=%lld failed=%lld\n", static_cast<long long>(ok),
+              static_cast<long long>(shed), static_cast<long long>(failed));
+  std::printf("  cache: hit=%lld rollup_hit=%lld miss=%lld\n",
+              static_cast<long long>(hits), static_cast<long long>(rollup_hits),
+              static_cast<long long>(misses));
+  std::printf("  latency_ms: p50=%.1f p99=%.1f  queue_wait_ms: p99=%lld\n",
+              static_cast<double>(percentile(latency_us, 0.50)) / 1000.0,
+              static_cast<double>(percentile(latency_us, 0.99)) / 1000.0,
+              static_cast<long long>(percentile(queue_wait_ms, 0.99)));
+  if (failed > 0) {
+    std::fprintf(stderr, "error: %lld queries failed; first: %s\n",
+                 static_cast<long long>(failed), first_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunDemo() {
   std::printf("no arguments: running the built-in demo on generated data\n\n");
   SalesConfig config;
@@ -163,6 +263,7 @@ int main(int argc, char** argv) {
   QueryGuardOptions guard_options;
   int num_threads = 1;
   int64_t morsel_size = 0;
+  int server_sim = 0, sim_queries = 4;
   std::string query, trace_out, metrics_out;
   // `--flag=value` spelling for the output-path flags.
   auto eq_value = [](const char* arg, const char* flag, std::string* out) {
@@ -214,6 +315,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --threads wants a positive integer\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--server-sim") == 0 && i + 1 < argc) {
+      server_sim = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (server_sim < 1) {
+        std::fprintf(stderr, "error: --server-sim wants a positive session count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sim-queries") == 0 && i + 1 < argc) {
+      sim_queries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (sim_queries < 1) {
+        std::fprintf(stderr, "error: --sim-queries wants a positive integer\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--morsel-size") == 0 && i + 1 < argc) {
       morsel_size = std::strtoll(argv[++i], nullptr, 10);
       if (morsel_size < 0) {
@@ -235,6 +348,7 @@ int main(int argc, char** argv) {
                  "[--metrics-out=FILE] "
                  "[--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
                  "[--threads N] [--morsel-size ROWS] "
+                 "[--server-sim N] [--sim-queries M] "
                  "'query'\n",
                  argv[0]);
     return 2;
@@ -267,6 +381,41 @@ int main(int argc, char** argv) {
     plan = *optimized;
   }
   if (explain) std::printf("plan:\n%s\n", ExplainPlan(plan).c_str());
+  // Stops tracing and writes the trace/metrics dumps requested on the
+  // command line; shared by the single-query and --server-sim paths.
+  auto dump_observability = [&]() -> bool {
+    if (!trace_out.empty()) {
+      Tracing::Stop();
+      if (!ChromeTraceWriter::WriteFile(trace_out)) {
+        std::fprintf(stderr, "error: could not write trace to %s\n", trace_out.c_str());
+        return false;
+      }
+    }
+    if (!metrics_out.empty()) {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      const bool json = metrics_out.size() >= 5 &&
+                        metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+      if (!WriteTextFile(metrics_out, json ? registry.RenderJson()
+                                           : registry.RenderText())) {
+        std::fprintf(stderr, "error: could not write metrics to %s\n",
+                     metrics_out.c_str());
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (server_sim > 0) {
+    // The service optimizes (canonicalizes) plans itself, so hand it the
+    // bound plan as-is; --optimize only affects the single-query path.
+    if (!trace_out.empty()) Tracing::Start();
+    const int rc =
+        RunServerSim(catalog, bound->plan, server_sim, sim_queries, guard_options,
+                     num_threads);
+    if (!dump_observability()) return 2;
+    return rc;
+  }
+
   const bool guarded = guard_options.timeout_ms > 0 ||
                        guard_options.memory_hard_limit_bytes > 0;
   QueryGuard guard(guard_options);
@@ -279,24 +428,7 @@ int main(int argc, char** argv) {
   Result<Table> result =
       explain_analyze ? ExplainAnalyze(plan, catalog, md_options, &profile)
                       : ExecutePlanCse(plan, catalog, md_options);
-  if (!trace_out.empty()) {
-    Tracing::Stop();
-    if (!ChromeTraceWriter::WriteFile(trace_out)) {
-      std::fprintf(stderr, "error: could not write trace to %s\n", trace_out.c_str());
-      return 2;
-    }
-  }
-  if (!metrics_out.empty()) {
-    MetricsRegistry& registry = MetricsRegistry::Global();
-    const bool json = metrics_out.size() >= 5 &&
-                      metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
-    if (!WriteTextFile(metrics_out, json ? registry.RenderJson()
-                                         : registry.RenderText())) {
-      std::fprintf(stderr, "error: could not write metrics to %s\n",
-                   metrics_out.c_str());
-      return 2;
-    }
-  }
+  if (!dump_observability()) return 2;
   // The profile of a failed/cancelled run is still well-formed (partial
   // counts + terminal status), so print it before the exit-code logic.
   if (explain_analyze) std::printf("%s", profile.ToText().c_str());

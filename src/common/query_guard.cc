@@ -48,8 +48,54 @@ void RecordTrip(const Status& status) {
 
 }  // namespace
 
+Status QueryGuardOptions::Validate() const {
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("QueryGuardOptions: negative timeout_ms ",
+                                   timeout_ms, " (0 means no deadline)");
+  }
+  if (timeout_ms > kMaxTimeoutMs) {
+    return Status::InvalidArgument("QueryGuardOptions: timeout_ms ", timeout_ms,
+                                   " overflows the deadline clock (max ",
+                                   kMaxTimeoutMs, ")");
+  }
+  if (memory_budget_bytes < 0) {
+    return Status::InvalidArgument("QueryGuardOptions: negative memory_budget_bytes ",
+                                   memory_budget_bytes, " (0 means off)");
+  }
+  if (memory_hard_limit_bytes < 0) {
+    return Status::InvalidArgument(
+        "QueryGuardOptions: negative memory_hard_limit_bytes ",
+        memory_hard_limit_bytes, " (0 means unlimited)");
+  }
+  if (memory_budget_bytes > 0 && memory_hard_limit_bytes > 0 &&
+      memory_budget_bytes > memory_hard_limit_bytes) {
+    return Status::InvalidArgument(
+        "QueryGuardOptions: soft memory budget ", memory_budget_bytes,
+        " exceeds hard limit ", memory_hard_limit_bytes,
+        " — degradation could never engage before the hard failure");
+  }
+  if (max_detail_rows < 0) {
+    return Status::InvalidArgument("QueryGuardOptions: negative max_detail_rows ",
+                                   max_detail_rows, " (0 means off)");
+  }
+  if (max_candidate_pairs < 0) {
+    return Status::InvalidArgument("QueryGuardOptions: negative max_candidate_pairs ",
+                                   max_candidate_pairs, " (0 means off)");
+  }
+  if (check_stride < 1) {
+    return Status::InvalidArgument("QueryGuardOptions: check_stride ", check_stride,
+                                   " must be >= 1");
+  }
+  return Status::OK();
+}
+
 QueryGuard::QueryGuard(const QueryGuardOptions& options)
-    : options_(options), start_(std::chrono::steady_clock::now()) {}
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  // Invalid budgets fail the query at its first Check() instead of silently
+  // wrapping (a negative budget used to read as "off"; an overflowing
+  // timeout used to wrap the deadline into the past).
+  if (Status valid = options_.Validate(); !valid.ok()) Trip(std::move(valid));
+}
 
 void QueryGuard::Cancel() {
   Trip(Status::Cancelled("query cancelled by caller"));

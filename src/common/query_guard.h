@@ -14,20 +14,30 @@ namespace mdjoin {
 
 /// Limits enforced by a QueryGuard. Every limit defaults to "off" (0), so a
 /// default-constructed guard only supports cooperative cancellation.
+///
+/// Negative or overflow-prone values are *invalid*, not "off": call
+/// Validate() before handing options to a guard (the admission layer does),
+/// or rely on the QueryGuard constructor, which latches a Validate() failure
+/// as an immediate kInvalidArgument trip so the query fails on its first
+/// Check() instead of silently wrapping a budget around zero.
 struct QueryGuardOptions {
-  /// Wall-clock deadline relative to guard construction; 0 = no deadline.
+  /// Wall-clock deadline relative to guard construction, in milliseconds.
+  /// 0 = off (no deadline). Capped by Validate() at kMaxTimeoutMs so the
+  /// deadline arithmetic cannot overflow steady_clock's nanosecond range.
   int64_t timeout_ms = 0;
 
-  /// Soft memory budget. The classic MD-join path reacts to pressure against
-  /// this budget by *degrading to multi-pass* (Theorem 4.1: lower
-  /// base_rows_per_pass, pay extra scans of R) instead of failing.
+  /// Soft memory budget in bytes; 0 = off. The classic MD-join path reacts
+  /// to pressure against this budget by *degrading to multi-pass* (Theorem
+  /// 4.1: lower base_rows_per_pass, pay extra scans of R) instead of
+  /// failing. When both budgets are set, must be <= memory_hard_limit_bytes.
   int64_t memory_budget_bytes = 0;
 
-  /// Hard memory ceiling: a reservation that would cross it fails with
-  /// kResourceExhausted. 0 = unlimited.
+  /// Hard memory ceiling in bytes: a reservation that would cross it fails
+  /// with kResourceExhausted. 0 = off (unlimited).
   int64_t memory_hard_limit_bytes = 0;
 
-  /// Budget on detail rows scanned (summed across fragments/passes); 0 = off.
+  /// Budget on detail rows scanned (summed across fragments/passes);
+  /// 0 = off.
   int64_t max_detail_rows = 0;
 
   /// Budget on candidate (b, t) pairs tested; 0 = off.
@@ -36,7 +46,20 @@ struct QueryGuardOptions {
   /// Hot loops consult the guard every `check_stride` detail rows, so a
   /// cancel/deadline is observed within one stride per worker. 4096 keeps the
   /// overhead of the per-row countdown under ~2% on the scan benches.
+  /// Must be >= 1 (there is no "off": a non-positive stride would make the
+  /// GuardTicket countdown wrap).
   int64_t check_stride = 4096;
+
+  /// Upper bound Validate() places on timeout_ms: ~31 years. Far beyond any
+  /// real deadline, yet small enough that start + milliseconds(timeout_ms)
+  /// stays inside steady_clock's int64 nanosecond representation.
+  static constexpr int64_t kMaxTimeoutMs = 1'000'000'000'000;
+
+  /// Rejects option sets that a guard could not enforce faithfully: any
+  /// negative limit, timeout_ms > kMaxTimeoutMs (deadline arithmetic would
+  /// overflow), check_stride < 1, or a soft memory budget above the hard
+  /// limit. OK means every field is either off (0) or a usable bound.
+  Status Validate() const;
 };
 
 /// Per-query resource governor threaded through the execution stack via

@@ -1,6 +1,7 @@
 #ifndef MDJOIN_COMMON_THREAD_ANNOTATIONS_H_
 #define MDJOIN_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -89,6 +90,15 @@ class CondVar {
   template <typename Predicate>
   void Wait(MutexLock& lock, Predicate pred) {
     cv_.wait(lock.native(), pred);
+  }
+
+  /// Timed wait: returns the predicate's value at wakeup — false means the
+  /// deadline passed with the predicate still false. Used by queued admission
+  /// waiters whose query deadline may expire before budget frees up.
+  template <typename Predicate>
+  bool WaitUntil(MutexLock& lock, std::chrono::steady_clock::time_point deadline,
+                 Predicate pred) {
+    return cv_.wait_until(lock.native(), deadline, pred);
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -55,6 +55,9 @@
 #include "ra/group_by.h"
 #include "ra/join.h"
 #include "ra/project.h"
+#include "server/admission.h"
+#include "server/query_service.h"
+#include "server/result_cache.h"
 #include "table/clustered_index.h"
 #include "table/csv.h"
 #include "table/table.h"

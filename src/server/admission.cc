@@ -1,0 +1,385 @@
+#include "server/admission.h"
+
+#include <cstdlib>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mdjoin {
+
+namespace {
+
+/// Cached instrument pointers for the admission metrics (docs/OPERATOR.md
+/// §11). Function-local statics so each site pays the registry lookup once.
+Counter* AdmittedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_server_admitted_total", "queries admitted past admission control");
+  return c;
+}
+Counter* ShedQueueFullCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_server_shed_queue_full_total",
+      "queries shed because the admission queue was full");
+  return c;
+}
+Counter* ShedDeadlineCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_server_shed_deadline_total",
+      "queries shed because their deadline expired before admission");
+  return c;
+}
+Counter* ShedUnsatisfiableCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_server_shed_unsatisfiable_total",
+      "queries shed because they exceed the total budgets outright");
+  return c;
+}
+Gauge* QueueDepthGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge(
+      "mdjoin_server_queue_depth", "requests currently queued for admission");
+  return g;
+}
+Gauge* MemoryInUseGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge(
+      "mdjoin_server_memory_in_use_bytes",
+      "bytes of the shared pool held by admitted queries and the result cache");
+  return g;
+}
+Gauge* ThreadsInUseGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge(
+      "mdjoin_server_threads_in_use", "thread tokens held by admitted queries");
+  return g;
+}
+Histogram* WaitHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "mdjoin_server_admission_wait_ms",
+      {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000},
+      "wall-clock milliseconds queries spent queued before admission");
+  return h;
+}
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+bool HasDeadline(const AdmissionRequest& request) {
+  return request.deadline.time_since_epoch().count() != 0;
+}
+
+bool CancelRaised(const AdmissionRequest& request) {
+  return request.cancelled != nullptr &&
+         request.cancelled->load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AdmissionTicket
+// ---------------------------------------------------------------------------
+
+void AdmissionTicket::Release() {
+  if (controller_ == nullptr) return;
+  AdmissionController* controller = controller_;
+  controller_ = nullptr;
+  controller->Release(memory_bytes_, threads_);
+}
+
+QueryGuardOptions AdmissionTicket::MintGuardOptions(int64_t timeout_ms) const {
+  QueryGuardOptions options;
+  options.timeout_ms = timeout_ms > 0 ? timeout_ms : 0;
+  // The minted budget is both the soft budget (the engine degrades to
+  // multi-pass under pressure, Theorem 4.1) and the hard ceiling (crossing
+  // it fails the query rather than the process).
+  options.memory_budget_bytes = memory_bytes_;
+  options.memory_hard_limit_bytes = memory_bytes_;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+AdmissionController::AdmissionController(const Options& options) : options_(options) {
+  MDJ_CHECK(options_.total_memory_bytes >= 1)
+      << "AdmissionController: total_memory_bytes must be >= 1";
+  MDJ_CHECK(options_.total_threads >= 1)
+      << "AdmissionController: total_threads must be >= 1";
+  MDJ_CHECK(options_.max_queue_depth >= 0)
+      << "AdmissionController: max_queue_depth must be >= 0";
+  // Pre-register every admission instrument so a metrics dump carries the
+  // full catalog (at zero) even when a run never sheds or queues — the
+  // validate_obs.py --expect-server contract.
+  AdmittedCounter();
+  ShedQueueFullCounter();
+  ShedDeadlineCounter();
+  ShedUnsatisfiableCounter();
+  QueueDepthGauge();
+  MemoryInUseGauge();
+  ThreadsInUseGauge();
+  WaitHistogram();
+}
+
+AdmissionController::~AdmissionController() {
+  MutexLock lock(mu_);
+  MDJ_CHECK(num_waiters_ == 0)
+      << "AdmissionController destroyed with queued waiters";
+}
+
+void AdmissionController::SetMemoryReclaimer(MemoryReclaimer reclaimer) {
+  reclaimer_ = std::move(reclaimer);
+}
+
+bool AdmissionController::FitsLocked(int64_t memory_bytes, int threads) const {
+  return memory_in_use_ + memory_bytes <= options_.total_memory_bytes &&
+         threads_in_use_ + threads <= options_.total_threads;
+}
+
+AdmissionController::Waiter* AdmissionController::HeadWaiterLocked() {
+  if (round_robin_.empty()) return nullptr;
+  return queues_[round_robin_.front()].front();
+}
+
+bool AdmissionController::DrainQueueLocked() {
+  bool any = false;
+  while (Waiter* head = HeadWaiterLocked()) {
+    if (!FitsLocked(head->memory_bytes, head->threads)) break;
+    memory_in_use_ += head->memory_bytes;
+    threads_in_use_ += head->threads;
+    head->admitted = true;
+    auto it = queues_.find(head->tenant);
+    it->second.pop_front();
+    round_robin_.pop_front();
+    if (it->second.empty()) {
+      queues_.erase(it);
+    } else {
+      round_robin_.push_back(head->tenant);  // round-robin across tenants
+    }
+    --num_waiters_;
+    any = true;
+  }
+  if (any) {
+    QueueDepthGauge()->Set(num_waiters_);
+    MemoryInUseGauge()->Set(memory_in_use_);
+    ThreadsInUseGauge()->Set(threads_in_use_);
+  }
+  return any;
+}
+
+void AdmissionController::RemoveWaiterLocked(Waiter* w) {
+  auto it = queues_.find(w->tenant);
+  if (it == queues_.end()) return;
+  std::deque<Waiter*>& q = it->second;
+  for (auto qit = q.begin(); qit != q.end(); ++qit) {
+    if (*qit == w) {
+      q.erase(qit);
+      --num_waiters_;
+      break;
+    }
+  }
+  if (q.empty()) {
+    queues_.erase(it);
+    for (auto rit = round_robin_.begin(); rit != round_robin_.end(); ++rit) {
+      if (*rit == w->tenant) {
+        round_robin_.erase(rit);
+        break;
+      }
+    }
+    // The new head may fit where the removed waiter did not.
+    if (DrainQueueLocked()) wake_.NotifyAll();
+  }
+  QueueDepthGauge()->Set(num_waiters_);
+}
+
+Status AdmissionController::ShedQueueFull(int depth) const {
+  const int64_t retry_ms = options_.retry_after_base_ms * (1 + depth);
+  return Status::ResourceExhausted(
+      "admission queue full (depth ", depth, " of max ", options_.max_queue_depth,
+      "); overloaded — retry_after_ms=", retry_ms);
+}
+
+int64_t AdmissionController::RetryAfterHintMs(const Status& status) {
+  static constexpr char kTag[] = "retry_after_ms=";
+  const std::string& message = status.message();
+  const size_t pos = message.find(kTag);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(message.c_str() + pos + sizeof(kTag) - 1, nullptr, 10);
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(const AdmissionRequest& request) {
+  if (request.memory_bytes < 1) {
+    return Status::InvalidArgument("AdmissionRequest: memory_bytes must be >= 1, got ",
+                                   request.memory_bytes);
+  }
+  if (request.threads < 1) {
+    return Status::InvalidArgument("AdmissionRequest: threads must be >= 1, got ",
+                                   request.threads);
+  }
+  // A request beyond the total budgets can never be admitted; shed it with
+  // no retry hint (retrying cannot help).
+  if (request.memory_bytes > options_.total_memory_bytes ||
+      request.threads > options_.total_threads) {
+    ShedUnsatisfiableCounter()->Increment();
+    return Status::ResourceExhausted(
+        "request exceeds total budgets (asked ", request.memory_bytes, " bytes / ",
+        request.threads, " threads; totals ", options_.total_memory_bytes, " / ",
+        options_.total_threads, ") and can never be admitted");
+  }
+  if (HasDeadline(request) && std::chrono::steady_clock::now() >= request.deadline) {
+    ShedDeadlineCounter()->Increment();
+    TraceInstant("admission_shed", "deadline");
+    return Status::DeadlineExceeded(
+        "deadline expired before admission; no engine work was started");
+  }
+  if (CancelRaised(request)) {
+    return Status::Cancelled("query cancelled before admission");
+  }
+
+  // Failpoint "server:admit": pretend the budget did not fit so the request
+  // takes the queue path even on an idle controller (deterministic coverage
+  // of queueing, deadline-while-queued, and fairness).
+  const bool force_queue = MDJ_FAILPOINT("server:admit");
+
+  if (!force_queue) {
+    MutexLock lock(mu_);
+    if (num_waiters_ == 0 && FitsLocked(request.memory_bytes, request.threads)) {
+      memory_in_use_ += request.memory_bytes;
+      threads_in_use_ += request.threads;
+      MemoryInUseGauge()->Set(memory_in_use_);
+      ThreadsInUseGauge()->Set(threads_in_use_);
+      AdmittedCounter()->Increment();
+      WaitHistogram()->Observe(0);
+      return AdmissionTicket(this, request.memory_bytes, request.threads, 0);
+    }
+  }
+
+  // Memory shortfall: let the result cache give bytes back before queueing.
+  // The reclaimer runs without the controller lock (it takes the cache's own
+  // lock and re-enters via ReleaseChargedBytes).
+  if (!force_queue && reclaimer_ != nullptr) {
+    int64_t shortfall = 0;
+    {
+      MutexLock lock(mu_);
+      shortfall = memory_in_use_ + request.memory_bytes - options_.total_memory_bytes;
+    }
+    if (shortfall > 0) {
+      reclaimer_(shortfall);
+      MutexLock lock(mu_);
+      if (num_waiters_ == 0 && FitsLocked(request.memory_bytes, request.threads)) {
+        memory_in_use_ += request.memory_bytes;
+        threads_in_use_ += request.threads;
+        MemoryInUseGauge()->Set(memory_in_use_);
+        ThreadsInUseGauge()->Set(threads_in_use_);
+        AdmittedCounter()->Increment();
+        WaitHistogram()->Observe(0);
+        return AdmissionTicket(this, request.memory_bytes, request.threads, 0);
+      }
+    }
+  }
+
+  // Queue path.
+  Waiter waiter;
+  waiter.tenant = request.tenant;
+  waiter.memory_bytes = request.memory_bytes;
+  waiter.threads = request.threads;
+  waiter.enqueued = std::chrono::steady_clock::now();
+
+  MutexLock lock(mu_);
+  if (num_waiters_ >= options_.max_queue_depth || MDJ_FAILPOINT("server:shed")) {
+    ShedQueueFullCounter()->Increment();
+    TraceInstant("admission_shed", "queue_full");
+    return ShedQueueFull(num_waiters_);
+  }
+  std::deque<Waiter*>& q = queues_[waiter.tenant];
+  if (q.empty()) round_robin_.push_back(waiter.tenant);
+  q.push_back(&waiter);
+  ++num_waiters_;
+  QueueDepthGauge()->Set(num_waiters_);
+  // The new arrival may be the head and fit right away (e.g. force_queue on
+  // an idle controller).
+  if (DrainQueueLocked()) wake_.NotifyAll();
+
+  // Evaluated with mu_ held (CondVar::Wait re-acquires before checking);
+  // `waiter` lives on this stack frame and is only mutated under mu_.
+  const auto pred = [&] { return waiter.admitted || CancelRaised(request); };
+  while (!waiter.admitted) {
+    if (HasDeadline(request)) {
+      if (!wake_.WaitUntil(lock, request.deadline, pred)) {
+        // Deadline passed while queued; the engine never starts.
+        RemoveWaiterLocked(&waiter);
+        ShedDeadlineCounter()->Increment();
+        TraceInstant("admission_shed", "deadline");
+        return Status::DeadlineExceeded("deadline expired after ",
+                                        ElapsedMs(waiter.enqueued),
+                                        "ms queued for admission; no engine work "
+                                        "was started");
+      }
+    } else {
+      wake_.Wait(lock, pred);
+    }
+    if (!waiter.admitted && CancelRaised(request)) {
+      RemoveWaiterLocked(&waiter);
+      return Status::Cancelled("query cancelled while queued for admission");
+    }
+  }
+  waiter.queue_wait_ms = ElapsedMs(waiter.enqueued);
+  AdmittedCounter()->Increment();
+  WaitHistogram()->Observe(waiter.queue_wait_ms);
+  return AdmissionTicket(this, waiter.memory_bytes, waiter.threads,
+                         waiter.queue_wait_ms);
+}
+
+void AdmissionController::Release(int64_t memory_bytes, int threads) {
+  bool admitted_any = false;
+  {
+    MutexLock lock(mu_);
+    memory_in_use_ -= memory_bytes;
+    threads_in_use_ -= threads;
+    MemoryInUseGauge()->Set(memory_in_use_);
+    ThreadsInUseGauge()->Set(threads_in_use_);
+    admitted_any = DrainQueueLocked();
+  }
+  if (admitted_any) wake_.NotifyAll();
+}
+
+bool AdmissionController::TryChargeBytes(int64_t bytes) {
+  if (bytes < 0) return false;
+  MutexLock lock(mu_);
+  if (memory_in_use_ + bytes > options_.total_memory_bytes) return false;
+  memory_in_use_ += bytes;
+  MemoryInUseGauge()->Set(memory_in_use_);
+  return true;
+}
+
+void AdmissionController::ReleaseChargedBytes(int64_t bytes) {
+  if (bytes <= 0) return;
+  bool admitted_any = false;
+  {
+    MutexLock lock(mu_);
+    memory_in_use_ -= bytes;
+    MemoryInUseGauge()->Set(memory_in_use_);
+    admitted_any = DrainQueueLocked();
+  }
+  if (admitted_any) wake_.NotifyAll();
+}
+
+void AdmissionController::WakeAll() { wake_.NotifyAll(); }
+
+int64_t AdmissionController::memory_in_use() const {
+  MutexLock lock(mu_);
+  return memory_in_use_;
+}
+
+int AdmissionController::threads_in_use() const {
+  MutexLock lock(mu_);
+  return threads_in_use_;
+}
+
+int AdmissionController::queue_depth() const {
+  MutexLock lock(mu_);
+  return num_waiters_;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,230 @@
+#ifndef MDJOIN_SERVER_ADMISSION_H_
+#define MDJOIN_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/query_guard.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace mdjoin {
+
+class AdmissionController;
+
+/// RAII admission ticket: the memory bytes and thread tokens one admitted
+/// query holds against the controller's global budgets. Releasing (or just
+/// destroying — including during stack unwinding when a query crashes) puts
+/// the budget back and wakes queued waiters, so budget can never leak past
+/// the scope that acquired it. Movable, not copyable.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  AdmissionTicket(AdmissionTicket&& other) noexcept { *this = std::move(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      memory_bytes_ = other.memory_bytes_;
+      threads_ = other.threads_;
+      queue_wait_ms_ = other.queue_wait_ms_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Returns the held budget to the controller; idempotent.
+  void Release();
+
+  bool valid() const { return controller_ != nullptr; }
+  int64_t memory_bytes() const { return memory_bytes_; }
+  int threads() const { return threads_; }
+
+  /// Wall-clock time this admission spent queued (0 on the fast path).
+  int64_t queue_wait_ms() const { return queue_wait_ms_; }
+
+  /// Mints the per-query QueryGuardOptions this ticket funds: the ticket's
+  /// memory bytes become both the guard's soft budget (degrade to
+  /// multi-pass) and its hard ceiling, and `timeout_ms` (0 = none) becomes
+  /// the deadline. The result always passes QueryGuardOptions::Validate().
+  QueryGuardOptions MintGuardOptions(int64_t timeout_ms) const;
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, int64_t memory_bytes, int threads,
+                  int64_t queue_wait_ms)
+      : controller_(controller),
+        memory_bytes_(memory_bytes),
+        threads_(threads),
+        queue_wait_ms_(queue_wait_ms) {}
+
+  AdmissionController* controller_ = nullptr;
+  int64_t memory_bytes_ = 0;
+  int threads_ = 0;
+  int64_t queue_wait_ms_ = 0;
+};
+
+/// One query's resource ask, presented to AdmissionController::Admit.
+struct AdmissionRequest {
+  /// Fairness key: queued requests are served FIFO *within* a tenant and
+  /// round-robin *across* tenants, so one chatty tenant cannot starve the
+  /// rest of the queue.
+  std::string tenant = "default";
+
+  /// Memory bytes to mint for the query's guard. Must be >= 1 (an admitted
+  /// query with no budget could not be accounted).
+  int64_t memory_bytes = 1;
+
+  /// Worker-thread tokens the query will use (MdJoinOptions::num_threads).
+  int threads = 1;
+
+  /// Absolute deadline; a zero (default-constructed) time_point means none.
+  /// A request whose deadline has already passed — or passes while queued —
+  /// is shed with kDeadlineExceeded before any engine work runs.
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// Optional cooperative-cancel flag (e.g. the session's). A queued waiter
+  /// observing it leaves the queue with kCancelled; pair with
+  /// AdmissionController::WakeAll() from the cancelling thread.
+  const std::atomic<bool>* cancelled = nullptr;
+};
+
+/// Global admission control across concurrent queries: one shared memory
+/// pool and one shared thread-token pool, a bounded FIFO wait queue with
+/// per-tenant round-robin fairness, and overload shedding.
+///
+/// Admission outcomes:
+///  - admit: budget fits (and nobody is queued ahead) — returns an RAII
+///    AdmissionTicket;
+///  - queue: budget does not fit — the caller blocks, FIFO per tenant,
+///    round-robin across tenants;
+///  - shed (kResourceExhausted): the queue is at max_queue_depth, or the
+///    request could never fit the total budgets. The status message carries
+///    a machine-readable `retry_after_ms=N` hint (RetryAfterHintMs parses
+///    it) sized to the current queue depth;
+///  - shed (kDeadlineExceeded): the request's deadline expired before
+///    admission — pre-queue or while queued — so the engine never runs.
+///
+/// Head-of-line blocking is deliberate: a large request at the head of the
+/// fairness order waits until enough budget frees instead of being jumped by
+/// smaller requests behind it, which is what makes queueing starvation-free
+/// (every release wakes the queue; tickets are RAII so budget always comes
+/// back).
+///
+/// The controller's memory pool is also the result cache's backing store:
+/// the cache charges entries through TryChargeBytes/ReleaseChargedBytes, and
+/// a reclaimer callback (SetMemoryReclaimer) lets admission shrink the cache
+/// before queueing a query that does not fit.
+///
+/// Failpoints: "server:admit" forces the next admission onto the queue path
+/// even when budget is free; "server:shed" sheds the next queue attempt as
+/// if the queue were full.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Total memory pool shared by all admitted queries plus the result
+    /// cache. Must be >= 1.
+    int64_t total_memory_bytes = int64_t{1} << 30;
+
+    /// Total worker-thread tokens across admitted queries. Must be >= 1.
+    int total_threads = 8;
+
+    /// Bound on queued (not yet admitted) requests across all tenants;
+    /// arrivals beyond it are shed. Must be >= 0 (0 = never queue).
+    int max_queue_depth = 64;
+
+    /// Base of the shed retry-after hint; the hint scales with queue depth.
+    int64_t retry_after_base_ms = 25;
+  };
+
+  explicit AdmissionController(const Options& options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until the request is admitted, its deadline expires, its cancel
+  /// flag is raised, or it is shed. See the class comment for outcomes.
+  Result<AdmissionTicket> Admit(const AdmissionRequest& request) MDJ_EXCLUDES(mu_);
+
+  /// Bytes reclaimable on demand (the result cache): called *without* the
+  /// controller lock when an arriving request does not fit, with the
+  /// shortfall in bytes; returns the bytes actually freed.
+  using MemoryReclaimer = std::function<int64_t(int64_t bytes_needed)>;
+  void SetMemoryReclaimer(MemoryReclaimer reclaimer) MDJ_EXCLUDES(mu_);
+
+  /// Non-blocking charge against the shared memory pool (cache entries).
+  /// Never evicts or queues — returns false when the bytes do not fit.
+  bool TryChargeBytes(int64_t bytes) MDJ_EXCLUDES(mu_);
+
+  /// Returns bytes charged via TryChargeBytes and wakes queued waiters.
+  void ReleaseChargedBytes(int64_t bytes) MDJ_EXCLUDES(mu_);
+
+  /// Wakes every queued waiter so it can re-check its cancel flag.
+  void WakeAll();
+
+  const Options& options() const { return options_; }
+  int64_t memory_in_use() const MDJ_EXCLUDES(mu_);
+  int threads_in_use() const MDJ_EXCLUDES(mu_);
+  int queue_depth() const MDJ_EXCLUDES(mu_);
+
+  /// Parses the `retry_after_ms=N` hint out of a shed status message;
+  /// returns -1 when the status carries none.
+  static int64_t RetryAfterHintMs(const Status& status);
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Waiter {
+    std::string tenant;
+    int64_t memory_bytes = 0;
+    int threads = 0;
+    bool admitted = false;
+    int64_t queue_wait_ms = 0;  // filled at admission
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  /// Releases a ticket's budget (RAII path).
+  void Release(int64_t memory_bytes, int threads) MDJ_EXCLUDES(mu_);
+
+  bool FitsLocked(int64_t memory_bytes, int threads) const MDJ_REQUIRES(mu_);
+
+  /// Admits eligible queued waiters in fairness order until the head does
+  /// not fit. Returns true if anyone was admitted (callers then NotifyAll).
+  bool DrainQueueLocked() MDJ_REQUIRES(mu_);
+
+  /// Removes `w` from its tenant queue (give-up paths: deadline, cancel).
+  void RemoveWaiterLocked(Waiter* w) MDJ_REQUIRES(mu_);
+
+  Waiter* HeadWaiterLocked() MDJ_REQUIRES(mu_);
+
+  Status ShedQueueFull(int depth) const;
+
+  const Options options_;
+  MemoryReclaimer reclaimer_;  // set once, before concurrent use
+
+  mutable Mutex mu_;
+  CondVar wake_;
+  int64_t memory_in_use_ MDJ_GUARDED_BY(mu_) = 0;
+  int threads_in_use_ MDJ_GUARDED_BY(mu_) = 0;
+  int num_waiters_ MDJ_GUARDED_BY(mu_) = 0;
+  /// FIFO queue per tenant plus the round-robin order of tenants that have
+  /// waiters; the "head" waiter is the front of round_robin_.front()'s queue.
+  std::map<std::string, std::deque<Waiter*>> queues_ MDJ_GUARDED_BY(mu_);
+  std::deque<std::string> round_robin_ MDJ_GUARDED_BY(mu_);
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_SERVER_ADMISSION_H_

@@ -2,13 +2,14 @@
 """Validates the observability artifacts of one instrumented CLI run.
 
 Usage:
-    validate_obs.py --trace TRACE.json [--metrics METRICS.json]
+    validate_obs.py [--trace TRACE.json] [--metrics METRICS.json]
                     [--explain EXPLAIN.txt] [--schema obs_schema.json]
-                    [--min-tracks N] [--expect-parallel]
+                    [--min-tracks N] [--expect-parallel] [--expect-server]
 
+At least one artifact flag (--trace / --metrics / --explain) is required.
 Checks, in order:
-  1. The trace file parses and conforms to tools/obs_schema.json (full
-     jsonschema validation when the module is available, a structural
+  1. The trace file (--trace) parses and conforms to tools/obs_schema.json
+     (full jsonschema validation when the module is available, a structural
      fallback otherwise).
   2. The trace's content is a real engine run: per-thread tracks with
      thread_name metadata, morsel spans inside worker.scan spans, and (with
@@ -16,13 +17,16 @@ Checks, in order:
      distinct event tracks.
   3. The metrics dump (--metrics, JSON form) carries the MD-join scan
      counters with coherent values (scanned >= qualified,
-     candidates >= matched).
+     candidates >= matched). With --expect-server, additionally requires
+     every query-service metric named in the schema's serverMetrics annex,
+     with coherent values (queries admitted, cache outcomes summing to at
+     most the query count, gauges drained back to zero).
   4. The EXPLAIN ANALYZE output (--explain) shows an annotated per-operator
      plan that reached a terminal event.
 
 Exit code 0 when everything holds; 1 with a list of failures otherwise.
-Used by the CI observability job; handy locally after any change to the
-trace/metrics emitters.
+Used by the CI observability and service-stress jobs; handy locally after
+any change to the trace/metrics emitters or the server metric catalog.
 """
 
 import argparse
@@ -118,7 +122,52 @@ REQUIRED_COUNTERS = [
 ]
 
 
-def validate_metrics(path, expect_parallel):
+def server_metric_names(schema_path):
+    """The query-service metric catalog from the schema's serverMetrics annex."""
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"metrics: cannot read serverMetrics annex from {schema_path}: {e}")
+        return []
+    names = schema.get("serverMetrics", {}).get("names", [])
+    check(names, f"metrics: {schema_path} has no serverMetrics.names annex")
+    return names
+
+
+def validate_server_metrics(metrics, schema_path):
+    for name in server_metric_names(schema_path):
+        check(name in metrics, f"metrics: missing server metric {name}")
+
+    def scalar(name):
+        v = metrics.get(name, 0)
+        return v if isinstance(v, (int, float)) else 0
+
+    admitted = scalar("mdjoin_server_admitted_total")
+    queries = scalar("mdjoin_server_queries_total")
+    check(queries > 0, "metrics: no queries went through the service")
+    check(admitted > 0, "metrics: service ran queries but admitted none")
+    # Every query ends as exactly one cache outcome (or ran with the cache
+    # off), so the outcomes can never outnumber the queries.
+    outcomes = (scalar("mdjoin_server_cache_hit_total")
+                + scalar("mdjoin_server_cache_rollup_hit_total")
+                + scalar("mdjoin_server_cache_miss_total"))
+    check(outcomes <= queries, "metrics: cache outcomes exceed query count")
+    # A histogram renders as an object; its count is the number of admission
+    # waits measured, which admitted queries (fast path included) all record.
+    wait = metrics.get("mdjoin_server_admission_wait_ms")
+    if isinstance(wait, dict):
+        check(wait.get("count", 0) >= admitted,
+              "metrics: admission wait histogram missing admitted queries")
+    # In-use gauges must drain back to zero once the run is over — a nonzero
+    # residue means a ticket/guard leak.
+    for gauge in ("mdjoin_server_queue_depth", "mdjoin_server_memory_in_use_bytes",
+                  "mdjoin_server_threads_in_use", "mdjoin_server_queries_active",
+                  "mdjoin_server_sessions_open"):
+        check(scalar(gauge) == 0, f"metrics: {gauge} did not drain to 0 after the run")
+
+
+def validate_metrics(path, expect_parallel, expect_server, schema_path):
     try:
         with open(path) as f:
             metrics = json.load(f)
@@ -139,6 +188,8 @@ def validate_metrics(path, expect_parallel):
     if expect_parallel:
         check(metrics.get("mdjoin_morsels_dispatched_total", 0) > 0,
               "metrics: no morsels dispatched in a parallel run")
+    if expect_server:
+        validate_server_metrics(metrics, schema_path)
 
 
 def validate_explain(path):
@@ -157,7 +208,7 @@ def validate_explain(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trace", required=True)
+    parser.add_argument("--trace")
     parser.add_argument("--metrics")
     parser.add_argument("--explain")
     parser.add_argument("--schema",
@@ -165,19 +216,24 @@ def main():
                                              "obs_schema.json"))
     parser.add_argument("--min-tracks", type=int, default=2)
     parser.add_argument("--expect-parallel", action="store_true")
+    parser.add_argument("--expect-server", action="store_true")
     args = parser.parse_args()
+    if not (args.trace or args.metrics or args.explain):
+        parser.error("nothing to validate: pass --trace, --metrics, or --explain")
 
-    try:
-        with open(args.trace) as f:
-            trace = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"FAIL: trace: cannot load {args.trace}: {e}")
-        return 1
-
-    validate_schema(trace, args.schema)
-    validate_trace_content(trace, args.min_tracks, args.expect_parallel)
+    trace = None
+    if args.trace:
+        try:
+            with open(args.trace) as f:
+                trace = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL: trace: cannot load {args.trace}: {e}")
+            return 1
+        validate_schema(trace, args.schema)
+        validate_trace_content(trace, args.min_tracks, args.expect_parallel)
     if args.metrics:
-        validate_metrics(args.metrics, args.expect_parallel)
+        validate_metrics(args.metrics, args.expect_parallel, args.expect_server,
+                         args.schema)
     if args.explain:
         validate_explain(args.explain)
 
@@ -185,10 +241,15 @@ def main():
         for e in ERRORS:
             print(f"FAIL: {e}")
         return 1
-    n = len(trace.get("traceEvents", []))
-    print(f"OK: {n} trace events validated"
-          + (", metrics coherent" if args.metrics else "")
-          + (", explain-analyze well-formed" if args.explain else ""))
+    parts = []
+    if trace is not None:
+        parts.append(f"{len(trace.get('traceEvents', []))} trace events validated")
+    if args.metrics:
+        parts.append("metrics coherent"
+                     + (" (incl. server catalog)" if args.expect_server else ""))
+    if args.explain:
+        parts.append("explain-analyze well-formed")
+    print("OK: " + ", ".join(parts))
     return 0
 
 
