@@ -113,6 +113,7 @@ void BM_StaticVsMorselSkew(benchmark::State& state) {
       static_cast<double>(stats.max_worker_detail_rows);
   state.counters["scan_work_multiplier"] =
       static_cast<double>(stats.total_detail_rows_scanned) / kSkewRows;
+  bench::TagConfig(state, options);
 }
 BENCHMARK(BM_StaticVsMorselSkew)
     ->ArgPair(0, 0)

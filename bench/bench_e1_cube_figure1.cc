@@ -116,6 +116,65 @@ BENCHMARK(BM_CubeExecutionMode)
     ->ArgsProduct({{200000, 1000000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+/// The raw-speed ladder on the 2-D cube. arg1 picks the arm:
+///   0 baseline_pr2 — the vectorized scan as PR 2 shipped it: no SIMD
+///     kernels, no dictionary/flat columns, θ through the closure tree.
+///   1 scalar_full  — all current machinery pinned to the scalar SIMD level
+///     (isolates the algorithmic wins from the instruction-set win).
+///   2 auto_full    — best available SIMD level; the headline arm. The
+///     acceptance bar is ≥1.5× over arm 0 at 1M rows.
+///   3 auto_pred    — auto_full plus detail-only predicates (a
+///     dictionary-coded string test and a sale range), so the compare
+///     kernels, dense-block path, and fused predicate+aggregate path all
+///     fire; fused_blocks/dense_blocks counters make that visible.
+///   4 baseline_pred — arm 3's θ under arm 0's configuration: the paired
+///     baseline for the predicated A/B (same query, closure-tree string
+///     compares and Value-cell updates instead of code compares + kernels).
+void BM_CubeRawSpeed(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int arm = static_cast<int>(state.range(1));
+  const Table& sales = CachedSales(rows, 100, 50, 12);
+  std::vector<std::string> dims = {"prod", "month"};
+  Table base = *CubeByBase(sales, dims);
+  ExprPtr theta = DimsTheta(dims);
+  if (arm == 3 || arm == 4) {
+    theta = dsl::And(std::move(theta),
+                     dsl::Ne(dsl::RCol("state"), dsl::Lit("CA")),
+                     dsl::Gt(dsl::RCol("sale"), dsl::Lit(25.0)));
+  }
+  std::vector<AggSpec> aggs = {Sum(dsl::RCol("sale"), "total"), Count("n"),
+                               Min(dsl::RCol("sale"), "lo"),
+                               Max(dsl::RCol("sale"), "hi"),
+                               Avg(dsl::RCol("sale"), "mean")};
+  MdJoinOptions options;
+  options.execution_mode = ExecutionMode::kVectorized;
+  if (arm == 0 || arm == 4) {
+    options.simd = simd::Backend::kScalar;
+    options.use_flat_columns = false;
+    options.theta_bytecode = false;
+  } else if (arm == 1) {
+    options.simd = simd::Backend::kScalar;
+  }
+  MdJoinStats stats;
+  for (auto _ : state) {
+    Table cube = *MdJoin(base, sales, aggs, theta, options, &stats);
+    benchmark::DoNotOptimize(cube.num_rows());
+  }
+  state.counters["arm"] = arm;
+  state.counters["base_rows"] = static_cast<double>(base.num_rows());
+  state.counters["detail_rows"] = static_cast<double>(rows);
+  state.counters["dense_blocks"] = static_cast<double>(stats.dense_blocks);
+  state.counters["fused_blocks"] = static_cast<double>(stats.fused_blocks);
+  state.counters["kernel_invocations"] =
+      static_cast<double>(stats.kernel_invocations);
+  state.counters["probe_memo_hits"] =
+      static_cast<double>(stats.index_probe_memo_hits);
+  bench::TagConfig(state, options);
+}
+BENCHMARK(BM_CubeRawSpeed)
+    ->ArgsProduct({{200000, 1000000}, {0, 1, 2, 3, 4}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GroupingSetsViaSameOperator(benchmark::State& state) {
   // The decoupling payoff: switching the group definition (cube → unpivot
   // marginals, the [GFC98] use case) changes only the base table.

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
+#include "core/mdjoin.h"
 #include "expr/conjuncts.h"
 #include "expr/expr.h"
 #include "workload/generators.h"
@@ -101,6 +103,19 @@ class JsonCollectingReporter : public ::benchmark::ConsoleReporter {
   std::vector<Record> records_;
 };
 
+/// Publishes an arm's raw-speed configuration as cfg_* counters;
+/// WriteBenchJson folds them into the record's "config" block instead of the
+/// flat counter list. Call once per benchmark, after the options are final —
+/// a record without cfg_* counters is reported at the library defaults
+/// (best available SIMD level, dictionary and bytecode on).
+inline void TagConfig(::benchmark::State& state, const MdJoinOptions& options) {
+  Result<simd::Level> level = simd::ResolveBackend(options.simd);
+  state.counters["cfg_simd_level"] =
+      level.ok() ? static_cast<double>(*level) : -1.0;
+  state.counters["cfg_dict"] = options.use_flat_columns ? 1.0 : 0.0;
+  state.counters["cfg_bytecode"] = options.theta_bytecode ? 1.0 : 0.0;
+}
+
 /// The git revision the bench binary was built from, injected by
 /// bench/CMakeLists.txt at configure time ("unknown" outside a git tree).
 #ifndef MDJOIN_GIT_SHA
@@ -124,8 +139,24 @@ inline bool WriteBenchJson(const std::string& path,
                  r.name.c_str(), r.rows, r.ns_per_op, r.rows_per_sec);
     for (const auto& [name, value] : r.counters) {
       if (name == "detail_rows") continue;  // already published as "rows"
+      if (name.rfind("cfg_", 0) == 0) continue;  // folded into "config" below
       std::fprintf(f, ", \"%s\": %.3f", name.c_str(), value);
     }
+    // The arm's raw-speed configuration (TagConfig). Untagged records ran at
+    // the library defaults: kAuto resolves to the best level on this host.
+    double level_d = static_cast<double>(simd::BestLevel());
+    double dict_d = 1.0, bytecode_d = 1.0;
+    if (auto c = r.counters.find("cfg_simd_level"); c != r.counters.end())
+      level_d = c->second;
+    if (auto c = r.counters.find("cfg_dict"); c != r.counters.end()) dict_d = c->second;
+    if (auto c = r.counters.find("cfg_bytecode"); c != r.counters.end())
+      bytecode_d = c->second;
+    std::fprintf(f, ", \"config\": {\"simd\": \"%s\", \"dictionary\": %s, "
+                 "\"theta_bytecode\": %s}",
+                 level_d < 0 ? "unavailable"
+                             : simd::LevelName(static_cast<simd::Level>(
+                                   static_cast<int>(level_d))),
+                 dict_d != 0 ? "true" : "false", bytecode_d != 0 ? "true" : "false");
     std::fprintf(f, ", \"git_sha\": \"%s\", \"timestamp\": \"%s\"}%s\n", MDJOIN_GIT_SHA,
                  timestamp.c_str(), i + 1 < records.size() ? "," : "");
   }

@@ -5,6 +5,7 @@
 ///                      [--emf] [--explain] [--optimize] [--explain-analyze]
 ///                      [--trace-out=FILE] [--metrics-out=FILE]
 ///                      [--timeout-ms N] [--memory-limit BYTES[k|m|g]]
+///                      [--simd auto|scalar|avx2|neon]
 ///                      [--server-sim N] [--sim-queries M]
 ///                      'select ... analyze by ...'
 ///
@@ -263,6 +264,7 @@ int main(int argc, char** argv) {
   QueryGuardOptions guard_options;
   int num_threads = 1;
   int64_t morsel_size = 0;
+  simd::Backend simd_backend = simd::Backend::kAuto;
   int server_sim = 0, sim_queries = 4;
   std::string query, trace_out, metrics_out;
   // `--flag=value` spelling for the output-path flags.
@@ -327,6 +329,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --sim-queries wants a positive integer\n");
         return 2;
       }
+    } else if (std::string simd_spec;
+               eq_value(argv[i], "--simd", &simd_spec) ||
+               (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc &&
+                (simd_spec = argv[++i], true))) {
+      if (!simd::ParseBackend(simd_spec, &simd_backend)) {
+        std::fprintf(stderr,
+                     "error: --simd wants auto, scalar, avx2, or neon (got '%s')\n",
+                     simd_spec.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--morsel-size") == 0 && i + 1 < argc) {
       morsel_size = std::strtoll(argv[++i], nullptr, 10);
       if (morsel_size < 0) {
@@ -347,7 +359,7 @@ int main(int argc, char** argv) {
                  "[--optimize] [--explain-analyze] [--trace-out=FILE] "
                  "[--metrics-out=FILE] "
                  "[--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
-                 "[--threads N] [--morsel-size ROWS] "
+                 "[--threads N] [--morsel-size ROWS] [--simd auto|scalar|avx2|neon] "
                  "[--server-sim N] [--sim-queries M] "
                  "'query'\n",
                  argv[0]);
@@ -423,6 +435,9 @@ int main(int argc, char** argv) {
   if (guarded) md_options.guard = &guard;
   md_options.num_threads = num_threads;
   md_options.morsel_size = morsel_size;
+  // Pinning an unavailable backend fails query compilation with a clear
+  // error, never a silent fallback.
+  md_options.simd = simd_backend;
 
   if (!trace_out.empty()) Tracing::Start();
   Result<Table> result =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "agg/aggregate.h"
+#include "common/logging.h"
 #include "types/value.h"
 
 namespace mdjoin {
@@ -144,6 +145,98 @@ class AggStateColumn {
     }
   }
 
+  /// Typed UpdateMany for a non-null int64 argument cell: semantically
+  /// UpdateMany(groups, n, Value::Int64(x)) but with no Value fabricated and
+  /// no per-call storage-type dispatch — the shape the scan hits when the
+  /// detail column has a typed mirror (table/table_accel.h).
+  void UpdateManyI64(const int64_t* groups, int64_t n, int64_t x) {
+    switch (kind_) {
+      case FlatAggKind::kCount:
+        for (int64_t k = 0; k < n; ++k) ++i64_[static_cast<size_t>(groups[k])];
+        return;
+      case FlatAggKind::kSum: {
+        const double d = static_cast<double>(x);
+        for (int64_t k = 0; k < n; ++k) {
+          const size_t i = static_cast<size_t>(groups[k]);
+          i64_[i] += x;
+          f64_[i] += d;
+          flags_[i] |= kAny;
+        }
+        return;
+      }
+      case FlatAggKind::kMin:
+      case FlatAggKind::kMax:
+        for (int64_t k = 0; k < n; ++k) {
+          UpdateExtremumI64(static_cast<size_t>(groups[k]), x);
+        }
+        return;
+      case FlatAggKind::kAvg: {
+        const double d = static_cast<double>(x);
+        for (int64_t k = 0; k < n; ++k) {
+          const size_t i = static_cast<size_t>(groups[k]);
+          f64_[i] += d;
+          ++i64_[i];
+        }
+        return;
+      }
+      case FlatAggKind::kNone: {
+        const Value v = Value::Int64(x);
+        for (int64_t k = 0; k < n; ++k) {
+          fn_->Update(heap_[static_cast<size_t>(groups[k])].get(), v);
+        }
+        return;
+      }
+    }
+  }
+
+  /// Typed UpdateMany for a non-null float64 argument cell.
+  void UpdateManyF64(const int64_t* groups, int64_t n, double x) {
+    switch (kind_) {
+      case FlatAggKind::kCount:
+        for (int64_t k = 0; k < n; ++k) ++i64_[static_cast<size_t>(groups[k])];
+        return;
+      case FlatAggKind::kSum:
+        for (int64_t k = 0; k < n; ++k) {
+          const size_t i = static_cast<size_t>(groups[k]);
+          f64_[i] += x;
+          flags_[i] |= kAny | kIsFloat;
+        }
+        return;
+      case FlatAggKind::kMin:
+      case FlatAggKind::kMax:
+        for (int64_t k = 0; k < n; ++k) {
+          UpdateExtremumF64(static_cast<size_t>(groups[k]), x);
+        }
+        return;
+      case FlatAggKind::kAvg:
+        for (int64_t k = 0; k < n; ++k) {
+          const size_t i = static_cast<size_t>(groups[k]);
+          f64_[i] += x;
+          ++i64_[i];
+        }
+        return;
+      case FlatAggKind::kNone: {
+        const Value v = Value::Float64(x);
+        for (int64_t k = 0; k < n; ++k) {
+          fn_->Update(heap_[static_cast<size_t>(groups[k])].get(), v);
+        }
+        return;
+      }
+    }
+  }
+
+  /// kCount only: adds a precomputed per-block non-null count (or, for
+  /// count(*), the block's row count) to each group. This is the fused-path
+  /// shape — the block reduces once, then one add per group — and is exact
+  /// because integer addition reassociates freely. Callers must check
+  /// kind() == kCount; other kinds have no block-reducible accumulator.
+  void AddCountMany(const int64_t* groups, int64_t n, int64_t add) {
+    MDJ_DCHECK(kind_ == FlatAggKind::kCount);
+    for (int64_t k = 0; k < n; ++k) i64_[static_cast<size_t>(groups[k])] += add;
+  }
+
+  FlatAggKind kind() const { return kind_; }
+
   /// UpdateCountStar over a candidate list; one branch, then a tight loop.
   void UpdateCountStarMany(const int64_t* groups, int64_t n) {
     if (kind_ == FlatAggKind::kCount) {
@@ -190,6 +283,38 @@ class AggStateColumn {
       c = v.Compare(vals_[i]);
     }
     if (kind_ == FlatAggKind::kMin ? c < 0 : c > 0) vals_[i] = v;
+  }
+
+  /// Typed extremum folds. Identical to UpdateExtremum with an Int64/Float64
+  /// Value, minus the Value until one must be stored. The float compare uses
+  /// strict IEEE < / > — exactly Value::Compare's verdict for doubles, with
+  /// NaN never replacing the incumbent (Compare ranks it "equal").
+  void UpdateExtremumI64(size_t i, int64_t x) {
+    if (!(flags_[i] & kAny)) {
+      flags_[i] = kAny;
+      vals_[i] = Value::Int64(x);
+      return;
+    }
+    if (vals_[i].is_int64()) {
+      const int64_t b = vals_[i].int64();
+      if (kind_ == FlatAggKind::kMin ? x < b : x > b) vals_[i] = Value::Int64(x);
+      return;
+    }
+    UpdateExtremum(i, Value::Int64(x));
+  }
+
+  void UpdateExtremumF64(size_t i, double x) {
+    if (!(flags_[i] & kAny)) {
+      flags_[i] = kAny;
+      vals_[i] = Value::Float64(x);
+      return;
+    }
+    if (vals_[i].is_float64()) {
+      const double b = vals_[i].float64();
+      if (kind_ == FlatAggKind::kMin ? x < b : x > b) vals_[i] = Value::Float64(x);
+      return;
+    }
+    UpdateExtremum(i, Value::Float64(x));
   }
 
   const AggregateFunction* fn_ = nullptr;

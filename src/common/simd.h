@@ -1,0 +1,100 @@
+#ifndef MDJOIN_COMMON_SIMD_H_
+#define MDJOIN_COMMON_SIMD_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mdjoin {
+namespace simd {
+
+/// Instruction-set level a kernel executes at. The scalar level is always
+/// available and is the semantic reference: every wider level must produce
+/// bit-identical masks and reductions (enforced by
+/// tests/simd_kernel_fuzz_test.cc). kAvx2/kNeon are compiled in only on the
+/// matching architecture when the MDJOIN_SIMD CMake option is ON; kAvx2 is
+/// additionally gated on a runtime cpuid check so one binary runs on
+/// pre-AVX2 x86 machines.
+enum class Level {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+};
+
+/// User-facing backend selection (MdJoinOptions::simd, the --simd CLI flag).
+/// kAuto resolves to the best level this build and machine supports.
+enum class Backend {
+  kAuto = 0,
+  kScalar = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// The widest Level usable here (compile-time support ∧ runtime cpu check).
+Level BestLevel();
+
+/// True when `level` can execute on this build + machine.
+bool LevelAvailable(Level level);
+
+const char* LevelName(Level level);    // "scalar" / "neon" / "avx2"
+const char* BackendName(Backend backend);  // adds "auto"
+
+/// Parses "auto" / "scalar" / "avx2" / "neon" (the --simd flag grammar).
+bool ParseBackend(std::string_view name, Backend* out);
+
+/// Resolves a requested backend to an executable level. Pinning a backend the
+/// build or machine cannot run is an error, not a silent fallback, so A/B
+/// arms and bug reports mean what they say.
+Result<Level> ResolveBackend(Backend backend);
+
+/// Comparison operator for the dense compare kernels. Semantics for kLe/kGe
+/// on float64 are !(x > lit) / !(x < lit) — i.e. true when x is NaN —
+/// matching EvalCompare in expr/compile.cc, which maps them through
+/// Value::Compare (NaN compares "equal" there). kEq/kNe/kLt/kGt are plain
+/// IEEE and agree with both formulations.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Dense block compares: bit i of mask[i/64] is set iff x[i] <op> lit.
+/// Lanes past n in the last word are zero. n <= a few thousand (one block).
+void CmpI64(Level level, CmpOp op, const int64_t* x, int n, int64_t lit,
+            uint64_t* mask);
+void CmpF64(Level level, CmpOp op, const double* x, int n, double lit,
+            uint64_t* mask);
+void CmpI32(Level level, CmpOp op, const int32_t* x, int n, int32_t lit,
+            uint64_t* mask);
+
+/// Number of 64-bit words a mask over n lanes occupies.
+inline int MaskWords(int n) { return (n + 63) >> 6; }
+
+/// mask := all lanes [0, n) set.
+void MaskSetAll(uint64_t* mask, int n);
+
+/// mask &= "row is not null" (nulls is a 0/1 byte per lane).
+void MaskAndNotNull(const uint8_t* nulls, int n, uint64_t* mask);
+
+/// mask := "row is not null".
+void MaskFromNotNull(const uint8_t* nulls, int n, uint64_t* mask);
+
+bool MaskAllSet(const uint64_t* mask, int n);
+int MaskCount(const uint64_t* mask, int n);
+
+/// Writes the set lane indices (ascending) into sel; returns how many. The
+/// bitmask → selection-vector boundary of the adaptive dense path.
+int MaskCompress(const uint64_t* mask, int n, uint32_t* sel);
+
+/// Dense reductions. Only exactly-associative operations are offered: int64
+/// sum/min/max and null counting reorder freely without changing results.
+/// float64 sum and float64 min/max are deliberately absent — reassociation
+/// changes f64 sums by ulps and Value::Compare's NaN handling makes float
+/// extremes order-dependent, which would break the bit-identity guarantee
+/// across backends (DESIGN.md §12).
+int64_t SumI64(Level level, const int64_t* x, int n);
+int64_t MinI64(Level level, const int64_t* x, int n);  // requires n > 0
+int64_t MaxI64(Level level, const int64_t* x, int n);  // requires n > 0
+int64_t CountNotNull(Level level, const uint8_t* nulls, int n);
+
+}  // namespace simd
+}  // namespace mdjoin
+
+#endif  // MDJOIN_COMMON_SIMD_H_

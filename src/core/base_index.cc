@@ -1,5 +1,7 @@
 #include "core/base_index.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace mdjoin {
@@ -80,9 +82,70 @@ constexpr int64_t kProbeMemoWarmup = 1 << 13;
 
 }  // namespace
 
-void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scratch,
-                      std::vector<int64_t>* out) const {
+BaseIndex::ProbeResult BaseIndex::ProbeSpan(const Table& detail, int64_t detail_row,
+                                            ProbeScratch* scratch,
+                                            std::vector<int64_t>* gather) const {
   const size_t nkeys = detail_keys_.size();
+  const bool multi = buckets_.size() > 1;
+
+  // Code-key memo: when every key position is a plain column with a typed
+  // mirror, the full detail key encodes into machine words — int64 bits,
+  // float64 bits, or a dictionary code, plus a null-tag word — and a memo
+  // probe is a word hash. No Value is read, no string is hashed, nothing
+  // allocates. (Encoding is injective per position because a flat column has
+  // one storage type; two bit-distinct NaNs memoize separately, each to the
+  // correct — empty — candidate list, since Equals(NaN, NaN) is false.)
+  bool code_memoize = false;
+  if (multi && scratch->memo_enabled) {
+    if (scratch->codeable < 0) {
+      scratch->accel = detail.accel();
+      scratch->codeable = scratch->allow_code_keys && scratch->accel != nullptr;
+      if (scratch->codeable == 1) {
+        for (int col : detail_cols_) {
+          if (col < 0 || !scratch->accel->cols[static_cast<size_t>(col)].flat()) {
+            scratch->codeable = 0;
+            break;
+          }
+        }
+      }
+    }
+    if (scratch->codeable == 1) {
+      scratch->code_key.resize(nkeys + 1);
+      uint64_t null_tag = 0;
+      for (size_t i = 0; i < nkeys; ++i) {
+        const FlatColumn& fc =
+            scratch->accel->cols[static_cast<size_t>(detail_cols_[i])];
+        const size_t r = static_cast<size_t>(detail_row);
+        if (fc.has_nulls && fc.nulls[r]) {
+          null_tag |= uint64_t{1} << i;
+          scratch->code_key[i] = 0;
+        } else if (fc.rep == FlatColumn::Rep::kInt64) {
+          scratch->code_key[i] = static_cast<uint64_t>(fc.i64[r]);
+        } else if (fc.rep == FlatColumn::Rep::kFloat64) {
+          scratch->code_key[i] = std::bit_cast<uint64_t>(fc.f64[r]);
+        } else {
+          scratch->code_key[i] = static_cast<uint64_t>(
+              static_cast<uint32_t>(fc.codes[r]));
+        }
+      }
+      scratch->code_key[nkeys] = null_tag;
+      if (++scratch->memo_lookups == kProbeMemoWarmup &&
+          scratch->memo_hits * 4 < kProbeMemoWarmup) {
+        scratch->memo_enabled = false;
+        scratch->code_memo.clear();
+      } else {
+        auto it = scratch->code_memo.find(
+            CodeKeyView{scratch->code_key.data(), scratch->code_key.size()});
+        if (it != scratch->code_memo.end()) {
+          ++scratch->memo_hits;
+          return ProbeResult{it->second.data(),
+                             static_cast<int64_t>(it->second.size())};
+        }
+        code_memoize = scratch->code_memo.size() < kProbeMemoCap;
+      }
+    }
+  }
+
   // Materialize the detail-side key once per tuple — as pointers. Plain
   // columns alias the cell in place; computed keys evaluate into reused
   // scratch slots.
@@ -112,10 +175,10 @@ void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scr
   // detail key stream repeats — the cube benchmarks have a few hundred
   // distinct (dims) combinations over millions of rows — one memo lookup on
   // the full key replaces all of them. Single-bucket probes are already one
-  // lookup, so the memo would be pure overhead there.
-  size_t memo_from = 0;
-  bool memoize = false;
-  if (buckets_.size() > 1 && scratch->memo_enabled) {
+  // lookup, so the memo would be pure overhead there. Value-keyed memo only
+  // when the code keying above was unavailable.
+  bool value_memoize = false;
+  if (multi && scratch->memo_enabled && scratch->codeable != 1) {
     if (++scratch->memo_lookups == kProbeMemoWarmup &&
         scratch->memo_hits * 4 < kProbeMemoWarmup) {
       // High-cardinality keys: the memo misses its way to the cap. Stop.
@@ -125,14 +188,15 @@ void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scr
       auto it = scratch->memo.find(RowKeyView{scratch->key.data(), nkeys});
       if (it != scratch->memo.end()) {
         ++scratch->memo_hits;
-        out->insert(out->end(), it->second.begin(), it->second.end());
-        return;
+        return ProbeResult{it->second.data(),
+                           static_cast<int64_t>(it->second.size())};
       }
-      memoize = scratch->memo.size() < kProbeMemoCap;
-      memo_from = out->size();
+      value_memoize = scratch->memo.size() < kProbeMemoCap;
     }
   }
 
+  gather->clear();
+  const std::vector<int64_t>* single = nullptr;  // span-able single source
   for (const MaskBucket& bucket : buckets_) {
     // Gather the probe key for this bucket's non-ALL positions.
     scratch->probe.clear();
@@ -154,6 +218,10 @@ void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scr
     if (any_all && wildcard) {
       // Rare path (detail relation containing ALL): the probe key cannot
       // discriminate, walk the whole bucket.
+      if (single != nullptr) {
+        gather->insert(gather->end(), single->begin(), single->end());
+        single = nullptr;
+      }
       for (const auto& [key, row_list] : bucket.map) {
         bool match = true;
         size_t ki = 0;
@@ -163,25 +231,55 @@ void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scr
             break;
           }
         }
-        if (match) out->insert(out->end(), row_list.begin(), row_list.end());
+        if (match) gather->insert(gather->end(), row_list.begin(), row_list.end());
       }
       continue;
     }
     auto it = bucket.map.find(RowKeyView{scratch->probe.data(), scratch->probe.size()});
-    if (it != bucket.map.end()) {
-      out->insert(out->end(), it->second.begin(), it->second.end());
+    if (it == bucket.map.end()) continue;
+    // First hit spans the bucket's list in place; a second hit (cube index)
+    // downgrades to gathering. Single-bucket indexes therefore never copy.
+    if (single == nullptr && gather->empty()) {
+      single = &it->second;
+    } else {
+      if (single != nullptr) {
+        gather->insert(gather->end(), single->begin(), single->end());
+        single = nullptr;
+      }
+      gather->insert(gather->end(), it->second.begin(), it->second.end());
     }
   }
 
-  if (memoize) {
+  ProbeResult result =
+      single != nullptr
+          ? ProbeResult{single->data(), static_cast<int64_t>(single->size())}
+          : ProbeResult{gather->data(), static_cast<int64_t>(gather->size())};
+
+  // Memo inserts store an owned copy and return a span of the stored vector
+  // (node-based map: mapped vectors stay put across rehash).
+  if (code_memoize) {
+    auto [it, inserted] = scratch->code_memo.emplace(
+        scratch->code_key, std::vector<int64_t>(result.rows, result.rows + result.count));
+    return ProbeResult{it->second.data(), static_cast<int64_t>(it->second.size())};
+  }
+  if (value_memoize) {
     RowKey owned;
     owned.reserve(nkeys);
     for (size_t i = 0; i < nkeys; ++i) owned.push_back(*scratch->key[i]);
-    scratch->memo.emplace(std::move(owned),
-                          std::vector<int64_t>(out->begin() +
-                                                   static_cast<int64_t>(memo_from),
-                                               out->end()));
+    auto [it, inserted] = scratch->memo.emplace(
+        std::move(owned), std::vector<int64_t>(result.rows, result.rows + result.count));
+    return ProbeResult{it->second.data(), static_cast<int64_t>(it->second.size())};
   }
+  return result;
+}
+
+void BaseIndex::Probe(const Table& detail, int64_t detail_row, ProbeScratch* scratch,
+                      std::vector<int64_t>* out) const {
+  // ProbeSpan needs a gather buffer that outlives the span; out may already
+  // hold rows the caller wants kept, so gather separately then append.
+  thread_local std::vector<int64_t> gather;
+  ProbeResult r = ProbeSpan(detail, detail_row, scratch, &gather);
+  out->insert(out->end(), r.rows, r.rows + r.count);
 }
 
 void BaseIndex::Probe(const RowCtx& detail_ctx, std::vector<int64_t>* out) const {

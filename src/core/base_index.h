@@ -2,6 +2,7 @@
 #define MDJOIN_CORE_BASE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -10,8 +11,52 @@
 #include "expr/conjuncts.h"
 #include "table/key.h"
 #include "table/table.h"
+#include "table/table_accel.h"
 
 namespace mdjoin {
+
+/// Borrowed view of an encoded probe key for heterogeneous memo lookups
+/// (the code-key analogue of RowKeyView in table/key.h).
+struct CodeKeyView {
+  const uint64_t* data;
+  size_t size;
+};
+
+struct CodeKeyHash {
+  using is_transparent = void;
+  static size_t Mix(const uint64_t* d, size_t n) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < n; ++i) {
+      h ^= d[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+  size_t operator()(const std::vector<uint64_t>& k) const {
+    return Mix(k.data(), k.size());
+  }
+  size_t operator()(const CodeKeyView& k) const { return Mix(k.data, k.size); }
+};
+
+struct CodeKeyEqual {
+  using is_transparent = void;
+  static bool Eq(const uint64_t* a, size_t an, const uint64_t* b, size_t bn) {
+    if (an != bn) return false;
+    for (size_t i = 0; i < an; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  bool operator()(const std::vector<uint64_t>& a,
+                  const std::vector<uint64_t>& b) const {
+    return Eq(a.data(), a.size(), b.data(), b.size());
+  }
+  bool operator()(const std::vector<uint64_t>& a, const CodeKeyView& b) const {
+    return Eq(a.data(), a.size(), b.data, b.size);
+  }
+  bool operator()(const CodeKeyView& a, const std::vector<uint64_t>& b) const {
+    return Eq(a.data, a.size, b.data(), b.size());
+  }
+};
 
 /// Hash index over the base-values relation B for the equi part of a
 /// θ-condition (paper §4.5): given a detail tuple t, Probe() returns a
@@ -47,19 +92,50 @@ class BaseIndex {
     // rows. Keyed on exact values (RowKeyEqual is strict Equals, no wildcard
     // semantics), so it is a pure-function cache. Capped, and abandoned after
     // a warmup window when the key cardinality is too high to pay off.
+    //
+    // Two keyings share the counters and cap. When every key position is a
+    // plain column with a typed mirror, keys encode as one uint64 word per
+    // position — int64 bits, float64 bits, or a dictionary code — plus one
+    // null-tag word, so a memo probe hashes a few machine words and never
+    // touches a string or allocates (`code_memo`). Otherwise keys are owned
+    // Value vectors (`memo`). Only one of the two maps populates per scratch.
     std::unordered_map<RowKey, std::vector<int64_t>, RowKeyHash, RowKeyEqual> memo;
+    std::unordered_map<std::vector<uint64_t>, std::vector<int64_t>, CodeKeyHash,
+                       CodeKeyEqual>
+        code_memo;
+    std::vector<uint64_t> code_key;  // reused encode buffer, nkeys + 1 words
+    int codeable = -1;               // -1 undecided, 0 Value keys, 1 code keys
+    bool allow_code_keys = true;     // cleared by the use_flat_columns=false arm
+    std::shared_ptr<const TableAccel> accel;  // pinned on first probe
     int64_t memo_lookups = 0;
     int64_t memo_hits = 0;
     bool memo_enabled = true;
   };
 
-  /// Appends to `out` every indexed base row whose key θ-matches detail row
-  /// `detail_row`. If some detail key value is ALL (possible when a cuboid
-  /// feeds another MD-join), falls back to an exhaustive wildcard walk.
+  /// A probe result borrowed from index/memo storage: valid until the next
+  /// ProbeSpan call on the same scratch (a later probe may recycle the gather
+  /// buffer or retire the memo). Consume immediately.
+  struct ProbeResult {
+    const int64_t* rows = nullptr;
+    int64_t count = 0;
+    bool empty() const { return count == 0; }
+  };
+
+  /// Returns every indexed base row whose key θ-matches detail row
+  /// `detail_row`, as a span. Single-bucket hits and memo hits alias index /
+  /// memo storage directly — no per-probe copying; only multi-bucket misses
+  /// gather through `gather` (clobbered). If some detail key value is ALL
+  /// (possible when a cuboid feeds another MD-join), falls back to an
+  /// exhaustive wildcard walk.
   ///
   /// Plain-column detail keys are read straight from the column (no Value
   /// copy, no closure call) and buckets are probed through RowKeyView
   /// heterogeneous lookup, so the per-tuple cost is hashing alone.
+  ProbeResult ProbeSpan(const Table& detail, int64_t detail_row,
+                        ProbeScratch* scratch, std::vector<int64_t>* gather) const;
+
+  /// Appends the ProbeSpan result to `out` (copying wrapper for callers that
+  /// want to own the list).
   void Probe(const Table& detail, int64_t detail_row, ProbeScratch* scratch,
              std::vector<int64_t>* out) const;
 

@@ -9,9 +9,15 @@
 namespace mdjoin {
 
 Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_schema,
-                                   const Schema& detail_schema,
-                                   const MdJoinOptions& options, bool vectorized) {
+                                   const Table& detail, const MdJoinOptions& options,
+                                   bool vectorized) {
   CompiledTheta ct;
+  // Resolve the SIMD backend up front so a pinned-but-unavailable backend is
+  // a query compile error in every mode, never a silent fallback mid-scan.
+  MDJ_ASSIGN_OR_RETURN(ct.level, simd::ResolveBackend(options.simd));
+  ct.use_flat = options.use_flat_columns;
+  if (ct.use_flat) ct.accel = detail.accel();
+  const Schema& detail_schema = detail.schema();
   if (!parts.base_only.empty()) {
     MDJ_ASSIGN_OR_RETURN(ct.base_pred,
                          CompileExpr(CombineConjuncts(parts.base_only), &base_schema,
@@ -25,7 +31,8 @@ Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_s
     if (!parts.detail_only.empty()) {
       if (vectorized) {
         MDJ_ASSIGN_OR_RETURN(ct.kernels,
-                             PredicateKernels::Compile(parts.detail_only, detail_schema));
+                             PredicateKernels::Compile(parts.detail_only, detail_schema,
+                                                       ct.accel, ct.level));
         ct.has_kernels = true;
       } else {
         MDJ_ASSIGN_OR_RETURN(ct.detail_pred,
@@ -51,6 +58,12 @@ Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_s
     MDJ_ASSIGN_OR_RETURN(ct.residual,
                          CompileExpr(CombineConjuncts(std::move(residual_conjuncts)),
                                      &base_schema, &detail_schema));
+  }
+  if (!options.theta_bytecode) {
+    // Ablation arm: pin the closure-tree walker for this join's predicates.
+    ct.base_pred.DisableBytecode();
+    ct.detail_pred.DisableBytecode();
+    ct.residual.DisableBytecode();
   }
   return ct;
 }
@@ -174,69 +187,234 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
   // scan loop. A guard trip mid-scan must still flush, so cancelled queries
   // report how far they got.
   int64_t scanned = 0, qualified = 0, cand_pairs = 0, matched = 0, blocks = 0;
+  int64_t fused_blocks = 0;
   KernelStats kstats;
   Status status;
+
+  // The code-key probe memo reads the typed mirror; the use_flat_columns=false
+  // ablation arm must not (BeginJob reset scratch, so set it every range).
+  worker->scratch.allow_code_keys = ct.use_flat;
 
   if (vectorized_) {
     std::vector<AggStateColumn>& cols = worker->cols;
     if (static_cast<int64_t>(worker->sel.size()) < block_) {
       worker->sel.resize(static_cast<size_t>(block_));
     }
+    const size_t mask_words =
+        2 * static_cast<size_t>(simd::MaskWords(static_cast<int>(block_)));
+    if (worker->mask.size() < mask_words) worker->mask.resize(mask_words);
     uint32_t* sel = worker->sel.data();
+    uint64_t* mask = worker->mask.data();
+
+    // Typed argument plans: when an aggregate's argument is a plain detail
+    // column with an int64/float64 mirror and the accumulator is flat, the
+    // match loop reads the primitive payload and calls the typed UpdateMany —
+    // no Value is touched. NULL cells are skipped outright, which is exactly
+    // what every flat kind does with a NULL Value.
+    struct ArgPlan {
+      const int64_t* i64 = nullptr;
+      const double* f64 = nullptr;
+      const uint8_t* nulls = nullptr;
+    };
+    std::vector<ArgPlan> plans(aggs.size());
+    if (ct.accel != nullptr) {
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        const int c = aggs[a].detail_arg_col;
+        if (c < 0 || !cols[a].is_flat()) continue;
+        const FlatColumn& fc = ct.accel->cols[static_cast<size_t>(c)];
+        if (fc.rep == FlatColumn::Rep::kInt64) {
+          plans[a].i64 = fc.i64.data();
+        } else if (fc.rep == FlatColumn::Rep::kFloat64) {
+          plans[a].f64 = fc.f64.data();
+        } else {
+          continue;
+        }
+        plans[a].nulls = fc.null_bytes();
+      }
+    }
+
+    // Fused predicate+aggregate path: with no index and no residual, every
+    // selected detail row matches exactly the active base rows, so the probe
+    // and match-list machinery collapses — block-reducible aggregates (count,
+    // min, max) fold the whole block once per group, and the rest skip Value
+    // fabrication via the typed plans. Exactness: integer count adds
+    // reassociate freely, and the block min/max fold is replace-iff-strictly-
+    // better with keep-first ties — the same verdict per-row updates reach
+    // (NaN never replaces an incumbent either way). Float sums stay per-row
+    // in row order, preserving bit-identical accumulation.
+    const bool fused_eligible = !ct.indexed && !ct.residual.valid();
+    const int64_t* fgroups = active_.data();
+    const int64_t ng = static_cast<int64_t>(active_.size());
+
     for (int64_t start = lo; start < hi && status.ok(); start += block_) {
       const int n = static_cast<int>(std::min<int64_t>(block_, hi - start));
-      for (int i = 0; i < n; ++i) sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
-      int count = n;
+      BlockFilter filt;
       if (ct.has_kernels) {
-        count = ct.kernels.FilterBlock(detail, start, sel, count, &kstats);
+        filt = ct.kernels.FilterBlock(detail, start, n, sel, mask, &kstats);
+      } else {
+        filt.count = n;
+        filt.dense = true;
       }
+      const int count = filt.count;
       ++blocks;
       scanned += n;
       qualified += count;
+      // Dense blocks never wrote sel; translate lane i on the fly.
+      auto row_at = [&](int i) -> int64_t {
+        return start + (filt.dense ? i : static_cast<int>(sel[static_cast<size_t>(i)]));
+      };
 
       int64_t pairs_this_block = 0;
-      for (int i = 0; i < count; ++i) {
-        const int64_t t = start + sel[static_cast<size_t>(i)];
-
-        const std::vector<int64_t>* probe_rows;
-        if (ct.indexed) {
-          worker->candidates.clear();
-          index_.Probe(detail, t, &worker->scratch, &worker->candidates);
-          probe_rows = &worker->candidates;
-        } else {
-          probe_rows = &active_;
-        }
-        pairs_this_block += static_cast<int64_t>(probe_rows->size());
-        if (probe_rows->empty()) continue;
-
-        ctx.detail_row = t;
-        // Resolve the residual once into a match list, then fold the row into
-        // every aggregate column-at-a-time: kind dispatch and argument
-        // decoding happen once per (row, aggregate), not once per pair.
-        const int64_t* match_rows = probe_rows->data();
-        int64_t nmatch = static_cast<int64_t>(probe_rows->size());
-        if (ct.residual.valid()) {
-          worker->matched_buf.clear();
-          for (int64_t b : *probe_rows) {
-            ctx.base_row = b;
-            if (ct.residual.EvalBool(ctx)) worker->matched_buf.push_back(b);
+      if (fused_eligible) {
+        ++fused_blocks;
+        pairs_this_block = static_cast<int64_t>(count) * ng;
+        matched += pairs_this_block;
+        if (count > 0 && ng > 0) {
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            const BoundAgg& agg = aggs[a];
+            AggStateColumn& col = cols[a];
+            const FlatAggKind kind = col.kind();
+            if (!agg.has_arg) {
+              if (kind == FlatAggKind::kCount) {
+                col.AddCountMany(fgroups, ng, count);
+              } else {
+                for (int i = 0; i < count; ++i) col.UpdateCountStarMany(fgroups, ng);
+              }
+              continue;
+            }
+            const ArgPlan& ap = plans[a];
+            if (ap.i64 != nullptr) {
+              if (kind == FlatAggKind::kCount) {
+                int64_t nn = 0;
+                if (ap.nulls == nullptr) {
+                  nn = count;
+                } else {
+                  for (int i = 0; i < count; ++i) nn += ap.nulls[row_at(i)] == 0;
+                }
+                if (nn > 0) col.AddCountMany(fgroups, ng, nn);
+              } else if (kind == FlatAggKind::kMin || kind == FlatAggKind::kMax) {
+                bool have = false;
+                int64_t best = 0;
+                for (int i = 0; i < count; ++i) {
+                  const int64_t t = row_at(i);
+                  if (ap.nulls != nullptr && ap.nulls[t]) continue;
+                  const int64_t x = ap.i64[t];
+                  if (!have) {
+                    have = true;
+                    best = x;
+                  } else if (kind == FlatAggKind::kMin ? x < best : x > best) {
+                    best = x;
+                  }
+                }
+                if (have) col.UpdateManyI64(fgroups, ng, best);
+              } else {
+                for (int i = 0; i < count; ++i) {
+                  const int64_t t = row_at(i);
+                  if (ap.nulls != nullptr && ap.nulls[t]) continue;
+                  col.UpdateManyI64(fgroups, ng, ap.i64[t]);
+                }
+              }
+            } else if (ap.f64 != nullptr) {
+              if (kind == FlatAggKind::kCount) {
+                int64_t nn = 0;
+                if (ap.nulls == nullptr) {
+                  nn = count;
+                } else {
+                  for (int i = 0; i < count; ++i) nn += ap.nulls[row_at(i)] == 0;
+                }
+                if (nn > 0) col.AddCountMany(fgroups, ng, nn);
+              } else if (kind == FlatAggKind::kMin || kind == FlatAggKind::kMax) {
+                bool have = false;
+                double best = 0.0;
+                for (int i = 0; i < count; ++i) {
+                  const int64_t t = row_at(i);
+                  if (ap.nulls != nullptr && ap.nulls[t]) continue;
+                  const double x = ap.f64[t];
+                  if (!have) {
+                    have = true;
+                    best = x;
+                  } else if (kind == FlatAggKind::kMin ? x < best : x > best) {
+                    best = x;
+                  }
+                }
+                if (have) col.UpdateManyF64(fgroups, ng, best);
+              } else {
+                for (int i = 0; i < count; ++i) {
+                  const int64_t t = row_at(i);
+                  if (ap.nulls != nullptr && ap.nulls[t]) continue;
+                  col.UpdateManyF64(fgroups, ng, ap.f64[t]);
+                }
+              }
+            } else if (arg_cols_[a] != nullptr) {
+              const Value* cells = arg_cols_[a];
+              for (int i = 0; i < count; ++i) col.UpdateMany(fgroups, ng, cells[row_at(i)]);
+            } else {
+              // Computed argument: may reference the base row, so per pair.
+              for (int i = 0; i < count; ++i) {
+                ctx.detail_row = row_at(i);
+                for (int64_t k = 0; k < ng; ++k) {
+                  ctx.base_row = fgroups[k];
+                  agg.UpdateColumnFromRow(&col, fgroups[k], ctx);
+                }
+              }
+            }
           }
-          match_rows = worker->matched_buf.data();
-          nmatch = static_cast<int64_t>(worker->matched_buf.size());
         }
-        if (nmatch == 0) continue;
-        matched += nmatch;
-        for (size_t a = 0; a < aggs.size(); ++a) {
-          const BoundAgg& agg = aggs[a];
-          if (arg_cols_[a] != nullptr) {
-            cols[a].UpdateMany(match_rows, nmatch, arg_cols_[a][t]);
-          } else if (!agg.has_arg) {
-            cols[a].UpdateCountStarMany(match_rows, nmatch);
+      } else {
+        for (int i = 0; i < count; ++i) {
+          const int64_t t = row_at(i);
+
+          const int64_t* cand;
+          int64_t ncand;
+          if (ct.indexed) {
+            const BaseIndex::ProbeResult pr =
+                index_.ProbeSpan(detail, t, &worker->scratch, &worker->candidates);
+            cand = pr.rows;
+            ncand = pr.count;
           } else {
-            // Computed argument: may reference the base row, so per pair.
-            for (int64_t k = 0; k < nmatch; ++k) {
-              ctx.base_row = match_rows[k];
-              agg.UpdateColumnFromRow(&cols[a], match_rows[k], ctx);
+            cand = fgroups;
+            ncand = ng;
+          }
+          pairs_this_block += ncand;
+          if (ncand == 0) continue;
+
+          ctx.detail_row = t;
+          // Resolve the residual once into a match list, then fold the row into
+          // every aggregate column-at-a-time: kind dispatch and argument
+          // decoding happen once per (row, aggregate), not once per pair.
+          const int64_t* match_rows = cand;
+          int64_t nmatch = ncand;
+          if (ct.residual.valid()) {
+            worker->matched_buf.clear();
+            for (int64_t k = 0; k < ncand; ++k) {
+              ctx.base_row = cand[k];
+              if (ct.residual.EvalBool(ctx)) worker->matched_buf.push_back(cand[k]);
+            }
+            match_rows = worker->matched_buf.data();
+            nmatch = static_cast<int64_t>(worker->matched_buf.size());
+          }
+          if (nmatch == 0) continue;
+          matched += nmatch;
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            const BoundAgg& agg = aggs[a];
+            if (plans[a].i64 != nullptr) {
+              if (plans[a].nulls == nullptr || plans[a].nulls[t] == 0) {
+                cols[a].UpdateManyI64(match_rows, nmatch, plans[a].i64[t]);
+              }
+            } else if (plans[a].f64 != nullptr) {
+              if (plans[a].nulls == nullptr || plans[a].nulls[t] == 0) {
+                cols[a].UpdateManyF64(match_rows, nmatch, plans[a].f64[t]);
+              }
+            } else if (arg_cols_[a] != nullptr) {
+              cols[a].UpdateMany(match_rows, nmatch, arg_cols_[a][t]);
+            } else if (!agg.has_arg) {
+              cols[a].UpdateCountStarMany(match_rows, nmatch);
+            } else {
+              // Computed argument: may reference the base row, so per pair.
+              for (int64_t k = 0; k < nmatch; ++k) {
+                ctx.base_row = match_rows[k];
+                agg.UpdateColumnFromRow(&cols[a], match_rows[k], ctx);
+              }
             }
           }
         }
@@ -253,18 +431,22 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
       if (!ct.detail_pred.valid() || ct.detail_pred.EvalBool(ctx)) {
         ++qualified;
 
-        const std::vector<int64_t>* probe_rows;
+        const int64_t* cand;
+        int64_t ncand;
         if (ct.indexed) {
-          worker->candidates.clear();
-          index_.Probe(detail, t, &worker->scratch, &worker->candidates);
-          probe_rows = &worker->candidates;
+          const BaseIndex::ProbeResult pr =
+              index_.ProbeSpan(detail, t, &worker->scratch, &worker->candidates);
+          cand = pr.rows;
+          ncand = pr.count;
         } else {
-          probe_rows = &active_;
+          cand = active_.data();
+          ncand = static_cast<int64_t>(active_.size());
         }
-        pairs_this_row = static_cast<int64_t>(probe_rows->size());
+        pairs_this_row = ncand;
         cand_pairs += pairs_this_row;
 
-        for (int64_t b : *probe_rows) {
+        for (int64_t k = 0; k < ncand; ++k) {
+          const int64_t b = cand[k];
           ctx.base_row = b;
           if (ct.residual.valid() && !ct.residual.EvalBool(ctx)) continue;
           ++matched;
@@ -284,6 +466,8 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
   worker->stats.blocks += blocks;
   worker->stats.kernel_invocations += kstats.kernel_invocations;
   worker->stats.kernel_fallback_rows += kstats.fallback_rows;
+  worker->stats.dense_blocks += kstats.dense_blocks;
+  worker->stats.fused_blocks += fused_blocks;
 
   // One registry flush per range keeps the scan loop free of shared atomics
   // while the fleet-wide counters stay ~a-morsel fresh.

@@ -28,14 +28,24 @@ struct CompiledTheta {
   bool has_kernels = false;
   CompiledExpr residual;     // conjuncts evaluated per candidate pair
   bool indexed = false;      // equi part served by a BaseIndex
+
+  // Raw-speed plumbing, resolved once per query from MdJoinOptions: the
+  // detail table's typed columnar mirror (null when the table has none or
+  // use_flat_columns is off), the SIMD level the kernels were compiled for,
+  // and whether flat machinery (typed agg updates, code-key probe memos) may
+  // engage at all.
+  std::shared_ptr<const TableAccel> accel;
+  simd::Level level = simd::Level::kScalar;
+  bool use_flat = false;
 };
 
 /// Compiles the classified θ-conjuncts for one (base, detail) pair under the
 /// given options. Disabled optimizations (pushdown, index) fold their
 /// conjuncts back into the residual so results are identical either way.
+/// Errors if options.simd pins a backend this build/machine cannot run.
 Result<CompiledTheta> CompileTheta(const ThetaParts& parts, const Schema& base_schema,
-                                   const Schema& detail_schema,
-                                   const MdJoinOptions& options, bool vectorized);
+                                   const Table& detail, const MdJoinOptions& options,
+                                   bool vectorized);
 
 /// Thread-local mutable side of a detail scan: partial aggregate accumulators
 /// over *all* base rows (global row ids), reusable probe/selection buffers,
@@ -77,6 +87,7 @@ struct DetailScanWorker {
   // zero steady-state allocation, and nothing here is shared across threads).
   BaseIndex::ProbeScratch scratch;
   std::vector<uint32_t> sel;
+  std::vector<uint64_t> mask;  // kernel bitmask scratch, 2 * MaskWords(block)
   std::vector<int64_t> candidates;
   std::vector<int64_t> matched_buf;
 
@@ -146,6 +157,8 @@ inline void AccumulateScanStats(const MdJoinStats& from, MdJoinStats* to) {
   to->blocks += from.blocks;
   to->kernel_invocations += from.kernel_invocations;
   to->kernel_fallback_rows += from.kernel_fallback_rows;
+  to->dense_blocks += from.dense_blocks;
+  to->fused_blocks += from.fused_blocks;
   to->index_probe_lookups += from.index_probe_lookups;
   to->index_probe_memo_hits += from.index_probe_memo_hits;
 }

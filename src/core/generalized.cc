@@ -73,8 +73,9 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       }
     }
     cc.parts = AnalyzeTheta(comp.theta);
-    MDJ_ASSIGN_OR_RETURN(cc.theta, CompileTheta(cc.parts, base.schema(),
-                                                detail.schema(), options, vectorized));
+    MDJ_ASSIGN_OR_RETURN(cc.theta,
+                         CompileTheta(cc.parts, base.schema(), detail, options, vectorized));
+    cc.scratch.allow_code_keys = cc.theta.use_flat;
 
     if (!cc.theta.base_pred.valid()) {
       cc.active = all_rows;
@@ -145,6 +146,8 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
     int64_t block = options.block_size > 0 ? options.block_size : 1024;
     if (guard != nullptr) block = std::min<int64_t>(block, guard->check_stride());
     std::vector<uint32_t> sel(static_cast<size_t>(block));
+    std::vector<uint64_t> mask(
+        2 * static_cast<size_t>(simd::MaskWords(static_cast<int>(block))));
     std::vector<uint8_t> qual(static_cast<size_t>(block));
     std::vector<int64_t> matched_buf;
     const int64_t num_rows = detail.num_rows();
@@ -155,37 +158,43 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
       scanned += n;
       int64_t pairs_this_block = 0;
       for (CompiledComponent& cc : compiled) {
-        for (int i = 0; i < n; ++i) {
-          sel[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
-        }
-        int count = n;
+        BlockFilter filt;
         if (cc.theta.has_kernels) {
-          count = cc.theta.kernels.FilterBlock(detail, start, sel.data(), count, &kstats);
+          filt = cc.theta.kernels.FilterBlock(detail, start, n, sel.data(), mask.data(),
+                                              &kstats);
+        } else {
+          filt.count = n;
+          filt.dense = true;
         }
+        const int count = filt.count;
         for (int i = 0; i < count; ++i) {
-          const uint32_t off = sel[static_cast<size_t>(i)];
+          const uint32_t off =
+              filt.dense ? static_cast<uint32_t>(i) : sel[static_cast<size_t>(i)];
           qual[off] = 1;
           const int64_t t = start + off;
-          const std::vector<int64_t>* probe_rows;
+          const int64_t* cand;
+          int64_t ncand;
           if (cc.theta.indexed) {
-            candidates.clear();
-            cc.index.Probe(detail, t, &cc.scratch, &candidates);
-            probe_rows = &candidates;
+            const BaseIndex::ProbeResult pr =
+                cc.index.ProbeSpan(detail, t, &cc.scratch, &candidates);
+            cand = pr.rows;
+            ncand = pr.count;
           } else {
-            probe_rows = &cc.active;
+            cand = cc.active.data();
+            ncand = static_cast<int64_t>(cc.active.size());
           }
-          pairs_this_block += static_cast<int64_t>(probe_rows->size());
-          if (probe_rows->empty()) continue;
+          pairs_this_block += ncand;
+          if (ncand == 0) continue;
           ctx.detail_row = t;
           // Residual resolves to a match list first; aggregates then fold the
           // row column-at-a-time (one dispatch per (row, aggregate)).
-          const int64_t* match_rows = probe_rows->data();
-          int64_t nmatch = static_cast<int64_t>(probe_rows->size());
+          const int64_t* match_rows = cand;
+          int64_t nmatch = ncand;
           if (cc.theta.residual.valid()) {
             matched_buf.clear();
-            for (int64_t b : *probe_rows) {
-              ctx.base_row = b;
-              if (cc.theta.residual.EvalBool(ctx)) matched_buf.push_back(b);
+            for (int64_t k = 0; k < ncand; ++k) {
+              ctx.base_row = cand[k];
+              if (cc.theta.residual.EvalBool(ctx)) matched_buf.push_back(cand[k]);
             }
             match_rows = matched_buf.data();
             nmatch = static_cast<int64_t>(matched_buf.size());
@@ -253,6 +262,7 @@ Result<Table> GeneralizedMdJoin(const Table& base, const Table& detail,
   stats->blocks = blocks;
   stats->kernel_invocations = kstats.kernel_invocations;
   stats->kernel_fallback_rows = kstats.fallback_rows;
+  stats->dense_blocks = kstats.dense_blocks;
   for (const CompiledComponent& cc : compiled) {
     stats->index_probe_lookups += cc.scratch.memo_lookups;
     stats->index_probe_memo_hits += cc.scratch.memo_hits;

@@ -22,6 +22,8 @@ std::string MdJoinStats::ToString() const {
     out += " blocks=" + std::to_string(blocks);
     out += " kernel_invocations=" + std::to_string(kernel_invocations);
     out += " kernel_fallback_rows=" + std::to_string(kernel_fallback_rows);
+    out += " dense_blocks=" + std::to_string(dense_blocks);
+    out += " fused_blocks=" + std::to_string(fused_blocks);
   }
   if (index_probe_lookups > 0) {
     out += " probe_lookups=" + std::to_string(index_probe_lookups);
@@ -55,8 +57,7 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
 
   const bool vectorized = options.execution_mode != ExecutionMode::kRow;
   MDJ_ASSIGN_OR_RETURN(
-      CompiledTheta ct,
-      CompileTheta(parts, base.schema(), detail.schema(), options, vectorized));
+      CompiledTheta ct, CompileTheta(parts, base.schema(), detail, options, vectorized));
 
   // Aggregate states live for the whole query (every pass updates them), so
   // their footprint is reserved up front and cannot be degraded away. Both

@@ -1,0 +1,329 @@
+#include "expr/bytecode.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "expr/eval_ops.h"
+#include "table/table.h"
+
+namespace mdjoin {
+
+namespace {
+
+using OpCode = BytecodeExpr::OpCode;
+using Instr = BytecodeExpr::Instr;
+
+const char* OpName(OpCode op) {
+  switch (op) {
+    case OpCode::kPushLit:
+      return "push_lit";
+    case OpCode::kPushNull:
+      return "push_null";
+    case OpCode::kLoadBase:
+      return "load_base";
+    case OpCode::kLoadDetail:
+      return "load_detail";
+    case OpCode::kNot:
+      return "not";
+    case OpCode::kNegate:
+      return "negate";
+    case OpCode::kIsNull:
+      return "is_null";
+    case OpCode::kIn:
+      return "in";
+    case OpCode::kCompare:
+      return "compare";
+    case OpCode::kArith:
+      return "arith";
+    case OpCode::kAndJump:
+      return "and_jump";
+    case OpCode::kOrJump:
+      return "or_jump";
+    case OpCode::kToBool:
+      return "to_bool";
+    case OpCode::kJump:
+      return "jump";
+    case OpCode::kJumpIfNotTruthy:
+      return "jump_if_not";
+  }
+  return "?";
+}
+
+/// Recursive postfix emitter. Jump operands are patched as targets become
+/// known; every case leaves exactly one more value on the evaluation stack.
+struct Emitter {
+  const Schema* base;
+  const Schema* detail;
+  std::vector<Instr> code;
+  std::vector<Value> literals;
+  std::vector<std::vector<Value>> in_lists;
+
+  int32_t AddLiteral(Value v) {
+    literals.push_back(std::move(v));
+    return static_cast<int32_t>(literals.size()) - 1;
+  }
+
+  Status Emit(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kLiteral:
+        code.push_back({OpCode::kPushLit, 0, AddLiteral(expr->literal())});
+        return Status::OK();
+      case ExprKind::kColumnRef: {
+        const Schema* schema = expr->side() == Side::kBase ? base : detail;
+        const char* side_name = expr->side() == Side::kBase ? "base" : "detail";
+        if (schema == nullptr) {
+          return Status::BindError("column ", expr->ToString(), " references the ",
+                                   side_name,
+                                   " side, which is absent in this context");
+        }
+        MDJ_ASSIGN_OR_RETURN(int idx, schema->GetFieldIndex(expr->column_name()));
+        code.push_back({expr->side() == Side::kBase ? OpCode::kLoadBase
+                                                    : OpCode::kLoadDetail,
+                        0, idx});
+        return Status::OK();
+      }
+      case ExprKind::kUnary: {
+        MDJ_RETURN_NOT_OK(Emit(expr->operand()));
+        switch (expr->unary_op()) {
+          case UnaryOp::kNot:
+            code.push_back({OpCode::kNot, 0, 0});
+            return Status::OK();
+          case UnaryOp::kNegate:
+            code.push_back({OpCode::kNegate, 0, 0});
+            return Status::OK();
+          case UnaryOp::kIsNull:
+            code.push_back({OpCode::kIsNull, 0, 0});
+            return Status::OK();
+        }
+        return Status::Internal("unreachable unary op");
+      }
+      case ExprKind::kIn: {
+        MDJ_RETURN_NOT_OK(Emit(expr->operand()));
+        in_lists.push_back(expr->candidates());
+        code.push_back(
+            {OpCode::kIn, 0, static_cast<int32_t>(in_lists.size()) - 1});
+        return Status::OK();
+      }
+      case ExprKind::kCase: {
+        std::vector<int32_t> arm_end_jumps;
+        for (const auto& [when_ast, then_ast] : expr->when_then()) {
+          MDJ_RETURN_NOT_OK(Emit(when_ast));
+          const int32_t skip_arm = static_cast<int32_t>(code.size());
+          code.push_back({OpCode::kJumpIfNotTruthy, 0, 0});
+          MDJ_RETURN_NOT_OK(Emit(then_ast));
+          arm_end_jumps.push_back(static_cast<int32_t>(code.size()));
+          code.push_back({OpCode::kJump, 0, 0});
+          code[skip_arm].a = static_cast<int32_t>(code.size());
+        }
+        if (expr->else_expr() != nullptr) {
+          MDJ_RETURN_NOT_OK(Emit(expr->else_expr()));
+        } else {
+          code.push_back({OpCode::kPushNull, 0, 0});
+        }
+        const int32_t end = static_cast<int32_t>(code.size());
+        for (int32_t j : arm_end_jumps) code[j].a = end;
+        return Status::OK();
+      }
+      case ExprKind::kBinary: {
+        const BinaryOp op = expr->binary_op();
+        if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+          MDJ_RETURN_NOT_OK(Emit(expr->left()));
+          const int32_t jump = static_cast<int32_t>(code.size());
+          code.push_back(
+              {op == BinaryOp::kAnd ? OpCode::kAndJump : OpCode::kOrJump, 0, 0});
+          MDJ_RETURN_NOT_OK(Emit(expr->right()));
+          code.push_back({OpCode::kToBool, 0, 0});
+          code[jump].a = static_cast<int32_t>(code.size());
+          return Status::OK();
+        }
+        MDJ_RETURN_NOT_OK(Emit(expr->left()));
+        MDJ_RETURN_NOT_OK(Emit(expr->right()));
+        switch (op) {
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            code.push_back({OpCode::kCompare, static_cast<uint8_t>(op), 0});
+            return Status::OK();
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+          case BinaryOp::kMod:
+            code.push_back({OpCode::kArith, static_cast<uint8_t>(op), 0});
+            return Status::OK();
+          default:
+            return Status::Internal("unreachable binary op");
+        }
+      }
+    }
+    return Status::Internal("unreachable expr kind");
+  }
+};
+
+}  // namespace
+
+Result<BytecodeExpr> BytecodeExpr::Compile(const ExprPtr& expr,
+                                           const Schema* base_schema,
+                                           const Schema* detail_schema) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("BytecodeExpr: null expression");
+  }
+  Emitter em{base_schema, detail_schema, {}, {}, {}};
+  MDJ_RETURN_NOT_OK(em.Emit(expr));
+  BytecodeExpr out;
+  out.code_ = std::move(em.code);
+  out.literals_ = std::move(em.literals);
+  out.in_lists_ = std::move(em.in_lists);
+  return out;
+}
+
+Value BytecodeExpr::Eval(const RowCtx& ctx) const {
+  // One reusable stack per thread: clear() keeps capacity, so steady-state
+  // evaluation allocates nothing.
+  thread_local std::vector<Value> stack;
+  stack.clear();
+  const Instr* code = code_.data();
+  const int n = static_cast<int>(code_.size());
+  for (int pc = 0; pc < n; ++pc) {
+    const Instr& ins = code[pc];
+    switch (ins.op) {
+      case OpCode::kPushLit:
+        stack.push_back(literals_[ins.a]);
+        break;
+      case OpCode::kPushNull:
+        stack.push_back(Value::Null());
+        break;
+      case OpCode::kLoadBase:
+        MDJ_DCHECK(ctx.base != nullptr);
+        stack.push_back(ctx.base->Get(ctx.base_row, ins.a));
+        break;
+      case OpCode::kLoadDetail:
+        MDJ_DCHECK(ctx.detail != nullptr);
+        stack.push_back(ctx.detail->Get(ctx.detail_row, ins.a));
+        break;
+      case OpCode::kNot: {
+        Value& top = stack.back();
+        top = top.is_null() ? Value::Bool(false) : Value::Bool(!top.IsTruthy());
+        break;
+      }
+      case OpCode::kNegate: {
+        Value& top = stack.back();
+        if (top.is_int64()) {
+          top = Value::Int64(-top.int64());
+        } else if (top.is_float64()) {
+          top = Value::Float64(-top.float64());
+        } else {
+          top = Value::Null();
+        }
+        break;
+      }
+      case OpCode::kIsNull: {
+        Value& top = stack.back();
+        top = Value::Bool(top.is_null());
+        break;
+      }
+      case OpCode::kIn: {
+        Value& top = stack.back();
+        bool hit = false;
+        for (const Value& c : in_lists_[ins.a]) {
+          if (top.MatchesEq(c)) {
+            hit = true;
+            break;
+          }
+        }
+        top = Value::Bool(hit);
+        break;
+      }
+      case OpCode::kCompare: {
+        Value b = std::move(stack.back());
+        stack.pop_back();
+        Value& a = stack.back();
+        a = expr_internal::EvalCompare(static_cast<BinaryOp>(ins.u8), a, b);
+        break;
+      }
+      case OpCode::kArith: {
+        Value b = std::move(stack.back());
+        stack.pop_back();
+        Value& a = stack.back();
+        a = expr_internal::EvalArith(static_cast<BinaryOp>(ins.u8), a, b);
+        break;
+      }
+      case OpCode::kAndJump: {
+        Value& top = stack.back();
+        if (!top.IsTruthy()) {
+          top = Value::Bool(false);
+          pc = ins.a - 1;
+        } else {
+          stack.pop_back();
+        }
+        break;
+      }
+      case OpCode::kOrJump: {
+        Value& top = stack.back();
+        if (top.IsTruthy()) {
+          top = Value::Bool(true);
+          pc = ins.a - 1;
+        } else {
+          stack.pop_back();
+        }
+        break;
+      }
+      case OpCode::kToBool: {
+        Value& top = stack.back();
+        top = Value::Bool(top.IsTruthy());
+        break;
+      }
+      case OpCode::kJump:
+        pc = ins.a - 1;
+        break;
+      case OpCode::kJumpIfNotTruthy: {
+        Value v = std::move(stack.back());
+        stack.pop_back();
+        if (!v.IsTruthy()) pc = ins.a - 1;
+        break;
+      }
+    }
+  }
+  MDJ_DCHECK(stack.size() == 1);
+  return std::move(stack.back());
+}
+
+std::string BytecodeExpr::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const Instr& ins = code_[i];
+    out += std::to_string(i) + ": " + OpName(ins.op);
+    switch (ins.op) {
+      case OpCode::kPushLit:
+        out += " " + literals_[ins.a].ToString();
+        break;
+      case OpCode::kLoadBase:
+      case OpCode::kLoadDetail:
+        out += " col=" + std::to_string(ins.a);
+        break;
+      case OpCode::kIn:
+        out += " list=" + std::to_string(ins.a) + " (" +
+               std::to_string(in_lists_[ins.a].size()) + " cands)";
+        break;
+      case OpCode::kCompare:
+      case OpCode::kArith:
+        out += " op=" + std::to_string(static_cast<int>(ins.u8));
+        break;
+      case OpCode::kAndJump:
+      case OpCode::kOrJump:
+      case OpCode::kJump:
+      case OpCode::kJumpIfNotTruthy:
+        out += " -> " + std::to_string(ins.a);
+        break;
+      default:
+        break;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace mdjoin

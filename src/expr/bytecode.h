@@ -1,0 +1,94 @@
+#ifndef MDJOIN_EXPR_BYTECODE_H_
+#define MDJOIN_EXPR_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "expr/row_ctx.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace mdjoin {
+
+/// An expression lowered to a flat postfix program: one contiguous Instr
+/// array evaluated by a tight dispatch loop over a value stack. Semantically
+/// identical to the closure tree built by expr/compile.cc — both route the
+/// comparison and arithmetic operators through expr/eval_ops.h, and the fuzz
+/// suite cross-checks them — but without a virtual/indirect call and heap
+/// hop per node: the whole program is one cache-resident array walked with a
+/// program counter.
+///
+/// Instruction set (stack effect in brackets):
+///
+///   kPushLit a          [ → v ]        push literals[a]
+///   kPushNull           [ → v ]        push NULL (CASE without ELSE)
+///   kLoadBase a         [ → v ]        push base cell, column a
+///   kLoadDetail a       [ → v ]        push detail cell, column a
+///   kNot                [ v → b ]      NULL → false, else !truthy
+///   kNegate             [ v → v ]      -int / -float, else NULL
+///   kIsNull             [ v → b ]      Bool(v is NULL)
+///   kIn a               [ v → b ]      v MatchesEq any of in_lists[a]
+///   kCompare u8         [ a b → v ]    EvalCompare(BinaryOp(u8), a, b)
+///   kArith u8           [ a b → v ]    EvalArith(BinaryOp(u8), a, b)
+///   kAndJump a          [ v → b? ]     top falsy: top := false, jump a;
+///                                      else pop and fall through (short-
+///                                      circuit AND; jump lands past the
+///                                      right operand's trailing kToBool)
+///   kOrJump a           [ v → b? ]     top truthy: top := true, jump a
+///   kToBool             [ v → b ]      Bool(truthy) — AND/OR result shaping
+///   kJump a             [ ]            pc := a (end of a taken CASE arm)
+///   kJumpIfNotTruthy a  [ v → ]        pop; falsy: pc := a (next CASE arm)
+///
+/// Jump operands are absolute instruction indices. Programs always leave
+/// exactly one value on the stack.
+class BytecodeExpr {
+ public:
+  enum class OpCode : uint8_t {
+    kPushLit,
+    kPushNull,
+    kLoadBase,
+    kLoadDetail,
+    kNot,
+    kNegate,
+    kIsNull,
+    kIn,
+    kCompare,
+    kArith,
+    kAndJump,
+    kOrJump,
+    kToBool,
+    kJump,
+    kJumpIfNotTruthy,
+  };
+
+  struct Instr {
+    OpCode op;
+    uint8_t u8 = 0;  // kCompare / kArith: the BinaryOp
+    int32_t a = 0;   // literal / list / column index, or jump target
+  };
+
+  /// Lowers `expr` against the schemas. Binding errors mirror
+  /// CompileExpr's — in practice CompileExpr lowers only after the closure
+  /// tree compiled, so this cannot fail on a path users reach.
+  static Result<BytecodeExpr> Compile(const ExprPtr& expr, const Schema* base_schema,
+                                      const Schema* detail_schema);
+
+  Value Eval(const RowCtx& ctx) const;
+
+  int num_instrs() const { return static_cast<int>(code_.size()); }
+
+  /// One-instruction-per-line disassembly, for debugging and EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  std::vector<Instr> code_;
+  std::vector<Value> literals_;
+  std::vector<std::vector<Value>> in_lists_;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_EXPR_BYTECODE_H_

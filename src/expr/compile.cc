@@ -1,8 +1,10 @@
 #include "expr/compile.h"
 
-#include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/logging.h"
+#include "expr/eval_ops.h"
 
 namespace mdjoin {
 
@@ -15,68 +17,18 @@ struct Compiled {
   DataType type;
 };
 
-Value EvalArith(BinaryOp op, const Value& a, const Value& b) {
-  if (a.is_null() || b.is_null() || a.is_all() || b.is_all()) return Value::Null();
-  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
-  if (a.is_int64() && b.is_int64() && op != BinaryOp::kDiv) {
-    int64_t x = a.int64(), y = b.int64();
-    switch (op) {
-      case BinaryOp::kAdd:
-        return Value::Int64(x + y);
-      case BinaryOp::kSub:
-        return Value::Int64(x - y);
-      case BinaryOp::kMul:
-        return Value::Int64(x * y);
-      case BinaryOp::kMod:
-        return y == 0 ? Value::Null() : Value::Int64(x % y);
-      default:
-        break;
-    }
-  }
-  double x = a.AsDouble(), y = b.AsDouble();
-  switch (op) {
-    case BinaryOp::kAdd:
-      return Value::Float64(x + y);
-    case BinaryOp::kSub:
-      return Value::Float64(x - y);
-    case BinaryOp::kMul:
-      return Value::Float64(x * y);
-    case BinaryOp::kDiv:
-      return y == 0 ? Value::Null() : Value::Float64(x / y);
-    case BinaryOp::kMod:
-      return y == 0 ? Value::Null() : Value::Float64(std::fmod(x, y));
-    default:
-      break;
-  }
-  return Value::Null();
-}
+using expr_internal::EvalArith;
+using expr_internal::EvalCompare;
 
-Value EvalCompare(BinaryOp op, const Value& a, const Value& b) {
-  if (op == BinaryOp::kEq) return Value::Bool(a.MatchesEq(b));
-  if (op == BinaryOp::kNe) {
-    if (a.is_null() || b.is_null()) return Value::Bool(false);
-    return Value::Bool(!a.MatchesEq(b));
-  }
-  // Ordered comparisons: NULL or ALL on either side -> false.
-  if (a.is_null() || b.is_null() || a.is_all() || b.is_all()) return Value::Bool(false);
-  // Mixed numeric/string comparison is false rather than an error: θ-conditions
-  // meet heterogeneous data during exploratory queries.
-  bool comparable = (a.is_numeric() && b.is_numeric()) || (a.is_string() && b.is_string());
-  if (!comparable) return Value::Bool(false);
-  int c = a.Compare(b);
-  switch (op) {
-    case BinaryOp::kLt:
-      return Value::Bool(c < 0);
-    case BinaryOp::kLe:
-      return Value::Bool(c <= 0);
-    case BinaryOp::kGt:
-      return Value::Bool(c > 0);
-    case BinaryOp::kGe:
-      return Value::Bool(c >= 0);
-    default:
-      break;
-  }
-  return Value::Bool(false);
+/// MDJOIN_THETA_BYTECODE=0 forces every CompiledExpr onto the closure tree —
+/// the process-wide kill-switch for bisecting a suspected interpreter bug
+/// without recompiling.
+bool BytecodeEnabled() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("MDJOIN_THETA_BYTECODE");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return enabled;
 }
 
 Result<Compiled> CompileRec(const ExprPtr& expr, const Schema* base,
@@ -246,6 +198,13 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema* base_schema,
   CompiledExpr out;
   out.fn_ = std::move(c.fn);
   out.result_type_ = c.type;
+  if (BytecodeEnabled()) {
+    // Lower to bytecode only after the closure tree compiled: binding and
+    // type errors are reported once, by one compiler.
+    MDJ_ASSIGN_OR_RETURN(BytecodeExpr bc,
+                         BytecodeExpr::Compile(expr, base_schema, detail_schema));
+    out.bc_ = std::make_shared<const BytecodeExpr>(std::move(bc));
+  }
   return out;
 }
 

@@ -5,42 +5,57 @@
 #include <memory>
 
 #include "common/result.h"
+#include "expr/bytecode.h"
 #include "expr/expr.h"
+#include "expr/row_ctx.h"
 #include "table/table.h"
 
 namespace mdjoin {
 
-/// Evaluation context: a (base row, detail row) pair. Single-table evaluation
-/// leaves the unused side null.
-struct RowCtx {
-  const Table* base = nullptr;
-  int64_t base_row = 0;
-  const Table* detail = nullptr;
-  int64_t detail_row = 0;
-};
-
-/// An Expr resolved against concrete schemas: column names become indices and
-/// the node tree becomes a closure tree, so per-row evaluation does no name
-/// lookups. Compile once, evaluate millions of times.
+/// An Expr resolved against concrete schemas: column names become indices, so
+/// per-row evaluation does no name lookups. Compile once, evaluate millions
+/// of times.
+///
+/// Two execution engines back one CompiledExpr:
+///   - a flat bytecode program (expr/bytecode.h) — the default: one
+///     cache-resident instruction array walked by a tight dispatch loop;
+///   - the original closure tree — kept as the verification oracle
+///     (EvalTreeWalk) and as the runtime fallback when bytecode is disabled
+///     (MdJoinOptions::theta_bytecode = false, or the MDJOIN_THETA_BYTECODE=0
+///     environment kill-switch).
+/// Both are compiled from the same AST and share the operator semantics in
+/// expr/eval_ops.h; the fuzz suite cross-checks them on random expressions.
 class CompiledExpr {
  public:
   CompiledExpr() = default;
 
   /// Evaluates against `ctx`. Predicates return Int64 0/1.
-  Value Eval(const RowCtx& ctx) const { return fn_(ctx); }
+  Value Eval(const RowCtx& ctx) const { return bc_ ? bc_->Eval(ctx) : fn_(ctx); }
 
   /// Convenience for predicates.
-  bool EvalBool(const RowCtx& ctx) const { return fn_(ctx).IsTruthy(); }
+  bool EvalBool(const RowCtx& ctx) const { return Eval(ctx).IsTruthy(); }
+
+  /// Always evaluates through the closure tree, bypassing bytecode. The
+  /// differential oracle for tests; not for hot paths.
+  Value EvalTreeWalk(const RowCtx& ctx) const { return fn_(ctx); }
 
   /// Static result type inferred at compile time.
   DataType result_type() const { return result_type_; }
 
   bool valid() const { return static_cast<bool>(fn_); }
 
+  bool has_bytecode() const { return bc_ != nullptr; }
+  const BytecodeExpr* bytecode() const { return bc_.get(); }
+
+  /// Drops the bytecode program so Eval routes through the closure tree
+  /// (the theta_bytecode=false arm of A/B runs).
+  void DisableBytecode() { bc_.reset(); }
+
  private:
   friend Result<CompiledExpr> CompileExpr(const ExprPtr&, const Schema*, const Schema*);
 
   std::function<Value(const RowCtx&)> fn_;
+  std::shared_ptr<const BytecodeExpr> bc_;
   DataType result_type_ = DataType::kInt64;
 };
 

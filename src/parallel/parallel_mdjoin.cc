@@ -73,7 +73,7 @@ Result<Table> RunMorselMdJoin(const char* op, bool base_split, const Table& base
   ThetaParts parts = AnalyzeTheta(theta);
   MDJ_ASSIGN_OR_RETURN(
       CompiledTheta compiled_theta,
-      CompileTheta(parts, base.schema(), detail.schema(), eff, vectorized));
+      CompileTheta(parts, base.schema(), detail, eff, vectorized));
 
   // Job list. Base split: one job per non-empty fragment (subdivided further
   // when base_rows_per_pass caps the rows a single scan may serve, matching

@@ -1,0 +1,34 @@
+#include "table/dictionary.h"
+
+#include <algorithm>
+
+namespace mdjoin {
+
+Dictionary Dictionary::Build(std::vector<std::string> values) {
+  Dictionary d;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  d.sorted_ = std::move(values);
+  return d;
+}
+
+int32_t Dictionary::CodeOf(std::string_view s) const {
+  const int32_t lb = LowerBound(s);
+  if (lb < size() && sorted_[static_cast<size_t>(lb)] == s) return lb;
+  return -1;
+}
+
+int32_t Dictionary::LowerBound(std::string_view s) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), s);
+  return static_cast<int32_t>(it - sorted_.begin());
+}
+
+int64_t Dictionary::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(sorted_.capacity() * sizeof(std::string));
+  for (const std::string& s : sorted_) {
+    bytes += static_cast<int64_t>(s.capacity());
+  }
+  return bytes;
+}
+
+}  // namespace mdjoin

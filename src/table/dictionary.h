@@ -1,0 +1,47 @@
+#ifndef MDJOIN_TABLE_DICTIONARY_H_
+#define MDJOIN_TABLE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdjoin {
+
+/// Sorted string dictionary for one encoded column: code i is the i-th
+/// distinct value in lexicographic (byte) order, so code order == string
+/// order. That makes every θ string test an integer test end-to-end:
+///   s == lit   ⇔  code == CodeOf(lit)           (absent literal: never)
+///   s <  lit   ⇔  code <  LowerBound(lit)
+///   s <= lit   ⇔  code <  LowerBound(lit) + (lit present)
+///   s >  lit   ⇔  code >= LowerBound(lit) + (lit present)
+///   s >= lit   ⇔  code >= LowerBound(lit)
+/// (Byte order is exactly what std::string::compare and Value::Compare use,
+/// so the translation preserves engine semantics bit-for-bit.)
+class Dictionary {
+ public:
+  /// Builds from any mix of strings (duplicates welcome).
+  static Dictionary Build(std::vector<std::string> values);
+
+  /// Code of `s`, or -1 when absent.
+  int32_t CodeOf(std::string_view s) const;
+
+  /// First code whose string is >= `s` (== size() when all are smaller).
+  int32_t LowerBound(std::string_view s) const;
+
+  /// True when `s` is present (CodeOf(s) >= 0, but without the second probe).
+  bool Contains(std::string_view s) const { return CodeOf(s) >= 0; }
+
+  const std::string& Decode(int32_t code) const { return sorted_[code]; }
+
+  int32_t size() const { return static_cast<int32_t>(sorted_.size()); }
+
+  int64_t ApproxBytes() const;
+
+ private:
+  std::vector<std::string> sorted_;
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_TABLE_DICTIONARY_H_

@@ -1,6 +1,7 @@
 #include "table/table.h"
 
 #include "table/printer.h"
+#include "table/table_accel.h"
 
 namespace mdjoin {
 
@@ -12,6 +13,7 @@ Table Table::Clone() const {
   Table out(schema_);
   out.columns_ = columns_;
   out.num_rows_ = num_rows_;
+  out.accel_ = accel_;  // immutable and matching the copied cells
   return out;
 }
 
@@ -21,6 +23,7 @@ void Table::AppendRowUnchecked(std::vector<Value> values) {
     columns_[c].push_back(std::move(values[c]));
   }
   ++num_rows_;
+  accel_.reset();
 }
 
 void Table::AppendRowFrom(const Table& src, int64_t row) {
@@ -29,6 +32,7 @@ void Table::AppendRowFrom(const Table& src, int64_t row) {
     columns_[c].push_back(src.Get(row, c));
   }
   ++num_rows_;
+  accel_.reset();
 }
 
 RowKey Table::GetRow(int64_t row) const {
@@ -55,8 +59,11 @@ Status Table::AddColumn(Field field, std::vector<Value> values) {
     num_rows_ = static_cast<int64_t>(values.size());
   }
   columns_.push_back(std::move(values));
+  accel_.reset();
   return Status::OK();
 }
+
+void Table::RebuildAccel() { accel_ = TableAccel::Build(*this); }
 
 void Table::Reserve(int64_t rows) {
   for (auto& col : columns_) col.reserve(static_cast<size_t>(rows));

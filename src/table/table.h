@@ -2,6 +2,7 @@
 #define MDJOIN_TABLE_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "types/value.h"
 
 namespace mdjoin {
+
+struct TableAccel;
 
 /// In-memory columnar relation: a Schema plus one Value vector per column.
 /// Cheap to move, explicit to copy (Clone). All engine operators (relational
@@ -40,6 +43,7 @@ class Table {
     MDJ_DCHECK(row >= 0 && row < num_rows_);
     MDJ_DCHECK(col >= 0 && col < num_columns());
     columns_[col][row] = std::move(v);
+    accel_.reset();
   }
 
   const std::vector<Value>& column(int col) const { return columns_[col]; }
@@ -69,6 +73,17 @@ class Table {
   /// materializes intermediates. O(rows × columns).
   int64_t ApproxBytes() const;
 
+  /// Typed columnar mirror for the SIMD kernels (table/table_accel.h), or
+  /// null when none was built. Built explicitly at load time via
+  /// RebuildAccel(); every mutator drops it, so a non-null accelerator is
+  /// always in sync with the cells. Engines treat null as "use the Value
+  /// path" — never an error.
+  const std::shared_ptr<const TableAccel>& accel() const { return accel_; }
+
+  /// (Re)builds the typed mirror from the current cells. Called by
+  /// TableBuilder::Finish and the CSV loader; operator outputs skip it.
+  void RebuildAccel();
+
   /// Human-readable grid (delegates to printer.h).
   std::string ToString(int64_t max_rows = 50) const;
 
@@ -76,6 +91,7 @@ class Table {
   Schema schema_;
   std::vector<std::vector<Value>> columns_;
   int64_t num_rows_ = 0;
+  std::shared_ptr<const TableAccel> accel_;  // immutable snapshot, shareable
 };
 
 }  // namespace mdjoin

@@ -30,7 +30,13 @@ class TableBuilder {
   int64_t num_rows() const { return table_.num_rows(); }
   void Reserve(int64_t rows) { table_.Reserve(rows); }
 
-  Table Finish() && { return std::move(table_); }
+  /// Builds the typed columnar accelerator as part of finishing, so every
+  /// loaded/generated table arrives SIMD-ready (operator outputs, which
+  /// bypass the builder, simply have none).
+  Table Finish() && {
+    table_.RebuildAccel();
+    return std::move(table_);
+  }
 
  private:
   Table table_;
