@@ -392,7 +392,15 @@ int main(int argc, char** argv) {
     }
     plan = *optimized;
   }
-  if (explain) std::printf("plan:\n%s\n", ExplainPlan(plan).c_str());
+  if (explain) {
+    std::printf("plan:\n%s\n", ExplainPlan(plan).c_str());
+    std::vector<std::string> analysis = StaticAnalysisReport(plan, catalog);
+    if (!analysis.empty()) {
+      std::printf("static analysis:\n");
+      for (const std::string& line : analysis) std::printf("  %s\n", line.c_str());
+      std::printf("\n");
+    }
+  }
   // Stops tracing and writes the trace/metrics dumps requested on the
   // command line; shared by the single-query and --server-sim paths.
   auto dump_observability = [&]() -> bool {

@@ -517,6 +517,21 @@ class Analyzer {
                                n->path;
         return;
       }
+      case PlanKind::kEmptyRef: {
+        if (!expect(0)) return;
+        if (plan->empty_schema == nullptr) {
+          Diag(*n, "invariant", "EmptyRef carries no schema");
+          return;
+        }
+        n->schema = *plan->empty_schema;
+        for (const Field& f : n->schema->fields()) {
+          n->provenance.push_back(
+              {f.name, AttrOrigin::kBaseColumn, plan.get(), "(empty)." + f.name});
+        }
+        n->rows_distinct = true;  // zero rows are trivially duplicate-free
+        n->distinct_evidence = "empty relation at " + n->path;
+        return;
+      }
     }
     Diag(*n, "invariant", "unknown plan kind");
   }
@@ -597,6 +612,12 @@ Result<PushdownCertificate> CertifyDetailPushdown(const PlanPtr& plan) {
   cert.detail_only = cls.parts.detail_only;
   cert.remainder = cls.parts;
   cert.remainder.detail_only.clear();
+  // Attach the detail-side interval facts the pushed σ enforces; zone maps
+  // and scan short-circuits consume these downstream.
+  RangeAnalysis ranges = AnalyzeRanges(plan->theta);
+  for (const RangeFact& f : ranges.facts) {
+    if (f.side == Side::kDetail) cert.pushed_ranges.push_back(f);
+  }
   return cert;
 }
 
@@ -620,6 +641,34 @@ Result<TransferCertificate> CertifyEquiTransfer(const PlanPtr& plan) {
     }
   }
   cert.substitution = cls.equi_bound;
+  // Ranges Observation 4.1 carries across the equi conjuncts: the base
+  // selection's constraints (a single-table predicate in the kDetail frame,
+  // remapped to B here) conjoined with θ, then read off the detail side as
+  // transfer facts — the range predicates the transferred σ implies on R.
+  ExprPtr base_sel = Expr::RemapSide(base->predicate, Side::kDetail, Side::kBase);
+  RangeAnalysis ranges = AnalyzeRanges(
+      Expr::Binary(BinaryOp::kAnd, plan->theta, std::move(base_sel)));
+  for (const RangeFact& f : ranges.facts) {
+    if (f.from_transfer) cert.transferred_ranges.push_back(f);
+  }
+  return cert;
+}
+
+Result<UnsatThetaCertificate> CertifyUnsatTheta(const PlanPtr& plan) {
+  if (plan == nullptr || plan->kind() != PlanKind::kMdJoin) {
+    return NotCertified("unsat-θ", "root", "root is not an MD-join");
+  }
+  RangeAnalysis analysis = AnalyzeRanges(plan->theta);
+  if (analysis.satisfiable) {
+    return NotCertified("unsat-θ", "root",
+                        "interval analysis cannot refute θ: " +
+                            (analysis.facts.empty()
+                                 ? std::string("no range facts derived")
+                                 : analysis.ToString()));
+  }
+  UnsatThetaCertificate cert;
+  cert.reason = analysis.unsat_reason;
+  cert.analysis = std::move(analysis);
   return cert;
 }
 
@@ -715,6 +764,8 @@ Result<DistinctnessCertificate> CertifyBaseDistinct(const PlanPtr& base_plan) {
             " generator emits distinct value combinations at " + path};
       case PlanKind::kGroupBy:
         return DistinctnessCertificate{"GroupBy emits one row per key at " + path};
+      case PlanKind::kEmptyRef:
+        return DistinctnessCertificate{"empty relation at " + path};
       // Distinctness-preserving: these never introduce duplicate rows when
       // their (relevant) child is duplicate-free.
       case PlanKind::kFilter:

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analyze/range_analysis.h"
 #include "expr/conjuncts.h"
 #include "optimizer/plan.h"
 
@@ -188,6 +189,9 @@ Result<PlanAnalysis> AnalyzePlan(const PlanPtr& plan, const Catalog& catalog);
 struct PushdownCertificate {
   std::vector<ExprPtr> detail_only;  // σ-pushable conjuncts
   ThetaParts remainder;              // θ minus detail_only
+  /// Detail-side range facts θ's interval analysis derives — the bounds the
+  /// pushed σ (and, later, block zone maps) will enforce.
+  std::vector<RangeFact> pushed_ranges;
 };
 Result<PushdownCertificate> CertifyDetailPushdown(const PlanPtr& plan);
 
@@ -198,8 +202,23 @@ Result<PushdownCertificate> CertifyDetailPushdown(const PlanPtr& plan);
 /// diagnostic names it).
 struct TransferCertificate {
   std::vector<std::pair<std::string, ExprPtr>> substitution;
+  /// Facts derived *through* the equi conjuncts (RangeFact::from_transfer):
+  /// the Observation-4.1 range predicates the transferred selection implies
+  /// on the detail side.
+  std::vector<RangeFact> transferred_ranges;
 };
 Result<TransferCertificate> CertifyEquiTransfer(const PlanPtr& plan);
+
+/// Statically-unsatisfiable θ: the interval abstract interpretation proves no
+/// (b, t) pair can satisfy the root MD-join's condition — every base row's
+/// aggregates are over the empty multiset, so the detail child may be
+/// replaced by an empty relation without scanning R. Absent when θ is (or may
+/// be) satisfiable.
+struct UnsatThetaCertificate {
+  std::string reason;      // which column/conjunct is impossible
+  RangeAnalysis analysis;  // full fact set, for EXPLAIN
+};
+Result<UnsatThetaCertificate> CertifyUnsatTheta(const PlanPtr& plan);
 
 /// Theorem 4.3 (series fusion): dependency analysis over a chain of nested
 /// MD-joins, innermost first. Component i's generation is one past the

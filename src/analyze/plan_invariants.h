@@ -32,6 +32,19 @@ Status VerifyPlan(const PlanPtr& plan, const Catalog& catalog, const char* conte
 /// "" or "0". Read once and cached (the gate sits on hot driver paths).
 bool VerifyPlansEnabledByEnv();
 
+/// The "static analysis" section of EXPLAIN / EXPLAIN ANALYZE: one line per
+/// finding, covering every MD-join node of the plan —
+///   - the θ-bytecode verifier verdict (expr/verifier.h): instruction count
+///     and proven maximum stack depth, or the structured rejection;
+///   - the interval abstract interpretation's derived range facts
+///     (analyze/range_analysis.h), including transfer facts and zone-map
+///     predicates;
+///   - an "unsatisfiable" proof line when the analysis refutes θ outright.
+/// Never executes the plan; analysis failures become report lines, not
+/// errors, so EXPLAIN stays total.
+std::vector<std::string> StaticAnalysisReport(const PlanPtr& plan,
+                                              const Catalog& catalog);
+
 }  // namespace mdjoin
 
 #endif  // MDJOIN_ANALYZE_PLAN_INVARIANTS_H_

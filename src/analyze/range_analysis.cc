@@ -1,0 +1,666 @@
+#include "analyze/range_analysis.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "analyze/plan_analyzer.h"
+#include "common/string_util.h"
+#include "expr/compile.h"
+#include "obs/metrics.h"
+
+namespace mdjoin {
+
+namespace {
+
+bool IsInf(double v) { return std::isinf(v); }
+
+std::string Endpoint(double v) {
+  if (IsInf(v)) return v < 0 ? "-inf" : "inf";
+  return FormatDouble(v);
+}
+
+/// (side, column) key for the per-column constraint maps.
+struct ColKey {
+  Side side;
+  std::string name;
+  bool operator<(const ColKey& other) const {
+    if (side != other.side) return side == Side::kBase;
+    return name < other.name;
+  }
+};
+
+std::string ColKeyToString(const ColKey& k) {
+  return StrCat(k.side == Side::kBase ? "B." : "R.", k.name);
+}
+
+/// The constraints implied by "this expression evaluates truthy": a range per
+/// referenced column (absent column = unconstrained), plus an always-false
+/// marker for expressions no row pair can satisfy.
+struct Constraints {
+  std::map<ColKey, ValueRange> cols;
+  bool always_false = false;
+  std::string false_reason;
+};
+
+Constraints AlwaysFalse(const ExprPtr& source) {
+  Constraints c;
+  c.always_false = true;
+  c.false_reason = source->ToString();
+  return c;
+}
+
+ValueRange NotNull() {
+  ValueRange r;
+  r.may_be_null = false;
+  return r;
+}
+
+/// Ordered comparisons and Ne exclude both NULL and ALL operands.
+ValueRange OrderedOperand() {
+  ValueRange r;
+  r.may_be_null = false;
+  r.may_be_all = false;
+  return r;
+}
+
+void Constrain(Constraints* c, Side side, const std::string& name, const ValueRange& r) {
+  ColKey key{side, name};
+  auto [it, inserted] = c->cols.emplace(key, r);
+  if (!inserted) it->second.MeetWith(r);
+}
+
+/// `col OP lit` with a numeric or string literal (never NULL/ALL here; those
+/// are handled by the caller). Returns the range the column is confined to.
+ValueRange RangeFromCompare(BinaryOp op, const Value& lit, bool* always_false) {
+  *always_false = false;
+  ValueRange r;
+  if (lit.is_numeric()) {
+    double k = lit.AsDouble();
+    bool nan_lit = std::isnan(k);
+    switch (op) {
+      case BinaryOp::kEq:
+        r.may_be_null = false;
+        r.may_be_string = false;
+        if (nan_lit) {
+          // Equals(x, NaN) is false for every number: only ALL matches.
+          r.may_be_numeric = false;
+          r.may_be_nan = false;
+        } else {
+          r.num_lo = r.num_hi = k;
+          r.may_be_nan = false;
+        }
+        return r;
+      case BinaryOp::kNe:
+        return OrderedOperand();
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        r = OrderedOperand();
+        r.may_be_string = false;  // mixed numeric/string compares are false
+        if (nan_lit) {
+          // Value::Compare orders NaN equal to everything: strict bounds
+          // against NaN never hold, non-strict ones always do (numerics).
+          if (op == BinaryOp::kLt || op == BinaryOp::kGt) *always_false = true;
+          return r;
+        }
+        if (op == BinaryOp::kLt || op == BinaryOp::kLe) {
+          r.num_hi = k;
+          r.num_hi_open = op == BinaryOp::kLt;
+        } else {
+          r.num_lo = k;
+          r.num_lo_open = op == BinaryOp::kGt;
+        }
+        // A NaN cell compares equal to k, so it passes Le/Ge but not Lt/Gt.
+        r.may_be_nan = op == BinaryOp::kLe || op == BinaryOp::kGe;
+        return r;
+      }
+      default:
+        break;
+    }
+    return ValueRange::Top();
+  }
+  // String literal.
+  const std::string& s = lit.string();
+  switch (op) {
+    case BinaryOp::kEq:
+      r.may_be_null = false;
+      r.may_be_numeric = false;
+      r.may_be_nan = false;
+      r.str_lo = s;
+      r.str_hi = s;
+      return r;
+    case BinaryOp::kNe:
+      return OrderedOperand();
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      r = OrderedOperand();
+      r.may_be_numeric = false;
+      r.may_be_nan = false;
+      r.str_hi = s;
+      r.str_hi_open = op == BinaryOp::kLt;
+      return r;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      r = OrderedOperand();
+      r.may_be_numeric = false;
+      r.may_be_nan = false;
+      r.str_lo = s;
+      r.str_lo_open = op == BinaryOp::kGt;
+      return r;
+    default:
+      break;
+  }
+  return ValueRange::Top();
+}
+
+BinaryOp FlipCompare(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsCompare(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+/// The transfer function: constraints implied by `e` being truthy. Returns
+/// nullopt when nothing is derivable (the conjunct contributes Top — always
+/// sound, never wrong).
+std::optional<Constraints> DeriveTruthy(const ExprPtr& e) {
+  if (e == nullptr) return std::nullopt;
+  // Column-free subtree: fold it. (ClassifyTheta folds constants before
+  // splitting, but OR arms and hand-built θs still reach here unfolded.)
+  if (!e->ReferencesSide(Side::kBase) && !e->ReferencesSide(Side::kDetail)) {
+    Result<Value> v = EvalConstExpr(e);
+    if (!v.ok()) return std::nullopt;
+    if (v->IsTruthy()) return Constraints{};
+    return AlwaysFalse(e);
+  }
+  switch (e->kind()) {
+    case ExprKind::kColumnRef: {
+      // Bare column as a conjunct: IsTruthy requires a non-zero int64.
+      ValueRange r = OrderedOperand();
+      r.may_be_string = false;
+      r.may_be_nan = false;
+      Constraints c;
+      Constrain(&c, e->side(), e->column_name(), r);
+      return c;
+    }
+    case ExprKind::kUnary: {
+      const ExprPtr& in = e->operand();
+      if (e->unary_op() == UnaryOp::kIsNull && in->kind() == ExprKind::kColumnRef) {
+        ValueRange r;  // NULL only
+        r.may_be_all = false;
+        r.may_be_numeric = false;
+        r.may_be_string = false;
+        r.may_be_nan = false;
+        Constraints c;
+        Constrain(&c, in->side(), in->column_name(), r);
+        return c;
+      }
+      if (e->unary_op() == UnaryOp::kNot && in->kind() == ExprKind::kUnary &&
+          in->unary_op() == UnaryOp::kIsNull &&
+          in->operand()->kind() == ExprKind::kColumnRef) {
+        const ExprPtr& col = in->operand();
+        Constraints c;
+        Constrain(&c, col->side(), col->column_name(), NotNull());
+        return c;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kIn: {
+      const ExprPtr& in = e->operand();
+      if (in->kind() != ExprKind::kColumnRef) return std::nullopt;
+      const std::vector<Value>& cands = e->candidates();
+      bool any_non_null = false, any_all = false;
+      ValueRange r;
+      r.may_be_null = false;
+      r.may_be_numeric = false;
+      r.may_be_string = false;
+      r.may_be_nan = false;  // Equals(NaN, cand) is false for every candidate
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      std::optional<std::string> slo, shi;
+      for (const Value& cand : cands) {
+        if (cand.is_null()) continue;  // MatchesEq(v, NULL) never holds
+        any_non_null = true;
+        if (cand.is_all()) {
+          any_all = true;
+          continue;
+        }
+        if (cand.is_numeric()) {
+          double k = cand.AsDouble();
+          if (std::isnan(k)) continue;  // matched only by ALL, handled above
+          r.may_be_numeric = true;
+          lo = std::min(lo, k);
+          hi = std::max(hi, k);
+        } else if (cand.is_string()) {
+          r.may_be_string = true;
+          if (!slo || cand.string() < *slo) slo = cand.string();
+          if (!shi || cand.string() > *shi) shi = cand.string();
+        }
+      }
+      if (!any_non_null) return AlwaysFalse(e);
+      if (any_all) {
+        // An ALL candidate matches every non-null value: only NULL is ruled
+        // out.
+        Constraints c;
+        Constrain(&c, in->side(), in->column_name(), NotNull());
+        return c;
+      }
+      // may_be_all stays true: an ALL cell matches any non-null candidate.
+      if (r.may_be_numeric) {
+        r.num_lo = lo;
+        r.num_hi = hi;
+      }
+      r.str_lo = slo;
+      r.str_hi = shi;
+      Constraints c;
+      Constrain(&c, in->side(), in->column_name(), r);
+      return c;
+    }
+    case ExprKind::kBinary: {
+      BinaryOp op = e->binary_op();
+      const ExprPtr& l = e->left();
+      const ExprPtr& r = e->right();
+      if (op == BinaryOp::kAnd) {
+        // Both arms are truthy: union of constraints, met per column.
+        std::optional<Constraints> a = DeriveTruthy(l);
+        std::optional<Constraints> b = DeriveTruthy(r);
+        if (!a && !b) return std::nullopt;
+        Constraints out = a ? std::move(*a) : Constraints{};
+        if (b) {
+          if (b->always_false && !out.always_false) {
+            out.always_false = true;
+            out.false_reason = b->false_reason;
+          }
+          for (auto& [key, range] : b->cols) Constrain(&out, key.side, key.name, range);
+        }
+        return out;
+      }
+      if (op == BinaryOp::kOr) {
+        // Either arm may hold: join per column, and only columns constrained
+        // by BOTH arms stay constrained.
+        std::optional<Constraints> a = DeriveTruthy(l);
+        std::optional<Constraints> b = DeriveTruthy(r);
+        if (!a || !b) return std::nullopt;
+        if (a->always_false) return b;
+        if (b->always_false) return a;
+        Constraints out;
+        for (auto& [key, range] : a->cols) {
+          auto it = b->cols.find(key);
+          if (it == b->cols.end()) continue;
+          ValueRange joined = range;
+          joined.JoinWith(it->second);
+          out.cols.emplace(key, std::move(joined));
+        }
+        return out;
+      }
+      if (!IsCompare(op)) return std::nullopt;
+      // Normalize to col OP rhs.
+      const ExprPtr* col = nullptr;
+      const ExprPtr* other = nullptr;
+      if (l->kind() == ExprKind::kColumnRef) {
+        col = &l;
+        other = &r;
+      } else if (r->kind() == ExprKind::kColumnRef) {
+        col = &r;
+        other = &l;
+        op = FlipCompare(op);
+      } else {
+        return std::nullopt;
+      }
+      if ((*other)->kind() == ExprKind::kColumnRef) {
+        // col ⋈ col (either side): both operands exclude NULL, and ordered
+        // operators exclude ALL as well.
+        ValueRange operand = op == BinaryOp::kEq ? NotNull() : OrderedOperand();
+        Constraints c;
+        Constrain(&c, (*col)->side(), (*col)->column_name(), operand);
+        Constrain(&c, (*other)->side(), (*other)->column_name(), operand);
+        return c;
+      }
+      if ((*other)->kind() != ExprKind::kLiteral) return std::nullopt;
+      const Value& lit = (*other)->literal();
+      if (lit.is_null()) return AlwaysFalse(e);  // every compare vs NULL is false
+      if (lit.is_all()) {
+        if (op == BinaryOp::kEq) {
+          // ALL is the θ-equality wildcard: matches any non-null value.
+          Constraints c;
+          Constrain(&c, (*col)->side(), (*col)->column_name(), NotNull());
+          return c;
+        }
+        return AlwaysFalse(e);  // Ne/ordered against ALL never hold
+      }
+      bool always_false = false;
+      ValueRange range = RangeFromCompare(op, lit, &always_false);
+      if (always_false) return AlwaysFalse(e);
+      if (range.IsTop()) return std::nullopt;
+      Constraints c;
+      Constrain(&c, (*col)->side(), (*col)->column_name(), range);
+      return c;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Observation 4.1 as a fact-transfer rule: for a plain-column equi conjunct
+/// B.x = R.y, a satisfying pair has MatchesEq(b.x, t.y). When the facts
+/// confine B.x to non-ALL payloads, t.y is either ALL (the wildcard) or a
+/// value Equals-equal to b.x — so B.x's payload classes and windows carry
+/// over to R.y with NULL removed and ALL re-admitted. Symmetric in the other
+/// direction.
+ValueRange TransferThrough(const ValueRange& from) {
+  ValueRange to = from;
+  to.may_be_null = false;
+  to.may_be_all = true;
+  return to;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ValueRange
+// ---------------------------------------------------------------------------
+
+bool ValueRange::IsTop() const {
+  return may_be_null && may_be_all && may_be_numeric && may_be_string && may_be_nan &&
+         IsInf(num_lo) && num_lo < 0 && IsInf(num_hi) && num_hi > 0 && !str_lo &&
+         !str_hi;
+}
+
+bool ValueRange::NumericEmpty() const {
+  if (!may_be_numeric) return true;
+  bool window_empty =
+      num_lo > num_hi || (num_lo == num_hi && (num_lo_open || num_hi_open));
+  return window_empty && !may_be_nan;
+}
+
+bool ValueRange::StringEmpty() const {
+  if (!may_be_string) return true;
+  if (!str_lo || !str_hi) return false;
+  return *str_lo > *str_hi ||
+         (*str_lo == *str_hi && (str_lo_open || str_hi_open));
+}
+
+bool ValueRange::IsEmpty() const {
+  return !may_be_null && !may_be_all && NumericEmpty() && StringEmpty();
+}
+
+void ValueRange::MeetWith(const ValueRange& other) {
+  may_be_null = may_be_null && other.may_be_null;
+  may_be_all = may_be_all && other.may_be_all;
+  may_be_nan = may_be_nan && other.may_be_nan;
+  may_be_string = may_be_string && other.may_be_string;
+  if (may_be_numeric && other.may_be_numeric) {
+    if (other.num_lo > num_lo) {
+      num_lo = other.num_lo;
+      num_lo_open = other.num_lo_open;
+    } else if (other.num_lo == num_lo) {
+      num_lo_open = num_lo_open || other.num_lo_open;
+    }
+    if (other.num_hi < num_hi) {
+      num_hi = other.num_hi;
+      num_hi_open = other.num_hi_open;
+    } else if (other.num_hi == num_hi) {
+      num_hi_open = num_hi_open || other.num_hi_open;
+    }
+  } else {
+    may_be_numeric = false;
+    may_be_nan = false;
+  }
+  if (may_be_string && other.may_be_string) {
+    if (other.str_lo && (!str_lo || *other.str_lo > *str_lo)) {
+      str_lo = other.str_lo;
+      str_lo_open = other.str_lo_open;
+    } else if (other.str_lo && str_lo && *other.str_lo == *str_lo) {
+      str_lo_open = str_lo_open || other.str_lo_open;
+    }
+    if (other.str_hi && (!str_hi || *other.str_hi < *str_hi)) {
+      str_hi = other.str_hi;
+      str_hi_open = other.str_hi_open;
+    } else if (other.str_hi && str_hi && *other.str_hi == *str_hi) {
+      str_hi_open = str_hi_open || other.str_hi_open;
+    }
+  } else {
+    may_be_string = false;
+    str_lo.reset();
+    str_hi.reset();
+  }
+}
+
+void ValueRange::JoinWith(const ValueRange& other) {
+  may_be_null = may_be_null || other.may_be_null;
+  may_be_all = may_be_all || other.may_be_all;
+  may_be_nan = may_be_nan || other.may_be_nan;
+  if (may_be_numeric && other.may_be_numeric) {
+    if (other.num_lo < num_lo) {
+      num_lo = other.num_lo;
+      num_lo_open = other.num_lo_open;
+    } else if (other.num_lo == num_lo) {
+      num_lo_open = num_lo_open && other.num_lo_open;
+    }
+    if (other.num_hi > num_hi) {
+      num_hi = other.num_hi;
+      num_hi_open = other.num_hi_open;
+    } else if (other.num_hi == num_hi) {
+      num_hi_open = num_hi_open && other.num_hi_open;
+    }
+  } else if (other.may_be_numeric) {
+    may_be_numeric = true;
+    num_lo = other.num_lo;
+    num_hi = other.num_hi;
+    num_lo_open = other.num_lo_open;
+    num_hi_open = other.num_hi_open;
+  }
+  if (may_be_string && other.may_be_string) {
+    if (!other.str_lo || (str_lo && *other.str_lo < *str_lo)) {
+      str_lo = other.str_lo;
+      str_lo_open = other.str_lo_open;
+    } else if (other.str_lo && str_lo && *other.str_lo == *str_lo) {
+      str_lo_open = str_lo_open && other.str_lo_open;
+    }
+    if (!other.str_hi || (str_hi && *other.str_hi > *str_hi)) {
+      str_hi = other.str_hi;
+      str_hi_open = other.str_hi_open;
+    } else if (other.str_hi && str_hi && *other.str_hi == *str_hi) {
+      str_hi_open = str_hi_open && other.str_hi_open;
+    }
+  } else if (other.may_be_string) {
+    may_be_string = true;
+    str_lo = other.str_lo;
+    str_hi = other.str_hi;
+    str_lo_open = other.str_lo_open;
+    str_hi_open = other.str_hi_open;
+  }
+}
+
+bool ValueRange::Admits(const Value& v) const {
+  if (v.is_null()) return may_be_null;
+  if (v.is_all()) return may_be_all;
+  if (v.is_numeric()) {
+    if (!may_be_numeric) return false;
+    double x = v.AsDouble();
+    if (std::isnan(x)) return may_be_nan;
+    if (x < num_lo || (x == num_lo && num_lo_open)) return false;
+    if (x > num_hi || (x == num_hi && num_hi_open)) return false;
+    return true;
+  }
+  // String payload.
+  if (!may_be_string) return false;
+  const std::string& s = v.string();
+  if (str_lo && (s < *str_lo || (s == *str_lo && str_lo_open))) return false;
+  if (str_hi && (s > *str_hi || (s == *str_hi && str_hi_open))) return false;
+  return true;
+}
+
+std::string ValueRange::ToString() const {
+  if (IsEmpty()) return "⊥ (no value)";
+  if (IsTop()) return "⊤ (any value)";
+  std::string out;
+  if (may_be_numeric) {
+    bool bounded = !IsInf(num_lo) || !IsInf(num_hi);
+    out += StrCat("num:", num_lo_open ? "(" : "[", Endpoint(num_lo), ", ",
+                  Endpoint(num_hi), num_hi_open ? ")" : "]");
+    if (!bounded) out = "num:any";
+    if (!may_be_nan) out += " nan:no";
+  }
+  if (may_be_string) {
+    if (!out.empty()) out += " ";
+    if (str_lo && str_hi && *str_lo == *str_hi && !str_lo_open && !str_hi_open) {
+      out += StrCat("str:'", *str_lo, "'");
+    } else if (str_lo || str_hi) {
+      out += StrCat("str:", str_lo_open ? "(" : "[", str_lo ? "'" + *str_lo + "'" : "-inf",
+                    ", ", str_hi ? "'" + *str_hi + "'" : "inf", str_hi_open ? ")" : "]");
+    } else {
+      out += "str:any";
+    }
+  }
+  if (!may_be_numeric && !may_be_string) out = "payload:none";
+  out += StrCat(" null:", may_be_null ? "yes" : "no", " all:", may_be_all ? "yes" : "no");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RangeFact / ZoneMapPredicate / RangeAnalysis
+// ---------------------------------------------------------------------------
+
+std::string RangeFact::ToString() const {
+  return StrCat(side == Side::kBase ? "B." : "R.", column, " ∈ ", range.ToString(),
+                from_transfer ? " (via equi transfer)" : "");
+}
+
+bool ZoneMapPredicate::CouldMatch(double block_min, double block_max,
+                                  bool block_has_null) const {
+  if (allow_non_numeric || allow_nan) return true;  // stats cannot rule these out
+  if (allow_null && block_has_null) return true;
+  if (block_max < num_lo || (block_max == num_lo && num_lo_open)) return false;
+  if (block_min > num_hi || (block_min == num_hi && num_hi_open)) return false;
+  return true;
+}
+
+std::string ZoneMapPredicate::ToString() const {
+  return StrCat(column, " ", num_lo_open ? "(" : "[", Endpoint(num_lo), ", ",
+                Endpoint(num_hi), num_hi_open ? ")" : "]",
+                allow_null ? " null:yes" : " null:no",
+                allow_non_numeric ? " non-num:yes" : " non-num:no");
+}
+
+const RangeFact* RangeAnalysis::FindFact(Side side, const std::string& column) const {
+  for (const RangeFact& f : facts) {
+    if (f.side == side && f.column == column) return &f;
+  }
+  return nullptr;
+}
+
+std::string RangeAnalysis::ToString() const {
+  if (!satisfiable) return StrCat("θ unsatisfiable: ", unsat_reason);
+  if (facts.empty()) return "no range facts";
+  std::vector<std::string> lines;
+  lines.reserve(facts.size());
+  for (const RangeFact& f : facts) lines.push_back(f.ToString());
+  return JoinStrings(lines, "; ");
+}
+
+RangeAnalysis AnalyzeRanges(const ExprPtr& theta) {
+  RangeAnalysis out;
+  if (theta == nullptr) return out;  // trivially-true θ
+
+  ThetaClassification cls = ClassifyTheta(theta);
+  Constraints global;
+  // Columns some conjunct constrains beyond the generic not-null an equi
+  // conjunct implies — facts on any other column must have come by transfer.
+  std::set<ColKey> direct;
+  for (const ClassifiedConjunct& conjunct : cls.conjuncts) {
+    std::optional<Constraints> c = DeriveTruthy(conjunct.expr);
+    if (!c) continue;
+    if (c->always_false && !global.always_false) {
+      global.always_false = true;
+      global.false_reason = c->false_reason;
+    }
+    for (auto& [key, range] : c->cols) {
+      bool exactly_not_null = !range.may_be_null && range.may_be_all &&
+                              range.may_be_numeric && range.may_be_string &&
+                              range.may_be_nan && IsInf(range.num_lo) &&
+                              IsInf(range.num_hi) && !range.str_lo && !range.str_hi;
+      if (!exactly_not_null) direct.insert(key);
+      Constrain(&global, key.side, key.name, range);
+    }
+  }
+
+  // Observation 4.1 fact transfer across plain-column equi conjuncts. One
+  // round suffices: transferred facts re-admit ALL, and transfer only fires
+  // from non-ALL-confined sources, so a second round derives nothing new.
+  std::set<ColKey> transferred;
+  for (const EquiPair& pair : cls.parts.equi) {
+    if (pair.base_expr->kind() != ExprKind::kColumnRef ||
+        pair.detail_expr->kind() != ExprKind::kColumnRef) {
+      continue;
+    }
+    ColKey base_key{Side::kBase, pair.base_expr->column_name()};
+    ColKey detail_key{Side::kDetail, pair.detail_expr->column_name()};
+    auto transfer = [&global, &transferred](const ColKey& from, const ColKey& to) {
+      auto it = global.cols.find(from);
+      if (it == global.cols.end()) return;
+      // An ALL cell on the source side matches anything non-null on the
+      // other, so only non-ALL-confined facts say something about `to`.
+      if (it->second.may_be_all) return;
+      ValueRange derived = TransferThrough(it->second);
+      auto [dst, inserted] = global.cols.emplace(to, derived);
+      if (!inserted) dst->second.MeetWith(derived);
+      transferred.insert(to);
+    };
+    transfer(base_key, detail_key);
+    transfer(detail_key, base_key);
+  }
+
+  if (global.always_false) {
+    out.satisfiable = false;
+    out.unsat_reason = StrCat("conjunct is constant-false: ", global.false_reason);
+  }
+
+  for (auto& [key, range] : global.cols) {
+    if (range.IsTop()) continue;
+    if (range.IsEmpty() && out.satisfiable) {
+      out.satisfiable = false;
+      out.unsat_reason =
+          StrCat("column ", ColKeyToString(key), " admits no value under θ");
+    }
+    RangeFact fact;
+    fact.side = key.side;
+    fact.column = key.name;
+    fact.range = range;
+    fact.from_transfer =
+        transferred.count(key) > 0 && direct.find(key) == direct.end();
+    out.facts.push_back(std::move(fact));
+  }
+
+  for (const RangeFact& f : out.facts) {
+    if (f.side != Side::kDetail) continue;
+    ZoneMapPredicate zp;
+    zp.column = f.column;
+    zp.num_lo = f.range.num_lo;
+    zp.num_hi = f.range.num_hi;
+    zp.num_lo_open = f.range.num_lo_open;
+    zp.num_hi_open = f.range.num_hi_open;
+    zp.allow_null = f.range.may_be_null;
+    zp.allow_non_numeric = f.range.may_be_all || f.range.may_be_string;
+    zp.allow_nan = f.range.may_be_nan;
+    out.zone_predicates.push_back(std::move(zp));
+  }
+
+  static Counter* derived = MetricsRegistry::Global().GetCounter(
+      "mdjoin_range_facts_derived_total",
+      "per-column range facts derived by θ interval abstract interpretation");
+  derived->Increment(static_cast<int64_t>(out.facts.size()));
+  return out;
+}
+
+}  // namespace mdjoin

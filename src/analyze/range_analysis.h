@@ -1,0 +1,145 @@
+#ifndef MDJOIN_ANALYZE_RANGE_ANALYSIS_H_
+#define MDJOIN_ANALYZE_RANGE_ANALYSIS_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace mdjoin {
+
+/// Interval + null-domain abstract interpretation over θ-conditions.
+///
+/// For every column θ references, the analysis derives the set of Values that
+/// column *may* hold in a (b, t) pair satisfying θ, as an element of a finite
+/// abstract domain: presence flags for the NULL / ALL / numeric / string
+/// payload classes, plus an interval (open or closed endpoints) per ordered
+/// class. Conjuncts refine by meet; OR takes the join of its arms. The domain
+/// starts at Top (any value), so everything derived is a *sound upper bound*:
+/// if θ evaluates truthy on a pair, every derived fact admits the actual
+/// column values (the differential fuzz suite checks exactly this).
+///
+/// Three consumers:
+///  - the optimizer: a Bottom element (or a constant-false conjunct) proves θ
+///    statically unsatisfiable, licensing the empty-detail rewrite
+///    (CertifyUnsatTheta in plan_analyzer.h);
+///  - ROADMAP item 1: detail-side facts export as ZoneMapPredicate, the
+///    block-pruning hook for per-block min/max zone maps;
+///  - EXPLAIN: facts render in the "static analysis" section.
+///
+/// Semantics pinned by expr/eval_ops.h that the transfer functions encode:
+/// ordered comparisons are false on NULL, ALL, or mixed numeric/string
+/// operands; θ-equality treats ALL as a wildcard (so facts derived from
+/// `col = lit` keep may_be_all — `x = 5 AND x = 10` is satisfiable, by ALL);
+/// NaN compares neither less nor greater, so `col <= NaN` is true for every
+/// numeric col and NaN never becomes an interval endpoint.
+
+/// Abstract over-approximation of one column's value set. Top admits
+/// everything; IsEmpty() is the Bottom element (no concrete value admitted).
+struct ValueRange {
+  bool may_be_null = true;
+  bool may_be_all = true;
+  bool may_be_numeric = true;
+  bool may_be_string = true;
+  /// Tracked separately from the interval because Value::Compare orders NaN
+  /// equal to every number: a NaN cell passes `col <= k` and `col >= k` for
+  /// any k, so it belongs to no interval yet satisfies non-strict bounds.
+  bool may_be_nan = true;
+
+  // Numeric window, meaningful while may_be_numeric. Endpoints are never NaN.
+  double num_lo = -std::numeric_limits<double>::infinity();
+  double num_hi = std::numeric_limits<double>::infinity();
+  bool num_lo_open = false;
+  bool num_hi_open = false;
+
+  // String window; an unset bound is unbounded.
+  std::optional<std::string> str_lo;
+  std::optional<std::string> str_hi;
+  bool str_lo_open = false;
+  bool str_hi_open = false;
+
+  static ValueRange Top() { return ValueRange(); }
+
+  bool IsTop() const;
+  /// The numeric (resp. string) class admits no value.
+  bool NumericEmpty() const;
+  bool StringEmpty() const;
+  /// Bottom: no concrete Value is admitted — a conjunct constraining a
+  /// column to this range is unsatisfiable.
+  bool IsEmpty() const;
+
+  /// Greatest lower bound (conjunction of constraints).
+  void MeetWith(const ValueRange& other);
+  /// Least upper bound (disjunction of constraints).
+  void JoinWith(const ValueRange& other);
+
+  /// The soundness predicate: may a column holding `v` satisfy the
+  /// constraints this range abstracts?
+  bool Admits(const Value& v) const;
+
+  /// e.g. "num:(5, inf] str:none null:no all:yes".
+  std::string ToString() const;
+};
+
+/// One derived fact: in any pair satisfying θ, column `column` of `side` holds
+/// a value admitted by `range`.
+struct RangeFact {
+  Side side = Side::kDetail;
+  std::string column;
+  ValueRange range;
+  /// Derived through an Observation-4.1 equi conjunct from the opposite
+  /// side's facts rather than from a direct constraint on this column.
+  bool from_transfer = false;
+
+  std::string ToString() const;  // "R.sale ∈ num:[1, 500] null:no all:yes"
+};
+
+/// Block-pruning export for ROADMAP item 1 (out-of-core columnar blocks with
+/// per-block min/max zone maps): a detail-column predicate a block reader can
+/// test against block statistics before decompressing anything.
+struct ZoneMapPredicate {
+  std::string column;  // detail-relation column name
+  double num_lo = -std::numeric_limits<double>::infinity();
+  double num_hi = std::numeric_limits<double>::infinity();
+  bool num_lo_open = false;
+  bool num_hi_open = false;
+  bool allow_null = true;
+  /// The column may satisfy θ with a non-numeric payload (string or the ALL
+  /// marker); numeric zone-map stats cannot prune such blocks.
+  bool allow_non_numeric = true;
+  /// A NaN cell may satisfy θ; min/max stats do not witness NaN presence.
+  bool allow_nan = true;
+
+  /// Conservative test: may a block whose numeric values span
+  /// [block_min, block_max] (with `block_has_null` marking stored NULLs)
+  /// contain a row satisfying the predicate? Never returns false for a block
+  /// holding a qualifying row.
+  bool CouldMatch(double block_min, double block_max, bool block_has_null) const;
+
+  std::string ToString() const;
+};
+
+/// The full analysis result for one θ.
+struct RangeAnalysis {
+  /// False when θ provably evaluates non-truthy on every pair: some column's
+  /// range met to Bottom, or a constant conjunct folded false.
+  bool satisfiable = true;
+  std::string unsat_reason;  // set when !satisfiable
+
+  std::vector<RangeFact> facts;
+  std::vector<ZoneMapPredicate> zone_predicates;  // detail-side facts only
+
+  const RangeFact* FindFact(Side side, const std::string& column) const;
+  std::string ToString() const;  // one line per fact / the unsat reason
+};
+
+/// Runs the abstract interpreter over θ's conjuncts (plan_analyzer's
+/// classification). A null θ is trivially true: satisfiable, no facts.
+RangeAnalysis AnalyzeRanges(const ExprPtr& theta);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_ANALYZE_RANGE_ANALYSIS_H_

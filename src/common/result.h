@@ -20,7 +20,7 @@ namespace mdjoin {
 ///
 ///   MDJ_ASSIGN_OR_RETURN(Table t, MdJoin(...));
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an error result. `status` must not be OK.
   Result(Status status) : value_(std::move(status)) {  // NOLINT: implicit by design

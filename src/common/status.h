@@ -38,7 +38,10 @@ const char* StatusCodeToString(StatusCode code);
 ///     if (bad) return Status::InvalidArgument("bad thing: ", detail);
 ///     return Status::OK();
 ///   }
-class Status {
+/// [[nodiscard]]: silently dropping a Status loses an error — every caller
+/// must consume it (check ok(), MDJ_RETURN_NOT_OK, or assign). CI promotes
+/// the warning to an error on the Clang legs (-Werror=unused-result).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(const Status& other)

@@ -29,6 +29,26 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// without a fractional part, others with up to 6 significant decimals.
 std::string FormatDouble(double v);
 
+namespace string_util_internal {
+inline std::string ToPiece(const std::string& s) { return s; }
+inline std::string ToPiece(std::string&& s) { return std::move(s); }
+inline std::string ToPiece(std::string_view s) { return std::string(s); }
+inline std::string ToPiece(const char* s) { return s; }
+template <typename T>
+std::string ToPiece(const T& v) {
+  return std::to_string(v);
+}
+}  // namespace string_util_internal
+
+/// Concatenates string-likes and numbers into one message string — the same
+/// piece conversion Status's variadic constructors use.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::string out;
+  ((out += string_util_internal::ToPiece(std::forward<Args>(args))), ...);
+  return out;
+}
+
 }  // namespace mdjoin
 
 #endif  // MDJOIN_COMMON_STRING_UTIL_H_

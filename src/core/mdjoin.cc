@@ -93,10 +93,22 @@ Result<Table> MdJoin(const Table& base, const Table& detail,
   }
   stats->base_rows_per_pass_effective = budget;
 
+  // Empty-multiset short-circuit: when the detail relation is empty or θ
+  // constant-folds to a non-truthy literal, no (b, t) pair can qualify — the
+  // outer semantics still emit every base row, with each aggregate finalized
+  // over zero matches (the worker pre-allocated all states above), so the
+  // pass loop can be skipped without touching R.
+  ExprPtr folded_theta = FoldConstants(theta);
+  const bool provably_empty =
+      detail.num_rows() == 0 ||
+      (folded_theta != nullptr && folded_theta->kind() == ExprKind::kLiteral &&
+       !folded_theta->literal().IsTruthy());
+
   // Scan counters accumulate in the worker and fold into *stats at the single
   // exit below — including when a guard trip or reservation failure ends a
   // later pass early, so cancelled queries report how far they got.
   Status run = [&]() -> Status {
+    if (provably_empty) return Status::OK();
     for (int64_t start = 0; start < base.num_rows(); start += budget) {
       Span pass_span("mdjoin.pass", "mdjoin");
       pass_span.SetArg("pass", stats->passes_over_detail);

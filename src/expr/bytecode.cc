@@ -326,4 +326,13 @@ std::string BytecodeExpr::ToString() const {
   return out;
 }
 
+BytecodeExpr BytecodeExpr::FromParts(std::vector<Instr> code, std::vector<Value> literals,
+                                     std::vector<std::vector<Value>> in_lists) {
+  BytecodeExpr bc;
+  bc.code_ = std::move(code);
+  bc.literals_ = std::move(literals);
+  bc.in_lists_ = std::move(in_lists);
+  return bc;
+}
+
 }  // namespace mdjoin

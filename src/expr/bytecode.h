@@ -80,6 +80,18 @@ class BytecodeExpr {
 
   int num_instrs() const { return static_cast<int>(code_.size()); }
 
+  /// Read-only views for the verifier (expr/verifier.h) and disassemblers.
+  const std::vector<Instr>& code() const { return code_; }
+  const std::vector<Value>& literals() const { return literals_; }
+  const std::vector<std::vector<Value>>& in_lists() const { return in_lists_; }
+
+  /// Assembles a program from raw parts, bypassing the emitter. Testing hook:
+  /// the verifier's mutated-bytecode corpus needs programs the emitter would
+  /// never produce (wild jumps, underflows, bad indices). Not validated —
+  /// run the result through VerifyBytecode before Eval.
+  static BytecodeExpr FromParts(std::vector<Instr> code, std::vector<Value> literals,
+                                std::vector<std::vector<Value>> in_lists);
+
   /// One-instruction-per-line disassembly, for debugging and EXPLAIN output.
   std::string ToString() const;
 

@@ -1,10 +1,13 @@
 #include "expr/compile.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
 #include "common/logging.h"
 #include "expr/eval_ops.h"
+#include "expr/verifier.h"
+#include "obs/metrics.h"
 
 namespace mdjoin {
 
@@ -27,6 +30,19 @@ bool BytecodeEnabled() {
   static const bool enabled = [] {
     const char* e = std::getenv("MDJOIN_THETA_BYTECODE");
     return e == nullptr || std::string_view(e) != "0";
+  }();
+  return enabled;
+}
+
+/// Mirrors analyze/plan_invariants' VerifyPlansEnabledByEnv. Duplicated here
+/// because mdj_expr sits below mdj_plananalyze in the layering: under
+/// MDJOIN_VERIFY_PLANS a bytecode program that fails verification is a hard
+/// compile error; otherwise it is a soft diagnostic and the expression falls
+/// back to the closure tree.
+bool HardVerifyEnabled() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("MDJOIN_VERIFY_PLANS");
+    return e != nullptr && std::string_view(e) != "0" && std::string_view(e) != "";
   }();
   return enabled;
 }
@@ -203,7 +219,23 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& expr, const Schema* base_schema,
     // type errors are reported once, by one compiler.
     MDJ_ASSIGN_OR_RETURN(BytecodeExpr bc,
                          BytecodeExpr::Compile(expr, base_schema, detail_schema));
-    out.bc_ = std::make_shared<const BytecodeExpr>(std::move(bc));
+    // Every program is verified before it may execute: stack safety, operand
+    // validity, forward-only jumps (termination). An emitter bug is a
+    // load-time rejection under MDJOIN_VERIFY_PLANS and a diagnosed
+    // fall-back to the closure tree otherwise — never a wrong answer.
+    VerifierReport report = VerifyBytecode(bc, base_schema, detail_schema);
+    if (report.ok()) {
+      static Counter* verified = MetricsRegistry::Global().GetCounter(
+          "mdjoin_theta_verified_total",
+          "θ bytecode programs that passed the static verifier");
+      verified->Increment();
+      out.bc_ = std::make_shared<const BytecodeExpr>(std::move(bc));
+    } else if (HardVerifyEnabled()) {
+      return report.ToStatus();
+    } else {
+      std::fprintf(stderr, "mdjoin: θ bytecode failed verification for %s: %s\n",
+                   expr->ToString().c_str(), report.ToStatus().message().c_str());
+    }
   }
   return out;
 }

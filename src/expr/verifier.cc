@@ -1,0 +1,323 @@
+#include "expr/verifier.h"
+
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace mdjoin {
+
+namespace {
+
+using Instr = BytecodeExpr::Instr;
+using OpCode = BytecodeExpr::OpCode;
+
+constexpr uint8_t kMaxOpCode = static_cast<uint8_t>(OpCode::kJumpIfNotTruthy);
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPushLit: return "kPushLit";
+    case OpCode::kPushNull: return "kPushNull";
+    case OpCode::kLoadBase: return "kLoadBase";
+    case OpCode::kLoadDetail: return "kLoadDetail";
+    case OpCode::kNot: return "kNot";
+    case OpCode::kNegate: return "kNegate";
+    case OpCode::kIsNull: return "kIsNull";
+    case OpCode::kIn: return "kIn";
+    case OpCode::kCompare: return "kCompare";
+    case OpCode::kArith: return "kArith";
+    case OpCode::kAndJump: return "kAndJump";
+    case OpCode::kOrJump: return "kOrJump";
+    case OpCode::kToBool: return "kToBool";
+    case OpCode::kJump: return "kJump";
+    case OpCode::kJumpIfNotTruthy: return "kJumpIfNotTruthy";
+  }
+  return "<bad opcode>";
+}
+
+bool IsCompareOp(uint8_t u8) {
+  BinaryOp op = static_cast<BinaryOp>(u8);
+  return op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+bool IsArithOp(uint8_t u8) {
+  BinaryOp op = static_cast<BinaryOp>(u8);
+  return op == BinaryOp::kAdd || op == BinaryOp::kSub || op == BinaryOp::kMul ||
+         op == BinaryOp::kDiv || op == BinaryOp::kMod;
+}
+
+/// The whole forward pass, accumulating into a report. The abstract state per
+/// pc is just the stack depth (the operand stack is dynamically typed — every
+/// slot holds a Value — so depth is the only structural property Eval relies
+/// on). `depth_at[pc]` is unset until some control path reaches pc.
+class Verifier {
+ public:
+  Verifier(const std::vector<Instr>& code, int num_literals, int num_in_lists,
+           int num_base_columns, int num_detail_columns)
+      : code_(code),
+        n_(static_cast<int>(code.size())),
+        num_literals_(num_literals),
+        num_in_lists_(num_in_lists),
+        num_base_columns_(num_base_columns),
+        num_detail_columns_(num_detail_columns) {
+    depth_at_.assign(static_cast<size_t>(n_) + 1, kUnset);
+  }
+
+  VerifierReport Run() {
+    if (n_ == 0) {
+      Error(VerifyErrorCode::kEmptyProgram, 0, "program has no instructions");
+      return std::move(report_);
+    }
+    depth_at_[0] = 0;
+    for (int pc = 0; pc < n_ && report_.ok(); ++pc) {
+      if (depth_at_[pc] == kUnset) {
+        Warn(VerifyErrorCode::kUnreachableCode, pc,
+             StrCat(OpCodeName(code_[pc].op), " is unreachable"));
+        continue;
+      }
+      Step(pc);
+      report_.verified_instrs = pc + 1;
+    }
+    if (report_.ok()) {
+      // Halt state: pc == n. Every terminating path merged its depth here.
+      if (depth_at_[n_] == kUnset) {
+        // Cannot happen with forward-only verified jumps (the last
+        // instruction always flows or jumps to n), but keep the check total.
+        Error(VerifyErrorCode::kBadResultArity, n_, "no control path reaches the halt state");
+      } else if (depth_at_[n_] != 1) {
+        Error(VerifyErrorCode::kBadResultArity, n_,
+              StrCat("program halts with stack depth ", depth_at_[n_], ", expected 1"));
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  static constexpr int kUnset = -1;
+
+  void Error(VerifyErrorCode code, int pc, std::string message) {
+    report_.diagnostics.push_back({code, pc, true, std::move(message)});
+  }
+  void Warn(VerifyErrorCode code, int pc, std::string message) {
+    report_.diagnostics.push_back({code, pc, false, std::move(message)});
+  }
+
+  /// Checks one pop of `pops` values at `pc`. Returns false on underflow.
+  bool NeedDepth(int pc, int depth, int pops) {
+    if (depth >= pops) return true;
+    Error(VerifyErrorCode::kStackUnderflow, pc,
+          StrCat(OpCodeName(code_[pc].op), " pops ", pops, " value", pops == 1 ? "" : "s",
+                 " but the stack holds ", depth));
+    return false;
+  }
+
+  /// Validates a jump operand and merges `depth` into its target. Targets
+  /// must be strictly forward (termination certificate: pc is monotone along
+  /// every edge) and may equal n — jumping to n halts the program.
+  void MergeJump(int pc, int depth) {
+    int target = code_[pc].a;
+    if (target <= pc) {
+      Error(VerifyErrorCode::kBackwardJump, pc,
+            StrCat(OpCodeName(code_[pc].op), " target ", target,
+                   " is not strictly forward (breaks the termination proof)"));
+      return;
+    }
+    if (target > n_) {
+      Error(VerifyErrorCode::kBadJumpTarget, pc,
+            StrCat(OpCodeName(code_[pc].op), " target ", target, " is past the program end ",
+                   n_));
+      return;
+    }
+    Merge(pc, target, depth);
+  }
+
+  /// Merges an inflowing stack depth into `target`'s state. All predecessors
+  /// of a merge point must agree on depth — Eval has a single stack pointer,
+  /// so a disagreement means some path reads or leaks stack slots.
+  void Merge(int pc, int target, int depth) {
+    if (depth_at_[target] == kUnset) {
+      depth_at_[target] = depth;
+      if (depth > report_.max_stack_depth) report_.max_stack_depth = depth;
+      return;
+    }
+    if (depth_at_[target] != depth) {
+      Error(VerifyErrorCode::kStackDepthMismatch, pc,
+            StrCat("edge from pc ", pc, " reaches pc ", target, " with stack depth ", depth,
+                   " but another path arrives with depth ", depth_at_[target]));
+    }
+  }
+
+  void Step(int pc) {
+    const Instr& ins = code_[pc];
+    int depth = depth_at_[pc];
+    if (static_cast<uint8_t>(ins.op) > kMaxOpCode) {
+      Error(VerifyErrorCode::kBadOpcode, pc,
+            StrCat("opcode byte ", static_cast<int>(ins.op), " is outside the ISA"));
+      return;
+    }
+    switch (ins.op) {
+      case OpCode::kPushLit:
+        if (ins.a < 0 || ins.a >= num_literals_) {
+          Error(VerifyErrorCode::kBadLiteralIndex, pc,
+                StrCat("literal index ", ins.a, " outside pool of ", num_literals_));
+          return;
+        }
+        Merge(pc, pc + 1, depth + 1);
+        return;
+      case OpCode::kPushNull:
+        Merge(pc, pc + 1, depth + 1);
+        return;
+      case OpCode::kLoadBase:
+      case OpCode::kLoadDetail: {
+        bool is_base = ins.op == OpCode::kLoadBase;
+        int num_columns = is_base ? num_base_columns_ : num_detail_columns_;
+        if (num_columns < 0) {
+          Error(VerifyErrorCode::kMissingSide, pc,
+                StrCat(OpCodeName(ins.op), " but the ", is_base ? "base" : "detail",
+                       " side is absent in this context"));
+          return;
+        }
+        if (ins.a < 0 || ins.a >= num_columns) {
+          Error(VerifyErrorCode::kBadColumnIndex, pc,
+                StrCat("column index ", ins.a, " outside the ", is_base ? "base" : "detail",
+                       " schema of ", num_columns, " columns"));
+          return;
+        }
+        Merge(pc, pc + 1, depth + 1);
+        return;
+      }
+      case OpCode::kNot:
+      case OpCode::kNegate:
+      case OpCode::kIsNull:
+      case OpCode::kToBool:
+        if (!NeedDepth(pc, depth, 1)) return;
+        Merge(pc, pc + 1, depth);  // replaces the top slot
+        return;
+      case OpCode::kIn:
+        if (ins.a < 0 || ins.a >= num_in_lists_) {
+          Error(VerifyErrorCode::kBadInListIndex, pc,
+                StrCat("in-list index ", ins.a, " outside pool of ", num_in_lists_));
+          return;
+        }
+        if (!NeedDepth(pc, depth, 1)) return;
+        Merge(pc, pc + 1, depth);
+        return;
+      case OpCode::kCompare:
+      case OpCode::kArith: {
+        bool ok = ins.op == OpCode::kCompare ? IsCompareOp(ins.u8) : IsArithOp(ins.u8);
+        if (!ok) {
+          Error(VerifyErrorCode::kBadOperandOp, pc,
+                StrCat(OpCodeName(ins.op), " u8=", static_cast<int>(ins.u8), " is not a ",
+                       ins.op == OpCode::kCompare ? "comparison" : "arithmetic",
+                       " operator"));
+          return;
+        }
+        if (!NeedDepth(pc, depth, 2)) return;
+        Merge(pc, pc + 1, depth - 1);
+        return;
+      }
+      case OpCode::kAndJump:
+      case OpCode::kOrJump:
+        // Taken: the top slot is replaced by the short-circuit Bool and
+        // control lands at the merge point with depth unchanged. Not taken:
+        // the operand is popped; the right operand and its trailing kToBool
+        // rebuild depth before the same merge point.
+        if (!NeedDepth(pc, depth, 1)) return;
+        MergeJump(pc, depth);
+        Merge(pc, pc + 1, depth - 1);
+        return;
+      case OpCode::kJump:
+        MergeJump(pc, depth);
+        return;  // no fall-through edge
+      case OpCode::kJumpIfNotTruthy:
+        if (!NeedDepth(pc, depth, 1)) return;
+        MergeJump(pc, depth - 1);
+        Merge(pc, pc + 1, depth - 1);
+        return;
+    }
+    Error(VerifyErrorCode::kBadOpcode, pc,
+          StrCat("opcode byte ", static_cast<int>(ins.op), " is outside the ISA"));
+  }
+
+  const std::vector<Instr>& code_;
+  const int n_;
+  const int num_literals_;
+  const int num_in_lists_;
+  const int num_base_columns_;
+  const int num_detail_columns_;
+  std::vector<int> depth_at_;
+  VerifierReport report_;
+};
+
+}  // namespace
+
+const char* VerifyErrorCodeName(VerifyErrorCode code) {
+  switch (code) {
+    case VerifyErrorCode::kEmptyProgram: return "V001";
+    case VerifyErrorCode::kBadOpcode: return "V002";
+    case VerifyErrorCode::kBadOperandOp: return "V003";
+    case VerifyErrorCode::kBadLiteralIndex: return "V004";
+    case VerifyErrorCode::kBadInListIndex: return "V005";
+    case VerifyErrorCode::kBadColumnIndex: return "V006";
+    case VerifyErrorCode::kMissingSide: return "V007";
+    case VerifyErrorCode::kBadJumpTarget: return "V008";
+    case VerifyErrorCode::kBackwardJump: return "V009";
+    case VerifyErrorCode::kStackUnderflow: return "V010";
+    case VerifyErrorCode::kStackDepthMismatch: return "V011";
+    case VerifyErrorCode::kBadResultArity: return "V012";
+    case VerifyErrorCode::kUnreachableCode: return "V100";
+  }
+  return "V???";
+}
+
+std::string VerifierDiagnostic::ToString() const {
+  return StrCat("[", VerifyErrorCodeName(code), "] pc ", pc, ": ", message);
+}
+
+bool VerifierReport::ok() const {
+  for (const VerifierDiagnostic& d : diagnostics) {
+    if (d.is_error) return false;
+  }
+  return true;
+}
+
+Status VerifierReport::ToStatus() const {
+  int errors = 0;
+  const VerifierDiagnostic* first = nullptr;
+  for (const VerifierDiagnostic& d : diagnostics) {
+    if (!d.is_error) continue;
+    if (first == nullptr) first = &d;
+    ++errors;
+  }
+  if (first == nullptr) return Status::OK();
+  return Status::InvalidArgument("bytecode verification failed: ", first->ToString(),
+                                 errors > 1 ? StrCat(" (+", errors - 1, " more)") : "");
+}
+
+std::string VerifierReport::ToString() const {
+  if (ok() && diagnostics.empty()) {
+    return StrCat("verified: ", verified_instrs, " instrs, max stack ", max_stack_depth);
+  }
+  std::string out = ok() ? "verified (with warnings):" : "REJECTED:";
+  for (const VerifierDiagnostic& d : diagnostics) {
+    out += "\n  " + d.ToString();
+  }
+  return out;
+}
+
+VerifierReport VerifyBytecodeProgram(const std::vector<BytecodeExpr::Instr>& code,
+                                     int num_literals, int num_in_lists,
+                                     int num_base_columns, int num_detail_columns) {
+  return Verifier(code, num_literals, num_in_lists, num_base_columns, num_detail_columns)
+      .Run();
+}
+
+VerifierReport VerifyBytecode(const BytecodeExpr& bc, const Schema* base_schema,
+                              const Schema* detail_schema) {
+  return VerifyBytecodeProgram(bc.code(), static_cast<int>(bc.literals().size()),
+                               static_cast<int>(bc.in_lists().size()),
+                               base_schema == nullptr ? -1 : base_schema->num_fields(),
+                               detail_schema == nullptr ? -1 : detail_schema->num_fields());
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,93 @@
+#ifndef MDJOIN_EXPR_VERIFIER_H_
+#define MDJOIN_EXPR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/bytecode.h"
+#include "types/schema.h"
+
+namespace mdjoin {
+
+/// JVM-style static verifier for expr/bytecode programs.
+///
+/// The bytecode interpreter (BytecodeExpr::Eval) is deliberately unchecked on
+/// its hot path: no bounds checks on jump targets, literal pools, or the
+/// value stack beyond what the emitter guarantees. The verifier re-derives
+/// those guarantees from the program alone, so an emitter bug becomes a
+/// structured load-time rejection instead of a wrong answer or a wild read.
+///
+/// Verified properties:
+///   - every opcode and its operand class are valid (a kCompare u8 must name
+///     a comparison BinaryOp, a kArith u8 an arithmetic one);
+///   - literal / in-list / column indices are in range for the pools and
+///     schemas the program was compiled against;
+///   - every jump target is STRICTLY FORWARD and lands inside (pc, n] — with
+///     the program counter otherwise monotone, this is a termination
+///     certificate: any execution retires at most n instructions;
+///   - the value stack never underflows, every merge point (a jump target
+///     reached from more than one predecessor) is reached with one single
+///     consistent stack depth, and the program halts with exactly one value;
+///   - unreachable instructions are reported as warnings.
+///
+/// The analysis is a single forward pass in pc order. Forward-only jumps
+/// mean every predecessor of an instruction has a smaller pc, so by the time
+/// pc is visited the abstract stack flowing into it is final — no fixpoint
+/// iteration is needed.
+enum class VerifyErrorCode {
+  kEmptyProgram,        // V001: zero instructions
+  kBadOpcode,           // V002: opcode byte outside the ISA
+  kBadOperandOp,        // V003: kCompare/kArith u8 is not an op of that class
+  kBadLiteralIndex,     // V004: kPushLit index outside the literal pool
+  kBadInListIndex,      // V005: kIn index outside the in-list pool
+  kBadColumnIndex,      // V006: kLoadBase/kLoadDetail column out of range
+  kMissingSide,         // V007: load from a side with no schema in context
+  kBadJumpTarget,       // V008: jump outside (pc, n]
+  kBackwardJump,        // V009: jump target <= pc (breaks termination proof)
+  kStackUnderflow,      // V010: instruction pops more than the stack holds
+  kStackDepthMismatch,  // V011: merge point reached with differing depths
+  kBadResultArity,      // V012: halt with stack depth != 1
+  kUnreachableCode,     // V100: instruction no control path reaches (warning)
+};
+
+/// Stable "V0xx" code for diagnostics and OPERATOR.md's reference table.
+const char* VerifyErrorCodeName(VerifyErrorCode code);
+
+struct VerifierDiagnostic {
+  VerifyErrorCode code;
+  int pc = -1;  // instruction index; num_instrs() for halt-state findings
+  bool is_error = true;  // false: advisory (kUnreachableCode)
+  std::string message;
+
+  std::string ToString() const;  // "[V010] pc 3: kCompare pops 2, stack holds 1"
+};
+
+struct VerifierReport {
+  std::vector<VerifierDiagnostic> diagnostics;
+  /// Proven upper bound on the evaluation stack depth of any execution.
+  int max_stack_depth = 0;
+  /// Instructions the pass actually checked (== program size when ok).
+  int verified_instrs = 0;
+
+  bool ok() const;          // no error-severity diagnostics
+  Status ToStatus() const;  // OK, or InvalidArgument carrying the first error
+  std::string ToString() const;
+};
+
+/// Verifies a compiled program against its own literal/in-list pools and the
+/// schemas it was compiled for. Pass nullptr for a side absent in context
+/// (loads from that side then fail with kMissingSide).
+VerifierReport VerifyBytecode(const BytecodeExpr& bc, const Schema* base_schema,
+                              const Schema* detail_schema);
+
+/// Raw-parts entry for hand-assembled programs (the mutated-bytecode test
+/// corpus). Pool/column limits are passed explicitly; a negative column
+/// count marks that side as absent from the evaluation context.
+VerifierReport VerifyBytecodeProgram(const std::vector<BytecodeExpr::Instr>& code,
+                                     int num_literals, int num_in_lists,
+                                     int num_base_columns, int num_detail_columns);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_EXPR_VERIFIER_H_

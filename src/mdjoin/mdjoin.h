@@ -22,6 +22,10 @@
 #include "agg/aggregate.h"
 #include "analyze/binder.h"
 #include "analyze/parser.h"
+#include "analyze/plan_analyzer.h"
+#include "analyze/plan_invariants.h"
+#include "analyze/range_analysis.h"
+#include "expr/verifier.h"
 #include "common/failpoint.h"
 #include "common/query_guard.h"
 #include "common/random.h"

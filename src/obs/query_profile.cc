@@ -147,6 +147,12 @@ std::string QueryProfile::ToText() const {
       out += "\n";
     }
   }
+  if (!analysis.empty()) {
+    out += "static analysis:\n";
+    for (const std::string& line : analysis) {
+      out += "  " + line + "\n";
+    }
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "terminal: %s (%.3fms)\n",
                 terminal.empty() ? "ok" : terminal.c_str(), total_ms);
@@ -179,6 +185,15 @@ std::string QueryProfile::ToJson() const {
     out += ", \"detail\": \"";
     AppendEscapedJson(r.detail, &out);
     out += "\"}";
+  }
+  out += "], \"analysis\": [";
+  first = true;
+  for (const std::string& line : analysis) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    AppendEscapedJson(line, &out);
+    out += "\"";
   }
   out += "], \"plan\": ";
   if (root != nullptr) {

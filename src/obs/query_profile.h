@@ -75,6 +75,11 @@ struct RewriteRecord {
 struct QueryProfile {
   std::unique_ptr<OperatorProfile> root;
   std::vector<RewriteRecord> rewrites;
+  /// Static-analysis findings for the executed plan, one line each: θ
+  /// bytecode verifier verdicts, derived range facts, unsat-θ proofs
+  /// (analyze/plan_invariants.h StaticAnalysisReport). Empty when the plan
+  /// has no MD-join or analysis was not run.
+  std::vector<std::string> analysis;
   bool complete = false;   // execution reached the end successfully
   std::string terminal;    // "ok", or the error status string (terminal event)
   double total_ms = 0;     // wall clock of the whole execution

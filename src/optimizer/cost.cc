@@ -102,6 +102,8 @@ Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
       MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
       return PlanCost{child.output_rows * kCuboidRatio, child.work + child.output_rows};
     }
+    case PlanKind::kEmptyRef:
+      return PlanCost{0, 0};
   }
   return Status::Internal("unreachable plan kind");
 }

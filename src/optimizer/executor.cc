@@ -289,6 +289,12 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
       stats->rows_materialized += out.num_rows();
       return out;
     }
+    case PlanKind::kEmptyRef: {
+      if (plan->empty_schema == nullptr) {
+        return Status::InvalidArgument("EmptyRef carries no schema");
+      }
+      return Table{*plan->empty_schema};
+    }
   }
   return Status::Internal("unreachable plan kind");
 }
@@ -338,6 +344,7 @@ Result<Table> ExplainAnalyze(const PlanPtr& plan, const Catalog& catalog,
   profile->complete = false;
   profile->terminal.clear();
   profile->total_ms = 0;
+  profile->analysis = StaticAnalysisReport(plan, catalog);
 
   Status setup = [&]() -> Status {
     if (plan == nullptr) return Status::InvalidArgument("ExplainAnalyze: null plan");

@@ -1,6 +1,7 @@
 #include "optimizer/optimize.h"
 
 #include "analyze/plan_invariants.h"
+#include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "optimizer/cost.h"
 #include "optimizer/rules.h"
@@ -114,6 +115,19 @@ Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
   for (int round = 0; round < options.max_rounds; ++round) {
     bool fired = false;
     bool accepted = false;
+    if (options.enable_unsat_rewrite && current->kind() == PlanKind::kMdJoin) {
+      MDJ_ASSIGN_OR_RETURN(
+          accepted, Accept(ApplyUnsatThetaRewrite(current, catalog), catalog, options,
+                           "unsat-θ empty-result", &current, report, rewrite_log));
+      if (accepted) {
+        static Counter* unsat_rewrites = MetricsRegistry::Global().GetCounter(
+            "mdjoin_unsat_theta_rewrites_total",
+            "MD-joins whose detail child was replaced by an empty relation "
+            "because interval analysis proved θ unsatisfiable");
+        unsat_rewrites->Increment();
+      }
+      fired |= accepted;
+    }
     if (options.enable_fusion && current->kind() == PlanKind::kMdJoin) {
       MDJ_ASSIGN_OR_RETURN(accepted,
                            Accept(FuseMdJoinSeries(current), catalog, options,

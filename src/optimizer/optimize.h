@@ -17,6 +17,7 @@ struct OptimizeOptions {
   bool enable_transfer = true;       // Observation 4.1
   bool enable_fusion = true;         // Theorem 4.3
   bool enable_cube_rollup = false;   // cube expansion + Theorem 4.5 chains
+  bool enable_unsat_rewrite = true;  // certified empty-result rewrite
   int max_rounds = 4;                // fixpoint guard per node
 
   /// Debug invariant mode: re-run the full PlanAnalyzer over the plan after

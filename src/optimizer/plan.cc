@@ -33,6 +33,8 @@ const char* PlanKindToString(PlanKind kind) {
       return "CuboidBase";
     case PlanKind::kSort:
       return "Sort";
+    case PlanKind::kEmptyRef:
+      return "EmptyRef";
   }
   return "?";
 }
@@ -141,6 +143,12 @@ PlanPtr SortPlan(PlanPtr child, std::vector<std::string> columns,
   return p;
 }
 
+PlanPtr EmptyRefPlan(Schema schema) {
+  PlanPtr p = MakeNode(PlanKind::kEmptyRef, {});
+  Mutable(p)->empty_schema = std::make_shared<const Schema>(std::move(schema));
+  return p;
+}
+
 PlanPtr CloneWithChildren(const PlanPtr& node, std::vector<PlanPtr> children) {
   PlanPtr p = MakeNode(node->kind(), std::move(children));
   PlanNode* m = Mutable(p);
@@ -160,6 +168,7 @@ PlanPtr CloneWithChildren(const PlanPtr& node, std::vector<PlanPtr> children) {
   m->cuboid_mask = node->cuboid_mask;
   m->sort_columns = node->sort_columns;
   m->sort_ascending = node->sort_ascending;
+  m->empty_schema = node->empty_schema;
   return p;
 }
 
@@ -254,6 +263,9 @@ std::string PlanNode::Label() const {
       out += ")";
       break;
     }
+    case PlanKind::kEmptyRef:
+      out += "(" + (empty_schema ? empty_schema->ToString() : std::string("?")) + ")";
+      break;
     default:
       break;
   }
@@ -412,6 +424,12 @@ Result<Schema> InferSchema(const PlanPtr& plan, const Catalog& catalog) {
         fields.push_back(child.field(idx));
       }
       return Schema(std::move(fields));
+    }
+    case PlanKind::kEmptyRef: {
+      if (plan->empty_schema == nullptr) {
+        return Status::InvalidArgument("EmptyRef carries no schema");
+      }
+      return *plan->empty_schema;
     }
   }
   return Status::Internal("unreachable plan kind");

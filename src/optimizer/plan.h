@@ -34,6 +34,7 @@ enum class PlanKind {
   kCubeBase,           // CUBE BY base-values generator over the child
   kCuboidBase,         // one cuboid of the child (π_{X,ALL..}) (Thm 4.5)
   kSort,               // order the child by named columns
+  kEmptyRef,           // constant empty relation with a fixed schema
 };
 
 const char* PlanKindToString(PlanKind kind);
@@ -69,6 +70,7 @@ class PlanNode {
   CuboidMask cuboid_mask = 0;                // kCuboidBase
   std::vector<std::string> sort_columns;     // kSort
   std::vector<bool> sort_ascending;          // kSort (parallel to sort_columns)
+  std::shared_ptr<const Schema> empty_schema;  // kEmptyRef
 
   /// One-line description of this node (no children).
   std::string Label() const;
@@ -104,6 +106,11 @@ PlanPtr CuboidBasePlan(PlanPtr child, std::vector<std::string> dims, CuboidMask 
 
 PlanPtr SortPlan(PlanPtr child, std::vector<std::string> columns,
                  std::vector<bool> ascending = {});
+
+/// Leaf producing zero rows with `schema`. Rewrites substitute it for a
+/// subtree proven to contribute nothing (e.g. the detail child of an MD-join
+/// whose θ is statically unsatisfiable) while keeping the plan type-correct.
+PlanPtr EmptyRefPlan(Schema schema);
 
 /// Copy of `node` with its children replaced (payload preserved). The
 /// building block for rewrites that recurse through unchanged operators.

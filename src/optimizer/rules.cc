@@ -71,6 +71,23 @@ Result<PlanPtr> ApplyBaseSelectionTransfer(const PlanPtr& plan) {
                     plan->theta);
 }
 
+Result<PlanPtr> ApplyUnsatThetaRewrite(const PlanPtr& plan, const Catalog& catalog) {
+  if (!IsMdJoin(plan)) return NotApplicable("unsat-θ", "root is not an MD-join");
+  // Idempotence guard: once the detail child is an EmptyRef the rewrite has
+  // already happened; re-proving unsatisfiability every round is wasted work.
+  if (plan->child(1)->kind() == PlanKind::kEmptyRef) {
+    return NotApplicable("unsat-θ", "detail child is already empty");
+  }
+  MDJ_ASSIGN_OR_RETURN(UnsatThetaCertificate cert, CertifyUnsatTheta(plan));
+  (void)cert;
+  MDJ_ASSIGN_OR_RETURN(Schema detail_schema, InferSchema(plan->child(1), catalog));
+  // θ is kept on the node: it is provably unsatisfiable, so evaluating it
+  // over the empty relation is free, and keeping it preserves the plan's
+  // self-description (EXPLAIN still shows the original condition).
+  return MdJoinPlan(plan->child(0), EmptyRefPlan(std::move(detail_schema)),
+                    plan->aggs, plan->theta);
+}
+
 Result<PlanPtr> FuseMdJoinSeries(const PlanPtr& plan) {
   if (!IsMdJoin(plan)) return NotApplicable("Theorem 4.3", "root is not an MD-join");
   // Collect the chain of nested MD-joins, outermost first.

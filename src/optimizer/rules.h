@@ -33,6 +33,16 @@ Result<PlanPtr> ApplySelectionPushdown(const PlanPtr& plan);
 /// (the output must still contain only σ_c(B)'s rows).
 Result<PlanPtr> ApplyBaseSelectionTransfer(const PlanPtr& plan);
 
+/// Statically-unsatisfiable θ: when the interval abstract interpretation
+/// (analyze/range_analysis.h, via CertifyUnsatTheta) proves that no
+/// (base, detail) pair can satisfy the root MD-join's θ, replaces the detail
+/// child with an EmptyRef carrying the detail schema:
+///   MD(B, R, l, θ)  =  MD(B, ∅_R, l, θ)      (θ unsatisfiable)
+/// MD-join outer semantics are preserved bit-for-bit — every base row still
+/// appears, with each aggregate finalized over the empty multiset — but R is
+/// never scanned. `catalog` is needed to infer R's schema for the EmptyRef.
+Result<PlanPtr> ApplyUnsatThetaRewrite(const PlanPtr& plan, const Catalog& catalog);
+
 /// Theorem 4.3 — series fusion: rewrites a chain of nested MD-joins
 /// MD(MD(...MD(B, R, l1, θ1)..., R, lk, θk)) into the minimal stack of
 /// generalized MD-joins. Dependency analysis assigns each component the

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "analyze/range_analysis.h"
 #include "common/random.h"
 #include "expr/compile.h"
 #include "expr/conjuncts.h"
@@ -178,6 +181,146 @@ TEST_P(ExprFuzz, ConjunctAnalysisPreservesSemantics) {
         ctx.detail_row = dr;
         EXPECT_EQ(a->EvalBool(ctx), b->EvalBool(ctx))
             << theta->ToString() << " vs " << recombined->ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RangeAnalysis differential property (satellite of the verifier PR)
+// ---------------------------------------------------------------------------
+
+/// Random comparison literal, weighted toward the adversarial numeric
+/// endpoints the interval domain must stay sound on.
+Value RandomRangeLit(Random* rng) {
+  switch (rng->Uniform(9)) {
+    case 0:
+      return Value::Int64(rng->UniformInt(-5, 5));
+    case 1:
+    case 2:
+      return Value::Float64(static_cast<double>(rng->UniformInt(-50, 50)) / 4);
+    case 3:
+      return Value::Float64(std::numeric_limits<double>::quiet_NaN());
+    case 4:
+      return Value::Float64(std::numeric_limits<double>::infinity());
+    case 5:
+      return Value::Float64(-std::numeric_limits<double>::infinity());
+    case 6:
+      return Value::String(rng->Bernoulli(0.5) ? "NJ" : "zz");
+    case 7:
+      return Value::Null();
+    default:
+      return Value::All();
+  }
+}
+
+ExprPtr RandomPlainColumn(Random* rng) {
+  switch (rng->Uniform(6)) {
+    case 0:
+      return BCol("b_int");
+    case 1:
+      return BCol("b_flt");
+    case 2:
+      return BCol("b_str");
+    case 3:
+      return RCol("d_int");
+    case 4:
+      return RCol("d_flt");
+    default:
+      return RCol("d_str");
+  }
+}
+
+/// Random conjunct in the shapes RangeAnalysis derives facts from — plus ORs
+/// and column-vs-column forms to exercise the join and equi-transfer paths.
+ExprPtr RandomRangePredicate(Random* rng, int depth) {
+  if (depth > 0 && rng->Bernoulli(0.25)) {
+    return Or(RandomRangePredicate(rng, depth - 1),
+              RandomRangePredicate(rng, depth - 1));
+  }
+  ExprPtr col = RandomPlainColumn(rng);
+  switch (rng->Uniform(9)) {
+    case 0:
+      return Lt(col, Lit(RandomRangeLit(rng)));
+    case 1:
+      return Le(col, Lit(RandomRangeLit(rng)));
+    case 2:
+      return Gt(col, Lit(RandomRangeLit(rng)));
+    case 3:
+      return Ge(col, Lit(RandomRangeLit(rng)));
+    case 4:
+      return Eq(col, Lit(RandomRangeLit(rng)));
+    case 5:
+      return In(col, {RandomRangeLit(rng), RandomRangeLit(rng)});
+    case 6:
+      return IsNull(col);
+    case 7:
+      return Not(IsNull(col));
+    default:
+      return Eq(RandomPlainColumn(rng), RandomPlainColumn(rng));
+  }
+}
+
+/// Overwrites some float cells with NaN / ±inf: the payloads whose ordering
+/// corner cases (NaN compares equal to everything) the domain's may_be_nan
+/// flag exists for.
+void SprinkleSpecialFloats(Table* t, Random* rng) {
+  for (int c = 0; c < t->schema().num_fields(); ++c) {
+    if (t->schema().field(c).type != DataType::kFloat64) continue;
+    for (int64_t r = 0; r < t->num_rows(); ++r) {
+      double dice = rng->NextDouble();
+      if (dice < 0.12) {
+        t->Set(r, c, Value::Float64(std::numeric_limits<double>::quiet_NaN()));
+      } else if (dice < 0.18) {
+        t->Set(r, c, Value::Float64((dice < 0.15 ? 1 : -1) *
+                                    std::numeric_limits<double>::infinity()));
+      }
+    }
+  }
+}
+
+TEST_P(ExprFuzz, RangeAnalysisIsSoundOverApproximation) {
+  Random rng(GetParam() + 9000);
+  Schema base_schema = BaseSchema();
+  Schema detail_schema = DetailSchema();
+  Table base = RandomTable(base_schema, &rng, 9);
+  Table detail = RandomTable(detail_schema, &rng, 9);
+  SprinkleSpecialFloats(&base, &rng);
+  SprinkleSpecialFloats(&detail, &rng);
+
+  for (int round = 0; round < 120; ++round) {
+    std::vector<ExprPtr> conjuncts;
+    int n = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < n; ++i) conjuncts.push_back(RandomRangePredicate(&rng, 1));
+    ExprPtr theta = CombineConjuncts(conjuncts);
+
+    RangeAnalysis analysis = AnalyzeRanges(theta);
+    Result<CompiledExpr> compiled = CompileExpr(theta, &base_schema, &detail_schema);
+    ASSERT_TRUE(compiled.ok()) << theta->ToString();
+
+    RowCtx ctx;
+    ctx.base = &base;
+    ctx.detail = &detail;
+    for (int64_t b = 0; b < base.num_rows(); ++b) {
+      for (int64_t d = 0; d < detail.num_rows(); ++d) {
+        ctx.base_row = b;
+        ctx.detail_row = d;
+        if (!compiled->EvalBool(ctx)) continue;
+        // θ is truthy on this pair. An unsat verdict would be a refuted
+        // proof; a fact rejecting the actual column value would be unsound.
+        ASSERT_TRUE(analysis.satisfiable)
+            << "unsat verdict refuted by a truthy pair: " << theta->ToString()
+            << "\n" << analysis.ToString();
+        for (const RangeFact& f : analysis.facts) {
+          const bool is_base = f.side == Side::kBase;
+          const Schema& s = is_base ? base_schema : detail_schema;
+          Result<int> col = s.GetFieldIndex(f.column);
+          ASSERT_TRUE(col.ok()) << f.ToString();
+          const Value& v = (is_base ? base : detail).Get(is_base ? b : d, *col);
+          EXPECT_TRUE(f.range.Admits(v))
+              << "fact " << f.ToString() << " rejects actual value "
+              << v.ToString() << " under truthy θ " << theta->ToString();
+        }
       }
     }
   }

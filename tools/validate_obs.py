@@ -5,6 +5,7 @@ Usage:
     validate_obs.py [--trace TRACE.json] [--metrics METRICS.json]
                     [--explain EXPLAIN.txt] [--schema obs_schema.json]
                     [--min-tracks N] [--expect-parallel] [--expect-server]
+                    [--expect-analysis]
 
 At least one artifact flag (--trace / --metrics / --explain) is required.
 Checks, in order:
@@ -167,7 +168,40 @@ def validate_server_metrics(metrics, schema_path):
         check(scalar(gauge) == 0, f"metrics: {gauge} did not drain to 0 after the run")
 
 
-def validate_metrics(path, expect_parallel, expect_server, schema_path):
+def analysis_metric_names(schema_path):
+    """The static-analysis metric family from the schema's analysisMetrics annex."""
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"metrics: cannot read analysisMetrics annex from {schema_path}: {e}")
+        return []
+    names = schema.get("analysisMetrics", {}).get("names", [])
+    check(names, f"metrics: {schema_path} has no analysisMetrics.names annex")
+    return names
+
+
+def validate_analysis_metrics(metrics, schema_path):
+    names = analysis_metric_names(schema_path)
+
+    def scalar(name):
+        v = metrics.get(name, 0)
+        return v if isinstance(v, (int, float)) else 0
+
+    # Any run that compiled a θ must have verified its bytecode and derived
+    # range facts; the empty-result rewrite only fires on unsatisfiable θs,
+    # so its counter need only be coherent when present.
+    for name in names:
+        if name in metrics:
+            check(scalar(name) >= 0, f"metrics: negative {name}")
+    check(scalar("mdjoin_theta_verified_total") > 0,
+          "metrics: no θ bytecode program passed the verifier — was θ compiled?")
+    check(scalar("mdjoin_range_facts_derived_total") > 0,
+          "metrics: interval analysis derived no range facts")
+
+
+def validate_metrics(path, expect_parallel, expect_server, expect_analysis,
+                     schema_path):
     try:
         with open(path) as f:
             metrics = json.load(f)
@@ -190,9 +224,11 @@ def validate_metrics(path, expect_parallel, expect_server, schema_path):
               "metrics: no morsels dispatched in a parallel run")
     if expect_server:
         validate_server_metrics(metrics, schema_path)
+    if expect_analysis:
+        validate_analysis_metrics(metrics, schema_path)
 
 
-def validate_explain(path):
+def validate_explain(path, expect_analysis=False):
     try:
         with open(path) as f:
             text = f.read()
@@ -204,6 +240,9 @@ def validate_explain(path):
     check("terminal: " in text, "explain: no terminal event line")
     check("terminal: ok" in text, "explain: query did not finish ok")
     check("scanned=" in text, "explain: MD-join node missing scan counters")
+    if expect_analysis:
+        check("static analysis:" in text,
+              "explain: no 'static analysis' section (verifier/range facts)")
 
 
 def main():
@@ -217,6 +256,9 @@ def main():
     parser.add_argument("--min-tracks", type=int, default=2)
     parser.add_argument("--expect-parallel", action="store_true")
     parser.add_argument("--expect-server", action="store_true")
+    parser.add_argument("--expect-analysis", action="store_true",
+                        help="require the static-analysis metric family and "
+                             "the 'static analysis' EXPLAIN section")
     args = parser.parse_args()
     if not (args.trace or args.metrics or args.explain):
         parser.error("nothing to validate: pass --trace, --metrics, or --explain")
@@ -233,9 +275,9 @@ def main():
         validate_trace_content(trace, args.min_tracks, args.expect_parallel)
     if args.metrics:
         validate_metrics(args.metrics, args.expect_parallel, args.expect_server,
-                         args.schema)
+                         args.expect_analysis, args.schema)
     if args.explain:
-        validate_explain(args.explain)
+        validate_explain(args.explain, args.expect_analysis)
 
     if ERRORS:
         for e in ERRORS:
