@@ -6,6 +6,8 @@
 ///                      [--trace-out=FILE] [--metrics-out=FILE]
 ///                      [--timeout-ms N] [--memory-limit BYTES[k|m|g]]
 ///                      [--simd auto|scalar|avx2|neon]
+///                      [--storage memory|paged] [--block-cache-bytes BYTES[k|m|g]]
+///                      [--block-size-rows N] [--spill-dir DIR]
 ///                      [--server-sim N] [--sim-queries M]
 ///                      'select ... analyze by ...'
 ///
@@ -36,12 +38,27 @@
 ///                       session overrides. Combine with --metrics-out to
 ///                       dump the server metric catalog after the run.
 ///   --sim-queries M     queries per simulated session (default 4).
+///
+/// Out-of-core storage (docs/OPERATOR.md §12):
+///   --storage paged     convert every --table to a paged block file (written
+///                       next to the CSV with a .mdjb suffix) and run the
+///                       MD-join out-of-core: blocks faulted on demand, zone
+///                       maps pruning non-matching blocks before decode.
+///   --block-cache-bytes fixed budget for the decoded-block cache (paged mode;
+///                       default 64m; 0 streams blocks with no cache).
+///   --block-size-rows   rows per storage block when converting (default 4096).
+///   --spill-dir DIR     enable partitioned spill: when θ carries an equi
+///                       conjunct, base and detail hash-partition to files
+///                       under DIR and partition pairs join independently.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -266,6 +283,10 @@ int main(int argc, char** argv) {
   int64_t morsel_size = 0;
   simd::Backend simd_backend = simd::Backend::kAuto;
   int server_sim = 0, sim_queries = 4;
+  bool paged_storage = false;
+  int64_t block_cache_bytes = int64_t{64} << 20;
+  int64_t block_size_rows = 4096;
+  std::string spill_dir;
   std::string query, trace_out, metrics_out;
   // `--flag=value` spelling for the output-path flags.
   auto eq_value = [](const char* arg, const char* flag, std::string* out) {
@@ -339,6 +360,33 @@ int main(int argc, char** argv) {
                      simd_spec.c_str());
         return 2;
       }
+    } else if (std::string storage_spec;
+               eq_value(argv[i], "--storage", &storage_spec) ||
+               (std::strcmp(argv[i], "--storage") == 0 && i + 1 < argc &&
+                (storage_spec = argv[++i], true))) {
+      if (storage_spec == "paged") {
+        paged_storage = true;
+      } else if (storage_spec != "memory") {
+        std::fprintf(stderr, "error: --storage wants memory or paged (got '%s')\n",
+                     storage_spec.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--block-cache-bytes") == 0 && i + 1 < argc) {
+      Result<int64_t> bytes = ParseByteSize(argv[++i]);
+      if (!bytes.ok() && std::strcmp(argv[i], "0") != 0) {
+        std::fprintf(stderr, "error: %s\n", bytes.status().ToString().c_str());
+        return 2;
+      }
+      block_cache_bytes = bytes.ok() ? *bytes : 0;
+    } else if (std::strcmp(argv[i], "--block-size-rows") == 0 && i + 1 < argc) {
+      block_size_rows = std::strtoll(argv[++i], nullptr, 10);
+      if (block_size_rows < 1) {
+        std::fprintf(stderr, "error: --block-size-rows wants a positive integer\n");
+        return 2;
+      }
+    } else if (eq_value(argv[i], "--spill-dir", &spill_dir)) {
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--morsel-size") == 0 && i + 1 < argc) {
       morsel_size = std::strtoll(argv[++i], nullptr, 10);
       if (morsel_size < 0) {
@@ -360,6 +408,8 @@ int main(int argc, char** argv) {
                  "[--metrics-out=FILE] "
                  "[--timeout-ms N] [--memory-limit BYTES[k|m|g]] "
                  "[--threads N] [--morsel-size ROWS] [--simd auto|scalar|avx2|neon] "
+                 "[--storage memory|paged] [--block-cache-bytes BYTES[k|m|g]] "
+                 "[--block-size-rows N] [--spill-dir DIR] "
                  "[--server-sim N] [--sim-queries M] "
                  "'query'\n",
                  argv[0]);
@@ -367,12 +417,58 @@ int main(int argc, char** argv) {
   }
 
   Catalog catalog;
-  for (const LoadedTable& t : tables) {
-    if (Status s = catalog.Register(t.name, &t.table); !s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-      return 2;
+  std::vector<std::unique_ptr<PagedTable>> paged_tables;
+  std::vector<std::string> block_files;
+  std::unique_ptr<BlockCache> block_cache;
+  if (paged_storage) {
+    // Convert each loaded table to a block file in the temp directory, then
+    // register the paged handle: the engine faults blocks on demand instead
+    // of scanning the in-memory copy.
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    for (const LoadedTable& t : tables) {
+      std::string path = dir + "/mdjoin_cli_" + t.name + "_" +
+                         std::to_string(static_cast<long long>(::getpid())) +
+                         ".mdjb";
+      BlockFileOptions file_options;
+      file_options.block_size_rows = block_size_rows;
+      if (Status s = WriteBlockFile(t.table, path, file_options); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
+      block_files.push_back(path);
+      Result<std::unique_ptr<PagedTable>> opened = PagedTable::Open(path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+        return 2;
+      }
+      paged_tables.push_back(std::move(*opened));
+      if (Status s = RegisterPagedTable(&catalog, t.name, *paged_tables.back());
+          !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
+    if (block_cache_bytes > 0) {
+      BlockCache::Options cache_options;
+      cache_options.capacity_bytes = block_cache_bytes;
+      block_cache = std::make_unique<BlockCache>(cache_options);
+    }
+  } else {
+    for (const LoadedTable& t : tables) {
+      if (Status s = catalog.Register(t.name, &t.table); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
     }
   }
+  // Remove the converted block files when main returns on any path.
+  struct BlockFileCleanup {
+    const std::vector<std::string>* paths;
+    ~BlockFileCleanup() {
+      std::error_code ec;
+      for (const std::string& p : *paths) std::filesystem::remove(p, ec);
+    }
+  } block_file_cleanup{&block_files};
 
   Result<analyze::BoundQuery> bound =
       use_emf ? analyze::BindEmfQueryString(query, catalog)
@@ -446,6 +542,11 @@ int main(int argc, char** argv) {
   // Pinning an unavailable backend fails query compilation with a clear
   // error, never a silent fallback.
   md_options.simd = simd_backend;
+  md_options.block_cache = block_cache.get();
+  if (!spill_dir.empty()) {
+    md_options.enable_spill = true;
+    md_options.spill_dir = spill_dir;
+  }
 
   if (!trace_out.empty()) Tracing::Start();
   Result<Table> result =

@@ -237,12 +237,12 @@ class Analyzer {
     switch (plan->kind()) {
       case PlanKind::kTableRef: {
         if (!expect(0)) return;
-        Result<const Table*> t = catalog_.Lookup(plan->table_name);
-        if (!t.ok()) {
-          Diag(*n, "invariant", "unbound table: " + t.status().message());
+        Result<const Schema*> s = catalog_.LookupSchema(plan->table_name);
+        if (!s.ok()) {
+          Diag(*n, "invariant", "unbound table: " + s.status().message());
           return;
         }
-        n->schema = (*t)->schema();
+        n->schema = **s;
         for (const Field& f : n->schema->fields()) {
           n->provenance.push_back({f.name, AttrOrigin::kBaseColumn, plan.get(),
                                    plan->table_name + "." + f.name});

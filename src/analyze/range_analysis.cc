@@ -546,6 +546,20 @@ bool ZoneMapPredicate::CouldMatch(double block_min, double block_max,
   return true;
 }
 
+bool ZoneMapPredicate::CouldMatchString(const std::string& block_str_min,
+                                        const std::string& block_str_max) const {
+  if (!allow_string) return false;
+  if (str_lo && (block_str_max < *str_lo ||
+                 (block_str_max == *str_lo && str_lo_open))) {
+    return false;
+  }
+  if (str_hi && (block_str_min > *str_hi ||
+                 (block_str_min == *str_hi && str_hi_open))) {
+    return false;
+  }
+  return true;
+}
+
 std::string ZoneMapPredicate::ToString() const {
   return StrCat(column, " ", num_lo_open ? "(" : "[", Endpoint(num_lo), ", ",
                 Endpoint(num_hi), num_hi_open ? ")" : "]",
@@ -653,6 +667,19 @@ RangeAnalysis AnalyzeRanges(const ExprPtr& theta) {
     zp.allow_null = f.range.may_be_null;
     zp.allow_non_numeric = f.range.may_be_all || f.range.may_be_string;
     zp.allow_nan = f.range.may_be_nan;
+    zp.allow_all = f.range.may_be_all;
+    zp.allow_string = f.range.may_be_string;
+    zp.str_lo = f.range.str_lo;
+    zp.str_hi = f.range.str_hi;
+    zp.str_lo_open = f.range.str_lo_open;
+    zp.str_hi_open = f.range.str_hi_open;
+    if (!f.range.may_be_numeric) {
+      // Empty numeric window: readers with per-class stats (ZoneCouldMatch)
+      // can prune all-numeric blocks outright. CouldMatch is unaffected — it
+      // short-circuits on allow_non_numeric/allow_nan before the interval.
+      zp.num_lo = std::numeric_limits<double>::infinity();
+      zp.num_hi = -std::numeric_limits<double>::infinity();
+    }
     out.zone_predicates.push_back(std::move(zp));
   }
 

@@ -112,12 +112,29 @@ struct ZoneMapPredicate {
   bool allow_non_numeric = true;
   /// A NaN cell may satisfy θ; min/max stats do not witness NaN presence.
   bool allow_nan = true;
+  /// Per-class refinement of allow_non_numeric for readers that track payload
+  /// classes separately (storage/block_format's per-class zone counts): may an
+  /// ALL marker (resp. a string payload) satisfy θ, and if strings may, the
+  /// admitted string window. allow_non_numeric stays `allow_all ||
+  /// allow_string` so CouldMatch keeps its original conservative contract.
+  bool allow_all = true;
+  bool allow_string = true;
+  std::optional<std::string> str_lo;  // unset bound = unbounded
+  std::optional<std::string> str_hi;
+  bool str_lo_open = false;
+  bool str_hi_open = false;
 
   /// Conservative test: may a block whose numeric values span
   /// [block_min, block_max] (with `block_has_null` marking stored NULLs)
   /// contain a row satisfying the predicate? Never returns false for a block
   /// holding a qualifying row.
   bool CouldMatch(double block_min, double block_max, bool block_has_null) const;
+
+  /// String analogue over a block's string payload window [block_str_min,
+  /// block_str_max]. False when strings cannot satisfy θ at all or the windows
+  /// are disjoint; only meaningful for blocks that do hold string cells.
+  bool CouldMatchString(const std::string& block_str_min,
+                        const std::string& block_str_max) const;
 
   std::string ToString() const;
 };

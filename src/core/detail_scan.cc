@@ -172,12 +172,28 @@ Result<DetailScan> DetailScan::Prepare(const Table& base, const Table& detail,
   return scan;
 }
 
-Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) const {
+Status DetailScan::ScanChunk(const Table& chunk, int64_t lo, int64_t hi,
+                             DetailScanWorker* worker) const {
   Span span("scan_range", "scan");
   const Table& base = *base_;
-  const Table& detail = *detail_;
+  const Table& detail = chunk;
   const std::vector<BoundAgg>& aggs = *aggs_;
   const CompiledTheta& ct = *theta_;
+  // Everything hoisted against the prepared table is valid only when that is
+  // the table being scanned; a decoded block from the paged reader carries
+  // the same schema but its own row numbering and storage.
+  const bool home = (&chunk == detail_);
+  std::vector<const Value*> foreign_args;
+  const Value* const* arg_cols = arg_cols_.data();
+  if (!home) {
+    foreign_args.assign(aggs.size(), nullptr);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].detail_arg_col >= 0) {
+        foreign_args[a] = chunk.column(aggs[a].detail_arg_col).data();
+      }
+    }
+    arg_cols = foreign_args.data();
+  }
 
   RowCtx ctx;
   ctx.base = &base;
@@ -192,8 +208,9 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
   Status status;
 
   // The code-key probe memo reads the typed mirror; the use_flat_columns=false
-  // ablation arm must not (BeginJob reset scratch, so set it every range).
-  worker->scratch.allow_code_keys = ct.use_flat;
+  // ablation arm must not (BeginJob reset scratch, so set it every range),
+  // and neither may a foreign chunk, whose codes live in a different mirror.
+  worker->scratch.allow_code_keys = ct.use_flat && home;
 
   if (vectorized_) {
     std::vector<AggStateColumn>& cols = worker->cols;
@@ -217,7 +234,7 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
       const uint8_t* nulls = nullptr;
     };
     std::vector<ArgPlan> plans(aggs.size());
-    if (ct.accel != nullptr) {
+    if (ct.accel != nullptr && home) {
       for (size_t a = 0; a < aggs.size(); ++a) {
         const int c = aggs[a].detail_arg_col;
         if (c < 0 || !cols[a].is_flat()) continue;
@@ -345,8 +362,8 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
                   col.UpdateManyF64(fgroups, ng, ap.f64[t]);
                 }
               }
-            } else if (arg_cols_[a] != nullptr) {
-              const Value* cells = arg_cols_[a];
+            } else if (arg_cols[a] != nullptr) {
+              const Value* cells = arg_cols[a];
               for (int i = 0; i < count; ++i) col.UpdateMany(fgroups, ng, cells[row_at(i)]);
             } else {
               // Computed argument: may reference the base row, so per pair.
@@ -405,8 +422,8 @@ Status DetailScan::ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) c
               if (plans[a].nulls == nullptr || plans[a].nulls[t] == 0) {
                 cols[a].UpdateManyF64(match_rows, nmatch, plans[a].f64[t]);
               }
-            } else if (arg_cols_[a] != nullptr) {
-              cols[a].UpdateMany(match_rows, nmatch, arg_cols_[a][t]);
+            } else if (arg_cols[a] != nullptr) {
+              cols[a].UpdateMany(match_rows, nmatch, arg_cols[a][t]);
             } else if (!agg.has_arg) {
               cols[a].UpdateCountStarMany(match_rows, nmatch);
             } else {

@@ -120,7 +120,20 @@ class DetailScan {
   /// the guard's check stride); row mode is the tuple-at-a-time baseline.
   /// Work counters flush into worker->stats before returning — including on
   /// a guard trip, so cancelled queries report how far they got.
-  Status ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) const;
+  Status ScanRange(int64_t lo, int64_t hi, DetailScanWorker* worker) const {
+    return ScanChunk(*detail_, lo, hi, worker);
+  }
+
+  /// The out-of-core seam: scans rows [lo, hi) of `chunk`, a table with the
+  /// detail schema that need not be the table given to Prepare — the paged
+  /// driver passes each decoded block here, so zone-map pruning, faulting,
+  /// and eviction stay outside while every scan optimization (kernels, fused
+  /// blocks, index probes) runs unchanged. Row-position machinery bound to
+  /// the *prepared* table (its typed accel mirror, hoisted argument columns,
+  /// code-key probe memos) engages only when `chunk` IS that table; foreign
+  /// chunks resolve arguments per call and probe by value.
+  Status ScanChunk(const Table& chunk, int64_t lo, int64_t hi,
+                   DetailScanWorker* worker) const;
 
   int64_t index_masks() const { return index_masks_; }
   int64_t active_rows() const { return static_cast<int64_t>(active_.size()); }

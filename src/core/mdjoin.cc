@@ -32,6 +32,16 @@ std::string MdJoinStats::ToString() const {
   if (memory_degraded) {
     out += " degraded_rows_per_pass=" + std::to_string(base_rows_per_pass_effective);
   }
+  if (blocks_read > 0 || blocks_pruned > 0) {
+    out += " blocks_read=" + std::to_string(blocks_read);
+    out += " blocks_pruned=" + std::to_string(blocks_pruned);
+    out += " blocks_faulted=" + std::to_string(blocks_faulted);
+    out += " block_cache_hits=" + std::to_string(block_cache_hits);
+  }
+  if (spill_partitions > 0) {
+    out += " spill_partitions=" + std::to_string(spill_partitions);
+    out += " spill_bytes=" + std::to_string(spill_bytes_written);
+  }
   return out;
 }
 

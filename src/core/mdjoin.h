@@ -113,6 +113,25 @@ struct MdJoinOptions {
   /// than "0". Ignored by the low-level MdJoin() table entry point, which
   /// has no plan to verify.
   bool verify_plans = false;
+
+  // --- Out-of-core knobs (storage/out_of_core.h consumes these; the
+  // in-memory MdJoin() ignores them). Declared here, opaquely, so one options
+  // struct travels the whole stack without core linking against storage. ---
+
+  /// Shared decoded-block cache for paged detail scans; not owned, may be
+  /// null (every fault then decodes fresh — correct, just slower).
+  class BlockCache* block_cache = nullptr;
+
+  /// Allow the paged driver to hash-partition B and R to spill files when the
+  /// guard's soft memory budget cannot hold the aggregate state, instead of
+  /// (or after) degrading to Theorem-4.1 multi-pass.
+  bool enable_spill = false;
+
+  /// Directory for spill partition files; empty picks the system temp dir.
+  std::string spill_dir;
+
+  /// Spill fan-out; 0 sizes it from the guard budget (clamped to [2, 64]).
+  int spill_partitions = 0;
 };
 
 /// Engine-side byte estimates used by the guard's memory accountant. They
@@ -147,6 +166,16 @@ struct MdJoinStats {
   // the memo never engaged (non-cube θ or a disabled index).
   int64_t index_probe_lookups = 0;
   int64_t index_probe_memo_hits = 0;
+
+  // Out-of-core counters (storage/out_of_core.cc); zero on in-memory runs.
+  // blocks_read = faulted + cache hits; pruned blocks were refuted by their
+  // zone maps and never decoded.
+  int64_t blocks_read = 0;
+  int64_t blocks_pruned = 0;
+  int64_t blocks_faulted = 0;   // loader actually ran (cache miss or no cache)
+  int64_t block_cache_hits = 0;
+  int64_t spill_partitions = 0; // partition pairs spilled and joined
+  int64_t spill_bytes_written = 0;
 
   std::string ToString() const;
 };

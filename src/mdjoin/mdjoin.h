@@ -62,6 +62,11 @@
 #include "server/admission.h"
 #include "server/query_service.h"
 #include "server/result_cache.h"
+#include "storage/block_cache.h"
+#include "storage/block_format.h"
+#include "storage/out_of_core.h"
+#include "storage/paged_table.h"
+#include "storage/spill.h"
 #include "table/clustered_index.h"
 #include "table/csv.h"
 #include "table/table.h"

@@ -48,6 +48,21 @@ void NodeToText(const OperatorProfile& node, int depth, std::string* out) {
                     static_cast<long long>(node.steal_waits));
       *out += buf;
     }
+    if (node.blocks_read > 0 || node.blocks_pruned > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    " blocks_read=%lld pruned=%lld faulted=%lld cache_hits=%lld",
+                    static_cast<long long>(node.blocks_read),
+                    static_cast<long long>(node.blocks_pruned),
+                    static_cast<long long>(node.blocks_faulted),
+                    static_cast<long long>(node.block_cache_hits));
+      *out += buf;
+    }
+    if (node.spill_partitions > 0) {
+      std::snprintf(buf, sizeof(buf), " spill_parts=%lld spill_bytes=%lld",
+                    static_cast<long long>(node.spill_partitions),
+                    static_cast<long long>(node.spill_bytes_written));
+      *out += buf;
+    }
   }
   *out += "\n";
   for (const auto& child : node.children) NodeToText(*child, depth + 1, out);
@@ -116,6 +131,12 @@ void NodeToJson(const OperatorProfile& node, std::string* out) {
     AppendKv("morsels", node.morsels, &first, out);
     AppendKv("steal_waits", node.steal_waits, &first, out);
     AppendKv("num_threads", node.num_threads, &first, out);
+    AppendKv("blocks_read", node.blocks_read, &first, out);
+    AppendKv("blocks_pruned", node.blocks_pruned, &first, out);
+    AppendKv("blocks_faulted", node.blocks_faulted, &first, out);
+    AppendKv("block_cache_hits", node.block_cache_hits, &first, out);
+    AppendKv("spill_partitions", node.spill_partitions, &first, out);
+    AppendKv("spill_bytes_written", node.spill_bytes_written, &first, out);
     AppendKvMs("selectivity", node.selectivity(), &first, out);
   }
   *out += ", \"children\": [";

@@ -35,6 +35,14 @@ struct OperatorProfile {
   int64_t steal_waits = 0;            // parallel engine: drained cursor polls
   int num_threads = 1;                // workers that executed this node
 
+  // Out-of-core counters (storage/out_of_core); zero for in-memory nodes.
+  int64_t blocks_read = 0;            // storage blocks served (faults + hits)
+  int64_t blocks_pruned = 0;          // blocks refuted by zone maps, not decoded
+  int64_t blocks_faulted = 0;         // block loads that ran the decoder
+  int64_t block_cache_hits = 0;       // blocks served resident from the cache
+  int64_t spill_partitions = 0;       // partition pairs spilled and joined
+  int64_t spill_bytes_written = 0;    // bytes written to spill files
+
   /// Fraction of scanned detail rows surviving the pushed-down selection;
   /// -1 when the node scanned nothing.
   double selectivity() const {

@@ -29,8 +29,8 @@ Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
   if (plan == nullptr) return Status::InvalidArgument("EstimateCost: null plan");
   switch (plan->kind()) {
     case PlanKind::kTableRef: {
-      MDJ_ASSIGN_OR_RETURN(const Table* t, catalog.Lookup(plan->table_name));
-      return PlanCost{static_cast<double>(t->num_rows()), 0};
+      MDJ_ASSIGN_OR_RETURN(int64_t rows, catalog.LookupNumRows(plan->table_name));
+      return PlanCost{static_cast<double>(rows), 0};
     }
     case PlanKind::kFilter: {
       MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));

@@ -14,6 +14,8 @@
 #include "ra/group_by.h"
 #include "ra/join.h"
 #include "ra/project.h"
+#include "storage/out_of_core.h"
+#include "storage/spill.h"
 #include "table/table_ops.h"
 
 namespace mdjoin {
@@ -110,12 +112,45 @@ Status AccountMaterialization(const MdJoinOptions& md_options, const Table& t) {
   return Status::OK();
 }
 
+/// Copies one MD-join evaluation's counters into an operator profile —
+/// shared by the sequential, paged, and spill arms of kMdJoin (the parallel
+/// arm reports through ParallelMdJoinStats instead).
+void FillMdJoinProfile(OperatorProfile* profile, const MdJoinStats& s,
+                       size_t num_aggs) {
+  profile->is_mdjoin = true;
+  profile->detail_rows_scanned = s.detail_rows_scanned;
+  profile->detail_rows_qualified = s.detail_rows_qualified;
+  profile->candidate_pairs = s.candidate_pairs;
+  profile->matched_pairs = s.matched_pairs;
+  profile->agg_updates = s.matched_pairs * static_cast<int64_t>(num_aggs);
+  profile->passes = s.passes_over_detail;
+  profile->blocks = s.blocks;
+  profile->kernel_invocations = s.kernel_invocations;
+  profile->index_probe_lookups = s.index_probe_lookups;
+  profile->index_probe_memo_hits = s.index_probe_memo_hits;
+  profile->blocks_read = s.blocks_read;
+  profile->blocks_pruned = s.blocks_pruned;
+  profile->blocks_faulted = s.blocks_faulted;
+  profile->block_cache_hits = s.block_cache_hits;
+  profile->spill_partitions = s.spill_partitions;
+  profile->spill_bytes_written = s.spill_bytes_written;
+}
+
 Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
                        const MdJoinOptions& md_options, ExecStats* stats,
                        CseCache* cse, OperatorProfile* profile) {
   ++stats->nodes_executed;
   switch (plan->kind()) {
     case PlanKind::kTableRef: {
+      // Paged relation consumed outside an MD-join detail position (the one
+      // place with a block-at-a-time path): materialize it whole, charged to
+      // the guard while assembling. Correct for every operator, just not
+      // out-of-core — the planner keeps paged tables in detail position.
+      if (const PagedTable* paged = catalog.FindPaged(plan->table_name)) {
+        MDJ_ASSIGN_OR_RETURN(Table all, paged->ReadAll(md_options.guard));
+        stats->rows_materialized += all.num_rows();
+        return all;
+      }
       MDJ_ASSIGN_OR_RETURN(const Table* t, catalog.Lookup(plan->table_name));
       Table copy = t->Clone();
       stats->rows_materialized += copy.num_rows();
@@ -173,8 +208,50 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
     }
     case PlanKind::kMdJoin: {
       MDJ_ASSIGN_OR_RETURN(Table base, Exec(plan->child(0), catalog, md_options, stats, cse, profile));
+      // Out-of-core fast path: a detail child that is directly a paged
+      // catalog reference is never materialized — the paged driver streams
+      // its blocks through zone-map pruning and the block cache, parallelizes
+      // internally when num_threads > 1, and spills when enable_spill is set.
+      const PagedTable* paged_detail =
+          plan->child(1)->kind() == PlanKind::kTableRef
+              ? catalog.FindPaged(plan->child(1)->table_name)
+              : nullptr;
+      if (paged_detail != nullptr) {
+        ++stats->mdjoin_operators;
+        MdJoinStats md_stats;
+        Result<Table> out = PagedMdJoin(base, *paged_detail, plan->aggs,
+                                        plan->theta, md_options, &md_stats);
+        stats->detail_rows_scanned += md_stats.detail_rows_scanned;
+        stats->candidate_pairs += md_stats.candidate_pairs;
+        stats->matched_pairs += md_stats.matched_pairs;
+        if (profile != nullptr) {
+          FillMdJoinProfile(profile, md_stats, plan->aggs.size());
+          profile->num_threads = md_options.num_threads;
+        }
+        MDJ_RETURN_NOT_OK(out.status());
+        stats->rows_materialized += out->num_rows();
+        return out;
+      }
       MDJ_ASSIGN_OR_RETURN(Table detail, Exec(plan->child(1), catalog, md_options, stats, cse, profile));
       ++stats->mdjoin_operators;
+      // The partitioned-spill escape hatch subsumes the threading choice: its
+      // per-partition joins run through the parallel engine themselves when
+      // num_threads > 1.
+      if (md_options.enable_spill) {
+        MdJoinStats md_stats;
+        Result<Table> out = SpillMdJoin(base, detail, plan->aggs, plan->theta,
+                                        md_options, &md_stats);
+        stats->detail_rows_scanned += md_stats.detail_rows_scanned;
+        stats->candidate_pairs += md_stats.candidate_pairs;
+        stats->matched_pairs += md_stats.matched_pairs;
+        if (profile != nullptr) {
+          FillMdJoinProfile(profile, md_stats, plan->aggs.size());
+          profile->num_threads = md_options.num_threads;
+        }
+        MDJ_RETURN_NOT_OK(out.status());
+        stats->rows_materialized += out->num_rows();
+        return out;
+      }
       // num_threads > 1 routes the node through the morsel-driven parallel
       // engine (detail split: one logical scan of R, per-thread partials).
       // The sequential evaluator stays the default and the ablation baseline.
@@ -216,18 +293,7 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
       stats->candidate_pairs += md_stats.candidate_pairs;
       stats->matched_pairs += md_stats.matched_pairs;
       if (profile != nullptr) {
-        profile->is_mdjoin = true;
-        profile->detail_rows_scanned = md_stats.detail_rows_scanned;
-        profile->detail_rows_qualified = md_stats.detail_rows_qualified;
-        profile->candidate_pairs = md_stats.candidate_pairs;
-        profile->matched_pairs = md_stats.matched_pairs;
-        profile->agg_updates =
-            md_stats.matched_pairs * static_cast<int64_t>(plan->aggs.size());
-        profile->passes = md_stats.passes_over_detail;
-        profile->blocks = md_stats.blocks;
-        profile->kernel_invocations = md_stats.kernel_invocations;
-        profile->index_probe_lookups = md_stats.index_probe_lookups;
-        profile->index_probe_memo_hits = md_stats.index_probe_memo_hits;
+        FillMdJoinProfile(profile, md_stats, plan->aggs.size());
       }
       MDJ_RETURN_NOT_OK(out.status());
       stats->rows_materialized += out->num_rows();

@@ -278,8 +278,25 @@ std::string PlanNode::Label() const {
 
 Status Catalog::Register(std::string name, const Table* table) {
   MDJ_CHECK(table != nullptr);
+  if (paged_.count(name) != 0) {
+    return Status::AlreadyExists("table '", name, "' already registered (paged)");
+  }
   auto [it, inserted] = tables_.try_emplace(std::move(name), table);
   if (!inserted) return Status::AlreadyExists("table '", it->first, "' already registered");
+  return Status::OK();
+}
+
+Status Catalog::RegisterPaged(std::string name, const PagedTable* table,
+                              Schema schema, int64_t num_rows) {
+  MDJ_CHECK(table != nullptr);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '", name, "' already registered");
+  }
+  auto [it, inserted] = paged_.try_emplace(
+      std::move(name), PagedEntry{table, std::move(schema), num_rows});
+  if (!inserted) {
+    return Status::AlreadyExists("table '", it->first, "' already registered (paged)");
+  }
   return Status::OK();
 }
 
@@ -289,10 +306,32 @@ Result<const Table*> Catalog::Lookup(const std::string& name) const {
   return it->second;
 }
 
+const PagedTable* Catalog::FindPaged(const std::string& name) const {
+  auto it = paged_.find(name);
+  return it == paged_.end() ? nullptr : it->second.table;
+}
+
+Result<const Schema*> Catalog::LookupSchema(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return &it->second->schema();
+  auto pit = paged_.find(name);
+  if (pit != paged_.end()) return &pit->second.schema;
+  return Status::NotFound("no table named '", name, "'");
+}
+
+Result<int64_t> Catalog::LookupNumRows(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) return it->second->num_rows();
+  auto pit = paged_.find(name);
+  if (pit != paged_.end()) return pit->second.num_rows;
+  return Status::NotFound("no table named '", name, "'");
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> out;
-  out.reserve(tables_.size());
+  out.reserve(tables_.size() + paged_.size());
   for (const auto& [name, table] : tables_) out.push_back(name);
+  for (const auto& [name, entry] : paged_) out.push_back(name);
   return out;
 }
 
@@ -317,8 +356,8 @@ Result<Schema> InferSchema(const PlanPtr& plan, const Catalog& catalog) {
   if (plan == nullptr) return Status::InvalidArgument("InferSchema: null plan");
   switch (plan->kind()) {
     case PlanKind::kTableRef: {
-      MDJ_ASSIGN_OR_RETURN(const Table* t, catalog.Lookup(plan->table_name));
-      return t->schema();
+      MDJ_ASSIGN_OR_RETURN(const Schema* s, catalog.LookupSchema(plan->table_name));
+      return *s;
     }
     case PlanKind::kFilter: {
       MDJ_ASSIGN_OR_RETURN(Schema child, InferSchema(plan->child(0), catalog));

@@ -120,16 +120,43 @@ PlanPtr CloneWithChildren(const PlanPtr& node, std::vector<PlanPtr> children);
 // Catalog
 // ---------------------------------------------------------------------------
 
-/// Name → table binding used at execution and schema-inference time. Holds
-/// non-owning pointers; the caller keeps the tables alive.
+/// Name → relation binding used at execution and schema-inference time. Holds
+/// non-owning pointers; the caller keeps the relations alive.
+///
+/// Two kinds share one namespace: in-memory Tables and paged block files
+/// (storage/paged_table). The plan layer must not link against storage
+/// (storage sits above it), so paged entries carry their schema and row count
+/// by value and the PagedTable pointer stays opaque here — the executor,
+/// which does link storage, is the only consumer that dereferences it.
+/// Registration sites use RegisterPagedTable (storage/out_of_core.h), which
+/// fills the redundant fields from the table itself.
 class Catalog {
  public:
   Status Register(std::string name, const Table* table);
+  Status RegisterPaged(std::string name, const class PagedTable* table,
+                       Schema schema, int64_t num_rows);
+
+  /// In-memory binding only; NotFound for paged names (callers that can only
+  /// consume a Table use LookupSchema/LookupNumRows or the executor's
+  /// materialization fallback instead).
   Result<const Table*> Lookup(const std::string& name) const;
+  /// The paged binding, or null when `name` is unbound or in-memory.
+  const class PagedTable* FindPaged(const std::string& name) const;
+
+  /// Schema / cardinality of either kind of binding.
+  Result<const Schema*> LookupSchema(const std::string& name) const;
+  Result<int64_t> LookupNumRows(const std::string& name) const;
+
   std::vector<std::string> TableNames() const;
 
  private:
+  struct PagedEntry {
+    const class PagedTable* table = nullptr;
+    Schema schema;
+    int64_t num_rows = 0;
+  };
   std::unordered_map<std::string, const Table*> tables_;
+  std::unordered_map<std::string, PagedEntry> paged_;
 };
 
 /// Output schema of `plan` against `catalog`, without executing. Errors on

@@ -110,9 +110,30 @@ QueryService::QueryService(const Catalog& catalog, const QueryServiceOptions& op
     ResultCache::Options cache_options;
     cache_options.capacity_bytes = options_.cache_capacity_bytes;
     cache_ = std::make_unique<ResultCache>(&admission_, cache_options);
-    // Arriving queries squeeze the cache before queueing (DESIGN.md §11).
-    admission_.SetMemoryReclaimer(
-        [this](int64_t bytes_needed) { return cache_->EvictBytes(bytes_needed); });
+  }
+  if (options_.block_cache_bytes > 0) {
+    // Resident decoded blocks draw from the same admission memory pool as
+    // query guards and the result cache; if the pool refuses even after
+    // reclaim, the block bypasses the cache (ephemeral pin, charged to the
+    // faulting query's own guard) rather than failing the query.
+    BlockCache::Options bc;
+    bc.capacity_bytes = options_.block_cache_bytes;
+    bc.charge = [this](int64_t bytes) { return admission_.TryChargeBytes(bytes); };
+    bc.release = [this](int64_t bytes) { admission_.ReleaseChargedBytes(bytes); };
+    block_cache_ = std::make_unique<BlockCache>(bc);
+  }
+  if (cache_ != nullptr || block_cache_ != nullptr) {
+    // Arriving queries squeeze the caches before queueing (DESIGN.md §11):
+    // result-cache entries first (cheapest to recompute via roll-up), then
+    // cold decoded blocks (refaultable from their block files).
+    admission_.SetMemoryReclaimer([this](int64_t bytes_needed) {
+      int64_t freed = 0;
+      if (cache_ != nullptr) freed += cache_->EvictBytes(bytes_needed);
+      if (freed < bytes_needed && block_cache_ != nullptr) {
+        freed += block_cache_->EvictBytes(bytes_needed - freed);
+      }
+      return freed;
+    });
   }
 }
 
@@ -131,6 +152,7 @@ Result<Table> QueryService::RunEngine(const PlanPtr& plan, const Catalog& catalo
   MdJoinOptions md = options_.md_options;
   md.guard = guard;
   md.num_threads = threads;
+  if (block_cache_ != nullptr) md.block_cache = block_cache_.get();
   return ExecutePlanCse(plan, catalog, md, stats);
 }
 

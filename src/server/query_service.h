@@ -15,6 +15,7 @@
 #include "optimizer/plan.h"
 #include "server/admission.h"
 #include "server/result_cache.h"
+#include "storage/block_cache.h"
 
 namespace mdjoin {
 
@@ -40,6 +41,11 @@ struct QueryServiceOptions {
   /// Result-cache capacity carved out of the shared admission memory pool;
   /// 0 disables the cache entirely.
   int64_t cache_capacity_bytes = int64_t{256} << 20;
+
+  /// Decoded-block cache for paged (out-of-core) tables, shared by every
+  /// session and charged against the same admission memory pool; 0 means
+  /// queries over paged tables stream blocks ephemerally instead.
+  int64_t block_cache_bytes = 0;
 
   /// Canonicalize plans through OptimizePlan before keying the cache and
   /// executing (recommended: equal queries then share cache entries even
@@ -121,6 +127,8 @@ class QueryService {
   AdmissionController& admission() { return admission_; }
   /// nullptr when the cache is disabled.
   ResultCache* cache() { return cache_.get(); }
+  /// nullptr when no block cache is configured (block_cache_bytes == 0).
+  BlockCache* block_cache() { return block_cache_.get(); }
   int64_t sessions_open() const {
     return sessions_open_.load(std::memory_order_relaxed);
   }
@@ -140,6 +148,9 @@ class QueryService {
   const QueryServiceOptions options_;
   AdmissionController admission_;
   std::unique_ptr<ResultCache> cache_;
+  // Declared after admission_ so its destructor (which releases external
+  // charges through the admission callbacks) runs while admission_ is alive.
+  std::unique_ptr<BlockCache> block_cache_;
   std::atomic<int64_t> sessions_open_{0};
 };
 

@@ -1,0 +1,63 @@
+#ifndef MDJOIN_STORAGE_OUT_OF_CORE_H_
+#define MDJOIN_STORAGE_OUT_OF_CORE_H_
+
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "core/mdjoin.h"
+#include "storage/paged_table.h"
+
+namespace mdjoin {
+
+/// The out-of-core MD-join: MdJoin() semantics with the detail relation living
+/// in a block file (storage/block_format) instead of RAM. Bit-identical to the
+/// in-memory evaluator — same row order, same float accumulation order — in
+/// every mode combination (row/vectorized × sequential/parallel × spill
+/// on/off); the A/B tests in out_of_core_test.cc enforce exactly that.
+///
+/// Per pass the driver walks the file's blocks in order, but first refutes
+/// each block against its footer zone maps (ZoneCouldMatch over the
+/// AnalyzeRanges facts of θ): a refuted block provably holds no θ-matching
+/// row and is never faulted, let alone decoded (stats->blocks_pruned).
+/// Surviving blocks fault through options.block_cache when one is given
+/// (shared residency, LRU within its byte budget, singleflight dedup of
+/// concurrent faults) or decode into an ephemeral pin charged to the query's
+/// guard otherwise. Each decoded block is handed to the one scan seam,
+/// DetailScan::ScanChunk, so every scan optimization short of the prepared
+/// table's typed mirror runs unchanged.
+///
+/// options.num_threads > 1 runs the block loop morsel-style: workers pull
+/// (block) work units from a shared cursor into thread-local partials, merged
+/// pairwise when the cursor drains — block decode and scan overlap across
+/// threads, and the cache's singleflight keeps duplicate faults to one load.
+///
+/// options.enable_spill engages the partitioned-spill escape hatch
+/// (storage/spill.h) when θ carries an equi conjunct: B and the *streamed*
+/// blocks of R hash-partition to spill files (zone-pruned blocks skipped —
+/// they contain no matching rows), then per-partition in-memory joins merge
+/// back in base order. Peak residency is one decoded block plus one partition
+/// pair, never the whole detail relation.
+Result<Table> PagedMdJoin(const Table& base, const PagedTable& detail,
+                          const std::vector<AggSpec>& aggs, const ExprPtr& theta,
+                          const MdJoinOptions& options = {},
+                          MdJoinStats* stats = nullptr);
+
+/// The pruning plan: keep[b] == false iff block b's zone maps refute θ
+/// (always all-true when θ has no detail-side range facts; all-false when the
+/// range analysis proves θ unsatisfiable). Exposed for the executor's EXPLAIN
+/// path and the zone-map tests.
+std::vector<bool> PlanBlockPruning(const PagedTable& detail, const ExprPtr& theta);
+
+class Catalog;  // optimizer/plan.h
+
+/// Registers `table` under `name` in the catalog, filling the catalog's
+/// storage-opaque schema/row-count fields from the table itself (the plan
+/// layer cannot dereference a PagedTable — see Catalog::RegisterPaged).
+/// `table` must outlive the catalog binding.
+Status RegisterPagedTable(Catalog* catalog, std::string name,
+                          const PagedTable& table);
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_STORAGE_OUT_OF_CORE_H_

@@ -1,0 +1,54 @@
+#include "storage/paged_table.h"
+
+#include <utility>
+#include <vector>
+
+namespace mdjoin {
+
+Result<std::unique_ptr<PagedTable>> PagedTable::Open(std::string path) {
+  MDJ_ASSIGN_OR_RETURN(std::unique_ptr<BlockFile> file,
+                       BlockFile::Open(std::move(path)));
+  return std::unique_ptr<PagedTable>(new PagedTable(std::move(file)));
+}
+
+Result<BlockPin> PagedTable::Fault(int b, BlockCache* cache,
+                                   bool* was_hit) const {
+  if (was_hit != nullptr) *was_hit = false;
+  if (cache == nullptr) {
+    MDJ_ASSIGN_OR_RETURN(Table block, file_->ReadBlock(b));
+    BlockPin pin;
+    pin.table_ = std::make_shared<const Table>(std::move(block));
+    return pin;
+  }
+  return cache->GetOrLoad(id_, b, ApproxBlockBytes(b),
+                          [this, b] { return file_->ReadBlock(b); }, was_hit);
+}
+
+Result<Table> PagedTable::ReadAll(QueryGuard* guard) const {
+  int64_t estimate = 0;
+  for (int b = 0; b < num_blocks(); ++b) estimate += ApproxBlockBytes(b);
+  ScopedReservation reservation;
+  MDJ_RETURN_NOT_OK(
+      reservation.Reserve(guard, estimate, "paged table materialization"));
+
+  const int ncols = schema().num_fields();
+  std::vector<std::vector<Value>> cols(static_cast<size_t>(ncols));
+  for (auto& col : cols) col.reserve(static_cast<size_t>(num_rows()));
+  for (int b = 0; b < num_blocks(); ++b) {
+    if (guard != nullptr) MDJ_RETURN_NOT_OK(guard->Check());
+    MDJ_ASSIGN_OR_RETURN(Table block, file_->ReadBlock(b));
+    for (int c = 0; c < ncols; ++c) {
+      const std::vector<Value>& src = block.column(c);
+      cols[static_cast<size_t>(c)].insert(cols[static_cast<size_t>(c)].end(),
+                                          src.begin(), src.end());
+    }
+  }
+  Table out;
+  for (int c = 0; c < ncols; ++c) {
+    MDJ_RETURN_NOT_OK(
+        out.AddColumn(schema().field(c), std::move(cols[static_cast<size_t>(c)])));
+  }
+  return out;
+}
+
+}  // namespace mdjoin

@@ -1,0 +1,696 @@
+// Tests for the out-of-core storage layer (src/storage/): block-file
+// round-trips across every encoding and payload class, footer zone maps and
+// the ZoneCouldMatch pruning test, the fixed-budget BlockCache (LRU, pins,
+// singleflight, external-charge refusal), the storage failpoints
+// (storage:block_read / storage:block_corrupt / storage:spill_write), and a
+// differential fuzz arm proving zone-map pruning never drops a θ-matching
+// row. The out-of-core MD-join driver itself is covered by
+// out_of_core_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/query_guard.h"
+#include "core/mdjoin.h"
+#include "cube/base_tables.h"
+#include "storage/block_cache.h"
+#include "storage/block_format.h"
+#include "storage/out_of_core.h"
+#include "storage/paged_table.h"
+#include "storage/spill.h"
+#include "table/table_builder.h"
+#include "table/table_ops.h"
+#include "tests/test_util.h"
+
+namespace mdjoin {
+namespace {
+
+using namespace mdjoin::dsl;  // NOLINT
+using testutil::ALL;
+using testutil::F;
+using testutil::I;
+using testutil::NUL;
+using testutil::S;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Unique temp path for one test, removed on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path().string() +
+              "/mdjoin_storage_test_" + tag + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this))) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Bit-exact cell comparison: same variant, and doubles compared by bit
+/// pattern so NaN payloads and -0.0 vs 0.0 count as differences.
+bool BitEq(const Value& a, const Value& b) {
+  if (a.is_null()) return b.is_null();
+  if (a.is_all()) return b.is_all();
+  if (a.is_int64()) return b.is_int64() && a.int64() == b.int64();
+  if (a.is_float64()) {
+    if (!b.is_float64()) return false;
+    uint64_t ba, bb;
+    const double da = a.float64(), db = b.float64();
+    std::memcpy(&ba, &da, sizeof(ba));
+    std::memcpy(&bb, &db, sizeof(bb));
+    return ba == bb;
+  }
+  return b.is_string() && a.string() == b.string();
+}
+
+bool TablesBitIdentical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      if (!BitEq(a.Get(r, c), b.Get(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+/// Round-trips `table` through a block file and asserts bit identity.
+void RoundTrip(const Table& table, int64_t block_size_rows,
+               const std::string& tag) {
+  TempFile file(tag);
+  BlockFileOptions options;
+  options.block_size_rows = block_size_rows;
+  ASSERT_TRUE(WriteBlockFile(table, file.path(), options).ok());
+  Result<std::unique_ptr<PagedTable>> paged = PagedTable::Open(file.path());
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  EXPECT_EQ((*paged)->num_rows(), table.num_rows());
+  Result<Table> read = (*paged)->ReadAll(nullptr);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(TablesBitIdentical(table, *read));
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Global()->Reset(); }
+  void TearDown() override { FailpointRegistry::Global()->Reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Block-file round-trips
+
+TEST_F(StorageTest, RoundTripSmallSales) {
+  RoundTrip(testutil::SmallSales(), 5, "small_sales");
+}
+
+TEST_F(StorageTest, RoundTripEveryPayloadClass) {
+  // One column mixing every Value variant, including bit-pattern landmines:
+  // NaN, ±inf, -0.0, the empty string, and embedded NULs. Built with
+  // AppendRowUnchecked: decoded blocks are plain Value columns, so the codec
+  // must round-trip cells whose class differs from the declared column type.
+  Table t(Schema({{"v", DataType::kFloat64}}));
+  t.AppendRowUnchecked({NUL()});
+  t.AppendRowUnchecked({ALL()});
+  t.AppendRowUnchecked({I(-42)});
+  t.AppendRowUnchecked({F(kNaN)});
+  t.AppendRowUnchecked({F(kInf)});
+  t.AppendRowUnchecked({F(-kInf)});
+  t.AppendRowUnchecked({F(-0.0)});
+  t.AppendRowUnchecked({F(0.0)});
+  t.AppendRowUnchecked({S("")});
+  t.AppendRowUnchecked({S(std::string("a\0b", 3))});
+  RoundTrip(t, 3, "payload_classes");
+}
+
+TEST_F(StorageTest, RoundTripEmptyTable) {
+  RoundTrip(Table(testutil::SalesSchema()), 4, "empty");
+}
+
+TEST_F(StorageTest, RoundTripSingleRow) {
+  TableBuilder b({{"x", DataType::kInt64}, {"s", DataType::kString}});
+  b.AppendRowOrDie({I(7), S("one")});
+  RoundTrip(std::move(b).Finish(), 4096, "single_row");
+}
+
+TEST_F(StorageTest, RoundTripLastBlockShort) {
+  // 10 rows at 4 per block: the last block holds 2 rows.
+  Table sales = testutil::RandomSales(7, 10);
+  TempFile file("short_tail");
+  BlockFileOptions options;
+  options.block_size_rows = 4;
+  ASSERT_TRUE(WriteBlockFile(sales, file.path(), options).ok());
+  Result<std::unique_ptr<PagedTable>> paged = PagedTable::Open(file.path());
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ((*paged)->num_blocks(), 3);
+  EXPECT_EQ((*paged)->block_meta(2).num_rows, 2);
+  Result<BlockPin> tail = (*paged)->Fault(2, nullptr);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->table().num_rows(), 2);
+  EXPECT_TRUE(BitEq(tail->table().Get(1, 0), sales.Get(9, 0)));
+}
+
+TEST_F(StorageTest, WriterPicksExpectedEncodings) {
+  // Column layout engineered per encoding: a pure-int64 column (kForInt), a
+  // low-cardinality string column (kDict), a long-runs float column (kRle —
+  // float so the all-int64 kForInt rule does not preempt it), and a
+  // high-entropy mixed column (kPlain).
+  Table t(Schema({{"ints", DataType::kInt64},
+                  {"dict", DataType::kString},
+                  {"runs", DataType::kFloat64},
+                  {"mix", DataType::kFloat64}}));
+  for (int64_t i = 0; i < 64; ++i) {
+    t.AppendRowUnchecked(
+        {I(1000000 + i * 3), S(i % 2 == 0 ? "NY" : "CA"),
+         F(i < 32 ? 1.5 : 2.5),
+         i % 3 == 0 ? F(0.5 * static_cast<double>(i))
+                    : S("s" + std::to_string(i))});
+  }
+  TempFile file("encodings");
+  BlockFileOptions options;
+  options.block_size_rows = 64;
+  ASSERT_TRUE(WriteBlockFile(t, file.path(), options).ok());
+  Result<std::unique_ptr<BlockFile>> f = BlockFile::Open(file.path());
+  ASSERT_TRUE(f.ok());
+  const BlockMeta& meta = (*f)->block_meta(0);
+  ASSERT_EQ(meta.encodings.size(), 4u);
+  EXPECT_EQ(meta.encodings[0], static_cast<uint8_t>(BlockEncoding::kForInt));
+  EXPECT_EQ(meta.encodings[1], static_cast<uint8_t>(BlockEncoding::kDict));
+  EXPECT_EQ(meta.encodings[2], static_cast<uint8_t>(BlockEncoding::kRle));
+  EXPECT_EQ(meta.encodings[3], static_cast<uint8_t>(BlockEncoding::kPlain));
+  Result<Table> read = (*f)->ReadBlock(0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(TablesBitIdentical(t, *read));
+}
+
+TEST_F(StorageTest, ZoneMapsSummarizeEachBlock) {
+  Table t(Schema({{"x", DataType::kFloat64}}));
+  // Block 0: numerics 1..4. Block 1: NULL, ALL, NaN, string.
+  for (int i = 1; i <= 4; ++i) t.AppendRowUnchecked({F(i)});
+  t.AppendRowUnchecked({NUL()});
+  t.AppendRowUnchecked({ALL()});
+  t.AppendRowUnchecked({F(kNaN)});
+  t.AppendRowUnchecked({S("zebra")});
+  TempFile file("zones");
+  BlockFileOptions options;
+  options.block_size_rows = 4;
+  ASSERT_TRUE(WriteBlockFile(t, file.path(), options).ok());
+  Result<std::unique_ptr<BlockFile>> f = BlockFile::Open(file.path());
+  ASSERT_TRUE(f.ok());
+  const ColumnZoneMap& z0 = (*f)->block_meta(0).zones[0];
+  EXPECT_DOUBLE_EQ(z0.num_min, 1.0);
+  EXPECT_DOUBLE_EQ(z0.num_max, 4.0);
+  EXPECT_EQ(z0.numeric_count, 4);
+  EXPECT_EQ(z0.null_count + z0.all_count + z0.nan_count + z0.string_count, 0);
+  const ColumnZoneMap& z1 = (*f)->block_meta(1).zones[0];
+  EXPECT_EQ(z1.numeric_count, 0);
+  EXPECT_EQ(z1.null_count, 1);
+  EXPECT_EQ(z1.all_count, 1);
+  EXPECT_EQ(z1.nan_count, 1);
+  EXPECT_EQ(z1.string_count, 1);
+  EXPECT_EQ(z1.str_min, "zebra");
+  EXPECT_EQ(z1.str_max, "zebra");
+}
+
+TEST_F(StorageTest, OpenRejectsGarbage) {
+  TempFile file("garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "this is not a block file";
+  }
+  EXPECT_FALSE(BlockFile::Open(file.path()).ok());
+  EXPECT_FALSE(BlockFile::Open(file.path() + ".does_not_exist").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints: mid-scan I/O errors surface as clean Status
+
+TEST_F(StorageTest, BlockReadFailpointSurfacesCleanStatus) {
+  Table sales = testutil::SmallSales();
+  TempFile file("read_fp");
+  BlockFileOptions options;
+  options.block_size_rows = 4;
+  ASSERT_TRUE(WriteBlockFile(sales, file.path(), options).ok());
+  Result<std::unique_ptr<BlockFile>> f = BlockFile::Open(file.path());
+  ASSERT_TRUE(f.ok());
+  FailpointRegistry::Global()->Enable("storage:block_read", /*count=*/1);
+  Result<Table> read = (*f)->ReadBlock(0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+  // The failpoint consumed its budget: the retry decodes fine.
+  Result<Table> retry = (*f)->ReadBlock(0);
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST_F(StorageTest, ChecksumCorruptionDetected) {
+  Table sales = testutil::SmallSales();
+  TempFile file("corrupt_fp");
+  ASSERT_TRUE(WriteBlockFile(sales, file.path(), {}).ok());
+  Result<std::unique_ptr<BlockFile>> f = BlockFile::Open(file.path());
+  ASSERT_TRUE(f.ok());
+  FailpointRegistry::Global()->Enable("storage:block_corrupt", /*count=*/1);
+  Result<Table> read = (*f)->ReadBlock(0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+  EXPECT_NE(read.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST_F(StorageTest, MidScanReadErrorFailsQueryWithoutLeaks) {
+  // A paged MD-join whose second block read fails must return the I/O error
+  // (no partial result) and leave zero bytes pinned in the cache and zero
+  // bytes reserved on the guard.
+  Table sales = testutil::SmallSales();
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ASSERT_TRUE(base.ok());
+  TempFile file("scan_fp");
+  BlockFileOptions foptions;
+  foptions.block_size_rows = 3;
+  ASSERT_TRUE(WriteBlockFile(sales, file.path(), foptions).ok());
+  Result<std::unique_ptr<PagedTable>> paged = PagedTable::Open(file.path());
+  ASSERT_TRUE(paged.ok());
+
+  BlockCache cache(BlockCache::Options{});
+  QueryGuardOptions goptions;
+  goptions.memory_hard_limit_bytes = 1 << 30;
+  QueryGuard guard(goptions);
+  MdJoinOptions md;
+  md.guard = &guard;
+  md.block_cache = &cache;
+  FailpointRegistry::Global()->Enable("storage:block_read", /*count=*/1,
+                                      /*skip=*/1);
+  Result<Table> out = PagedMdJoin(*base, **paged, {Count("n")},
+                                  Eq(RCol("cust"), BCol("cust")), md);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(guard.bytes_reserved(), 0);
+  // Everything the failed query faulted is unpinned: fully evictable.
+  cache.EvictBytes(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(cache.resident_bytes(), 0);
+  FailpointRegistry::Global()->Reset();
+  Result<Table> ok = PagedMdJoin(*base, **paged, {Count("n")},
+                                 Eq(RCol("cust"), BCol("cust")), md);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST_F(StorageTest, SpillWriteFailpointSurfacesCleanStatus) {
+  QueryGuard guard(QueryGuardOptions{});
+  TempFile file("spill_fp");
+  Result<std::unique_ptr<SpillWriter>> writer =
+      SpillWriter::Create(file.path(), 7, &guard);
+  ASSERT_TRUE(writer.ok());
+  Table sales = testutil::SmallSales();
+  FailpointRegistry::Global()->Enable("storage:spill_write", /*count=*/1);
+  Status status = Status::OK();
+  for (int64_t r = 0; r < sales.num_rows() && status.ok(); ++r) {
+    status = (*writer)->AppendRow(sales, r);
+  }
+  if (status.ok()) status = (*writer)->Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  writer->reset();  // destroying the writer releases its buffer reservation
+  EXPECT_EQ(guard.bytes_reserved(), 0);
+}
+
+TEST_F(StorageTest, SpillJoinCleansUpFilesOnWriteError) {
+  Table sales = testutil::RandomSales(11, 300);
+  Result<Table> base = GroupByBase(sales, {"cust"});
+  ASSERT_TRUE(base.ok());
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/mdjoin_spill_fp_test";
+  std::filesystem::create_directories(dir);
+  MdJoinOptions md;
+  md.spill_dir = dir;
+  md.spill_partitions = 4;
+  FailpointRegistry::Global()->Enable("storage:spill_write", /*count=*/1);
+  MdJoinStats stats;
+  Result<Table> out = SpillMdJoin(*base, sales, {Count("n")},
+                                  Eq(RCol("cust"), BCol("cust")), md, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  // The janitor removed every partition file despite the error.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// BlockCache
+
+Result<Table> MakeBlock(int64_t tag) {
+  TableBuilder b({{"x", DataType::kInt64}});
+  b.AppendRowOrDie({I(tag)});
+  return std::move(b).Finish();
+}
+
+TEST_F(StorageTest, CacheHitsServeResidentBlocks) {
+  BlockCache::Options options;
+  options.capacity_bytes = 1 << 20;
+  BlockCache cache(options);
+  const uint64_t id = BlockCache::NewFileId();
+  int loads = 0;
+  auto loader = [&]() {
+    ++loads;
+    return MakeBlock(1);
+  };
+  bool hit = true;
+  Result<BlockPin> a = cache.GetOrLoad(id, 0, 100, loader, &hit);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(hit);
+  a->Release();
+  Result<BlockPin> b = cache.GetOrLoad(id, 0, 100, loader, &hit);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(StorageTest, CacheEvictsLruWithinBudget) {
+  BlockCache::Options options;
+  options.capacity_bytes = 250;  // room for two 100-byte blocks
+  BlockCache cache(options);
+  const uint64_t id = BlockCache::NewFileId();
+  for (int block = 0; block < 3; ++block) {
+    Result<BlockPin> pin =
+        cache.GetOrLoad(id, block, 100, [&] { return MakeBlock(block); });
+    ASSERT_TRUE(pin.ok());
+  }
+  EXPECT_LE(cache.resident_bytes(), 250);
+  EXPECT_GE(cache.stats().evictions, 1);
+  // Block 0 was the coldest: reloading it is a miss, the hottest is a hit.
+  bool hit = false;
+  Result<BlockPin> back =
+      cache.GetOrLoad(id, 2, 100, [&] { return MakeBlock(2); }, &hit);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(hit);
+  Result<BlockPin> cold =
+      cache.GetOrLoad(id, 0, 100, [&] { return MakeBlock(0); }, &hit);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(StorageTest, PinnedBlocksAreNotEvictable) {
+  BlockCache::Options options;
+  options.capacity_bytes = 150;
+  BlockCache cache(options);
+  const uint64_t id = BlockCache::NewFileId();
+  Result<BlockPin> pinned =
+      cache.GetOrLoad(id, 0, 100, [&] { return MakeBlock(0); });
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(cache.EvictBytes(1000), 0);  // the only entry is pinned
+  EXPECT_EQ(cache.resident_bytes(), 100);
+  pinned->Release();
+  EXPECT_EQ(cache.EvictBytes(1000), 100);
+  EXPECT_EQ(cache.resident_bytes(), 0);
+}
+
+TEST_F(StorageTest, ChargeRefusalFallsBackToEphemeralPin) {
+  // The external pool refuses everything: blocks must still be served, as
+  // ephemeral pins that never enter the cache.
+  BlockCache::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.charge = [](int64_t) { return false; };
+  options.release = [](int64_t) {};
+  BlockCache cache(options);
+  const uint64_t id = BlockCache::NewFileId();
+  bool hit = true;
+  Result<BlockPin> pin =
+      cache.GetOrLoad(id, 0, 100, [&] { return MakeBlock(42); }, &hit);
+  ASSERT_TRUE(pin.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(pin->table().Get(0, 0).int64(), 42);
+  EXPECT_EQ(cache.resident_bytes(), 0);
+  EXPECT_EQ(cache.stats().ephemeral_loads, 1);
+  // Not resident: the next lookup is another miss.
+  Result<BlockPin> again =
+      cache.GetOrLoad(id, 0, 100, [&] { return MakeBlock(42); }, &hit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(StorageTest, ExternalChargesBalanceOnDestruction) {
+  std::atomic<int64_t> pool{0};
+  {
+    BlockCache::Options options;
+    options.capacity_bytes = 250;
+    options.charge = [&](int64_t bytes) {
+      pool.fetch_add(bytes);
+      return true;
+    };
+    options.release = [&](int64_t bytes) { pool.fetch_sub(bytes); };
+    BlockCache cache(options);
+    const uint64_t id = BlockCache::NewFileId();
+    for (int block = 0; block < 4; ++block) {
+      Result<BlockPin> pin =
+          cache.GetOrLoad(id, block, 100, [&] { return MakeBlock(block); });
+      ASSERT_TRUE(pin.ok());
+    }
+    EXPECT_EQ(pool.load(), cache.resident_bytes());
+  }
+  EXPECT_EQ(pool.load(), 0);  // destructor released every charge
+}
+
+TEST_F(StorageTest, SingleflightRunsOneLoaderAcrossThreads) {
+  BlockCache::Options options;
+  options.capacity_bytes = 1 << 20;
+  BlockCache cache(options);
+  const uint64_t id = BlockCache::NewFileId();
+  std::atomic<int> loads{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      Result<BlockPin> pin = cache.GetOrLoad(id, 0, 100, [&] {
+        loads.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return MakeBlock(7);
+      });
+      if (!pin.ok() || pin->table().Get(0, 0).int64() != 7) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(loads.load(), 1);
+}
+
+TEST_F(StorageTest, FailedLoadWakesWaitersAndRetries) {
+  BlockCache::Options options;
+  BlockCache cache(options);
+  const uint64_t id = BlockCache::NewFileId();
+  std::atomic<int> attempts{0};
+  auto flaky = [&]() -> Result<Table> {
+    if (attempts.fetch_add(1) == 0) return Status::Internal("injected");
+    return MakeBlock(9);
+  };
+  Result<BlockPin> first = cache.GetOrLoad(id, 0, 100, flaky);
+  EXPECT_FALSE(first.ok());
+  Result<BlockPin> second = cache.GetOrLoad(id, 0, 100, flaky);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->table().Get(0, 0).int64(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning: CouldMatch / CouldMatchString / ZoneCouldMatch
+
+ZoneMapPredicate NumericWindow(double lo, double hi, bool lo_open = false,
+                               bool hi_open = false) {
+  ZoneMapPredicate pred;
+  pred.column = "x";
+  pred.num_lo = lo;
+  pred.num_hi = hi;
+  pred.num_lo_open = lo_open;
+  pred.num_hi_open = hi_open;
+  pred.allow_null = false;
+  pred.allow_nan = false;
+  pred.allow_all = false;
+  pred.allow_string = false;
+  pred.allow_non_numeric = false;
+  return pred;
+}
+
+TEST_F(StorageTest, CouldMatchOpenVersusClosedEndpoints) {
+  // Block spans exactly [5, 5]: x >= 5 admits it, x > 5 refutes it.
+  EXPECT_TRUE(NumericWindow(5, kInf).CouldMatch(5, 5, false));
+  EXPECT_FALSE(NumericWindow(5, kInf, /*lo_open=*/true).CouldMatch(5, 5, false));
+  EXPECT_TRUE(NumericWindow(-kInf, 5).CouldMatch(5, 5, false));
+  EXPECT_FALSE(NumericWindow(-kInf, 5, false, /*hi_open=*/true)
+                   .CouldMatch(5, 5, false));
+  // Disjoint windows refute; touching closed windows admit.
+  EXPECT_FALSE(NumericWindow(6, 10).CouldMatch(1, 5, false));
+  EXPECT_TRUE(NumericWindow(5, 10).CouldMatch(1, 5, false));
+}
+
+TEST_F(StorageTest, CouldMatchInfiniteEndpoints) {
+  // A block holding +inf values satisfies x > 1e308's upper-unbounded window.
+  EXPECT_TRUE(NumericWindow(1e308, kInf, /*lo_open=*/true)
+                  .CouldMatch(kInf, kInf, false));
+  // x < -1e308 against a block of -inf.
+  EXPECT_TRUE(NumericWindow(-kInf, -1e308, false, /*hi_open=*/true)
+                  .CouldMatch(-kInf, -kInf, false));
+  // Unbounded predicate admits any numeric block.
+  EXPECT_TRUE(NumericWindow(-kInf, kInf).CouldMatch(-kInf, kInf, false));
+}
+
+TEST_F(StorageTest, NullsOnlyMatterWhenPredicateAllowsThem) {
+  ZoneMapPredicate pred = NumericWindow(10, 20);
+  // Numeric window disjoint, but the block stores NULLs…
+  EXPECT_FALSE(pred.CouldMatch(1, 5, /*block_has_null=*/true));
+  pred.allow_null = true;
+  EXPECT_TRUE(pred.CouldMatch(1, 5, /*block_has_null=*/true));
+}
+
+ColumnZoneMap NumericZone(double lo, double hi, int64_t n = 4) {
+  ColumnZoneMap zone;
+  zone.num_min = lo;
+  zone.num_max = hi;
+  zone.numeric_count = n;
+  return zone;
+}
+
+TEST_F(StorageTest, ZoneCouldMatchNaNOnlyColumn) {
+  // A NaN-only block has no numeric window at all; only a NaN-admitting
+  // predicate keeps it.
+  ColumnZoneMap zone;
+  zone.nan_count = 4;
+  ZoneMapPredicate pred = NumericWindow(-kInf, kInf);
+  EXPECT_FALSE(ZoneCouldMatch(pred, zone));
+  pred.allow_nan = true;
+  EXPECT_TRUE(ZoneCouldMatch(pred, zone));
+}
+
+TEST_F(StorageTest, ZoneCouldMatchAllNullBlock) {
+  ColumnZoneMap zone;
+  zone.null_count = 4;
+  ZoneMapPredicate pred = NumericWindow(-kInf, kInf);
+  EXPECT_FALSE(ZoneCouldMatch(pred, zone));
+  pred.allow_null = true;
+  EXPECT_TRUE(ZoneCouldMatch(pred, zone));
+}
+
+TEST_F(StorageTest, ZoneCouldMatchAllMarkerBlock) {
+  ColumnZoneMap zone;
+  zone.all_count = 1;
+  ZoneMapPredicate pred = NumericWindow(10, 20);
+  EXPECT_FALSE(ZoneCouldMatch(pred, zone));
+  pred.allow_all = true;
+  pred.allow_non_numeric = true;
+  EXPECT_TRUE(ZoneCouldMatch(pred, zone));
+}
+
+TEST_F(StorageTest, ZoneCouldMatchStringWindow) {
+  // Dictionary-coded string range: the zone carries [str_min, str_max].
+  ColumnZoneMap zone;
+  zone.string_count = 8;
+  zone.str_min = "CA";
+  zone.str_max = "NJ";
+  ZoneMapPredicate pred;
+  pred.column = "state";
+  pred.allow_null = false;
+  pred.allow_nan = false;
+  pred.allow_all = false;
+  pred.allow_string = true;
+  pred.allow_non_numeric = true;
+  pred.str_lo = "NY";
+  pred.str_hi = "NY";
+  // 'NY' > 'NJ': the equality window misses the zone.
+  EXPECT_FALSE(ZoneCouldMatch(pred, zone));
+  EXPECT_FALSE(pred.CouldMatchString("CA", "NJ"));
+  zone.str_max = "NY";
+  EXPECT_TRUE(ZoneCouldMatch(pred, zone));
+  EXPECT_TRUE(pred.CouldMatchString("CA", "NY"));
+  // Open upper endpoint: state < "CA" refutes a CA..NY zone.
+  ZoneMapPredicate below;
+  below.column = "state";
+  below.allow_null = false;
+  below.allow_all = false;
+  below.str_hi = "CA";
+  below.str_hi_open = true;
+  EXPECT_FALSE(below.CouldMatchString("CA", "NY"));
+  below.str_hi_open = false;
+  EXPECT_TRUE(below.CouldMatchString("CA", "NY"));
+}
+
+TEST_F(StorageTest, ZoneCouldMatchMixedBlockUsesEveryClass) {
+  // A block mixing numerics outside the window with strings inside it must
+  // be kept (the string side may match), and vice versa.
+  ColumnZoneMap zone = NumericZone(100, 200);
+  zone.string_count = 2;
+  zone.str_min = "AA";
+  zone.str_max = "ZZ";
+  ZoneMapPredicate pred = NumericWindow(1, 5);
+  pred.allow_string = true;
+  pred.allow_non_numeric = true;
+  EXPECT_TRUE(ZoneCouldMatch(pred, zone));  // strings could match
+  pred.allow_string = false;
+  pred.allow_non_numeric = false;
+  EXPECT_FALSE(ZoneCouldMatch(pred, zone));  // now only the numeric window counts
+  pred.num_lo = 150;
+  pred.num_hi = kInf;
+  EXPECT_TRUE(ZoneCouldMatch(pred, zone));
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: pruned blocks contain zero θ-matching rows
+
+TEST_F(StorageTest, FuzzPrunedBlocksHoldNoMatchingRows) {
+  // For random tables × a family of range-bearing θs: every block the planner
+  // prunes must contain zero rows matching θ against *any* base row — checked
+  // by running the reference MD-join over just that block.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Table sales = testutil::RandomSales(seed, 200);
+    Result<Table> base = GroupByBase(sales, {"cust"});
+    ASSERT_TRUE(base.ok());
+    TempFile file("fuzz_" + std::to_string(seed));
+    BlockFileOptions options;
+    options.block_size_rows = 16;
+    ASSERT_TRUE(WriteBlockFile(sales, file.path(), options).ok());
+    Result<std::unique_ptr<PagedTable>> paged = PagedTable::Open(file.path());
+    ASSERT_TRUE(paged.ok());
+
+    Random rng(seed * 77);
+    std::vector<ExprPtr> thetas = {
+        And(Eq(RCol("cust"), BCol("cust")),
+            Gt(RCol("sale"), Lit(static_cast<double>(rng.UniformInt(1, 500))))),
+        And(Eq(RCol("cust"), BCol("cust")),
+            Eq(RCol("state"), Lit(rng.Uniform(2) == 0 ? "NY" : "IL"))),
+        And(Eq(RCol("cust"), BCol("cust")),
+            And(Ge(RCol("month"), Lit(rng.UniformInt(1, 4))),
+                Le(RCol("sale"), Lit(static_cast<double>(rng.UniformInt(1, 300)))))),
+        And(Eq(RCol("cust"), BCol("cust")),
+            Lt(RCol("year"), Lit(1996))),  // unsatisfiable on this data
+    };
+    for (size_t ti = 0; ti < thetas.size(); ++ti) {
+      const ExprPtr& theta = thetas[ti];
+      std::vector<bool> keep = PlanBlockPruning(**paged, theta);
+      ASSERT_EQ(keep.size(), static_cast<size_t>((*paged)->num_blocks()));
+      for (size_t b = 0; b < keep.size(); ++b) {
+        if (keep[b]) continue;
+        Result<BlockPin> pin = (*paged)->Fault(static_cast<int>(b), nullptr);
+        ASSERT_TRUE(pin.ok());
+        Result<Table> counts = MdJoin(*base, pin->table(), {Count("n")}, theta);
+        ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+        for (int64_t r = 0; r < counts->num_rows(); ++r) {
+          ASSERT_EQ(counts->Get(r, counts->num_columns() - 1).int64(), 0)
+              << "seed " << seed << " theta " << ti << ": pruned block " << b
+              << " holds a matching row";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdjoin

@@ -5,7 +5,7 @@ Usage:
     validate_obs.py [--trace TRACE.json] [--metrics METRICS.json]
                     [--explain EXPLAIN.txt] [--schema obs_schema.json]
                     [--min-tracks N] [--expect-parallel] [--expect-server]
-                    [--expect-analysis]
+                    [--expect-analysis] [--expect-storage]
 
 At least one artifact flag (--trace / --metrics / --explain) is required.
 Checks, in order:
@@ -168,6 +168,39 @@ def validate_server_metrics(metrics, schema_path):
         check(scalar(gauge) == 0, f"metrics: {gauge} did not drain to 0 after the run")
 
 
+def storage_metric_names(schema_path):
+    """The out-of-core storage metric family from the storageMetrics annex."""
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"metrics: cannot read storageMetrics annex from {schema_path}: {e}")
+        return []
+    names = schema.get("storageMetrics", {}).get("names", [])
+    check(names, f"metrics: {schema_path} has no storageMetrics.names annex")
+    return names
+
+
+def validate_storage_metrics(metrics, schema_path):
+    for name in storage_metric_names(schema_path):
+        check(name in metrics, f"metrics: missing storage metric {name}")
+
+    def scalar(name):
+        v = metrics.get(name, 0)
+        return v if isinstance(v, (int, float)) else 0
+
+    reads = scalar("mdjoin_blocks_read_total")
+    faults = scalar("mdjoin_blocks_faulted_total")
+    check(reads > 0, "metrics: no storage blocks read — did a paged scan run?")
+    # Every read is either a decoder run (fault) or a cache hit, never both.
+    check(reads >= faults, "metrics: blocks faulted exceed blocks read")
+    for name in ("mdjoin_blocks_pruned_total", "mdjoin_block_cache_bytes",
+                 "mdjoin_block_cache_hit_total", "mdjoin_block_cache_miss_total",
+                 "mdjoin_block_cache_evictions_total", "mdjoin_spill_bytes_total",
+                 "mdjoin_spill_partitions_total"):
+        check(scalar(name) >= 0, f"metrics: negative {name}")
+
+
 def analysis_metric_names(schema_path):
     """The static-analysis metric family from the schema's analysisMetrics annex."""
     try:
@@ -201,7 +234,7 @@ def validate_analysis_metrics(metrics, schema_path):
 
 
 def validate_metrics(path, expect_parallel, expect_server, expect_analysis,
-                     schema_path):
+                     expect_storage, schema_path):
     try:
         with open(path) as f:
             metrics = json.load(f)
@@ -226,6 +259,8 @@ def validate_metrics(path, expect_parallel, expect_server, expect_analysis,
         validate_server_metrics(metrics, schema_path)
     if expect_analysis:
         validate_analysis_metrics(metrics, schema_path)
+    if expect_storage:
+        validate_storage_metrics(metrics, schema_path)
 
 
 def validate_explain(path, expect_analysis=False):
@@ -259,6 +294,9 @@ def main():
     parser.add_argument("--expect-analysis", action="store_true",
                         help="require the static-analysis metric family and "
                              "the 'static analysis' EXPLAIN section")
+    parser.add_argument("--expect-storage", action="store_true",
+                        help="require the out-of-core storage metric family "
+                             "(block cache, zone-map pruning, spill)")
     args = parser.parse_args()
     if not (args.trace or args.metrics or args.explain):
         parser.error("nothing to validate: pass --trace, --metrics, or --explain")
@@ -275,7 +313,7 @@ def main():
         validate_trace_content(trace, args.min_tracks, args.expect_parallel)
     if args.metrics:
         validate_metrics(args.metrics, args.expect_parallel, args.expect_server,
-                         args.expect_analysis, args.schema)
+                         args.expect_analysis, args.expect_storage, args.schema)
     if args.explain:
         validate_explain(args.explain, args.expect_analysis)
 
