@@ -39,6 +39,23 @@
 ///                       dump the server metric catalog after the run.
 ///   --sim-queries M     queries per simulated session (default 4).
 ///
+/// Workload telemetry (docs/OPERATOR.md §13):
+///   --analyze           scan every loaded table up front (row counts,
+///                       min/max, NDV sketches, equi-depth histograms) and
+///                       register the statistics in the catalog — the cost
+///                       model then estimates from measurements instead of
+///                       its fallback constants.
+///   --repeat N          run the query N times in-process. Combined with
+///                       --explain-analyze, runs share a feedback store, so
+///                       later runs estimate from earlier measurements
+///                       (prints per-run max q-error).
+///   --query-log=FILE    append one JSONL query record per run (fingerprint,
+///                       plan hash, timings, rows, outcome, max q-error).
+///   --slow-query-ms N   flag runs slower than N ms (trace instant +
+///                       mdjoin_slow_queries_total).
+///   --stats-dump        print table statistics, feedback-store, and
+///                       query-history summaries before exiting.
+///
 /// Out-of-core storage (docs/OPERATOR.md §12):
 ///   --storage paged     convert every --table to a paged block file (written
 ///                       next to the CSV with a .mdjb suffix) and run the
@@ -59,6 +76,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -157,8 +175,14 @@ bool WriteTextFile(const std::string& path, const std::string& contents) {
 /// overrides come from the --timeout-ms / --memory-limit / --threads flags.
 int RunServerSim(const Catalog& catalog, const PlanPtr& plan, int sessions,
                  int queries_per_session, const QueryGuardOptions& guard_options,
-                 int num_threads) {
+                 int num_threads, const std::string& query_log_path,
+                 int64_t slow_query_ms, bool stats_dump) {
   QueryServiceOptions service_options;
+  service_options.query_log_path = query_log_path;
+  service_options.slow_query_ms = slow_query_ms;
+  // Profiled execution is what puts max q-error into the records the dump
+  // summarizes, so the dump flag opts the service into feedback collection.
+  service_options.collect_feedback = stats_dump;
   SessionQueryOptions query_options;
   if (guard_options.timeout_ms > 0) query_options.timeout_ms = guard_options.timeout_ms;
   if (guard_options.memory_hard_limit_bytes > 0) {
@@ -207,6 +231,12 @@ int RunServerSim(const Catalog& catalog, const PlanPtr& plan, int sessions,
     });
   }
   for (std::thread& t : clients) t.join();
+
+  if (stats_dump && service.history() != nullptr) {
+    std::printf("%s", service.history()->SummaryText().c_str());
+    std::printf("feedback store: %lld entries\n",
+                static_cast<long long>(service.feedback().size()));
+  }
   handles.clear();
 
   auto percentile = [](std::vector<int64_t>& v, double p) -> int64_t {
@@ -283,6 +313,10 @@ int main(int argc, char** argv) {
   int64_t morsel_size = 0;
   simd::Backend simd_backend = simd::Backend::kAuto;
   int server_sim = 0, sim_queries = 4;
+  bool analyze_tables = false, stats_dump = false;
+  int repeat = 1;
+  int64_t slow_query_ms = 0;
+  std::string query_log_path;
   bool paged_storage = false;
   int64_t block_cache_bytes = int64_t{64} << 20;
   int64_t block_size_rows = 4096;
@@ -311,6 +345,25 @@ int main(int argc, char** argv) {
       optimize = true;
     } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
       explain_analyze = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze_tables = true;
+    } else if (std::strcmp(argv[i], "--stats-dump") == 0) {
+      stats_dump = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (repeat < 1) {
+        std::fprintf(stderr, "error: --repeat wants a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      slow_query_ms = std::strtoll(argv[++i], nullptr, 10);
+      if (slow_query_ms < 1) {
+        std::fprintf(stderr, "error: --slow-query-ms wants a positive integer\n");
+        return 2;
+      }
+    } else if (eq_value(argv[i], "--query-log", &query_log_path)) {
+    } else if (std::strcmp(argv[i], "--query-log") == 0 && i + 1 < argc) {
+      query_log_path = argv[++i];
     } else if (eq_value(argv[i], "--trace-out", &trace_out)) {
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
@@ -411,6 +464,8 @@ int main(int argc, char** argv) {
                  "[--storage memory|paged] [--block-cache-bytes BYTES[k|m|g]] "
                  "[--block-size-rows N] [--spill-dir DIR] "
                  "[--server-sim N] [--sim-queries M] "
+                 "[--analyze] [--repeat N] [--query-log=FILE] "
+                 "[--slow-query-ms N] [--stats-dump] "
                  "'query'\n",
                  argv[0]);
     return 2;
@@ -470,6 +525,26 @@ int main(int argc, char** argv) {
     }
   } block_file_cleanup{&block_files};
 
+  // --analyze: collect statistics from the loaded in-memory copies (also the
+  // source the block files were converted from in paged mode) and attach
+  // them to the catalog, so cost estimates below use measurements.
+  std::vector<TableStats> table_stats;
+  if (analyze_tables) {
+    table_stats.reserve(tables.size());
+    for (const LoadedTable& t : tables) {
+      Result<TableStats> stats = AnalyzeTable(t.table, t.name);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+        return 2;
+      }
+      table_stats.push_back(std::move(*stats));
+      if (Status s = catalog.RegisterStats(t.name, &table_stats.back()); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+
   Result<analyze::BoundQuery> bound =
       use_emf ? analyze::BindEmfQueryString(query, catalog)
               : analyze::BindQueryString(query, catalog);
@@ -527,7 +602,7 @@ int main(int argc, char** argv) {
     if (!trace_out.empty()) Tracing::Start();
     const int rc =
         RunServerSim(catalog, bound->plan, server_sim, sim_queries, guard_options,
-                     num_threads);
+                     num_threads, query_log_path, slow_query_ms, stats_dump);
     if (!dump_observability()) return 2;
     return rc;
   }
@@ -548,14 +623,85 @@ int main(int argc, char** argv) {
     md_options.spill_dir = spill_dir;
   }
 
+  // Feedback store shared across --repeat runs: run k's EXPLAIN ANALYZE
+  // estimates from the cardinalities measured in runs 1..k-1, so the max
+  // q-error line should drop run over run.
+  FeedbackStore feedback;
+  if (explain_analyze) md_options.feedback = &feedback;
+
+  std::unique_ptr<QueryHistory> history;
+  if (!query_log_path.empty() || slow_query_ms > 0 || stats_dump) {
+    QueryHistory::Options history_options;
+    history_options.log_path = query_log_path;
+    history_options.slow_query_ms = slow_query_ms;
+    history = std::make_unique<QueryHistory>(history_options);
+  }
+  const uint64_t query_fingerprint = FingerprintString(ExplainPlan(bound->plan));
+  const uint64_t plan_hash = FingerprintString(ExplainPlan(plan));
+
   if (!trace_out.empty()) Tracing::Start();
-  Result<Table> result =
-      explain_analyze ? ExplainAnalyze(plan, catalog, md_options, &profile)
-                      : ExecutePlanCse(plan, catalog, md_options);
+  Result<Table> result = Status::Internal("query never ran (--repeat 0)");
+  for (int run = 1; run <= repeat; ++run) {
+    const auto run_start = std::chrono::steady_clock::now();
+    result = explain_analyze ? ExplainAnalyze(plan, catalog, md_options, &profile)
+                             : ExecutePlanCse(plan, catalog, md_options);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - run_start)
+            .count();
+    if (repeat > 1 && explain_analyze) {
+      std::printf("run %d/%d: max q-error=%.2f\n", run, repeat,
+                  profile.max_qerror);
+    }
+    if (history != nullptr) {
+      QueryRecord record;
+      record.fingerprint = query_fingerprint;
+      record.plan_hash = plan_hash;
+      record.wall_ms = wall_ms;
+      if (result.ok()) {
+        record.rows = result->num_rows();
+        record.outcome = "ok";
+      } else {
+        const StatusCode code = result.status().code();
+        record.outcome = code == StatusCode::kDeadlineExceeded ? "deadline"
+                         : code == StatusCode::kResourceExhausted
+                             ? "shed"
+                         : code == StatusCode::kCancelled ? "cancelled"
+                                                          : "error";
+        record.guard_tripped = code == StatusCode::kDeadlineExceeded ||
+                               code == StatusCode::kCancelled;
+      }
+      if (explain_analyze) {
+        record.max_qerror = profile.max_qerror;
+        record.cpu_ms = profile.root != nullptr ? profile.root->cpu_ms : 0;
+        // Engine counters live on the profile's MD-join nodes, not the root.
+        const std::function<void(const OperatorProfile&)> sum_counters =
+            [&](const OperatorProfile& node) {
+              record.detail_rows_scanned += node.detail_rows_scanned;
+              record.blocks_read += node.blocks_read;
+              record.spill_bytes += node.spill_bytes_written;
+              for (const auto& child : node.children) sum_counters(*child);
+            };
+        if (profile.root != nullptr) sum_counters(*profile.root);
+      }
+      history->Record(std::move(record));
+    }
+    if (!result.ok()) break;
+  }
   if (!dump_observability()) return 2;
   // The profile of a failed/cancelled run is still well-formed (partial
   // counts + terminal status), so print it before the exit-code logic.
   if (explain_analyze) std::printf("%s", profile.ToText().c_str());
+  if (stats_dump) {
+    for (const TableStats& stats : table_stats) {
+      std::printf("%s", stats.SummaryText().c_str());
+    }
+    if (explain_analyze) {
+      std::printf("feedback store: %lld entries\n",
+                  static_cast<long long>(feedback.size()));
+    }
+    if (history != nullptr) std::printf("%s", history->SummaryText().c_str());
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     StatusCode code = result.status().code();

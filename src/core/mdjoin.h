@@ -132,6 +132,12 @@ struct MdJoinOptions {
 
   /// Spill fan-out; 0 sizes it from the guard budget (clamped to [2, 64]).
   int spill_partitions = 0;
+
+  /// Plan-fingerprint feedback store (stats/feedback.h), opaque for the same
+  /// layering reason as block_cache: core never dereferences it. When set,
+  /// EXPLAIN ANALYZE estimates cardinalities from it and harvests measured
+  /// ones back into it after a complete run. Not owned, may be null.
+  class FeedbackStore* feedback = nullptr;
 };
 
 /// Engine-side byte estimates used by the guard's memory accountant. They

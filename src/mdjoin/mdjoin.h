@@ -15,6 +15,7 @@
 ///  - optimizer plan IR + the §4 theorem rewrites + executor + cost model
 ///  - parallel/ Theorem 4.1 intra-operator parallelism
 ///  - analyze/  the §5 ANALYZE BY query language
+///  - stats/    table statistics, plan feedback, and the query-history log
 ///  - obs/      tracing, metrics, and EXPLAIN ANALYZE query profiles
 ///  - workload/ synthetic Sales/Payments generators
 
@@ -62,6 +63,9 @@
 #include "server/admission.h"
 #include "server/query_service.h"
 #include "server/result_cache.h"
+#include "stats/feedback.h"
+#include "stats/query_log.h"
+#include "stats/table_stats.h"
 #include "storage/block_cache.h"
 #include "storage/block_format.h"
 #include "storage/out_of_core.h"

@@ -3,7 +3,46 @@
 #include <cstdio>
 #include <limits>
 
+#ifndef MDJOIN_GIT_SHA
+#define MDJOIN_GIT_SHA "unknown"
+#endif
+#ifndef MDJOIN_BUILD_TYPE
+#define MDJOIN_BUILD_TYPE "unknown"
+#endif
+
 namespace mdjoin {
+
+const char* BuildInfoGitSha() { return MDJOIN_GIT_SHA; }
+const char* BuildInfoBuildType() { return MDJOIN_BUILD_TYPE; }
+
+namespace {
+
+/// Quantile estimate over a snapshot's (le, count) buckets: walk to the
+/// bucket holding the target rank, then interpolate linearly inside it
+/// (lower edge = previous boundary, 0 for the first bucket).
+double BucketQuantile(const std::vector<std::pair<int64_t, int64_t>>& buckets,
+                      int64_t total, double q) {
+  if (total <= 0) return 0;
+  const double target = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const int64_t count = buckets[i].second;
+    if (count > 0 && static_cast<double>(cumulative + count) >= target) {
+      const double lower =
+          i == 0 ? 0 : static_cast<double>(buckets[i - 1].first);
+      if (buckets[i].first == std::numeric_limits<int64_t>::max()) {
+        return lower;  // overflow bucket: floor at the last finite boundary
+      }
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(count);
+      return lower + (static_cast<double>(buckets[i].first) - lower) * fraction;
+    }
+    cumulative += count;
+  }
+  return 0;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<int64_t> boundaries)
     : boundaries_(std::move(boundaries)),
@@ -100,6 +139,9 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
         }
         sample.buckets.emplace_back(std::numeric_limits<int64_t>::max(),
                                     h.bucket_count(edges.size()));
+        sample.p50 = BucketQuantile(sample.buckets, sample.value, 0.5);
+        sample.p90 = BucketQuantile(sample.buckets, sample.value, 0.9);
+        sample.p99 = BucketQuantile(sample.buckets, sample.value, 0.99);
         break;
       }
     }
@@ -111,6 +153,10 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::RenderText() const {
   std::string out;
   char buf[96];
+  out += "# HELP mdjoin_build_info Build identity (constant 1; the labels carry the information)\n";
+  out += "# TYPE mdjoin_build_info gauge\n";
+  out += std::string("mdjoin_build_info{git_sha=\"") + BuildInfoGitSha() +
+         "\",build_type=\"" + BuildInfoBuildType() + "\"} 1\n";
   for (const MetricSample& s : Snapshot()) {
     if (!s.help.empty()) out += "# HELP " + s.name + " " + s.help + "\n";
     switch (s.kind) {
@@ -143,6 +189,12 @@ std::string MetricsRegistry::RenderText() const {
         out += s.name + buf;
         std::snprintf(buf, sizeof(buf), "_count %lld\n", static_cast<long long>(s.value));
         out += s.name + buf;
+        std::snprintf(buf, sizeof(buf), "{quantile=\"0.5\"} %g\n", s.p50);
+        out += s.name + buf;
+        std::snprintf(buf, sizeof(buf), "{quantile=\"0.9\"} %g\n", s.p90);
+        out += s.name + buf;
+        std::snprintf(buf, sizeof(buf), "{quantile=\"0.99\"} %g\n", s.p99);
+        out += s.name + buf;
         break;
       }
     }
@@ -153,7 +205,10 @@ std::string MetricsRegistry::RenderText() const {
 std::string MetricsRegistry::RenderJson() const {
   std::string out = "{\n";
   char buf[96];
-  bool first = true;
+  bool first = false;
+  out += std::string("  \"mdjoin_build_info\": {\"git_sha\": \"") +
+         BuildInfoGitSha() + "\", \"build_type\": \"" + BuildInfoBuildType() +
+         "\", \"value\": 1}";
   for (const MetricSample& s : Snapshot()) {
     if (!first) out += ",\n";
     first = false;
@@ -166,7 +221,12 @@ std::string MetricsRegistry::RenderJson() const {
       case MetricSample::Kind::kHistogram: {
         std::snprintf(buf, sizeof(buf), "\": {\"count\": %lld, \"sum\": %lld, ",
                       static_cast<long long>(s.value), static_cast<long long>(s.sum));
-        out += "  \"" + s.name + buf + "\"buckets\": [";
+        out += "  \"" + s.name + buf;
+        std::snprintf(buf, sizeof(buf),
+                      "\"p50\": %g, \"p90\": %g, \"p99\": %g, ", s.p50, s.p90,
+                      s.p99);
+        out += buf;
+        out += "\"buckets\": [";
         bool first_bucket = true;
         for (const auto& [le, count] : s.buckets) {
           if (!first_bucket) out += ", ";

@@ -96,7 +96,23 @@ struct MetricSample {
   int64_t value = 0;  // counter/gauge value; histogram total count
   int64_t sum = 0;    // histogram only
   std::vector<std::pair<int64_t, int64_t>> buckets;  // histogram: (le, count)
+
+  /// Histogram quantile estimates (cumulative walk + within-bucket linear
+  /// interpolation). The overflow bucket has no upper edge, so a quantile
+  /// landing there reports the last finite boundary — a floor, which is the
+  /// honest answer a fixed-boundary histogram can give. 0 when count == 0.
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
 };
+
+/// Build identity baked in at compile time (configure-time git SHA and CMake
+/// build type, via MDJOIN_GIT_SHA / MDJOIN_BUILD_TYPE compile definitions on
+/// mdj_obs; "unknown" when absent). Both expositions render it as the
+/// conventional info-style gauge `mdjoin_build_info{git_sha=...,
+/// build_type=...} 1`, so every scrape is attributable to a revision.
+const char* BuildInfoGitSha();
+const char* BuildInfoBuildType();
 
 class MetricsRegistry {
  public:

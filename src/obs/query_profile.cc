@@ -1,8 +1,16 @@
 #include "obs/query_profile.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mdjoin {
+
+double OperatorProfile::qerror() const {
+  if (est_rows < 0) return -1.0;
+  const double est = std::max(est_rows, 1.0);
+  const double act = std::max(static_cast<double>(output_rows), 1.0);
+  return std::max(est / act, act / est);
+}
 
 namespace {
 
@@ -26,6 +34,12 @@ void NodeToText(const OperatorProfile& node, int depth, std::string* out) {
                 static_cast<long long>(node.output_rows), node.elapsed_ms,
                 node.self_ms);
   *out += buf;
+  if (node.est_rows >= 0) {
+    std::snprintf(buf, sizeof(buf), " est=%.0f act=%lld qerr=%.2f",
+                  node.est_rows, static_cast<long long>(node.output_rows),
+                  node.qerror());
+    *out += buf;
+  }
   if (node.is_mdjoin) {
     AppendCount("scanned", node.detail_rows_scanned, out);
     if (node.selectivity() >= 0) {
@@ -117,6 +131,10 @@ void NodeToJson(const OperatorProfile& node, std::string* out) {
   AppendKvMs("elapsed_ms", node.elapsed_ms, &first, out);
   AppendKvMs("self_ms", node.self_ms, &first, out);
   AppendKvMs("cpu_ms", node.cpu_ms, &first, out);
+  if (node.est_rows >= 0) {
+    AppendKvMs("est_rows", node.est_rows, &first, out);
+    AppendKvMs("qerror", node.qerror(), &first, out);
+  }
   if (node.is_mdjoin) {
     AppendKv("detail_rows_scanned", node.detail_rows_scanned, &first, out);
     AppendKv("detail_rows_qualified", node.detail_rows_qualified, &first, out);
@@ -175,6 +193,10 @@ std::string QueryProfile::ToText() const {
     }
   }
   char buf[64];
+  if (max_qerror >= 0) {
+    std::snprintf(buf, sizeof(buf), "max q-error: %.2f\n", max_qerror);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "terminal: %s (%.3fms)\n",
                 terminal.empty() ? "ok" : terminal.c_str(), total_ms);
   out += buf;
@@ -189,6 +211,10 @@ std::string QueryProfile::ToJson() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), ", \"total_ms\": %.3f", total_ms);
   out += buf;
+  if (max_qerror >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"max_qerror\": %.3f", max_qerror);
+    out += buf;
+  }
   out += ", \"rewrites\": [";
   bool first = true;
   for (const RewriteRecord& r : rewrites) {

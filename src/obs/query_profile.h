@@ -18,6 +18,9 @@ struct OperatorProfile {
   double elapsed_ms = 0;  // wall clock, inclusive of children
   double self_ms = 0;     // exclusive: elapsed minus children
   double cpu_ms = 0;      // thread CPU time of the executing thread (self+children)
+  /// Optimizer-estimated output cardinality, annotated by EXPLAIN ANALYZE
+  /// from the cost model; -1 when no estimate was produced for this node.
+  double est_rows = -1;
 
   // MD-join scan counters (Algorithm 3.1 work accounting).
   bool is_mdjoin = false;
@@ -60,6 +63,10 @@ struct OperatorProfile {
                : -1.0;
   }
 
+  /// Q-error of the cardinality estimate: max(est/act, act/est), both sides
+  /// floored at one row, so always >= 1; -1 when no estimate was annotated.
+  double qerror() const;
+
   std::vector<std::unique_ptr<OperatorProfile>> children;
 };
 
@@ -91,6 +98,9 @@ struct QueryProfile {
   bool complete = false;   // execution reached the end successfully
   std::string terminal;    // "ok", or the error status string (terminal event)
   double total_ms = 0;     // wall clock of the whole execution
+  /// Worst per-operator q-error in the tree; -1 when no node carries an
+  /// estimate (plain EXPLAIN ANALYZE without estimation, failed estimates).
+  double max_qerror = -1;
 
   /// Indented tree, one line per operator:
   ///   MdJoin(...)  rows=1000 total=12.3ms self=11.1ms scanned=1M sel=42.0% ...

@@ -1,8 +1,12 @@
 #include "optimizer/cost.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "expr/conjuncts.h"
+#include "stats/feedback.h"
+#include "stats/table_stats.h"
 
 namespace mdjoin {
 
@@ -23,9 +27,126 @@ Result<PlanCost> CostMdJoinLike(double base_rows, double base_work, double detai
   return cost;
 }
 
-}  // namespace
+std::optional<CmpOp> ToCmpOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return CmpOp::kEq;
+    case BinaryOp::kNe: return CmpOp::kNe;
+    case BinaryOp::kLt: return CmpOp::kLt;
+    case BinaryOp::kLe: return CmpOp::kLe;
+    case BinaryOp::kGt: return CmpOp::kGt;
+    case BinaryOp::kGe: return CmpOp::kGe;
+    default: return std::nullopt;
+  }
+}
 
-Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
+/// `literal <op> column` is `column <flipped-op> literal`.
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Statistics of the table a node ultimately scans, reached by looking
+/// through operators that do not change which rows exist (σ keeps a subset,
+/// π/sort keep all); null when the chain does not bottom out at an analyzed
+/// scan.
+const TableStats* StatsForInput(const PlanPtr& node, const Catalog& catalog) {
+  const PlanNode* n = node.get();
+  while (n != nullptr) {
+    switch (n->kind()) {
+      case PlanKind::kTableRef:
+        return catalog.FindStats(n->table_name);
+      case PlanKind::kFilter:
+      case PlanKind::kProject:
+      case PlanKind::kSort:
+        n = n->child(0).get();
+        break;
+      default:
+        return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+/// Selectivity of one conjunct. `column <op> literal` shapes (either
+/// orientation) read the analyzed column; anything else falls back to the
+/// documented constant.
+double ConjunctSelectivity(const ExprPtr& conjunct, const TableStats& stats) {
+  if (conjunct == nullptr || conjunct->kind() != ExprKind::kBinary) {
+    return kFilterSelectivity;
+  }
+  std::optional<CmpOp> op = ToCmpOp(conjunct->binary_op());
+  if (!op.has_value()) return kFilterSelectivity;
+  const Expr* column = nullptr;
+  const Expr* literal = nullptr;
+  bool flipped = false;
+  const Expr* l = conjunct->left().get();
+  const Expr* r = conjunct->right().get();
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+    column = l;
+    literal = r;
+  } else if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
+    column = r;
+    literal = l;
+    flipped = true;
+  } else {
+    return kFilterSelectivity;
+  }
+  const ColumnStats* cs = stats.FindColumn(column->column_name());
+  if (cs == nullptr) return kFilterSelectivity;
+  return cs->SelectivityCmp(flipped ? FlipCmp(*op) : *op, literal->literal());
+}
+
+double PredicateSelectivity(const ExprPtr& predicate, const TableStats* stats) {
+  if (stats == nullptr) return kFilterSelectivity;
+  double sel = 1.0;
+  for (const ExprPtr& c : SplitConjuncts(predicate)) {
+    sel *= ConjunctSelectivity(c, *stats);
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+/// Product of the NDVs of `columns`, or nullopt when any column lacks
+/// statistics (callers then fall back to the ratio constants). The product
+/// is the standard independence-assumption group-count estimate; callers
+/// clamp it to the input cardinality.
+std::optional<double> NdvProduct(const TableStats* stats,
+                                 const std::vector<std::string>& columns) {
+  if (stats == nullptr || columns.empty()) return std::nullopt;
+  double product = 1.0;
+  for (const std::string& name : columns) {
+    const ColumnStats* cs = stats->FindColumn(name);
+    if (cs == nullptr) return std::nullopt;
+    product *= static_cast<double>(std::max<int64_t>(cs->ndv, 1));
+  }
+  return product;
+}
+
+Result<PlanCost> EstimateCostImpl(const PlanPtr& plan, const Catalog& catalog,
+                                  const FeedbackStore* feedback);
+
+/// Recursion entry point: structural estimate, then the feedback override —
+/// a fingerprint that has been executed before uses its measured output
+/// cardinality, which is what makes the second run of a repeated query
+/// estimate better than the first.
+Result<PlanCost> Estimate(const PlanPtr& plan, const Catalog& catalog,
+                          const FeedbackStore* feedback) {
+  MDJ_ASSIGN_OR_RETURN(PlanCost cost, EstimateCostImpl(plan, catalog, feedback));
+  if (feedback != nullptr) {
+    std::optional<FeedbackEntry> entry = feedback->Lookup(PlanFingerprint(plan));
+    if (entry.has_value() && entry->output_rows >= 0) {
+      cost.output_rows = entry->output_rows;
+    }
+  }
+  return cost;
+}
+
+Result<PlanCost> EstimateCostImpl(const PlanPtr& plan, const Catalog& catalog,
+                                  const FeedbackStore* feedback) {
   if (plan == nullptr) return Status::InvalidArgument("EstimateCost: null plan");
   switch (plan->kind()) {
     case PlanKind::kTableRef: {
@@ -33,51 +154,67 @@ Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
       return PlanCost{static_cast<double>(rows), 0};
     }
     case PlanKind::kFilter: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
-      return PlanCost{child.output_rows * kFilterSelectivity,
-                      child.work + child.output_rows};
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
+      const double sel =
+          PredicateSelectivity(plan->predicate, StatsForInput(plan->child(0), catalog));
+      return PlanCost{child.output_rows * sel, child.work + child.output_rows};
     }
     case PlanKind::kProject: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
       return PlanCost{child.output_rows, child.work + child.output_rows};
     }
     case PlanKind::kDistinct: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
-      return PlanCost{child.output_rows * kDistinctRatio, child.work + child.output_rows};
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
+      double out = child.output_rows * kDistinctRatio;
+      if (const TableStats* stats = StatsForInput(plan->child(0), catalog)) {
+        // Distinct over all columns: NDV product, clamped to the input size.
+        std::vector<std::string> columns;
+        columns.reserve(stats->columns.size());
+        for (const ColumnStats& c : stats->columns) columns.push_back(c.name);
+        if (std::optional<double> ndv = NdvProduct(stats, columns)) {
+          out = std::min(*ndv, child.output_rows);
+        }
+      }
+      return PlanCost{out, child.work + child.output_rows};
     }
     case PlanKind::kUnion: {
       PlanCost total;
       for (const PlanPtr& c : plan->children()) {
-        MDJ_ASSIGN_OR_RETURN(PlanCost cc, EstimateCost(c, catalog));
+        MDJ_ASSIGN_OR_RETURN(PlanCost cc, Estimate(c, catalog, feedback));
         total.output_rows += cc.output_rows;
         total.work += cc.work;
       }
       return total;
     }
     case PlanKind::kPartition: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
       return PlanCost{child.output_rows / plan->partition_count,
                       child.work + child.output_rows};
     }
     case PlanKind::kHashJoin: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost l, EstimateCost(plan->child(0), catalog));
-      MDJ_ASSIGN_OR_RETURN(PlanCost r, EstimateCost(plan->child(1), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost l, Estimate(plan->child(0), catalog, feedback));
+      MDJ_ASSIGN_OR_RETURN(PlanCost r, Estimate(plan->child(1), catalog, feedback));
       return PlanCost{std::max(l.output_rows, r.output_rows),
                       l.work + r.work + l.output_rows + r.output_rows};
     }
     case PlanKind::kGroupBy: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
-      return PlanCost{child.output_rows * kGroupByRatio, child.work + child.output_rows};
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
+      double out = child.output_rows * kGroupByRatio;
+      if (std::optional<double> ndv = NdvProduct(
+              StatsForInput(plan->child(0), catalog), plan->group_columns)) {
+        out = std::min(*ndv, child.output_rows);
+      }
+      return PlanCost{out, child.work + child.output_rows};
     }
     case PlanKind::kMdJoin: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost b, EstimateCost(plan->child(0), catalog));
-      MDJ_ASSIGN_OR_RETURN(PlanCost r, EstimateCost(plan->child(1), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost b, Estimate(plan->child(0), catalog, feedback));
+      MDJ_ASSIGN_OR_RETURN(PlanCost r, Estimate(plan->child(1), catalog, feedback));
       bool has_equi = !AnalyzeTheta(plan->theta).equi.empty();
       return CostMdJoinLike(b.output_rows, b.work, r.output_rows, r.work, has_equi);
     }
     case PlanKind::kGeneralizedMdJoin: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost b, EstimateCost(plan->child(0), catalog));
-      MDJ_ASSIGN_OR_RETURN(PlanCost r, EstimateCost(plan->child(1), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost b, Estimate(plan->child(0), catalog, feedback));
+      MDJ_ASSIGN_OR_RETURN(PlanCost r, Estimate(plan->child(1), catalog, feedback));
       PlanCost cost;
       cost.output_rows = b.output_rows;
       cost.work = b.work + r.work + r.output_rows;  // ONE scan of R
@@ -89,23 +226,70 @@ Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
       return cost;
     }
     case PlanKind::kCubeBase: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
       double cuboids = std::pow(2.0, static_cast<double>(plan->cube_dims.size()));
-      return PlanCost{child.output_rows * kCuboidRatio * cuboids,
-                      child.work + child.output_rows};
+      double out = child.output_rows * kCuboidRatio * cuboids;
+      if (const TableStats* stats = StatsForInput(plan->child(0), catalog)) {
+        // Sum over all 2^d cuboids of the per-cuboid NDV products has the
+        // closed form prod_i (ndv_i + 1) under independence.
+        double product = 1.0;
+        bool covered = true;
+        for (const std::string& dim : plan->cube_dims) {
+          const ColumnStats* cs = stats->FindColumn(dim);
+          if (cs == nullptr) {
+            covered = false;
+            break;
+          }
+          product *= static_cast<double>(std::max<int64_t>(cs->ndv, 1)) + 1.0;
+        }
+        if (covered) out = std::min(product, cuboids * child.output_rows);
+      }
+      return PlanCost{out, child.work + child.output_rows};
     }
     case PlanKind::kSort: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
       return PlanCost{child.output_rows, child.work + 2 * child.output_rows};
     }
     case PlanKind::kCuboidBase: {
-      MDJ_ASSIGN_OR_RETURN(PlanCost child, EstimateCost(plan->child(0), catalog));
-      return PlanCost{child.output_rows * kCuboidRatio, child.work + child.output_rows};
+      MDJ_ASSIGN_OR_RETURN(PlanCost child, Estimate(plan->child(0), catalog, feedback));
+      double out = child.output_rows * kCuboidRatio;
+      // Dims present in the cuboid (mask bit i <-> cube_dims[i]); the absent
+      // ones are ALL, contributing factor 1.
+      std::vector<std::string> present;
+      for (size_t i = 0; i < plan->cube_dims.size(); ++i) {
+        if ((plan->cuboid_mask >> i) & 1u) present.push_back(plan->cube_dims[i]);
+      }
+      if (std::optional<double> ndv =
+              NdvProduct(StatsForInput(plan->child(0), catalog), present)) {
+        out = std::min(*ndv, child.output_rows);
+      }
+      return PlanCost{out, child.work + child.output_rows};
     }
     case PlanKind::kEmptyRef:
       return PlanCost{0, 0};
   }
   return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+double QError(double estimated_rows, double actual_rows) {
+  const double est = std::max(estimated_rows, 1.0);
+  const double act = std::max(actual_rows, 1.0);
+  return std::max(est / act, act / est);
+}
+
+uint64_t PlanFingerprint(const PlanPtr& plan) {
+  return FingerprintString(ExplainPlan(plan));
+}
+
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog) {
+  return Estimate(plan, catalog, nullptr);
+}
+
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog,
+                              const FeedbackStore* feedback) {
+  return Estimate(plan, catalog, feedback);
 }
 
 Result<size_t> ChooseCheapestPlan(const std::vector<PlanPtr>& alternatives,

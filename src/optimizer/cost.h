@@ -5,6 +5,8 @@
 
 namespace mdjoin {
 
+class FeedbackStore;
+
 /// Estimated cost of a plan. `work` is in abstract row-touch units:
 /// tuples scanned plus candidate pairs tested plus rows materialized.
 /// Deliberately simple — the point (paper §4) is that MD-join plans become
@@ -15,7 +17,19 @@ struct PlanCost {
   double work = 0;
 };
 
-/// Heuristics (documented so benches can reason about rankings):
+/// Q-error of an estimate against a measurement: max(est/act, act/est) with
+/// both sides floored at one row, so it is always >= 1 and symmetric in
+/// over- vs. under-estimation. 1.0 means the estimate was exact.
+double QError(double estimated_rows, double actual_rows);
+
+/// FNV-1a fingerprint of the canonical ExplainPlan rendering of `plan` —
+/// the identity under which the feedback store accumulates measurements.
+/// The same rendering keys the server's result cache, so feedback, caching,
+/// and the query log all agree on what "the same plan" means.
+uint64_t PlanFingerprint(const PlanPtr& plan);
+
+/// Fallback heuristics, used when no statistics or feedback cover a node
+/// (documented so benches can reason about rankings):
 ///  - TableRef: |T| rows, no work.
 ///  - Filter: selectivity 0.3; Distinct: 0.6; GroupBy: 0.2 of child rows.
 ///  - CubeBase over d dims: 2^d × 0.2 × child; CuboidBase: 0.2 × child.
@@ -23,7 +37,16 @@ struct PlanCost {
 ///    without: work = |R| × |B| (nested loop). Output rows = |B|.
 ///  - Generalized MD-join: one scan of R plus per-component probe work.
 ///  - HashJoin: |L| + |R|; Union: sum; Partition: child / count.
+///
+/// When the catalog carries AnalyzeTable statistics (Catalog::FindStats),
+/// cardinalities come from them instead: filters over a scanned table use
+/// per-conjunct histogram/NDV selectivities, and Distinct/GroupBy/Cube
+/// output sizes use NDV products clamped to the input size. When a feedback
+/// store is supplied, a node whose fingerprint has been observed uses the
+/// measured output cardinality outright — measurements beat models.
 Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog);
+Result<PlanCost> EstimateCost(const PlanPtr& plan, const Catalog& catalog,
+                              const FeedbackStore* feedback);
 
 /// Returns the index of the cheapest plan by `work`. Errors if empty or if
 /// any estimate fails — a minimal cost-based chooser for rule alternatives.

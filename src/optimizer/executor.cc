@@ -1,11 +1,16 @@
 #include "optimizer/executor.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <ctime>
 
 #include "analyze/plan_invariants.h"
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/cost.h"
+#include "stats/feedback.h"
 
 #include "core/generalized.h"
 #include "cube/base_tables.h"
@@ -370,6 +375,59 @@ Result<Table> ExecNode(const PlanPtr& plan, const Catalog& catalog,
 /// variable. Executing an ill-formed tree would surface as a confusing
 /// runtime error deep inside some operator; the analyzer diagnostic names
 /// the offending node and rule instead.
+/// Lockstep walk over the plan and profile trees, annotating each profiled
+/// operator with the cost model's estimated cardinality. Estimation runs over
+/// the same catalog (and optional feedback store) the optimizer saw, so
+/// `est=` in the rendering is the number the plan was ranked with. Profile
+/// children can be a prefix of plan children (the paged MD-join fast path
+/// never executes its materialized detail child), hence the bounds guard; a
+/// failed estimate leaves est_rows at -1 and the node renders without it.
+void AnnotateEstimates(const PlanPtr& plan, OperatorProfile* profile,
+                       const Catalog& catalog, const FeedbackStore* feedback) {
+  if (plan == nullptr || profile == nullptr) return;
+  Result<PlanCost> cost = EstimateCost(plan, catalog, feedback);
+  if (cost.ok()) profile->est_rows = cost->output_rows;
+  const size_t n = std::min(profile->children.size(), plan->children().size());
+  for (size_t i = 0; i < n; ++i) {
+    AnnotateEstimates(plan->child(static_cast<int>(i)), profile->children[i].get(),
+                      catalog, feedback);
+  }
+}
+
+double MaxQError(const OperatorProfile& node) {
+  double worst = node.qerror();
+  for (const auto& child : node.children) {
+    worst = std::max(worst, MaxQError(*child));
+  }
+  return worst;
+}
+
+/// Feeds each operator's measured output cardinality (and for MD-joins the
+/// detail-scan volume and selectivity) back into the store under the
+/// subtree's fingerprint. Runs only on complete executions: partial counts
+/// from a tripped guard would poison the EWMA.
+void HarvestFeedback(const PlanPtr& plan, const OperatorProfile& profile,
+                     FeedbackStore* feedback) {
+  feedback->Record(PlanFingerprint(plan),
+                   static_cast<double>(profile.output_rows),
+                   profile.is_mdjoin
+                       ? static_cast<double>(profile.detail_rows_scanned)
+                       : -1.0,
+                   profile.is_mdjoin ? profile.selectivity() : -1.0);
+  const size_t n = std::min(profile.children.size(), plan->children().size());
+  for (size_t i = 0; i < n; ++i) {
+    HarvestFeedback(plan->child(static_cast<int>(i)), *profile.children[i],
+                    feedback);
+  }
+}
+
+Histogram* PlanQErrorHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "mdjoin_plan_qerror", {1, 2, 3, 5, 8, 16, 32, 64, 128, 256},
+      "per-query worst cardinality q-error of EXPLAIN ANALYZE estimates");
+  return h;
+}
+
 Status MaybeVerify(const PlanPtr& plan, const Catalog& catalog,
                    const MdJoinOptions& md_options, const char* context) {
   if (!md_options.verify_plans && !VerifyPlansEnabledByEnv()) return Status::OK();
@@ -410,6 +468,7 @@ Result<Table> ExplainAnalyze(const PlanPtr& plan, const Catalog& catalog,
   profile->complete = false;
   profile->terminal.clear();
   profile->total_ms = 0;
+  profile->max_qerror = -1;
   profile->analysis = StaticAnalysisReport(plan, catalog);
 
   Status setup = [&]() -> Status {
@@ -441,6 +500,19 @@ Result<Table> ExplainAnalyze(const PlanPtr& plan, const Catalog& catalog,
   }
   profile->complete = result.ok();
   profile->terminal = result.ok() ? "ok" : result.status().ToString();
+  // Estimated-vs-actual: annotate with what the cost model (plus any prior
+  // feedback) would have predicted, THEN harvest this run's measurements —
+  // the ordering is what makes a repeated query's q-error shrink run over
+  // run instead of trivially matching itself.
+  AnnotateEstimates(plan, profile->root.get(), catalog, md_options.feedback);
+  profile->max_qerror = MaxQError(*profile->root);
+  if (profile->complete && profile->max_qerror >= 0) {
+    PlanQErrorHistogram()->Observe(
+        static_cast<int64_t>(std::llround(profile->max_qerror)));
+  }
+  if (profile->complete && md_options.feedback != nullptr) {
+    HarvestFeedback(plan, *profile->root, md_options.feedback);
+  }
   return result;
 }
 

@@ -27,9 +27,25 @@ Result<bool> Accept(const Result<PlanPtr>& candidate, const Catalog& catalog,
                     PlanPtr* plan, OptimizeReport* report,
                     std::vector<RewriteRecord>* rewrite_log) {
   if (!candidate.ok()) return false;
-  Result<PlanCost> before = EstimateCost(*plan, catalog);
-  Result<PlanCost> after = EstimateCost(*candidate, catalog);
-  if (!before.ok() || !after.ok()) return false;
+  Result<PlanCost> before = EstimateCost(*plan, catalog, options.feedback);
+  Result<PlanCost> after = EstimateCost(*candidate, catalog, options.feedback);
+  if (!before.ok() || !after.ok()) {
+    // The rule matched but the cost model could not certify the rewrite, so
+    // the decision still deserves a record: keep whichever side estimated
+    // (-1 marks the missing one) and name the failing estimate.
+    if (rewrite_log != nullptr) {
+      RewriteRecord record;
+      record.rule = rule_name;
+      record.node = (*plan)->Label();
+      record.accepted = false;
+      record.cost_before = before.ok() ? before->work : -1;
+      record.cost_after = after.ok() ? after->work : -1;
+      record.detail = "rejected: cost estimate failed: " +
+                      (before.ok() ? after.status() : before.status()).ToString();
+      rewrite_log->push_back(std::move(record));
+    }
+    return false;
+  }
 
   // The rule produced a candidate, so the decision (either way) is worth a
   // rewrite record: rule, target node, and the cost certificate.
@@ -139,6 +155,13 @@ Result<PlanPtr> OptimizeRec(const PlanPtr& plan, const Catalog& catalog,
                            Accept(ExpandCubeBaseWithRollups(current), catalog, options,
                                   "Theorem 4.5 cube roll-up expansion", &current,
                                   report, rewrite_log));
+      fired |= accepted;
+    }
+    if (options.enable_split && current->kind() == PlanKind::kMdJoin) {
+      MDJ_ASSIGN_OR_RETURN(accepted,
+                           Accept(SplitToEquiJoin(current, catalog), catalog, options,
+                                  "Theorem 4.4 equijoin split", &current, report,
+                                  rewrite_log));
       fired |= accepted;
     }
     if (options.enable_pushdown && current->kind() == PlanKind::kMdJoin) {

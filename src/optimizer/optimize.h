@@ -18,7 +18,18 @@ struct OptimizeOptions {
   bool enable_fusion = true;         // Theorem 4.3
   bool enable_cube_rollup = false;   // cube expansion + Theorem 4.5 chains
   bool enable_unsat_rewrite = true;  // certified empty-result rewrite
+  /// Theorem 4.4 equijoin split. Opt-in: splitting pays off only when the
+  /// independent MD-joins can actually run at different sites (or in
+  /// parallel), which the single-node executor does not exploit, so default
+  /// plans keep the nested shape.
+  bool enable_split = false;
   int max_rounds = 4;                // fixpoint guard per node
+
+  /// Plan-feedback store (stats/feedback.h) consulted by the cost model when
+  /// ranking rewrites: nodes with measured cardinalities beat the model's
+  /// constants, so repeated queries converge on measurement-backed rewrite
+  /// decisions. Not owned, may be null.
+  const class FeedbackStore* feedback = nullptr;
 
   /// Debug invariant mode: re-run the full PlanAnalyzer over the plan after
   /// every accepted rule application and fail fast with the analyzer's

@@ -327,6 +327,20 @@ Result<int64_t> Catalog::LookupNumRows(const std::string& name) const {
   return Status::NotFound("no table named '", name, "'");
 }
 
+Status Catalog::RegisterStats(const std::string& name, const TableStats* stats) {
+  MDJ_CHECK(stats != nullptr);
+  if (tables_.count(name) == 0 && paged_.count(name) == 0) {
+    return Status::NotFound("RegisterStats: no table named '", name, "'");
+  }
+  stats_[name] = stats;
+  return Status::OK();
+}
+
+const TableStats* Catalog::FindStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : it->second;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> out;
   out.reserve(tables_.size() + paged_.size());

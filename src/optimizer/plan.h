@@ -147,6 +147,15 @@ class Catalog {
   Result<const Schema*> LookupSchema(const std::string& name) const;
   Result<int64_t> LookupNumRows(const std::string& name) const;
 
+  /// Attaches AnalyzeTable statistics to an already-registered name. The
+  /// pointer stays opaque here for the same layering reason as PagedTable —
+  /// the plan layer must not link against stats; the cost model (which does)
+  /// is the only consumer that dereferences it. Re-registering overwrites:
+  /// a fresh ANALYZE supersedes the old scan.
+  Status RegisterStats(const std::string& name, const class TableStats* stats);
+  /// The statistics binding, or null when `name` has none.
+  const class TableStats* FindStats(const std::string& name) const;
+
   std::vector<std::string> TableNames() const;
 
  private:
@@ -157,6 +166,7 @@ class Catalog {
   };
   std::unordered_map<std::string, const Table*> tables_;
   std::unordered_map<std::string, PagedEntry> paged_;
+  std::unordered_map<std::string, const class TableStats*> stats_;
 };
 
 /// Output schema of `plan` against `catalog`, without executing. Errors on

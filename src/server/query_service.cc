@@ -78,6 +78,38 @@ class ActiveGuardScope {
   void (Session::*const set_)(QueryGuard*);
 };
 
+/// Folds a profiled operator tree into the ExecStats the unprofiled path
+/// would have produced, plus the storage counters the query record carries.
+void SumProfileCounters(const OperatorProfile& node, ExecStats* stats,
+                        QueryRecord* record) {
+  ++stats->nodes_executed;
+  stats->rows_materialized += node.output_rows;
+  if (node.is_mdjoin) {
+    ++stats->mdjoin_operators;
+    stats->detail_rows_scanned += node.detail_rows_scanned;
+    stats->candidate_pairs += node.candidate_pairs;
+    stats->matched_pairs += node.matched_pairs;
+  }
+  if (record != nullptr) {
+    record->blocks_read += node.blocks_read;
+    record->spill_bytes += node.spill_bytes_written;
+  }
+  for (const auto& child : node.children) {
+    SumProfileCounters(*child, stats, record);
+  }
+}
+
+/// Terminal-outcome label for the query record.
+const char* OutcomeLabel(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kResourceExhausted: return "shed";
+    case StatusCode::kDeadlineExceeded: return "deadline";
+    case StatusCode::kCancelled: return "cancelled";
+    default: return "error";
+  }
+}
+
 }  // namespace
 
 const char* CacheOutcomeToString(CacheOutcome outcome) {
@@ -96,6 +128,13 @@ const char* CacheOutcomeToString(CacheOutcome outcome) {
 
 QueryService::QueryService(const Catalog& catalog, const QueryServiceOptions& options)
     : catalog_(catalog), options_(options), admission_(options.admission) {
+  if (options_.query_history_capacity > 0) {
+    QueryHistory::Options history_options;
+    history_options.capacity = options_.query_history_capacity;
+    history_options.log_path = options_.query_log_path;
+    history_options.slow_query_ms = options_.slow_query_ms;
+    history_ = std::make_unique<QueryHistory>(history_options);
+  }
   // Pre-register the service instruments so metrics dumps always carry the
   // full catalog, even before the first query (validate_obs.py
   // --expect-server checks every name).
@@ -148,16 +187,61 @@ std::unique_ptr<Session> QueryService::OpenSession(std::string tenant) {
 
 Result<Table> QueryService::RunEngine(const PlanPtr& plan, const Catalog& catalog,
                                       QueryGuard* guard, int threads,
-                                      ExecStats* stats) {
+                                      ExecStats* stats, QueryRecord* record) {
   MdJoinOptions md = options_.md_options;
   md.guard = guard;
   md.num_threads = threads;
   if (block_cache_ != nullptr) md.block_cache = block_cache_.get();
-  return ExecutePlanCse(plan, catalog, md, stats);
+  if (!options_.collect_feedback) {
+    return ExecutePlanCse(plan, catalog, md, stats);
+  }
+  // Feedback mode: run profiled (no CSE — the measurements must reflect the
+  // plan as written), harvest measured cardinalities into the store, and
+  // carry the profile's telemetry into the query record.
+  md.feedback = &feedback_;
+  QueryProfile profile;
+  Result<Table> out = ExplainAnalyze(plan, catalog, md, &profile);
+  if (profile.root != nullptr) {
+    SumProfileCounters(*profile.root, stats, record);
+  }
+  if (record != nullptr) {
+    record->max_qerror = profile.max_qerror;
+    record->cpu_ms = profile.root != nullptr ? profile.root->cpu_ms : 0;
+  }
+  return out;
 }
 
 Result<QueryResult> QueryService::Execute(Session* session, const PlanPtr& plan,
                                           const SessionQueryOptions& query_options) {
+  if (history_ == nullptr) {
+    return ExecuteInternal(session, plan, query_options, nullptr);
+  }
+  QueryRecord record;
+  const auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> result = ExecuteInternal(session, plan, query_options, &record);
+  record.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  if (result.ok()) {
+    record.outcome = "ok";
+    if (result->table != nullptr) record.rows = result->table->num_rows();
+    record.cache = CacheOutcomeToString(result->stats.cache);
+    record.queue_wait_ms = result->stats.queue_wait_ms;
+    record.detail_rows_scanned = result->stats.exec.detail_rows_scanned;
+  } else {
+    record.outcome = OutcomeLabel(result.status());
+    // Deadline and cancel terminate execution through the guard's stride
+    // checks; shed queries never started, so they do not count as trips.
+    record.guard_tripped = result.status().code() == StatusCode::kDeadlineExceeded ||
+                           result.status().code() == StatusCode::kCancelled;
+  }
+  history_->Record(std::move(record));
+  return result;
+}
+
+Result<QueryResult> QueryService::ExecuteInternal(
+    Session* session, const PlanPtr& plan, const SessionQueryOptions& query_options,
+    QueryRecord* record) {
   if (plan == nullptr) return Status::InvalidArgument("Execute: null plan");
   QueriesCounter()->Increment();
   GaugeDecrementer active(ActiveGauge());
@@ -185,6 +269,12 @@ Result<QueryResult> QueryService::Execute(Session* session, const PlanPtr& plan,
   if (options_.optimize) {
     MDJ_ASSIGN_OR_RETURN(canonical,
                          OptimizePlan(plan, catalog_, options_.optimize_options));
+  }
+  if (record != nullptr) {
+    // Submitted-form identity vs. executed-form identity; they differ exactly
+    // when canonicalization changed the plan.
+    record->fingerprint = FingerprintString(ExplainPlan(plan));
+    record->plan_hash = FingerprintString(ExplainPlan(canonical));
   }
 
   const bool cache_on = cache_ != nullptr && query_options.use_cache;
@@ -256,7 +346,7 @@ Result<QueryResult> QueryService::Execute(Session* session, const PlanPtr& plan,
         PlanPtr outer = MdJoinPlan((*rolled)->child(0), TableRef(kCachedFinerTable),
                                    (*rolled)->aggs, (*rolled)->theta);
         Result<Table> out = RunEngine(outer, shadow, &guard, ticket.threads(),
-                                      &stats.exec);
+                                      &stats.exec, record);
         if (!out.ok()) return out.status();
         CacheRollupHitCounter()->Increment();
         TraceInstant("cache_hit", "rollup");
@@ -270,7 +360,7 @@ Result<QueryResult> QueryService::Execute(Session* session, const PlanPtr& plan,
   }
 
   Result<Table> out = RunEngine(canonical, catalog_, &guard, ticket.threads(),
-                                &stats.exec);
+                                &stats.exec, record);
   if (!out.ok()) return out.status();
   auto shared = std::make_shared<const Table>(std::move(*out));
   if (cache_on) {

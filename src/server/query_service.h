@@ -15,6 +15,8 @@
 #include "optimizer/plan.h"
 #include "server/admission.h"
 #include "server/result_cache.h"
+#include "stats/feedback.h"
+#include "stats/query_log.h"
 #include "storage/block_cache.h"
 
 namespace mdjoin {
@@ -58,6 +60,22 @@ struct QueryServiceOptions {
   /// Template for engine execution knobs. `guard` and `num_threads` are
   /// overwritten per query from the admission ticket.
   MdJoinOptions md_options;
+
+  /// Execute under EXPLAIN ANALYZE profiling and harvest measured
+  /// cardinalities into the service's feedback store after every complete
+  /// run (estimates then improve run over run, and query records carry max
+  /// q-error). Off by default: profiling materializes per-operator records.
+  bool collect_feedback = false;
+
+  /// Query-history ring capacity; 0 disables history (and the query log).
+  size_t query_history_capacity = 256;
+
+  /// JSONL append path for the query history; empty keeps it in-memory only.
+  std::string query_log_path;
+
+  /// Wall-time threshold (ms) past which a query is flagged slow (trace
+  /// instant + mdjoin_slow_queries_total); 0 disables the check.
+  int64_t slow_query_ms = 0;
 };
 
 /// How the result cache participated in one query.
@@ -129,6 +147,11 @@ class QueryService {
   ResultCache* cache() { return cache_.get(); }
   /// nullptr when no block cache is configured (block_cache_bytes == 0).
   BlockCache* block_cache() { return block_cache_.get(); }
+  /// The service-wide plan-feedback store (populated only when
+  /// collect_feedback is on; always present so callers can inspect it).
+  FeedbackStore& feedback() { return feedback_; }
+  /// nullptr when query_history_capacity == 0.
+  QueryHistory* history() { return history_.get(); }
   int64_t sessions_open() const {
     return sessions_open_.load(std::memory_order_relaxed);
   }
@@ -139,10 +162,19 @@ class QueryService {
   Result<QueryResult> Execute(Session* session, const PlanPtr& plan,
                               const SessionQueryOptions& query_options);
 
+  /// Execute() minus the history bookkeeping; fills the telemetry fields of
+  /// `record` (fingerprints, cache/queue outcomes, engine counters) as the
+  /// lifecycle progresses so every early return leaves a meaningful record.
+  Result<QueryResult> ExecuteInternal(Session* session, const PlanPtr& plan,
+                                      const SessionQueryOptions& query_options,
+                                      QueryRecord* record);
+
   /// Executes `plan` under the minted guard/threads; shared by the roll-up
-  /// and full-execution paths.
+  /// and full-execution paths. With collect_feedback on, runs profiled and
+  /// reports the per-query max q-error through `record`.
   Result<Table> RunEngine(const PlanPtr& plan, const Catalog& catalog,
-                          QueryGuard* guard, int threads, ExecStats* stats);
+                          QueryGuard* guard, int threads, ExecStats* stats,
+                          QueryRecord* record);
 
   Catalog catalog_;
   const QueryServiceOptions options_;
@@ -151,6 +183,8 @@ class QueryService {
   // Declared after admission_ so its destructor (which releases external
   // charges through the admission callbacks) runs while admission_ is alive.
   std::unique_ptr<BlockCache> block_cache_;
+  FeedbackStore feedback_;
+  std::unique_ptr<QueryHistory> history_;
   std::atomic<int64_t> sessions_open_{0};
 };
 

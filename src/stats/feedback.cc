@@ -1,0 +1,102 @@
+#include "stats/feedback.h"
+
+#include "obs/metrics.h"
+
+namespace mdjoin {
+
+namespace {
+
+Counter* FeedbackUpdatesCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_feedback_updates_total",
+      "plan-fingerprint feedback entries recorded from completed profiles");
+  return c;
+}
+
+Counter* FeedbackHitsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_feedback_hits_total",
+      "cost estimates that used a harvested feedback entry");
+  return c;
+}
+
+Gauge* FeedbackEntriesGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge(
+      "mdjoin_feedback_entries", "live entries in the feedback store");
+  return g;
+}
+
+/// EWMA fold; the first observation seeds the value directly.
+void Fold(double* slot, double observed, double alpha, bool first) {
+  if (observed < 0) return;
+  if (first || *slot < 0) {
+    *slot = observed;
+  } else {
+    *slot = alpha * observed + (1.0 - alpha) * *slot;
+  }
+}
+
+}  // namespace
+
+uint64_t FingerprintString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+FeedbackStore::FeedbackStore() : FeedbackStore(Options{}) {}
+
+FeedbackStore::FeedbackStore(const Options& options) : options_(options) {
+  // Touch the instruments so metric catalogs are complete before traffic.
+  FeedbackUpdatesCounter();
+  FeedbackHitsCounter();
+  FeedbackEntriesGauge();
+}
+
+void FeedbackStore::Record(uint64_t fingerprint, double output_rows,
+                           double detail_rows_scanned, double selectivity) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    if (entries_.size() >= options_.max_entries &&
+        evict_next_ < insertion_order_.size()) {
+      entries_.erase(insertion_order_[evict_next_++]);
+    }
+    it = entries_.emplace(fingerprint, FeedbackEntry{}).first;
+    insertion_order_.push_back(fingerprint);
+  }
+  FeedbackEntry& e = it->second;
+  const bool first = e.observations == 0;
+  Fold(&e.output_rows, output_rows, options_.ewma_alpha, first);
+  Fold(&e.detail_rows_scanned, detail_rows_scanned, options_.ewma_alpha, first);
+  Fold(&e.selectivity, selectivity, options_.ewma_alpha, first);
+  ++e.observations;
+  FeedbackUpdatesCounter()->Increment();
+  FeedbackEntriesGauge()->Set(static_cast<int64_t>(entries_.size()));
+}
+
+std::optional<FeedbackEntry> FeedbackStore::Lookup(uint64_t fingerprint) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return std::nullopt;
+  FeedbackHitsCounter()->Increment();
+  return it->second;
+}
+
+int64_t FeedbackStore::size() const {
+  MutexLock lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+void FeedbackStore::Clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+  evict_next_ = 0;
+  FeedbackEntriesGauge()->Set(0);
+}
+
+}  // namespace mdjoin

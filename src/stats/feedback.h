@@ -1,0 +1,78 @@
+#ifndef MDJOIN_STATS_FEEDBACK_H_
+#define MDJOIN_STATS_FEEDBACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace mdjoin {
+
+/// Execution feedback for the cost model (ROADMAP item 3): measured output
+/// cardinalities and scan selectivities keyed by canonicalized plan
+/// fingerprints, harvested from completed QueryProfiles. The second run of a
+/// repeated dashboard-style query estimates from what the first run actually
+/// measured instead of the hard-coded constants — Q-error strictly decreases
+/// (asserted by stats_test and the CI stats job).
+///
+/// Feedback is advisory: it re-ranks certified rewrite alternatives and
+/// annotates EXPLAIN ANALYZE estimates, never changing results.
+
+/// FNV-1a over `s`. Plan fingerprints hash the canonical ExplainPlan
+/// rendering — the same canonical form the result cache keys on
+/// (server/result_cache.h MakePlanCacheKey), so cache identity and feedback
+/// identity agree.
+uint64_t FingerprintString(const std::string& s);
+
+/// One feedback fact, EWMA-smoothed over runs. Negative fields were never
+/// observed for this fingerprint.
+struct FeedbackEntry {
+  double output_rows = -1;          // measured operator output cardinality
+  double detail_rows_scanned = -1;  // MD-join nodes: rows read from R
+  double selectivity = -1;          // MD-join nodes: qualified / scanned
+  int64_t observations = 0;
+};
+
+/// Bounded, thread-safe fingerprint → FeedbackEntry map. When full, the
+/// oldest-inserted fingerprint is evicted (FIFO): dashboards re-observe
+/// their fingerprints every run, so recency ≈ relevance here.
+class FeedbackStore {
+ public:
+  struct Options {
+    size_t max_entries = 4096;
+    /// EWMA weight of the newest observation. 0.5 converges in a couple of
+    /// runs while still damping one-off outliers (a guard-degraded run, say).
+    double ewma_alpha = 0.5;
+  };
+
+  FeedbackStore();
+  explicit FeedbackStore(const Options& options);
+
+  /// Folds one measured observation into the entry for `fingerprint`.
+  /// Negative arguments leave the corresponding field untouched.
+  void Record(uint64_t fingerprint, double output_rows,
+              double detail_rows_scanned = -1, double selectivity = -1)
+      MDJ_EXCLUDES(mu_);
+
+  /// The smoothed entry, or nullopt. Increments mdjoin_feedback_hits_total
+  /// on a hit (the fleet-wide signal that estimates run on feedback).
+  std::optional<FeedbackEntry> Lookup(uint64_t fingerprint) const
+      MDJ_EXCLUDES(mu_);
+
+  int64_t size() const MDJ_EXCLUDES(mu_);
+  void Clear() MDJ_EXCLUDES(mu_);
+
+ private:
+  const Options options_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, FeedbackEntry> entries_ MDJ_GUARDED_BY(mu_);
+  std::vector<uint64_t> insertion_order_ MDJ_GUARDED_BY(mu_);
+  size_t evict_next_ MDJ_GUARDED_BY(mu_) = 0;  // FIFO cursor into insertion_order_
+};
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_STATS_FEEDBACK_H_

@@ -1,0 +1,236 @@
+#include "stats/table_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace mdjoin {
+
+namespace {
+
+/// 64-bit avalanche finalizer (splitmix64 / murmur3 fmix64 family). Value's
+/// structural hash is std::hash-based, which for small integers is close to
+/// the identity on common standard libraries — unusable for HLL register
+/// selection without a full-width mix.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Bias-correction constant alpha_m for m >= 128 registers.
+double HllAlpha(int m) { return 0.7213 / (1.0 + 1.079 / static_cast<double>(m)); }
+
+Counter* TablesAnalyzedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "mdjoin_stats_tables_analyzed_total",
+      "tables scanned by AnalyzeTable to collect optimizer statistics");
+  return c;
+}
+
+}  // namespace
+
+void HllSketch::AddHash(uint64_t hash) {
+  const uint64_t h = Mix64(hash);
+  const uint32_t idx = static_cast<uint32_t>(h >> (64 - kPrecision));
+  // Rank = leading-zero run (+1) of the remaining 64 - kPrecision bits.
+  const uint64_t rest = h << kPrecision;
+  const int rank =
+      rest == 0 ? (64 - kPrecision + 1) : (__builtin_clzll(rest) + 1);
+  if (static_cast<uint8_t>(rank) > registers_[idx]) {
+    registers_[idx] = static_cast<uint8_t>(rank);
+  }
+}
+
+int64_t HllSketch::nonzero_registers() const {
+  int64_t n = 0;
+  for (uint8_t r : registers_) n += r != 0;
+  return n;
+}
+
+int64_t HllSketch::Estimate() const {
+  const int m = kRegisters;
+  double inverse_sum = 0;
+  int zeros = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    zeros += r == 0;
+  }
+  double estimate = HllAlpha(m) * static_cast<double>(m) *
+                    static_cast<double>(m) / inverse_sum;
+  // Small-range correction: linear counting on the empty-register count.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = static_cast<double>(m) *
+               std::log(static_cast<double>(m) / static_cast<double>(zeros));
+  }
+  return static_cast<int64_t>(std::llround(estimate));
+}
+
+double EquiDepthHistogram::FractionLessOrEqual(const Value& v) const {
+  if (!valid()) return 0.5;
+  if (v.Compare(min) < 0) return 0.0;
+  if (v.Compare(upper.back()) >= 0) return 1.0;
+  int64_t below = 0;
+  for (size_t i = 0; i < upper.size(); ++i) {
+    if (v.Compare(upper[i]) >= 0) {
+      below += counts[i];
+      continue;
+    }
+    // v falls inside bucket i: (lower, upper[i]] with lower = previous edge.
+    const Value& lower = i == 0 ? min : upper[i - 1];
+    double within = 0.5;  // strings: assume mid-bucket
+    if (v.is_numeric() && lower.is_numeric() && upper[i].is_numeric()) {
+      const double lo = lower.AsDouble();
+      const double hi = upper[i].AsDouble();
+      within = hi > lo ? (v.AsDouble() - lo) / (hi - lo) : 1.0;
+      within = std::clamp(within, 0.0, 1.0);
+    }
+    return (static_cast<double>(below) +
+            within * static_cast<double>(counts[i])) /
+           static_cast<double>(total);
+  }
+  return 1.0;
+}
+
+double ColumnStats::SelectivityCmp(CmpOp op, const Value& literal) const {
+  if (num_rows <= 0) return 1.0;
+  const double rows = static_cast<double>(num_rows);
+  const double all_frac = static_cast<double>(all_count) / rows;
+  const int64_t plain = num_rows - null_count - all_count;
+  const double plain_frac = static_cast<double>(plain) / rows;
+  if (literal.is_null()) return 0.0;  // NULL compares to nothing
+
+  // Fraction of *plain* rows equal to the literal: out-of-range literals
+  // match nothing; otherwise one distinct value's share.
+  auto eq_plain = [&]() -> double {
+    if (plain <= 0) return 0.0;
+    if (!min.is_null() &&
+        (literal.Compare(min) < 0 || literal.Compare(max) > 0)) {
+      return 0.0;
+    }
+    return 1.0 / static_cast<double>(std::max<int64_t>(ndv, 1));
+  };
+  // Fraction of plain rows with value <= literal, via the histogram.
+  auto le_plain = [&]() -> double {
+    if (plain <= 0) return 0.0;
+    if (histogram.valid()) return histogram.FractionLessOrEqual(literal);
+    return 0.5;
+  };
+
+  double frac = 0.0;
+  switch (op) {
+    case CmpOp::kEq:
+      // θ-equality: an ALL row is a wildcard and matches any non-NULL value.
+      frac = eq_plain() * plain_frac + all_frac;
+      break;
+    case CmpOp::kNe:
+      frac = (1.0 - eq_plain()) * plain_frac;
+      break;
+    case CmpOp::kLe:
+      frac = le_plain() * plain_frac;
+      break;
+    case CmpOp::kLt:
+      frac = std::max(0.0, le_plain() - eq_plain()) * plain_frac;
+      break;
+    case CmpOp::kGt:
+      frac = (1.0 - le_plain()) * plain_frac;
+      break;
+    case CmpOp::kGe:
+      frac = std::min(1.0, 1.0 - le_plain() + eq_plain()) * plain_frac;
+      break;
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+const ColumnStats* TableStats::FindColumn(const std::string& name) const {
+  for (const ColumnStats& c : columns) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string TableStats::SummaryText() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "table %s: %lld rows, %zu columns\n",
+                table_name.c_str(), static_cast<long long>(num_rows),
+                columns.size());
+  out += buf;
+  for (const ColumnStats& c : columns) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s ndv=%-8lld nulls=%-6lld all=%-6lld", c.name.c_str(),
+                  static_cast<long long>(c.ndv),
+                  static_cast<long long>(c.null_count),
+                  static_cast<long long>(c.all_count));
+    out += buf;
+    if (!c.min.is_null()) {
+      out += " min=" + c.min.ToString() + " max=" + c.max.ToString();
+    }
+    if (c.histogram.valid()) {
+      std::snprintf(buf, sizeof(buf), " hist=%zu buckets",
+                    c.histogram.upper.size());
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<TableStats> AnalyzeTable(const Table& table, std::string table_name,
+                                const AnalyzeOptions& options) {
+  if (options.histogram_buckets < 1) {
+    return Status::InvalidArgument("AnalyzeTable: histogram_buckets must be >= 1");
+  }
+  TableStats stats;
+  stats.table_name = std::move(table_name);
+  stats.num_rows = table.num_rows();
+  stats.columns.reserve(static_cast<size_t>(table.num_columns()));
+  for (int col = 0; col < table.num_columns(); ++col) {
+    const std::vector<Value>& values = table.column(col);
+    ColumnStats cs;
+    cs.name = table.schema().field(col).name;
+    cs.num_rows = table.num_rows();
+    HllSketch sketch;
+    std::vector<Value> plain;  // non-NULL, non-ALL, for min/max + histogram
+    plain.reserve(values.size());
+    for (const Value& v : values) {
+      if (v.is_null()) {
+        ++cs.null_count;
+      } else if (v.is_all()) {
+        ++cs.all_count;
+      } else {
+        sketch.Add(v);
+        plain.push_back(v);
+      }
+    }
+    cs.ndv = sketch.Estimate();
+    if (!plain.empty()) {
+      std::sort(plain.begin(), plain.end(),
+                [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+      cs.min = plain.front();
+      cs.max = plain.back();
+      EquiDepthHistogram& hist = cs.histogram;
+      hist.min = plain.front();
+      hist.total = static_cast<int64_t>(plain.size());
+      const size_t buckets = std::min<size_t>(
+          static_cast<size_t>(options.histogram_buckets), plain.size());
+      for (size_t b = 0; b < buckets; ++b) {
+        // Equal-depth cuts; the last index of bucket b.
+        const size_t hi = (b + 1) * plain.size() / buckets - 1;
+        const size_t lo = b * plain.size() / buckets;
+        hist.upper.push_back(plain[hi]);
+        hist.counts.push_back(static_cast<int64_t>(hi - lo + 1));
+      }
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  TablesAnalyzedCounter()->Increment();
+  return stats;
+}
+
+}  // namespace mdjoin

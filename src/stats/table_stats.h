@@ -1,0 +1,111 @@
+#ifndef MDJOIN_STATS_TABLE_STATS_H_
+#define MDJOIN_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "types/value.h"
+
+namespace mdjoin {
+
+/// Per-table / per-column statistics (ROADMAP item 3, observability half).
+/// An AnalyzeTable scan produces a TableStats; the catalog carries it as an
+/// opaque pointer (Catalog::RegisterStats) so the cost model can replace its
+/// hard-coded selectivity constants with measured facts. Statistics are
+/// advisory: they only re-rank certified rewrite alternatives, so a stale or
+/// missing TableStats can never change query results — just plan choices.
+
+/// Comparison shape of a `column <op> literal` conjunct, as the stats layer
+/// sees it. Deliberately local to stats (not expr's BinaryOp) so this library
+/// stays below the expression layer; the cost model maps one onto the other.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// HyperLogLog-style NDV sketch: 2^kPrecision one-byte registers tracking the
+/// maximum leading-zero run observed per register. Standard error is
+/// ~1.04/sqrt(m) ≈ 3.3% at the default 1024 registers — plenty for ranking
+/// plans (stats_test pins a 15% property bound). Hashes are finalized through
+/// a 64-bit avalanche mix before use, because Value::Hash of small integers
+/// is nearly the identity on common standard libraries.
+class HllSketch {
+ public:
+  static constexpr int kPrecision = 10;               // 1024 registers
+  static constexpr int kRegisters = 1 << kPrecision;  // one byte each
+
+  HllSketch() : registers_(kRegisters, 0) {}
+
+  void Add(const Value& v) { AddHash(v.Hash()); }
+  void AddHash(uint64_t hash);
+
+  /// Cardinality estimate with the small-range (linear counting) correction.
+  int64_t Estimate() const;
+
+  /// Registers touched; 0 means nothing was added.
+  int64_t nonzero_registers() const;
+
+ private:
+  std::vector<uint8_t> registers_;
+};
+
+/// Equi-depth histogram over the sorted non-NULL, non-ALL values of one
+/// column: every bucket holds ~the same number of rows, so selectivity reads
+/// off as (buckets below) + (interpolated fraction within one bucket). The
+/// classic estimation bound applies: any range estimate is within ~1/buckets
+/// of the true fraction (stats_test pins 2/buckets + epsilon on random data).
+struct EquiDepthHistogram {
+  std::vector<Value> upper;     // inclusive upper edge of each bucket
+  std::vector<int64_t> counts;  // rows per bucket (equal to within 1, by construction)
+  Value min;                    // smallest covered value
+  int64_t total = 0;            // rows covered (non-NULL, non-ALL)
+
+  bool valid() const { return total > 0 && !upper.empty(); }
+
+  /// P(x <= v) over the covered rows, with linear interpolation inside the
+  /// straddled bucket for numeric columns (strings assume mid-bucket).
+  double FractionLessOrEqual(const Value& v) const;
+};
+
+/// Statistics of one column, from one AnalyzeTable scan.
+struct ColumnStats {
+  std::string name;
+  int64_t num_rows = 0;
+  int64_t null_count = 0;
+  int64_t all_count = 0;  // Gray et al. roll-up markers (base-values tables)
+  int64_t ndv = 0;        // HLL estimate over non-NULL, non-ALL values
+  Value min;              // Value::Null() when no plain values exist
+  Value max;
+  EquiDepthHistogram histogram;
+
+  /// Estimated fraction of rows satisfying `column <op> literal` under the
+  /// engine's θ semantics: NULL rows never match; ALL rows match kEq (the
+  /// wildcard) and never match ordered comparisons. Always in [0, 1].
+  double SelectivityCmp(CmpOp op, const Value& literal) const;
+};
+
+struct TableStats {
+  std::string table_name;
+  int64_t num_rows = 0;
+  std::vector<ColumnStats> columns;  // schema order
+
+  const ColumnStats* FindColumn(const std::string& name) const;
+
+  /// Human-readable report for the CLI --stats-dump exit summary.
+  std::string SummaryText() const;
+};
+
+struct AnalyzeOptions {
+  int histogram_buckets = 32;
+};
+
+/// Full-scan statistics collection (CLI --analyze). One pass per column:
+/// counts, min/max, an HLL NDV sketch, and an equi-depth histogram (the
+/// histogram sorts a copy of the column, so this is an offline operation,
+/// not a per-query one). Increments mdjoin_stats_tables_analyzed_total.
+Result<TableStats> AnalyzeTable(const Table& table, std::string table_name,
+                                const AnalyzeOptions& options = {});
+
+}  // namespace mdjoin
+
+#endif  // MDJOIN_STATS_TABLE_STATS_H_

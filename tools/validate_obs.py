@@ -3,11 +3,13 @@
 
 Usage:
     validate_obs.py [--trace TRACE.json] [--metrics METRICS.json]
-                    [--explain EXPLAIN.txt] [--schema obs_schema.json]
+                    [--explain EXPLAIN.txt] [--query-log QLOG.jsonl]
+                    [--schema obs_schema.json]
                     [--min-tracks N] [--expect-parallel] [--expect-server]
-                    [--expect-analysis] [--expect-storage]
+                    [--expect-analysis] [--expect-storage] [--expect-stats]
 
-At least one artifact flag (--trace / --metrics / --explain) is required.
+At least one artifact flag (--trace / --metrics / --explain / --query-log)
+is required.
 Checks, in order:
   1. The trace file (--trace) parses and conforms to tools/obs_schema.json
      (full jsonschema validation when the module is available, a structural
@@ -233,8 +235,112 @@ def validate_analysis_metrics(metrics, schema_path):
           "metrics: interval analysis derived no range facts")
 
 
+def stats_metric_names(schema_path):
+    """The workload-telemetry metric family from the statsMetrics annex."""
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"metrics: cannot read statsMetrics annex from {schema_path}: {e}")
+        return []
+    names = schema.get("statsMetrics", {}).get("names", [])
+    check(names, f"metrics: {schema_path} has no statsMetrics.names annex")
+    return names
+
+
+def validate_stats_metrics(metrics, schema_path):
+    for name in stats_metric_names(schema_path):
+        check(name in metrics, f"metrics: missing stats metric {name}")
+
+    def scalar(name):
+        v = metrics.get(name, 0)
+        return v if isinstance(v, (int, float)) else 0
+
+    build_info = metrics.get("mdjoin_build_info")
+    if check(isinstance(build_info, dict),
+             "metrics: mdjoin_build_info is not an info object"):
+        check(build_info.get("git_sha"), "metrics: build_info missing git_sha")
+        check(build_info.get("build_type"),
+              "metrics: build_info missing build_type")
+    qerror = metrics.get("mdjoin_plan_qerror")
+    if check(isinstance(qerror, dict),
+             "metrics: mdjoin_plan_qerror is not a histogram object"):
+        check(qerror.get("count", 0) > 0,
+              "metrics: no plan q-error observations — did EXPLAIN ANALYZE run?")
+        for q in ("p50", "p90", "p99"):
+            check(q in qerror, f"metrics: mdjoin_plan_qerror missing {q}")
+    check(scalar("mdjoin_stats_tables_analyzed_total") > 0,
+          "metrics: no tables analyzed — did --analyze run?")
+    check(scalar("mdjoin_feedback_updates_total") > 0,
+          "metrics: no feedback updates harvested")
+    check(scalar("mdjoin_queries_logged_total") > 0,
+          "metrics: no queries recorded in the history")
+    for name in ("mdjoin_feedback_hits_total", "mdjoin_feedback_entries",
+                 "mdjoin_slow_queries_total"):
+        check(scalar(name) >= 0, f"metrics: negative {name}")
+
+
+def query_log_record_schema(schema_path):
+    """The JSONL record shape from the schema's queryLogRecord annex."""
+    try:
+        with open(schema_path) as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"query-log: cannot read queryLogRecord annex from {schema_path}: {e}")
+        return {}
+    annex = schema.get("queryLogRecord", {})
+    check(annex.get("requiredKeys"),
+          f"query-log: {schema_path} has no queryLogRecord annex")
+    return annex
+
+
+def validate_query_log(path, schema_path):
+    annex = query_log_record_schema(schema_path)
+    required = annex.get("requiredKeys", [])
+    string_keys = annex.get("stringKeys", [])
+    number_keys = annex.get("numberKeys", [])
+    boolean_keys = annex.get("booleanKeys", [])
+    outcomes = set(annex.get("outcomes", []))
+    try:
+        with open(path) as f:
+            lines = [l for l in f.read().splitlines() if l.strip()]
+    except OSError as e:
+        fail(f"query-log: cannot read {path}: {e}")
+        return
+    if not check(lines, f"query-log: {path} is empty"):
+        return
+    for i, line in enumerate(lines):
+        ctx = f"query-log: line {i + 1}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{ctx}: not JSON: {e}")
+            continue
+        for key in required:
+            check(key in record, f"{ctx}: missing required key '{key}'")
+        for key in string_keys:
+            if key in record:
+                check(isinstance(record[key], str), f"{ctx}: '{key}' not a string")
+        for key in number_keys:
+            if key in record:
+                check(isinstance(record[key], (int, float))
+                      and not isinstance(record[key], bool),
+                      f"{ctx}: '{key}' not a number")
+        for key in boolean_keys:
+            if key in record:
+                check(isinstance(record[key], bool), f"{ctx}: '{key}' not a boolean")
+        if outcomes and "outcome" in record:
+            check(record["outcome"] in outcomes,
+                  f"{ctx}: unknown outcome {record.get('outcome')!r}")
+        # The fingerprints are decimal-in-string so 64-bit values survive.
+        for key in ("fingerprint", "plan_hash"):
+            if isinstance(record.get(key), str):
+                check(record[key].isdigit(), f"{ctx}: '{key}' not a decimal string")
+    return len(lines)
+
+
 def validate_metrics(path, expect_parallel, expect_server, expect_analysis,
-                     expect_storage, schema_path):
+                     expect_storage, expect_stats, schema_path):
     try:
         with open(path) as f:
             metrics = json.load(f)
@@ -261,6 +367,8 @@ def validate_metrics(path, expect_parallel, expect_server, expect_analysis,
         validate_analysis_metrics(metrics, schema_path)
     if expect_storage:
         validate_storage_metrics(metrics, schema_path)
+    if expect_stats:
+        validate_stats_metrics(metrics, schema_path)
 
 
 def validate_explain(path, expect_analysis=False):
@@ -297,9 +405,16 @@ def main():
     parser.add_argument("--expect-storage", action="store_true",
                         help="require the out-of-core storage metric family "
                              "(block cache, zone-map pruning, spill)")
+    parser.add_argument("--expect-stats", action="store_true",
+                        help="require the workload-telemetry metric family "
+                             "(table stats, plan q-error, feedback, history)")
+    parser.add_argument("--query-log",
+                        help="validate a --query-log JSONL file against the "
+                             "queryLogRecord annex")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.explain):
-        parser.error("nothing to validate: pass --trace, --metrics, or --explain")
+    if not (args.trace or args.metrics or args.explain or args.query_log):
+        parser.error("nothing to validate: pass --trace, --metrics, "
+                     "--explain, or --query-log")
 
     trace = None
     if args.trace:
@@ -313,9 +428,13 @@ def main():
         validate_trace_content(trace, args.min_tracks, args.expect_parallel)
     if args.metrics:
         validate_metrics(args.metrics, args.expect_parallel, args.expect_server,
-                         args.expect_analysis, args.expect_storage, args.schema)
+                         args.expect_analysis, args.expect_storage,
+                         args.expect_stats, args.schema)
     if args.explain:
         validate_explain(args.explain, args.expect_analysis)
+    log_lines = None
+    if args.query_log:
+        log_lines = validate_query_log(args.query_log, args.schema)
 
     if ERRORS:
         for e in ERRORS:
@@ -329,6 +448,8 @@ def main():
                      + (" (incl. server catalog)" if args.expect_server else ""))
     if args.explain:
         parts.append("explain-analyze well-formed")
+    if args.query_log:
+        parts.append(f"{log_lines} query-log record(s) validated")
     print("OK: " + ", ".join(parts))
     return 0
 
